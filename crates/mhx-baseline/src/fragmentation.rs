@@ -1,0 +1,419 @@
+//! Fragmentation encoding: the second classic single-document "hack" \[6\].
+//! One dominant hierarchy keeps its structure; every other hierarchy's
+//! elements are *split into fragments* at conflicting boundaries, each
+//! fragment carrying `part` (I/M/F/S) and a shared logical `id`:
+//!
+//! ```text
+//! <line>gesceaftum <frag h="words" n="w" id="1" part="I">unawendendne sin</frag></line>
+//! <line><frag h="words" n="w" id="1" part="F">gallice</frag> …</line>
+//! ```
+//!
+//! Queries about the fragmented hierarchies must regroup fragments by id
+//! and re-derive spans at query time; markup volume also grows with
+//! overlap density — both costs are measured in bench E8.
+
+use crate::region::Region;
+use mhx_goddag::{Goddag, NodeId};
+use mhx_xml::{Document, NodeId as XmlId, NodeKind};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+pub struct FragmentationDoc {
+    pub doc: Document,
+    pub dominant: String,
+}
+
+/// One atomic run: a maximal span within a dominant text node where the
+/// set of covering non-dominant elements is constant.
+type Cover = Vec<(String, String, u32)>; // (hierarchy, name, id)
+
+/// Convert a KyGODDAG into a fragmentation document.
+pub fn to_fragmentation(g: &Goddag, dominant: &str) -> FragmentationDoc {
+    let dom_h = g.hierarchy_id(dominant).expect("dominant hierarchy exists");
+
+    // Count fragments per logical element first (for part labels): a
+    // logical element fragments at every boundary of the *union* leaf
+    // partition that it spans within different dominant text nodes — we
+    // compute runs lazily below, so do a first pass collecting run counts.
+    let mut runs_per_elem: BTreeMap<(u16, u32), u32> = BTreeMap::new();
+    let mut render = String::with_capacity(g.text().len() * 3);
+    // Pass 1: count; Pass 2: render. Both share the traversal.
+    for pass in 0..2 {
+        if pass == 1 {
+            render.push('<');
+            render.push_str(g.root_name());
+            render.push('>');
+        }
+        let mut counters: BTreeMap<(u16, u32), u32> = BTreeMap::new();
+        walk_dominant(
+            g,
+            NodeId::Root,
+            dom_h,
+            &mut |piece: Piece<'_>, out_needed: bool| {
+                if pass == 0 {
+                    if let Piece::Run { cover, .. } = &piece {
+                        for (h, _, id) in cover.iter() {
+                            let hid = g.hierarchy_id(h).expect("cover hierarchy exists");
+                            *runs_per_elem.entry((hid.0, *id)).or_insert(0) += 1;
+                        }
+                    }
+                    return;
+                }
+                if !out_needed {
+                    return;
+                }
+                match piece {
+                    Piece::Open(name, attrs) => {
+                        render.push('<');
+                        render.push_str(name);
+                        for (k, v) in &attrs {
+                            render.push_str(&format!(
+                                r#" {k}="{}""#,
+                                mhx_xml::escape::escape_attr(v)
+                            ));
+                        }
+                        render.push('>');
+                    }
+                    Piece::Close(name) => {
+                        render.push_str("</");
+                        render.push_str(name);
+                        render.push('>');
+                    }
+                    Piece::Run { text, cover } => {
+                        for (h, name, id) in cover.iter() {
+                            let hid = g.hierarchy_id(h).expect("cover hierarchy exists");
+                            let count = counters.entry((hid.0, *id)).or_insert(0);
+                            *count += 1;
+                            let total = runs_per_elem.get(&(hid.0, *id)).copied().unwrap_or(1);
+                            let part = match (total, *count) {
+                                (1, _) => "S",
+                                (_, 1) => "I",
+                                (t, c) if c == t => "F",
+                                _ => "M",
+                            };
+                            render.push_str(&format!(
+                                r#"<frag h="{h}" n="{name}" id="{id}" part="{part}">"#
+                            ));
+                        }
+                        render.push_str(&mhx_xml::escape::escape_text(text));
+                        for _ in cover.iter() {
+                            render.push_str("</frag>");
+                        }
+                    }
+                }
+            },
+        );
+        if pass == 1 {
+            render.push_str("</");
+            render.push_str(g.root_name());
+            render.push('>');
+        }
+    }
+
+    let doc = mhx_xml::parse(&render).expect("fragmentation rendering is well-formed");
+    FragmentationDoc { doc, dominant: dominant.to_string() }
+}
+
+enum Piece<'a> {
+    Open(&'a str, Vec<(String, String)>),
+    Close(&'a str),
+    Run { text: &'a str, cover: Cover },
+}
+
+fn walk_dominant(
+    g: &Goddag,
+    n: NodeId,
+    dom_h: mhx_goddag::HierarchyId,
+    emit: &mut impl FnMut(Piece<'_>, bool),
+) {
+    for c in g.children(n) {
+        match c {
+            NodeId::Elem { h, .. } if h == dom_h => {
+                let attrs: Vec<(String, String)> = g.attrs(c).to_vec();
+                emit(Piece::Open(g.name(c).unwrap_or("?"), attrs), true);
+                walk_dominant(g, c, dom_h, emit);
+                emit(Piece::Close(g.name(c).unwrap_or("?")), true);
+            }
+            NodeId::Text { h, .. } if h == dom_h => {
+                // Split the text node into runs at leaf granularity, merging
+                // adjacent leaves with the same cover.
+                let leaves = g.leaves_of(c);
+                let mut run_start: Option<u32> = None;
+                let mut run_cover: Cover = Vec::new();
+                let mut run_end = 0u32;
+                for leaf in leaves {
+                    let (ls, le) = g.span(leaf);
+                    let cover = cover_of(g, ls, dom_h);
+                    match run_start {
+                        Some(_) if cover == run_cover => run_end = le,
+                        Some(rs) => {
+                            emit_run(g, rs, run_end, std::mem::take(&mut run_cover), emit);
+                            run_start = Some(ls);
+                            run_cover = cover;
+                            run_end = le;
+                        }
+                        None => {
+                            run_start = Some(ls);
+                            run_cover = cover;
+                            run_end = le;
+                        }
+                    }
+                }
+                if let Some(rs) = run_start {
+                    emit_run(g, rs, run_end, run_cover, emit);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn emit_run(
+    g: &Goddag,
+    start: u32,
+    end: u32,
+    cover: Cover,
+    emit: &mut impl FnMut(Piece<'_>, bool),
+) {
+    let text = &g.text()[start as usize..end as usize];
+    emit(Piece::Run { text, cover }, true);
+}
+
+/// Non-dominant elements covering offset `at`, outermost first (wider
+/// spans first, then hierarchy order).
+fn cover_of(g: &Goddag, at: u32, dom_h: mhx_goddag::HierarchyId) -> Cover {
+    let mut cover: Vec<(u32, u16, String, String, u32)> = Vec::new();
+    for (h, hier) in g.hierarchies() {
+        if h == dom_h {
+            continue;
+        }
+        for i in 0..hier.element_count() as u32 {
+            let n = NodeId::Elem { h, i };
+            let (s, e) = g.span(n);
+            if s <= at && at < e {
+                cover.push((e - s, h.0, hier.name.clone(), g.name(n).unwrap_or("?").to_string(), i));
+            }
+        }
+    }
+    // Outermost (widest) first; ties by hierarchy registration order.
+    cover.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.4.cmp(&b.4)));
+    cover.into_iter().map(|(_, _, h, n, i)| (h, n, i)).collect()
+}
+
+impl FragmentationDoc {
+    /// Reconstruct logical regions of a fragmented hierarchy: scan, group
+    /// fragments by id, union spans — all at query time.
+    pub fn regions(&self, hierarchy: &str) -> Vec<Region> {
+        let mut frags: BTreeMap<u32, (String, u32, u32)> = BTreeMap::new();
+        let mut offset = 0u32;
+        collect_frags(
+            &self.doc,
+            self.doc.root_element().expect("root"),
+            hierarchy,
+            &mut offset,
+            &mut frags,
+        );
+        frags
+            .into_iter()
+            .map(|(id, (name, s, e))| Region {
+                hierarchy: hierarchy.to_string(),
+                name,
+                id,
+                span: (s, e),
+            })
+            .collect()
+    }
+
+    pub fn dominant_regions(&self, name_filter: Option<&str>) -> Vec<Region> {
+        let mut out = Vec::new();
+        let mut offset = 0u32;
+        let root = self.doc.root_element().expect("root");
+        scan_dominant(&self.doc, root, name_filter, &self.dominant, &mut offset, &mut out);
+        out
+    }
+
+    pub fn serialized_len(&self) -> usize {
+        mhx_xml::to_string(&self.doc).len()
+    }
+
+    /// Number of `<frag>` elements (fragmentation blowup metric).
+    pub fn fragment_count(&self) -> usize {
+        let root = self.doc.root_element().expect("root");
+        std::iter::once(root)
+            .chain(self.doc.descendants(root))
+            .filter(|&n| self.doc.name(n) == Some("frag"))
+            .count()
+    }
+}
+
+fn collect_frags(
+    doc: &Document,
+    node: XmlId,
+    hierarchy: &str,
+    offset: &mut u32,
+    frags: &mut BTreeMap<u32, (String, u32, u32)>,
+) {
+    for c in doc.children(node) {
+        match doc.kind(c) {
+            NodeKind::Text(t) => *offset += t.len() as u32,
+            NodeKind::Element { name, .. } => {
+                let start = *offset;
+                let is_ours = name == "frag" && doc.attr(c, "h") == Some(hierarchy);
+                collect_frags(doc, c, hierarchy, offset, frags);
+                if is_ours {
+                    let id: u32 = doc.attr(c, "id").unwrap_or("0").parse().unwrap_or(0);
+                    let n = doc.attr(c, "n").unwrap_or("?").to_string();
+                    let end = *offset;
+                    frags
+                        .entry(id)
+                        .and_modify(|(_, s, e)| {
+                            *s = (*s).min(start);
+                            *e = (*e).max(end);
+                        })
+                        .or_insert((n, start, end));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn scan_dominant(
+    doc: &Document,
+    node: XmlId,
+    name_filter: Option<&str>,
+    hierarchy: &str,
+    offset: &mut u32,
+    out: &mut Vec<Region>,
+) {
+    for c in doc.children(node) {
+        match doc.kind(c) {
+            NodeKind::Text(t) => *offset += t.len() as u32,
+            NodeKind::Element { name, .. } if name == "frag" => {
+                scan_dominant(doc, c, name_filter, hierarchy, offset, out);
+            }
+            NodeKind::Element { name, .. } => {
+                let start = *offset;
+                let matches = name_filter.map(|f| f == name).unwrap_or(true);
+                let name = name.clone();
+                if matches {
+                    out.push(Region {
+                        hierarchy: hierarchy.to_string(),
+                        name: name.clone(),
+                        id: out.len() as u32,
+                        span: (start, start),
+                    });
+                }
+                let slot = if matches { Some(out.len() - 1) } else { None };
+                scan_dominant(doc, c, name_filter, hierarchy, offset, out);
+                if let Some(slot) = slot {
+                    out[slot].span.1 = *offset;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{goddag_regions, overlapping_pairs};
+    use mhx_corpus::figure1;
+
+    #[test]
+    fn fragmentation_roundtrips_regions() {
+        let g = figure1::goddag();
+        let fr = to_fragmentation(&g, "lines");
+        for hierarchy in ["words", "restorations", "damage"] {
+            let mut truth = goddag_regions(&g, hierarchy);
+            let mut got = fr.regions(hierarchy);
+            truth.sort();
+            got.sort();
+            assert_eq!(truth, got, "hierarchy {hierarchy}");
+        }
+    }
+
+    #[test]
+    fn text_preserved() {
+        let g = figure1::goddag();
+        let fr = to_fragmentation(&g, "lines");
+        let root = fr.doc.root_element().unwrap();
+        assert_eq!(fr.doc.string_value(root), figure1::TEXT);
+    }
+
+    #[test]
+    fn split_word_has_initial_and_final_parts() {
+        let g = figure1::goddag();
+        let fr = to_fragmentation(&g, "lines");
+        let src = mhx_xml::to_string(&fr.doc);
+        // "singallice" fragments across the line break.
+        assert!(src.contains(r#"part="I""#), "{src}");
+        assert!(src.contains(r#"part="F""#), "{src}");
+        assert!(src.contains(r#"part="S""#), "{src}");
+    }
+
+    #[test]
+    fn overlap_query_agrees_with_goddag() {
+        let g = figure1::goddag();
+        let fr = to_fragmentation(&g, "lines");
+        let lines_g = goddag_regions(&g, "lines");
+        let words_g: Vec<_> =
+            goddag_regions(&g, "words").into_iter().filter(|r| r.name == "w").collect();
+        let lines_f = fr.dominant_regions(Some("line"));
+        let words_f: Vec<_> =
+            fr.regions("words").into_iter().filter(|r| r.name == "w").collect();
+        assert_eq!(
+            overlapping_pairs(&lines_g, &words_g).len(),
+            overlapping_pairs(&lines_f, &words_f).len()
+        );
+    }
+
+    #[test]
+    fn fragment_count_grows_with_overlap() {
+        use mhx_corpus::generator::{generate, GeneratorConfig};
+        let aligned = generate(&GeneratorConfig {
+            boundary_jitter: 0.0,
+            text_len: 600,
+            hierarchies: 3,
+            ..Default::default()
+        });
+        let jittered = generate(&GeneratorConfig {
+            boundary_jitter: 1.0,
+            text_len: 600,
+            hierarchies: 3,
+            ..Default::default()
+        });
+        let fa = to_fragmentation(&aligned.build_goddag(), "h0");
+        let fj = to_fragmentation(&jittered.build_goddag(), "h0");
+        assert!(
+            fj.fragment_count() >= fa.fragment_count(),
+            "jitter {} vs aligned {}",
+            fj.fragment_count(),
+            fa.fragment_count()
+        );
+    }
+
+    #[test]
+    fn roundtrip_on_synthetic_docs() {
+        use mhx_corpus::generator::{generate, GeneratorConfig};
+        let doc = generate(&GeneratorConfig {
+            text_len: 800,
+            hierarchies: 3,
+            boundary_jitter: 0.8,
+            nested: true,
+            ..Default::default()
+        });
+        let g = doc.build_goddag();
+        let fr = to_fragmentation(&g, "h0");
+        for hname in ["h1", "h2"] {
+            let mut truth = goddag_regions(&g, hname);
+            // Nested `s{h}` elements share spans with parents sometimes;
+            // compare as sets of (name, span) multisets by id.
+            let mut got = fr.regions(hname);
+            truth.sort();
+            got.sort();
+            assert_eq!(truth, got, "hierarchy {hname}");
+        }
+    }
+}

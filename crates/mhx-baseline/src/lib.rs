@@ -1,0 +1,25 @@
+//! # mhx-baseline — single-document representations of concurrent markup
+//!
+//! The paper argues (citing its companion fragmentation study \[6\]) that
+//! representing concurrent hierarchies inside a *single* XML document via
+//! the standard "hacks" carries a steep price at query time. This crate
+//! implements the two standard hacks so bench E8 can measure that price:
+//!
+//! * [`milestone`] — non-dominant hierarchies flattened to empty
+//!   start/end marker elements;
+//! * [`fragmentation`] — non-dominant elements split into `part`-labelled
+//!   fragments nested in the dominant structure.
+//!
+//! [`region`] defines the common logical-region currency and the overlap /
+//! containment joins; [`queries`] packages one implementation of the E8
+//! query per representation. Equivalence tests assert all representations
+//! return identical answers — only their cost differs.
+
+pub mod fragmentation;
+pub mod milestone;
+pub mod queries;
+pub mod region;
+
+pub use fragmentation::{to_fragmentation, FragmentationDoc};
+pub use milestone::{to_milestone, MilestoneDoc};
+pub use region::{containing_pairs, goddag_regions, overlapping_pairs, Region};

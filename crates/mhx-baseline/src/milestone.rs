@@ -1,0 +1,329 @@
+//! Milestone encoding: the classic single-document "hack" for concurrent
+//! markup (TEI `<lb/>`-style). One *dominant* hierarchy keeps its real
+//! element structure; every other hierarchy is flattened into empty
+//! milestone elements `<ms h=".." n=".." id=".." t="s|e"/>` marking the
+//! start and end of each logical element.
+//!
+//! The representation round-trips the information, but queries about
+//! non-dominant structure must scan for milestone pairs and re-derive
+//! character offsets on every evaluation — the "steep price at query
+//! processing time" the paper cites from the fragmentation study \[6\].
+
+use crate::region::Region;
+use mhx_goddag::{Goddag, NodeId};
+use mhx_xml::{Document, NodeId as XmlId, NodeKind};
+
+/// A milestone-encoded document.
+#[derive(Debug, Clone)]
+pub struct MilestoneDoc {
+    pub doc: Document,
+    pub dominant: String,
+}
+
+/// Convert a KyGODDAG into a milestone document with `dominant` keeping
+/// its element structure.
+pub fn to_milestone(g: &Goddag, dominant: &str) -> MilestoneDoc {
+    let dom_h = g.hierarchy_id(dominant).expect("dominant hierarchy exists");
+    // Collect milestone events: (offset, sort_rank, xml snippet pieces).
+    // Ends sort before starts at the same offset.
+    let mut events: Vec<(u32, u8, String)> = Vec::new();
+    for (h, hier) in g.hierarchies() {
+        if h == dom_h {
+            continue;
+        }
+        for i in 0..hier.element_count() as u32 {
+            let n = NodeId::Elem { h, i };
+            let (s, e) = g.span(n);
+            let name = g.name(n).unwrap_or("?");
+            events.push((
+                s,
+                1,
+                format!(r#"<ms h="{}" n="{}" id="{}" t="s"/>"#, hier.name, name, i),
+            ));
+            events.push((
+                e,
+                0,
+                format!(r#"<ms h="{}" n="{}" id="{}" t="e"/>"#, hier.name, name, i),
+            ));
+        }
+    }
+    events.sort();
+
+    // Serialize the dominant hierarchy, splicing milestone events into the
+    // text at their offsets.
+    let mut out = String::with_capacity(g.text().len() * 3);
+    out.push('<');
+    out.push_str(g.root_name());
+    out.push('>');
+    let mut ev_idx = 0usize;
+    write_dominant(g, NodeId::Root, dom_h, &events, &mut ev_idx, &mut out);
+    // Trailing events at offset = text end.
+    while ev_idx < events.len() {
+        out.push_str(&events[ev_idx].2);
+        ev_idx += 1;
+    }
+    out.push_str("</");
+    out.push_str(g.root_name());
+    out.push('>');
+
+    let doc = mhx_xml::parse(&out).expect("milestone rendering is well-formed");
+    MilestoneDoc { doc, dominant: dominant.to_string() }
+}
+
+fn write_dominant(
+    g: &Goddag,
+    n: NodeId,
+    dom_h: mhx_goddag::HierarchyId,
+    events: &[(u32, u8, String)],
+    ev_idx: &mut usize,
+    out: &mut String,
+) {
+    for c in g.children(n) {
+        match c {
+            NodeId::Elem { h, .. } if h == dom_h => {
+                let (s, _) = g.span(c);
+                flush_events(events, ev_idx, s, out);
+                out.push('<');
+                out.push_str(g.name(c).unwrap_or("?"));
+                for (k, v) in g.attrs(c) {
+                    out.push_str(&format!(r#" {k}="{}""#, mhx_xml::escape::escape_attr(v)));
+                }
+                out.push('>');
+                write_dominant(g, c, dom_h, events, ev_idx, out);
+                let (_, e) = g.span(c);
+                flush_events_strictly_before(events, ev_idx, e, out);
+                out.push_str("</");
+                out.push_str(g.name(c).unwrap_or("?"));
+                out.push('>');
+            }
+            NodeId::Text { h, .. } if h == dom_h => {
+                let (s, e) = g.span(c);
+                let text = g.text();
+                let mut cursor = s;
+                while *ev_idx < events.len() && events[*ev_idx].0 <= e {
+                    let (off, _, _) = events[*ev_idx];
+                    // Events exactly at `e` belong to the enclosing element
+                    // boundary unless this is the last chance (handled by
+                    // flush at parent close); emit events inside (s..e] to
+                    // keep positions exact.
+                    if off >= e {
+                        break;
+                    }
+                    if off > cursor {
+                        out.push_str(
+                            &mhx_xml::escape::escape_text(&text[cursor as usize..off as usize]),
+                        );
+                        cursor = off;
+                    }
+                    out.push_str(&events[*ev_idx].2);
+                    *ev_idx += 1;
+                }
+                if cursor < e {
+                    out.push_str(
+                        &mhx_xml::escape::escape_text(&text[cursor as usize..e as usize]),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn flush_events(events: &[(u32, u8, String)], ev_idx: &mut usize, upto: u32, out: &mut String) {
+    while *ev_idx < events.len() && events[*ev_idx].0 <= upto {
+        out.push_str(&events[*ev_idx].2);
+        *ev_idx += 1;
+    }
+}
+
+fn flush_events_strictly_before(
+    events: &[(u32, u8, String)],
+    ev_idx: &mut usize,
+    upto: u32,
+    out: &mut String,
+) {
+    while *ev_idx < events.len() && events[*ev_idx].0 < upto {
+        out.push_str(&events[*ev_idx].2);
+        *ev_idx += 1;
+    }
+    // End-events exactly at `upto` close inside this element.
+    while *ev_idx < events.len() && events[*ev_idx].0 == upto && events[*ev_idx].1 == 0 {
+        out.push_str(&events[*ev_idx].2);
+        *ev_idx += 1;
+    }
+}
+
+impl MilestoneDoc {
+    /// Reconstruct the logical regions of a milestoned hierarchy — a full
+    /// document scan with offset accounting, per query.
+    pub fn regions(&self, hierarchy: &str) -> Vec<Region> {
+        let mut open: Vec<(u32, String, u32)> = Vec::new(); // (id, name, start)
+        let mut done: Vec<Region> = Vec::new();
+        let mut offset = 0u32;
+        scan(&self.doc, self.doc.root_element().expect("root"), hierarchy, &mut offset, &mut open, &mut done);
+        done.sort_by_key(|r| r.id);
+        done
+    }
+
+    /// Regions of the dominant hierarchy (real elements): still a scan,
+    /// but no pair matching needed.
+    pub fn dominant_regions(&self, name_filter: Option<&str>) -> Vec<Region> {
+        let mut out = Vec::new();
+        let mut offset = 0u32;
+        let root = self.doc.root_element().expect("root");
+        scan_dominant(&self.doc, root, name_filter, &self.dominant, &mut offset, &mut out);
+        out
+    }
+
+    /// Serialized size in bytes (markup blowup metric).
+    pub fn serialized_len(&self) -> usize {
+        mhx_xml::to_string(&self.doc).len()
+    }
+}
+
+fn scan(
+    doc: &Document,
+    node: XmlId,
+    hierarchy: &str,
+    offset: &mut u32,
+    open: &mut Vec<(u32, String, u32)>,
+    done: &mut Vec<Region>,
+) {
+    for c in doc.children(node) {
+        match doc.kind(c) {
+            NodeKind::Text(t) => *offset += t.len() as u32,
+            NodeKind::Element { name, .. } if name == "ms" => {
+                let h = doc.attr(c, "h").unwrap_or("");
+                if h != hierarchy {
+                    continue;
+                }
+                let id: u32 = doc.attr(c, "id").unwrap_or("0").parse().unwrap_or(0);
+                let n = doc.attr(c, "n").unwrap_or("?").to_string();
+                match doc.attr(c, "t") {
+                    Some("s") => open.push((id, n, *offset)),
+                    _ => {
+                        if let Some(pos) = open.iter().position(|(oid, _, _)| *oid == id) {
+                            let (oid, name, start) = open.remove(pos);
+                            done.push(Region {
+                                hierarchy: hierarchy.to_string(),
+                                name,
+                                id: oid,
+                                span: (start, *offset),
+                            });
+                        }
+                    }
+                }
+            }
+            NodeKind::Element { .. } => scan(doc, c, hierarchy, offset, open, done),
+            _ => {}
+        }
+    }
+}
+
+fn scan_dominant(
+    doc: &Document,
+    node: XmlId,
+    name_filter: Option<&str>,
+    hierarchy: &str,
+    offset: &mut u32,
+    out: &mut Vec<Region>,
+) {
+    for c in doc.children(node) {
+        match doc.kind(c) {
+            NodeKind::Text(t) => *offset += t.len() as u32,
+            NodeKind::Element { name, .. } if name == "ms" => {}
+            NodeKind::Element { name, .. } => {
+                let start = *offset;
+                let idx = out.len() as u32;
+                let matches = name_filter.map(|f| f == name).unwrap_or(true);
+                let name = name.clone();
+                // Reserve a slot to fill the end after recursion.
+                if matches {
+                    out.push(Region {
+                        hierarchy: hierarchy.to_string(),
+                        name: name.clone(),
+                        id: idx,
+                        span: (start, start),
+                    });
+                }
+                let slot = if matches { Some(out.len() - 1) } else { None };
+                scan_dominant(doc, c, name_filter, hierarchy, offset, out);
+                if let Some(slot) = slot {
+                    out[slot].span.1 = *offset;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{goddag_regions, overlapping_pairs};
+    use mhx_corpus::figure1;
+
+    #[test]
+    fn milestone_roundtrips_regions() {
+        let g = figure1::goddag();
+        let ms = to_milestone(&g, "lines");
+        for hierarchy in ["words", "restorations", "damage"] {
+            let mut truth = goddag_regions(&g, hierarchy);
+            let mut got = ms.regions(hierarchy);
+            truth.sort();
+            got.sort();
+            assert_eq!(truth, got, "hierarchy {hierarchy}");
+        }
+    }
+
+    #[test]
+    fn dominant_regions_survive() {
+        let g = figure1::goddag();
+        let ms = to_milestone(&g, "lines");
+        let lines = ms.dominant_regions(Some("line"));
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].span, (0, 27));
+        assert_eq!(lines[1].span, (27, 52));
+    }
+
+    #[test]
+    fn text_content_preserved() {
+        let g = figure1::goddag();
+        let ms = to_milestone(&g, "lines");
+        let root = ms.doc.root_element().unwrap();
+        assert_eq!(ms.doc.string_value(root), figure1::TEXT);
+    }
+
+    #[test]
+    fn overlap_query_agrees_with_goddag() {
+        let g = figure1::goddag();
+        let ms = to_milestone(&g, "lines");
+        let lines_g = goddag_regions(&g, "lines");
+        let words_g: Vec<_> =
+            goddag_regions(&g, "words").into_iter().filter(|r| r.name == "w").collect();
+        let lines_m = ms.dominant_regions(Some("line"));
+        let words_m: Vec<_> =
+            ms.regions("words").into_iter().filter(|r| r.name == "w").collect();
+        assert_eq!(
+            overlapping_pairs(&lines_g, &words_g).len(),
+            overlapping_pairs(&lines_m, &words_m).len()
+        );
+    }
+
+    #[test]
+    fn milestone_doc_is_larger_than_any_single_encoding() {
+        let g = figure1::goddag();
+        let ms = to_milestone(&g, "lines");
+        assert!(ms.serialized_len() > figure1::LINES.len());
+    }
+
+    #[test]
+    fn any_dominant_works() {
+        let g = figure1::goddag();
+        for dom in ["lines", "words", "restorations", "damage"] {
+            let ms = to_milestone(&g, dom);
+            let root = ms.doc.root_element().unwrap();
+            assert_eq!(ms.doc.string_value(root), figure1::TEXT, "dominant {dom}");
+        }
+    }
+}

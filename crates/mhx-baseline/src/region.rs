@@ -1,0 +1,132 @@
+//! Logical regions: the common currency for comparing representations.
+//!
+//! A region is one logical element of some hierarchy — whatever the
+//! physical representation (KyGODDAG element, milestone pair, fragment
+//! group) — identified by hierarchy, element name, ordinal id, and its
+//! character span over the base text.
+
+use mhx_goddag::{Goddag, NodeId};
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Region {
+    pub hierarchy: String,
+    pub name: String,
+    /// Ordinal within its hierarchy (document order).
+    pub id: u32,
+    pub span: (u32, u32),
+}
+
+impl Region {
+    /// Proper overlap in the paper's Definition-1 sense (neither
+    /// containment nor disjointness).
+    pub fn overlaps(&self, other: &Region) -> bool {
+        let (a, b) = self.span;
+        let (c, d) = other.span;
+        (c < a && a < d && d < b) || (a < c && c < b && b < d)
+    }
+
+    /// Containment: `other` inside `self`.
+    pub fn contains(&self, other: &Region) -> bool {
+        let (a, b) = self.span;
+        let (c, d) = other.span;
+        a <= c && d <= b && c < d
+    }
+}
+
+/// Extract the element regions of one hierarchy from a KyGODDAG (the
+/// ground truth the other representations must reproduce).
+pub fn goddag_regions(g: &Goddag, hierarchy: &str) -> Vec<Region> {
+    let Some(h) = g.hierarchy_id(hierarchy) else { return Vec::new() };
+    let hier = g.hierarchy(h);
+    (0..hier.element_count() as u32)
+        .map(|i| {
+            let n = NodeId::Elem { h, i };
+            Region {
+                hierarchy: hierarchy.to_string(),
+                name: g.name(n).unwrap_or("?").to_string(),
+                id: i,
+                span: g.span(n),
+            }
+        })
+        .collect()
+}
+
+/// All proper-overlap pairs between two region lists (indices into the
+/// inputs). Both the KyGODDAG path and the baselines funnel through this,
+/// so timing differences isolate the *representation* cost.
+pub fn overlapping_pairs(a: &[Region], b: &[Region]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, ra) in a.iter().enumerate() {
+        for (j, rb) in b.iter().enumerate() {
+            if ra.overlaps(rb) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// All containment pairs (`a[i]` contains `b[j]`).
+pub fn containing_pairs(a: &[Region], b: &[Region]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, ra) in a.iter().enumerate() {
+        for (j, rb) in b.iter().enumerate() {
+            if ra.contains(rb) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhx_corpus::figure1;
+
+    #[test]
+    fn figure1_regions() {
+        let g = figure1::goddag();
+        let lines = goddag_regions(&g, "lines");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].span, (0, 27));
+        assert_eq!(lines[1].span, (27, 52));
+        let words = goddag_regions(&g, "words");
+        assert_eq!(words.len(), 9); // 3 vlines + 6 words
+        assert!(goddag_regions(&g, "nope").is_empty());
+    }
+
+    #[test]
+    fn overlap_and_containment() {
+        let g = figure1::goddag();
+        let lines = goddag_regions(&g, "lines");
+        let words: Vec<Region> = goddag_regions(&g, "words")
+            .into_iter()
+            .filter(|r| r.name == "w")
+            .collect();
+        // Only "singallice" (24..34) properly overlaps a line.
+        let ov = overlapping_pairs(&lines, &words);
+        assert_eq!(ov.len(), 2, "singallice overlaps both lines");
+        // line1 contains gesceaftum and unawendendne.
+        let cont = containing_pairs(&lines, &words);
+        let line1_contained: Vec<usize> =
+            cont.iter().filter(|(i, _)| *i == 0).map(|(_, j)| *j).collect();
+        assert_eq!(line1_contained.len(), 2);
+    }
+
+    #[test]
+    fn region_relations_are_strict() {
+        let a = Region { hierarchy: "x".into(), name: "a".into(), id: 0, span: (0, 10) };
+        let b = Region { hierarchy: "y".into(), name: "b".into(), id: 0, span: (5, 15) };
+        let c = Region { hierarchy: "y".into(), name: "c".into(), id: 1, span: (2, 8) };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(a.contains(&c));
+        assert!(!a.contains(&b));
+        // Equal spans: containment both ways, no overlap.
+        let d = Region { hierarchy: "z".into(), name: "d".into(), id: 0, span: (0, 10) };
+        assert!(a.contains(&d) && d.contains(&a));
+        assert!(!a.overlaps(&d));
+    }
+}

@@ -1,0 +1,105 @@
+//! E11 — analyze-string: the cost of the temporary-hierarchy machinery
+//! (Definition 4) by text size, pattern shape, and mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mhx_corpus::{generate, GeneratorConfig};
+use mhx_xquery::{run_query, run_query_with, AnalyzeMode, EvalOptions};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn by_text_size(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("e11_analyze_by_size");
+    grp.sample_size(10).measurement_time(Duration::from_secs(1));
+    for size in [500usize, 4_000, 16_000] {
+        let doc = generate(&GeneratorConfig {
+            text_len: size,
+            hierarchies: 2,
+            ..Default::default()
+        });
+        let g = doc.build_goddag();
+        grp.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run_query(
+                        &g,
+                        "let $r := analyze-string(root(), 'sceaft') \
+                         return count($r/child::m)",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn by_pattern(c: &mut Criterion) {
+    let doc = generate(&GeneratorConfig { text_len: 4_000, hierarchies: 2, ..Default::default() });
+    let g = doc.build_goddag();
+    let mut grp = c.benchmark_group("e11_analyze_by_pattern");
+    grp.sample_size(10).measurement_time(Duration::from_secs(1));
+    let patterns = [
+        ("literal", "sceaft"),
+        ("class_star", "g[ea]+[a-z]*m"),
+        ("fragment_groups", "ge<a>sc</a>ea<b>ft</b>"),
+        ("anchored_dotstar", ".*sceaft.*"),
+    ];
+    for (name, pat) in patterns {
+        let q = format!(
+            "let $r := analyze-string(root(), '{pat}') return count($r/descendant::leaf())"
+        );
+        grp.bench_function(name, |b| b.iter(|| black_box(run_query(&g, &q).unwrap())));
+    }
+    grp.finish();
+}
+
+fn mode_comparison(c: &mut Criterion) {
+    let doc = generate(&GeneratorConfig { text_len: 4_000, hierarchies: 2, ..Default::default() });
+    let g = doc.build_goddag();
+    let q = "let $r := analyze-string(root(), '.*sceaft.*') return count($r/child::m)";
+    let mut grp = c.benchmark_group("e11_analyze_mode");
+    grp.sample_size(10).measurement_time(Duration::from_secs(1));
+    grp.bench_function("paper_compat", |b| {
+        b.iter(|| black_box(run_query(&g, q).unwrap()))
+    });
+    let xslt = EvalOptions { analyze_mode: AnalyzeMode::Xslt, ..Default::default() };
+    grp.bench_function("xslt", |b| {
+        b.iter(|| black_box(run_query_with(&g, q, &xslt).unwrap()))
+    });
+    grp.finish();
+}
+
+fn temp_hierarchy_cycle(c: &mut Criterion) {
+    // Raw add/remove cost of the virtual-hierarchy machinery, without the
+    // regex or query layers.
+    use mhx_goddag::FragmentSpec;
+    let doc = generate(&GeneratorConfig { text_len: 8_000, hierarchies: 3, ..Default::default() });
+    let mut g = doc.build_goddag();
+    let len = g.text().len() as u32;
+    // Char-boundary-safe match positions.
+    let positions: Vec<u32> = g.text().char_indices().map(|(i, _)| i as u32).collect();
+    let matches: Vec<(u32, u32)> = (0..100usize)
+        .map(|i| {
+            let at = (i * positions.len() / 101).min(positions.len().saturating_sub(4));
+            (positions[at], positions[at + 3])
+        })
+        .collect();
+    let mut grp = c.benchmark_group("e11_temp_hierarchy_cycle");
+    grp.sample_size(20).measurement_time(Duration::from_millis(800));
+    grp.bench_function("add_remove_100_matches", |b| {
+        b.iter(|| {
+            let mut res = FragmentSpec::new("res", (0, len));
+            for &(s, e) in &matches {
+                res.children.push(FragmentSpec::new("m", (s, e)));
+            }
+            g.add_virtual_hierarchy("rest", &[res]).unwrap();
+            let leaves = g.leaf_count();
+            g.remove_last_hierarchy().unwrap();
+            black_box(leaves)
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, by_text_size, by_pattern, mode_comparison, temp_hierarchy_cycle);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! E9 + E12 — extended-axis microbenchmarks and the interval-vs-set
+//! ablation: Definition 1 evaluated via O(1) span comparisons (our
+//! representation choice) against the literal leaf-set semantics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhx_corpus::{generate, GeneratorConfig};
+use mhx_goddag::axes::{axis_nodes, setsem, Axis};
+use std::hint::black_box;
+use std::time::Duration;
+
+const EXTENDED: [Axis; 7] = [
+    Axis::XAncestor,
+    Axis::XDescendant,
+    Axis::XFollowing,
+    Axis::XPreceding,
+    Axis::PrecedingOverlapping,
+    Axis::FollowingOverlapping,
+    Axis::Overlapping,
+];
+
+fn per_axis(c: &mut Criterion) {
+    let doc = generate(&GeneratorConfig {
+        text_len: 4_000,
+        hierarchies: 3,
+        boundary_jitter: 0.8,
+        avg_element_len: 30,
+        ..Default::default()
+    });
+    let g = doc.build_goddag();
+    // A mid-document element as context node.
+    let ctx = g
+        .all_nodes()
+        .into_iter()
+        .filter(|n| matches!(n, mhx_goddag::NodeId::Elem { .. }))
+        .nth(10)
+        .expect("generated document has elements");
+
+    let mut grp = c.benchmark_group("e12_extended_axes");
+    grp.sample_size(20).measurement_time(Duration::from_millis(600));
+    for axis in EXTENDED {
+        grp.bench_function(axis.name(), |b| {
+            b.iter(|| black_box(axis_nodes(&g, axis, ctx)))
+        });
+    }
+    // Standard axes for reference.
+    for axis in [Axis::Descendant, Axis::Ancestor, Axis::Following] {
+        grp.bench_function(format!("std_{}", axis.name()), |b| {
+            b.iter(|| black_box(axis_nodes(&g, axis, ctx)))
+        });
+    }
+    grp.finish();
+}
+
+fn interval_vs_set(c: &mut Criterion) {
+    let doc = generate(&GeneratorConfig {
+        text_len: 1_500,
+        hierarchies: 3,
+        boundary_jitter: 0.8,
+        ..Default::default()
+    });
+    let g = doc.build_goddag();
+    let ctx = g
+        .all_nodes()
+        .into_iter()
+        .filter(|n| matches!(n, mhx_goddag::NodeId::Elem { .. }))
+        .nth(5)
+        .expect("elements exist");
+
+    let mut grp = c.benchmark_group("e9_interval_vs_set");
+    grp.sample_size(10).measurement_time(Duration::from_millis(800));
+    grp.bench_function("interval_overlapping", |b| {
+        b.iter(|| black_box(axis_nodes(&g, Axis::Overlapping, ctx)))
+    });
+    grp.bench_function("setsem_overlapping", |b| {
+        b.iter(|| black_box(setsem::axis_nodes_setsem(&g, Axis::Overlapping, ctx)))
+    });
+    grp.bench_function("interval_xdescendant", |b| {
+        b.iter(|| black_box(axis_nodes(&g, Axis::XDescendant, ctx)))
+    });
+    grp.bench_function("setsem_xdescendant", |b| {
+        b.iter(|| black_box(setsem::axis_nodes_setsem(&g, Axis::XDescendant, ctx)))
+    });
+    grp.finish();
+}
+
+fn order_iteration(c: &mut Criterion) {
+    // E10 companion: Definition-3 total order over all nodes.
+    let doc = generate(&GeneratorConfig {
+        text_len: 8_000,
+        hierarchies: 4,
+        boundary_jitter: 0.6,
+        ..Default::default()
+    });
+    let g = doc.build_goddag();
+    let mut grp = c.benchmark_group("e10_order");
+    grp.sample_size(20).measurement_time(Duration::from_millis(600));
+    grp.bench_function("all_nodes_sorted", |b| b.iter(|| black_box(g.all_nodes())));
+    let mut nodes = g.all_nodes();
+    nodes.reverse();
+    grp.bench_function("sort_nodes", |b| {
+        b.iter(|| {
+            let mut v = nodes.clone();
+            g.sort_nodes(&mut v);
+            black_box(v)
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, per_axis, interval_vs_set, order_iteration);
+criterion_main!(benches);

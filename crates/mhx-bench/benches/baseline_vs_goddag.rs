@@ -1,0 +1,105 @@
+//! E8 — the paper's central performance claim: querying concurrent markup
+//! through single-document "hacks" (milestone, fragmentation) versus the
+//! KyGODDAG. Two series: overlap-query time vs document size, and vs
+//! overlap density (boundary jitter). Representations are prebuilt; the
+//! timed region is the query, which for the baselines includes the
+//! per-query scan/regroup those representations force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mhx_baseline::queries;
+use mhx_baseline::{to_fragmentation, to_milestone};
+use mhx_corpus::{generate, GeneratorConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn series_by_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_overlap_by_size");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for size in [1_000usize, 4_000, 16_000] {
+        let doc = generate(&GeneratorConfig {
+            text_len: size,
+            hierarchies: 3,
+            boundary_jitter: 0.6,
+            avg_element_len: 35,
+            ..Default::default()
+        });
+        let gd = doc.build_goddag();
+        let ms = to_milestone(&gd, "h0");
+        let fr = to_fragmentation(&gd, "h0");
+        g.bench_with_input(BenchmarkId::new("goddag_axis", size), &size, |b, _| {
+            b.iter(|| black_box(queries::goddag_overlap_count(&gd, "e0", "e1")))
+        });
+        g.bench_with_input(BenchmarkId::new("goddag_regions", size), &size, |b, _| {
+            b.iter(|| {
+                black_box(queries::goddag_region_overlap_count(&gd, "h0", "e0", "h1", "e1"))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("milestone_scan", size), &size, |b, _| {
+            b.iter(|| black_box(queries::milestone_overlap_count(&ms, "e0", "h1", "e1")))
+        });
+        g.bench_with_input(BenchmarkId::new("fragmentation_regroup", size), &size, |b, _| {
+            b.iter(|| black_box(queries::fragmentation_overlap_count(&fr, "e0", "h1", "e1")))
+        });
+    }
+    g.finish();
+}
+
+fn series_by_overlap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_overlap_by_jitter");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for jitter in [0.0f64, 0.5, 1.0] {
+        let key = format!("{jitter:.1}");
+        let doc = generate(&GeneratorConfig {
+            text_len: 6_000,
+            hierarchies: 3,
+            boundary_jitter: jitter,
+            avg_element_len: 35,
+            ..Default::default()
+        });
+        let gd = doc.build_goddag();
+        let ms = to_milestone(&gd, "h0");
+        let fr = to_fragmentation(&gd, "h0");
+        g.bench_with_input(BenchmarkId::new("goddag_axis", &key), &jitter, |b, _| {
+            b.iter(|| black_box(queries::goddag_overlap_count(&gd, "e0", "e1")))
+        });
+        g.bench_with_input(BenchmarkId::new("goddag_regions", &key), &jitter, |b, _| {
+            b.iter(|| {
+                black_box(queries::goddag_region_overlap_count(&gd, "h0", "e0", "h1", "e1"))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("milestone_scan", &key), &jitter, |b, _| {
+            b.iter(|| black_box(queries::milestone_overlap_count(&ms, "e0", "h1", "e1")))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("fragmentation_regroup", &key),
+            &jitter,
+            |b, _| {
+                b.iter(|| {
+                    black_box(queries::fragmentation_overlap_count(&fr, "e0", "h1", "e1"))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn build_costs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_build_costs");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    let doc = generate(&GeneratorConfig {
+        text_len: 6_000,
+        hierarchies: 3,
+        boundary_jitter: 0.6,
+        ..Default::default()
+    });
+    g.bench_function("build_goddag", |b| b.iter(|| black_box(doc.build_goddag())));
+    let gd = doc.build_goddag();
+    g.bench_function("build_milestone", |b| b.iter(|| black_box(to_milestone(&gd, "h0"))));
+    g.bench_function("build_fragmentation", |b| {
+        b.iter(|| black_box(to_fragmentation(&gd, "h0")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, series_by_size, series_by_overlap, build_costs);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E1–E7: Figure 1 parsing/validation, Figure 2 (KyGODDAG) construction,
+//! and the four §4 queries plus Example 1 on the paper's document.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhx_corpus::figure1;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e1_fig1_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_fig1");
+    g.sample_size(20).measurement_time(Duration::from_millis(800));
+    g.bench_function("parse_4_encodings", |b| {
+        b.iter(|| {
+            for (_, src) in figure1::ENCODINGS {
+                black_box(mhx_xml::parse(src).unwrap());
+            }
+        })
+    });
+    let cmh = figure1::cmh();
+    let docs = figure1::documents();
+    g.bench_function("cmh_validate", |b| {
+        b.iter(|| cmh.validate_documents(black_box(&docs)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_e2_fig2_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_fig2");
+    g.sample_size(20).measurement_time(Duration::from_millis(800));
+    g.bench_function("build_kygoddag", |b| b.iter(|| black_box(figure1::goddag())));
+    let built = figure1::goddag();
+    g.bench_function("dump_text_outline", |b| {
+        b.iter(|| black_box(mhx_goddag::dot::to_text(&built)))
+    });
+    g.bench_function("dump_dot", |b| b.iter(|| black_box(mhx_goddag::dot::to_dot(&built))));
+    g.finish();
+}
+
+fn bench_e3_e7_paper_queries(c: &mut Criterion) {
+    let goddag = figure1::goddag();
+    let mut g = c.benchmark_group("e3_e7_paper_queries");
+    g.sample_size(20).measurement_time(Duration::from_millis(800));
+    for (id, query, _) in figure1::PAPER_QUERIES {
+        g.bench_function(id, |b| {
+            b.iter(|| black_box(mhx_xquery::run_query(&goddag, query).unwrap()))
+        });
+    }
+    // Parse-only cost for the most complex query.
+    g.bench_function("parse_only_III.1", |b| {
+        b.iter(|| black_box(mhx_xquery::parse_query(figure1::QUERY_III1).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e1_fig1_parse, bench_e2_fig2_build, bench_e3_e7_paper_queries);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E10 — KyGODDAG construction scaling: by document size and by number of
+//! hierarchies (the paper's data structure must absorb whole editions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mhx_corpus::{generate, GeneratorConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn by_size(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("e10_build_by_size");
+    grp.sample_size(10).measurement_time(Duration::from_secs(1));
+    for size in [1_000usize, 8_000, 64_000] {
+        let doc = generate(&GeneratorConfig {
+            text_len: size,
+            hierarchies: 3,
+            boundary_jitter: 0.6,
+            ..Default::default()
+        });
+        grp.throughput(Throughput::Bytes(doc.text.len() as u64));
+        grp.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(doc.build_goddag()))
+        });
+    }
+    grp.finish();
+}
+
+fn by_hierarchies(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("e10_build_by_hierarchies");
+    grp.sample_size(10).measurement_time(Duration::from_secs(1));
+    for n in [1usize, 2, 4, 8] {
+        let doc = generate(&GeneratorConfig {
+            text_len: 8_000,
+            hierarchies: n,
+            boundary_jitter: 0.8,
+            ..Default::default()
+        });
+        grp.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(doc.build_goddag()))
+        });
+    }
+    grp.finish();
+}
+
+fn query_by_size(c: &mut Criterion) {
+    // FLWOR query cost as the document grows.
+    let mut grp = c.benchmark_group("e10_query_by_size");
+    grp.sample_size(10).measurement_time(Duration::from_secs(1));
+    for size in [1_000usize, 8_000] {
+        let doc = generate(&GeneratorConfig {
+            text_len: size,
+            hierarchies: 3,
+            boundary_jitter: 0.6,
+            ..Default::default()
+        });
+        let g = doc.build_goddag();
+        grp.bench_with_input(BenchmarkId::new("count_overlaps", size), &size, |b, _| {
+            b.iter(|| {
+                black_box(
+                    mhx_xquery::run_query(
+                        &g,
+                        "sum(for $a in /descendant::e0 return count($a/overlapping::e1))",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, by_size, by_hierarchies, query_by_size);
+criterion_main!(benches);

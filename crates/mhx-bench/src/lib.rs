@@ -1,0 +1,14 @@
+//! # mhx-bench — benchmark harness
+//!
+//! One Criterion bench target per experiment family (see DESIGN.md §4):
+//!
+//! * `fig_paper` — E1/E2 (Figure 1 parse + Figure 2 build) and E3–E7
+//!   (the §4 queries on the paper's document);
+//! * `baseline_vs_goddag` — E8 (KyGODDAG vs milestone vs fragmentation,
+//!   series over size and overlap density);
+//! * `axes` — E9 (interval vs literal set semantics) and E12 (per-axis
+//!   microbenchmarks) plus E10's order iteration;
+//! * `goddag_scaling` — E10 (construction scaling);
+//! * `analyze_string` — E11 (Definition-4 machinery).
+//!
+//! Run with `cargo bench -p mhx-bench`; results feed EXPERIMENTS.md.

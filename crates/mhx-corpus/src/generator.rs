@@ -1,0 +1,315 @@
+//! Synthetic multihierarchical documents.
+//!
+//! The paper's real editions (EPPT manuscripts) are not available, so the
+//! benchmark substrate is a parameterized generator producing documents
+//! with the same structural character: a word-shaped base text annotated by
+//! several concurrent segmentations whose boundaries may or may not align —
+//! the misalignment knob controls how much markup *overlaps* across
+//! hierarchies, which is exactly the phenomenon the engine is about.
+
+use mhx_goddag::{Goddag, GoddagBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    pub seed: u64,
+    /// Approximate base-text length in bytes (actual length lands on a
+    /// word boundary).
+    pub text_len: usize,
+    /// Number of hierarchies.
+    pub hierarchies: usize,
+    /// Mean element length in characters (exponential-ish distribution).
+    pub avg_element_len: usize,
+    /// Probability that a hierarchy boundary is drawn independently
+    /// instead of snapping to the shared grid: `0.0` → all hierarchies
+    /// share boundaries (no overlap), `1.0` → fully independent
+    /// segmentations (maximal overlap).
+    pub boundary_jitter: f64,
+    /// Add a second, nested level of elements inside each top-level
+    /// element (exercises deeper trees).
+    pub nested: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> GeneratorConfig {
+        GeneratorConfig {
+            seed: 0xEDDA,
+            text_len: 2_000,
+            hierarchies: 3,
+            avg_element_len: 40,
+            boundary_jitter: 0.5,
+            nested: false,
+        }
+    }
+}
+
+/// A generated multihierarchical document (sources + parsed structures).
+#[derive(Debug, Clone)]
+pub struct GeneratedDoc {
+    pub text: String,
+    /// `(hierarchy name, encoding source)`.
+    pub encodings: Vec<(String, String)>,
+}
+
+impl GeneratedDoc {
+    pub fn build_goddag(&self) -> Goddag {
+        let mut b = GoddagBuilder::new();
+        for (name, src) in &self.encodings {
+            b = b.hierarchy(name.clone(), src.clone());
+        }
+        b.build().expect("generated encodings are consistent by construction")
+    }
+
+    /// Fraction of cross-hierarchy element pairs that properly overlap
+    /// (empirical overlap density).
+    pub fn overlap_density(&self) -> f64 {
+        let g = self.build_goddag();
+        let mut pairs = 0usize;
+        let mut overlapping = 0usize;
+        let nodes: Vec<_> = g
+            .all_nodes()
+            .into_iter()
+            .filter(|n| matches!(n, mhx_goddag::NodeId::Elem { .. }))
+            .collect();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if a.hierarchy() == b.hierarchy() {
+                    continue;
+                }
+                let (s1, e1) = g.span(a);
+                let (s2, e2) = g.span(b);
+                if s1 >= e1 || s2 >= e2 {
+                    continue;
+                }
+                pairs += 1;
+                let proper = (s1 < s2 && s2 < e1 && e1 < e2) || (s2 < s1 && s1 < e2 && e2 < e1);
+                if proper {
+                    overlapping += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            overlapping as f64 / pairs as f64
+        }
+    }
+}
+
+/// Old-English-flavoured syllables for the synthetic text.
+const SYLLABLES: [&str; 16] = [
+    "ge", "sceaft", "um", "una", "wen", "dend", "ne", "sin", "gal", "lice", "sib", "be", "cyn",
+    "de", "þa", "heo",
+];
+
+/// Generate the base text: space-separated pseudo-words.
+pub fn generate_text(rng: &mut StdRng, target_len: usize) -> String {
+    let mut out = String::with_capacity(target_len + 16);
+    while out.len() < target_len {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        let syllables = rng.gen_range(1..=4);
+        for _ in 0..syllables {
+            out.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+        }
+    }
+    out
+}
+
+/// Generate a full multihierarchical document.
+pub fn generate(config: &GeneratorConfig) -> GeneratedDoc {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let text = generate_text(&mut rng, config.text_len);
+    // Shared boundary grid (char-boundary-safe positions).
+    let positions: Vec<usize> = text
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain(std::iter::once(text.len()))
+        .collect();
+    let grid = draw_boundaries(&mut rng, &positions, config.avg_element_len);
+
+    let mut encodings = Vec::with_capacity(config.hierarchies);
+    for h in 0..config.hierarchies {
+        let bounds: Vec<usize> = if config.boundary_jitter <= f64::EPSILON {
+            grid.clone()
+        } else {
+            let own = draw_boundaries(&mut rng, &positions, config.avg_element_len);
+            // Mix: take own boundaries with probability `jitter`, else the
+            // closest grid boundary.
+            let mut merged: Vec<usize> = own
+                .iter()
+                .map(|&b| {
+                    if rng.gen_bool(config.boundary_jitter.clamp(0.0, 1.0)) {
+                        b
+                    } else {
+                        *grid
+                            .iter()
+                            .min_by_key(|&&gb| gb.abs_diff(b))
+                            .expect("grid is non-empty")
+                    }
+                })
+                .collect();
+            merged.sort_unstable();
+            merged.dedup();
+            merged
+        };
+        encodings.push((format!("h{h}"), render_hierarchy(h, &text, &bounds, config, &mut rng)));
+    }
+    GeneratedDoc { text, encodings }
+}
+
+/// Draw sorted interior boundaries with roughly exponential gaps.
+fn draw_boundaries(rng: &mut StdRng, positions: &[usize], avg: usize) -> Vec<usize> {
+    let avg = avg.max(2);
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    loop {
+        // Gap of 1..=2*avg positions → mean ≈ avg.
+        idx += rng.gen_range(1..=2 * avg);
+        if idx + 1 >= positions.len() {
+            break;
+        }
+        out.push(positions[idx]);
+    }
+    out
+}
+
+/// Render one hierarchy: elements `e{h}` over the segments between
+/// boundaries, optionally with a nested layer `s{h}`.
+fn render_hierarchy(
+    h: usize,
+    text: &str,
+    bounds: &[usize],
+    config: &GeneratorConfig,
+    rng: &mut StdRng,
+) -> String {
+    let mut out = String::with_capacity(text.len() * 2);
+    out.push_str("<r>");
+    let mut segs: Vec<(usize, usize)> = Vec::with_capacity(bounds.len() + 1);
+    let mut prev = 0usize;
+    for &b in bounds {
+        segs.push((prev, b));
+        prev = b;
+    }
+    segs.push((prev, text.len()));
+    for (i, &(s, e)) in segs.iter().enumerate() {
+        if s == e {
+            continue;
+        }
+        let body = &text[s..e];
+        out.push_str(&format!("<e{h} n=\"{i}\">"));
+        if config.nested && e - s > 8 {
+            // Split roughly in half at a char boundary for a nested child.
+            let mut mid = s + (e - s) / 2;
+            while !text.is_char_boundary(mid) {
+                mid += 1;
+            }
+            if mid > s && mid < e && rng.gen_bool(0.7) {
+                out.push_str(&escape(&text[s..mid]));
+                out.push_str(&format!("<s{h}>"));
+                out.push_str(&escape(&text[mid..e]));
+                out.push_str(&format!("</s{h}>"));
+            } else {
+                out.push_str(&escape(body));
+            }
+        } else {
+            out.push_str(&escape(body));
+        }
+        out.push_str(&format!("</e{h}>"));
+    }
+    out.push_str("</r>");
+    out
+}
+
+fn escape(s: &str) -> String {
+    mhx_xml::escape::escape_text(s).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = GeneratorConfig::default();
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.encodings, b.encodings);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GeneratorConfig { seed: 1, ..Default::default() });
+        let b = generate(&GeneratorConfig { seed: 2, ..Default::default() });
+        assert_ne!(a.text, b.text);
+    }
+
+    #[test]
+    fn goddag_builds_with_requested_shape() {
+        let c = GeneratorConfig {
+            text_len: 500,
+            hierarchies: 4,
+            avg_element_len: 25,
+            ..Default::default()
+        };
+        let doc = generate(&c);
+        let g = doc.build_goddag();
+        assert_eq!(g.hierarchy_count(), 4);
+        assert!(g.text().len() >= 500);
+        assert!(g.leaf_count() > 10);
+    }
+
+    #[test]
+    fn zero_jitter_aligns_boundaries() {
+        let c = GeneratorConfig {
+            boundary_jitter: 0.0,
+            hierarchies: 3,
+            text_len: 800,
+            ..Default::default()
+        };
+        let doc = generate(&c);
+        assert!(
+            doc.overlap_density() < 0.01,
+            "aligned grids should produce no proper overlap, got {}",
+            doc.overlap_density()
+        );
+    }
+
+    #[test]
+    fn full_jitter_produces_overlap() {
+        let c = GeneratorConfig {
+            boundary_jitter: 1.0,
+            hierarchies: 3,
+            text_len: 800,
+            avg_element_len: 30,
+            ..Default::default()
+        };
+        let doc = generate(&c);
+        assert!(
+            doc.overlap_density() > 0.02,
+            "independent grids should overlap, got {}",
+            doc.overlap_density()
+        );
+    }
+
+    #[test]
+    fn nested_mode_adds_depth() {
+        let c = GeneratorConfig { nested: true, text_len: 600, ..Default::default() };
+        let doc = generate(&c);
+        assert!(doc.encodings.iter().any(|(_, src)| src.contains("<s0>")));
+        doc.build_goddag();
+    }
+
+    #[test]
+    fn text_is_word_shaped() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = generate_text(&mut rng, 200);
+        assert!(t.len() >= 200);
+        assert!(t.contains(' '));
+        assert!(!t.starts_with(' '));
+    }
+}

@@ -1,0 +1,18 @@
+//! # mhx-corpus — evaluation corpora for the multihierarchical engine
+//!
+//! * [`figure1`] — the paper's own evaluation document (the Cotton Otho
+//!   A. vi fragment with four concurrent hierarchies), its CMH, and every
+//!   §4 query with its expected output;
+//! * [`generator`] — parameterized synthetic multihierarchical documents
+//!   (size, hierarchy count, element granularity, boundary jitter →
+//!   overlap density);
+//! * [`tei`] — a TEI-flavoured drama generator (acts/scenes/speeches vs
+//!   pages/lines), the canonical overlapping pair from the digital
+//!   humanities.
+
+pub mod figure1;
+pub mod generator;
+pub mod tei;
+
+pub use generator::{generate, GeneratedDoc, GeneratorConfig};
+pub use tei::{generate as generate_tei, TeiConfig, TeiDoc};

@@ -1,0 +1,186 @@
+//! A TEI-flavoured drama generator: the classic overlapping-hierarchy pair
+//! of *physical* structure (pages and print lines) versus *logical*
+//! structure (acts, scenes, speeches). Speeches routinely cross page and
+//! line breaks, so the two hierarchies overlap pervasively — the motivating
+//! situation of the paper's §2.
+
+use mhx_goddag::{Goddag, GoddagBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+pub struct TeiConfig {
+    pub seed: u64,
+    pub acts: usize,
+    pub scenes_per_act: usize,
+    pub speeches_per_scene: usize,
+    /// Characters per print line (page = 30 lines).
+    pub line_width: usize,
+}
+
+impl Default for TeiConfig {
+    fn default() -> TeiConfig {
+        TeiConfig { seed: 0xBE0, acts: 2, scenes_per_act: 3, speeches_per_scene: 6, line_width: 48 }
+    }
+}
+
+const SPEAKERS: [&str; 6] = ["wealhtheow", "hrothgar", "beowulf", "unferth", "wiglaf", "grendel"];
+
+const PHRASES: [&str; 8] = [
+    "hwaet we gardena in geardagum",
+    "þeodcyninga þrym gefrunon",
+    "hu ða aeþelingas ellen fremedon",
+    "oft scyld scefing sceaþena þreatum",
+    "monegum maegþum meodosetla ofteah",
+    "egsode eorlas syððan aerest wearð",
+    "feasceaft funden he þaes frofre gebad",
+    "weox under wolcnum weorðmyndum þah",
+];
+
+/// A generated edition: logical + physical encodings of the same text.
+#[derive(Debug, Clone)]
+pub struct TeiDoc {
+    pub text: String,
+    pub logical: String,
+    pub physical: String,
+}
+
+impl TeiDoc {
+    pub fn build_goddag(&self) -> Goddag {
+        GoddagBuilder::new()
+            .hierarchy("logical", self.logical.clone())
+            .hierarchy("physical", self.physical.clone())
+            .build()
+            .expect("TEI generator produces consistent encodings")
+    }
+}
+
+pub fn generate(config: &TeiConfig) -> TeiDoc {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Logical structure with absolute spans, text accumulated as we go.
+    let mut text = String::new();
+    let mut logical = String::from("<r>");
+    for a in 0..config.acts {
+        logical.push_str(&format!("<act n=\"{}\">", a + 1));
+        for s in 0..config.scenes_per_act {
+            logical.push_str(&format!("<scene n=\"{}\">", s + 1));
+            for _ in 0..config.speeches_per_scene {
+                let who = SPEAKERS[rng.gen_range(0..SPEAKERS.len())];
+                logical.push_str(&format!("<sp who=\"{who}\">"));
+                let phrases = rng.gen_range(1..=3);
+                let mut speech = String::new();
+                for p in 0..phrases {
+                    if p > 0 {
+                        speech.push(' ');
+                    }
+                    speech.push_str(PHRASES[rng.gen_range(0..PHRASES.len())]);
+                }
+                speech.push(' ');
+                text.push_str(&speech);
+                logical.push_str(&speech);
+                logical.push_str("</sp>");
+            }
+            logical.push_str("</scene>");
+        }
+        logical.push_str("</act>");
+    }
+    logical.push_str("</r>");
+
+    // Physical structure: fixed-width print lines, 30 lines per page,
+    // breaking wherever the character count says — hence the overlap.
+    let mut physical = String::from("<r>");
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let mut i = 0usize;
+    let mut line_no = 0usize;
+    let mut page_open = false;
+    while i < chars.len() {
+        if line_no.is_multiple_of(30) {
+            if page_open {
+                physical.push_str("</page>");
+            }
+            physical.push_str(&format!("<page n=\"{}\">", line_no / 30 + 1));
+            page_open = true;
+        }
+        let end_char = (i + config.line_width).min(chars.len());
+        let start_byte = chars[i].0;
+        let end_byte = if end_char == chars.len() {
+            text.len()
+        } else {
+            chars[end_char].0
+        };
+        physical.push_str(&format!("<phline n=\"{}\">", line_no + 1));
+        physical.push_str(&mhx_xml::escape::escape_text(&text[start_byte..end_byte]));
+        physical.push_str("</phline>");
+        i = end_char;
+        line_no += 1;
+    }
+    if page_open {
+        physical.push_str("</page>");
+    }
+    physical.push_str("</r>");
+
+    TeiDoc { text, logical, physical }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhx_goddag::{axis_nodes, Axis};
+
+    #[test]
+    fn generates_consistent_encodings() {
+        let doc = generate(&TeiConfig::default());
+        let g = doc.build_goddag();
+        assert_eq!(g.hierarchy_count(), 2);
+        assert_eq!(g.text(), doc.text);
+    }
+
+    #[test]
+    fn speeches_overlap_lines() {
+        let doc = generate(&TeiConfig::default());
+        let g = doc.build_goddag();
+        // At least one speech overlaps a print line (the whole point).
+        let speeches: Vec<_> = g
+            .all_nodes()
+            .into_iter()
+            .filter(|&n| g.name(n) == Some("sp"))
+            .collect();
+        assert!(!speeches.is_empty());
+        let overlapping_any = speeches.iter().any(|&sp| {
+            axis_nodes(&g, Axis::Overlapping, sp)
+                .iter()
+                .any(|&m| g.name(m) == Some("phline"))
+        });
+        assert!(overlapping_any, "speeches must cross line breaks");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&TeiConfig::default());
+        let b = generate(&TeiConfig::default());
+        assert_eq!(a.logical, b.logical);
+        assert_eq!(a.physical, b.physical);
+    }
+
+    #[test]
+    fn queries_run_over_tei() {
+        let doc = generate(&TeiConfig { acts: 1, scenes_per_act: 2, ..Default::default() });
+        let g = doc.build_goddag();
+        // Lines containing (part of) a speech by beowulf.
+        let out = mhx_xquery::run_query(
+            &g,
+            "count(/descendant::phline[xdescendant::sp[@who = 'beowulf'] or \
+             overlapping::sp[@who = 'beowulf'] or xancestor::sp[@who = 'beowulf']])",
+        )
+        .unwrap();
+        let n: usize = out.parse().unwrap();
+        assert!(n > 0, "beowulf speaks somewhere on some line");
+    }
+
+    #[test]
+    fn scaling_knobs_scale() {
+        let small = generate(&TeiConfig { acts: 1, scenes_per_act: 1, ..Default::default() });
+        let large = generate(&TeiConfig { acts: 3, scenes_per_act: 4, ..Default::default() });
+        assert!(large.text.len() > small.text.len());
+    }
+}

@@ -1,0 +1,202 @@
+//! The shared leaf layer: a ref-counted set of markup boundaries over the
+//! base text `S`.
+//!
+//! A *leaf* (paper §3) is a maximal substring of `S` not broken by markup of
+//! any hierarchy, i.e. the interval between two consecutive boundaries.
+//! Every node span's endpoints are registered here, so `leaves(n)` of any
+//! node is exactly the run of leaves covered by its span.
+//!
+//! Boundaries are ref-counted: adding a (possibly temporary) hierarchy
+//! registers its node endpoints, removing it unregisters them, and leaves
+//! merge back automatically — the mechanism behind `analyze-string()`'s
+//! "temporary hierarchies are deleted after the query" (Definition 4,
+//! step 5).
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+pub struct Boundaries {
+    /// offset → refcount. Invariant: contains 0 and `text_len` (pinned by
+    /// construction with refcount ≥ 1), every key ≤ `text_len`.
+    map: BTreeMap<u32, u32>,
+    text_len: u32,
+}
+
+impl Boundaries {
+    pub fn new(text_len: u32) -> Boundaries {
+        let mut map = BTreeMap::new();
+        map.insert(0, 1);
+        if text_len > 0 {
+            map.insert(text_len, 1);
+        }
+        Boundaries { map, text_len }
+    }
+
+    pub fn text_len(&self) -> u32 {
+        self.text_len
+    }
+
+    pub fn add(&mut self, offset: u32) {
+        debug_assert!(offset <= self.text_len);
+        *self.map.entry(offset).or_insert(0) += 1;
+    }
+
+    pub fn remove(&mut self, offset: u32) {
+        match self.map.get_mut(&offset) {
+            Some(rc) if *rc > 1 => *rc -= 1,
+            Some(_) => {
+                self.map.remove(&offset);
+            }
+            None => debug_assert!(false, "removing unregistered boundary {offset}"),
+        }
+    }
+
+    pub fn is_boundary(&self, offset: u32) -> bool {
+        self.map.contains_key(&offset)
+    }
+
+    /// Number of leaves (consecutive boundary pairs).
+    pub fn leaf_count(&self) -> usize {
+        self.map.len().saturating_sub(1)
+    }
+
+    /// Start offset of the leaf containing `offset` (the greatest boundary
+    /// ≤ `offset`).
+    pub fn leaf_start_at(&self, offset: u32) -> u32 {
+        *self.map.range(..=offset).next_back().map(|(k, _)| k).unwrap_or(&0)
+    }
+
+    /// End offset of the leaf starting at (or containing) `offset`.
+    pub fn leaf_end_at(&self, offset: u32) -> u32 {
+        self.map
+            .range(offset + 1..)
+            .next()
+            .map(|(k, _)| *k)
+            .unwrap_or(self.text_len)
+    }
+
+    /// The leaf `(start, end)` containing `offset`.
+    pub fn leaf_at(&self, offset: u32) -> (u32, u32) {
+        (self.leaf_start_at(offset), self.leaf_end_at(offset))
+    }
+
+    /// Start offsets of all leaves within the half-open span `[start, end)`.
+    /// Span endpoints are expected to be boundaries (true for node spans).
+    pub fn leaves_in(&self, start: u32, end: u32) -> impl Iterator<Item = u32> + '_ {
+        self.map.range(start..end).map(|(k, _)| *k)
+    }
+
+    /// All leaf start offsets, in order.
+    pub fn leaf_starts(&self) -> impl Iterator<Item = u32> + '_ {
+        // Every boundary except the final one starts a leaf.
+        self.map.keys().copied().filter(move |&k| k < self.text_len.max(1) && k < self.text_len)
+    }
+
+    /// The last leaf's start within `[start, end)`, if any.
+    pub fn last_leaf_in(&self, start: u32, end: u32) -> Option<u32> {
+        self.map.range(start..end).next_back().map(|(k, _)| *k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b() -> Boundaries {
+        let mut b = Boundaries::new(20);
+        for off in [5, 10, 15] {
+            b.add(off);
+        }
+        b
+    }
+
+    #[test]
+    fn leaf_lookup() {
+        let b = b();
+        assert_eq!(b.leaf_count(), 4);
+        assert_eq!(b.leaf_at(0), (0, 5));
+        assert_eq!(b.leaf_at(4), (0, 5));
+        assert_eq!(b.leaf_at(5), (5, 10));
+        assert_eq!(b.leaf_at(19), (15, 20));
+    }
+
+    #[test]
+    fn leaves_in_span() {
+        let b = b();
+        assert_eq!(b.leaves_in(5, 15).collect::<Vec<_>>(), vec![5, 10]);
+        assert_eq!(b.leaves_in(0, 20).collect::<Vec<_>>(), vec![0, 5, 10, 15]);
+        assert_eq!(b.leaves_in(5, 5).count(), 0);
+        assert_eq!(b.last_leaf_in(0, 20), Some(15));
+        assert_eq!(b.last_leaf_in(5, 5), None);
+    }
+
+    #[test]
+    fn refcounting_merges_leaves_back() {
+        let mut b = Boundaries::new(10);
+        assert_eq!(b.leaf_count(), 1);
+        b.add(4);
+        b.add(4);
+        assert_eq!(b.leaf_count(), 2);
+        b.remove(4);
+        assert_eq!(b.leaf_count(), 2, "still referenced once");
+        b.remove(4);
+        assert_eq!(b.leaf_count(), 1, "merged back");
+    }
+
+    #[test]
+    fn leaf_starts_excludes_text_end() {
+        let b = b();
+        assert_eq!(b.leaf_starts().collect::<Vec<_>>(), vec![0, 5, 10, 15]);
+    }
+
+    #[test]
+    fn empty_text() {
+        let b = Boundaries::new(0);
+        assert_eq!(b.leaf_count(), 0);
+        assert_eq!(b.leaf_starts().count(), 0);
+    }
+
+    #[test]
+    fn figure1_boundaries() {
+        // S = "gesceaftum unawendendne singallice sibbe gecynde þa"
+        // (þ is two bytes; byte length 52, char length 51).
+        let s = "gesceaftum unawendendne singallice sibbe gecynde þa";
+        let mut b = Boundaries::new(s.len() as u32);
+        // line ends; word boundaries; res boundaries; dmg boundaries.
+        b.add(27); // line split after "...sin"
+        for off in [10, 11, 23, 24, 34, 35, 40, 41, 48, 49] {
+            b.add(off); // words and spaces
+        }
+        for off in [24, 49] {
+            b.add(off); // vlines (duplicates refcount)
+        }
+        for off in [14, 25, 27, 46] {
+            b.add(off); // res
+        }
+        for off in [14, 15, 46] {
+            b.add(off); // dmg
+        }
+        // 16 leaves as in Figure 2.
+        assert_eq!(b.leaf_count(), 16);
+        let starts: Vec<u32> = b.leaf_starts().collect();
+        assert_eq!(
+            starts,
+            vec![0, 10, 11, 14, 15, 23, 24, 25, 27, 34, 35, 40, 41, 46, 48, 49]
+        );
+        // Leaf contents spell the partition from the paper.
+        let words: Vec<&str> = starts
+            .iter()
+            .map(|&st| {
+                let (a, e) = b.leaf_at(st);
+                &s[a as usize..e as usize]
+            })
+            .collect();
+        assert_eq!(
+            words,
+            vec![
+                "gesceaftum", " ", "una", "w", "endendne", " ", "s", "in", "gallice", " ",
+                "sibbe", " ", "gecyn", "de", " ", "þa"
+            ]
+        );
+    }
+}

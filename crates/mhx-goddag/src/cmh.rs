@@ -1,0 +1,182 @@
+//! Concurrent Markup Hierarchies (paper §3): a collection of DTDs
+//! `(D1, …, Dn)` and a root element `r` such that
+//!
+//! 1. `r` is declared in every `Di`;
+//! 2. no element other than `r` is shared between different `Di`;
+//! 3. in each `Di`, every declared element is reachable from `r`.
+//!
+//! A CMH specifies the markup of a multihierarchical document; documents are
+//! checked against it with [`Cmh::validate_documents`].
+
+use crate::error::{GoddagError, Result};
+use mhx_xml::dtd::{validate, Dtd, ValidationOptions};
+use mhx_xml::Document;
+
+#[derive(Debug, Clone)]
+pub struct Cmh {
+    root: String,
+    dtds: Vec<Dtd>,
+}
+
+impl Cmh {
+    /// Check conditions 1–3 and build the CMH.
+    pub fn new(root: impl Into<String>, dtds: Vec<Dtd>) -> Result<Cmh> {
+        let root = root.into();
+        // 1. root declared everywhere.
+        for dtd in &dtds {
+            if dtd.element(&root).is_none() {
+                return Err(GoddagError::RootNotDeclared {
+                    root: root.clone(),
+                    dtd: dtd.name.clone(),
+                });
+            }
+        }
+        // 2. pairwise disjoint element names (except the root).
+        for (i, d1) in dtds.iter().enumerate() {
+            for d2 in &dtds[i + 1..] {
+                for name in d1.element_names() {
+                    if name != root && d2.element(name).is_some() {
+                        return Err(GoddagError::SharedElement {
+                            name: name.to_string(),
+                            dtd1: d1.name.clone(),
+                            dtd2: d2.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // 3. reachability from the root within each DTD.
+        for dtd in &dtds {
+            let reach = dtd.reachable_from(&root);
+            for name in dtd.element_names() {
+                if !reach.iter().any(|r| r == name) {
+                    return Err(GoddagError::Unreachable {
+                        name: name.to_string(),
+                        dtd: dtd.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Cmh { root, dtds })
+    }
+
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    pub fn dtds(&self) -> &[Dtd] {
+        &self.dtds
+    }
+
+    pub fn dtd(&self, name: &str) -> Option<&Dtd> {
+        self.dtds.iter().find(|d| d.name == name)
+    }
+
+    /// Validate one document against the `i`-th DTD.
+    pub fn validate_document(&self, i: usize, doc: &Document) -> Result<()> {
+        let opts = ValidationOptions {
+            expected_root: Some(self.root.clone()),
+            ..ValidationOptions::default()
+        };
+        validate(doc, &self.dtds[i], &opts)
+            .map_err(|e| GoddagError::Validation(e.to_string()))
+    }
+
+    /// Validate a full multihierarchical document: one encoding per DTD, in
+    /// order.
+    pub fn validate_documents(&self, docs: &[Document]) -> Result<()> {
+        if docs.len() != self.dtds.len() {
+            return Err(GoddagError::Validation(format!(
+                "expected {} encodings, got {}",
+                self.dtds.len(),
+                docs.len()
+            )));
+        }
+        for (i, d) in docs.iter().enumerate() {
+            self.validate_document(i, d)?;
+        }
+        Ok(())
+    }
+}
+
+/// The Figure-1 CMH: four DTDs over root `r`.
+pub fn figure1_cmh() -> Cmh {
+    use mhx_xml::dtd::parse_dtd;
+    let dtds = vec![
+        parse_dtd("<!ELEMENT r (line+)> <!ELEMENT line (#PCDATA)>", "lines").expect("static"),
+        parse_dtd(
+            "<!ELEMENT r (vline+)> <!ELEMENT vline (#PCDATA|w)*> <!ELEMENT w (#PCDATA)>",
+            "words",
+        )
+        .expect("static"),
+        parse_dtd("<!ELEMENT r (#PCDATA|res)*> <!ELEMENT res (#PCDATA)>", "restorations")
+            .expect("static"),
+        parse_dtd("<!ELEMENT r (#PCDATA|dmg)*> <!ELEMENT dmg (#PCDATA)>", "damage")
+            .expect("static"),
+    ];
+    Cmh::new("r", dtds).expect("the paper's CMH is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhx_xml::dtd::parse_dtd;
+    use mhx_xml::parse;
+
+    #[test]
+    fn figure1_cmh_is_valid() {
+        let cmh = figure1_cmh();
+        assert_eq!(cmh.root(), "r");
+        assert_eq!(cmh.dtds().len(), 4);
+        assert!(cmh.dtd("words").is_some());
+    }
+
+    #[test]
+    fn figure1_documents_validate() {
+        let cmh = figure1_cmh();
+        let docs = vec![
+            parse("<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe gecynde þa</line></r>").unwrap(),
+            parse("<r><vline><w>gesceaftum</w> <w>unawendendne</w> </vline><vline><w>singallice</w> <w>sibbe</w> <w>gecynde</w> </vline><vline><w>þa</w></vline></r>").unwrap(),
+            parse("<r><res>gesceaftum una</res>wendendne s<res>in</res><res>gallice sibbe gecyn</res>de þa</r>").unwrap(),
+            parse("<r>gesceaftum una<dmg>w</dmg>endendne singallice sibbe gecyn<dmg>de þa</dmg></r>").unwrap(),
+        ];
+        cmh.validate_documents(&docs).unwrap();
+    }
+
+    #[test]
+    fn shared_element_rejected() {
+        let d1 = parse_dtd("<!ELEMENT r (w*)> <!ELEMENT w (#PCDATA)>", "a").unwrap();
+        let d2 = parse_dtd("<!ELEMENT r (w*)> <!ELEMENT w (#PCDATA)>", "b").unwrap();
+        let e = Cmh::new("r", vec![d1, d2]).unwrap_err();
+        assert!(matches!(e, GoddagError::SharedElement { .. }));
+    }
+
+    #[test]
+    fn missing_root_rejected() {
+        let d1 = parse_dtd("<!ELEMENT x (#PCDATA)>", "a").unwrap();
+        let e = Cmh::new("r", vec![d1]).unwrap_err();
+        assert!(matches!(e, GoddagError::RootNotDeclared { .. }));
+    }
+
+    #[test]
+    fn unreachable_element_rejected() {
+        let d1 =
+            parse_dtd("<!ELEMENT r (#PCDATA)> <!ELEMENT orphan (#PCDATA)>", "a").unwrap();
+        let e = Cmh::new("r", vec![d1]).unwrap_err();
+        assert!(matches!(e, GoddagError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn invalid_encoding_rejected() {
+        let cmh = figure1_cmh();
+        // words-DTD document with a <w> outside <vline>.
+        let bad = parse("<r><w>x</w></r>").unwrap();
+        assert!(cmh.validate_document(1, &bad).is_err());
+    }
+
+    #[test]
+    fn wrong_encoding_count_rejected() {
+        let cmh = figure1_cmh();
+        assert!(cmh.validate_documents(&[]).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Export: serialize one hierarchy of a KyGODDAG back to its standalone
+//! XML encoding.
+//!
+//! This closes the round trip `encodings → KyGODDAG → encodings`: an
+//! editor can load a multihierarchical document, manipulate it (including
+//! materializing analyze-string results), and write each hierarchy back as
+//! the separate XML files the EPPT-style workflow stores. Virtual
+//! hierarchies export too — that is how a search result can be saved as a
+//! persistent annotation layer.
+
+use crate::goddag::Goddag;
+use crate::node::{HierarchyId, NodeId};
+use mhx_xml::escape::{escape_attr, escape_text};
+use std::fmt::Write;
+
+/// Serialize hierarchy `h` of `g` as a standalone XML document with the
+/// shared root element. Text regions not covered by the hierarchy's
+/// markup (possible for virtual hierarchies) are emitted as plain text,
+/// so the output always spells the complete base text `S`.
+pub fn hierarchy_to_xml(g: &Goddag, h: HierarchyId) -> String {
+    let mut out = String::with_capacity(g.text().len() * 2);
+    out.push('<');
+    out.push_str(g.root_name());
+    for (k, v) in g.attrs(NodeId::Root) {
+        let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+    }
+    out.push('>');
+    // Children of the root restricted to this hierarchy, with gap text
+    // filled from S (virtual hierarchies may not cover everything).
+    let kids: Vec<NodeId> = g
+        .children(NodeId::Root)
+        .into_iter()
+        .filter(|n| n.hierarchy() == Some(h))
+        .collect();
+    let mut cursor = 0u32;
+    for k in kids {
+        let (s, e) = g.span(k);
+        if s > cursor {
+            out.push_str(&escape_text(&g.text()[cursor as usize..s as usize]));
+        }
+        write_node(g, k, &mut out);
+        cursor = e;
+    }
+    let end = g.text().len() as u32;
+    if cursor < end {
+        out.push_str(&escape_text(&g.text()[cursor as usize..end as usize]));
+    }
+    out.push_str("</");
+    out.push_str(g.root_name());
+    out.push('>');
+    out
+}
+
+/// Export every hierarchy (including virtual ones) as `(name, xml)` pairs.
+pub fn all_hierarchies_to_xml(g: &Goddag) -> Vec<(String, String)> {
+    g.hierarchies().map(|(h, hier)| (hier.name.clone(), hierarchy_to_xml(g, h))).collect()
+}
+
+fn write_node(g: &Goddag, n: NodeId, out: &mut String) {
+    match n {
+        NodeId::Elem { .. } => {
+            let name = g.name(n).unwrap_or("?");
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in g.attrs(n) {
+                let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+            }
+            let kids = g.children(n);
+            if kids.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            for c in kids {
+                write_node(g, c, out);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+        NodeId::Text { .. } => out.push_str(&escape_text(g.string_value(n))),
+        // Leaves are reached only through text nodes; attributes are
+        // emitted with their elements.
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goddag::GoddagBuilder;
+    use crate::hierarchy::FragmentSpec;
+
+    const LINES: &str =
+        "<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe gecynde þa</line></r>";
+    const WORDS: &str = "<r><vline><w>gesceaftum</w> <w>unawendendne</w> </vline><vline><w>singallice</w> <w>sibbe</w> <w>gecynde</w> </vline><vline><w>þa</w></vline></r>";
+    const DAMAGE: &str = "<r>gesceaftum una<dmg>w</dmg>endendne singallice sibbe gecyn<dmg>de þa</dmg></r>";
+
+    fn figure1ish() -> Goddag {
+        GoddagBuilder::new()
+            .hierarchy("lines", LINES)
+            .hierarchy("words", WORDS)
+            .hierarchy("damage", DAMAGE)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn export_round_trips_base_hierarchies() {
+        let g = figure1ish();
+        let exported = all_hierarchies_to_xml(&g);
+        assert_eq!(exported[0], ("lines".to_string(), LINES.to_string()));
+        assert_eq!(exported[1], ("words".to_string(), WORDS.to_string()));
+        assert_eq!(exported[2], ("damage".to_string(), DAMAGE.to_string()));
+    }
+
+    #[test]
+    fn export_rebuilds_identical_goddag() {
+        let g = figure1ish();
+        let mut b = GoddagBuilder::new();
+        for (name, xml) in all_hierarchies_to_xml(&g) {
+            b = b.hierarchy(name, xml);
+        }
+        let g2 = b.build().unwrap();
+        assert_eq!(g.text(), g2.text());
+        assert_eq!(g.leaf_count(), g2.leaf_count());
+        assert_eq!(g.all_nodes().len(), g2.all_nodes().len());
+    }
+
+    #[test]
+    fn virtual_hierarchy_exports_with_gap_text() {
+        let mut g = figure1ish();
+        // Annotate "unawe" (11..16) inside the text.
+        let frag = FragmentSpec::new("hit", (11, 16));
+        let h = g.add_virtual_hierarchy("search-results", &[frag]).unwrap();
+        let xml = hierarchy_to_xml(&g, h);
+        assert_eq!(
+            xml,
+            "<r>gesceaftum <hit>unawe</hit>ndendne singallice sibbe gecynde þa</r>"
+        );
+        // The export is itself a valid hierarchy over the same text.
+        let g2 = GoddagBuilder::new()
+            .hierarchy("lines", LINES)
+            .hierarchy("search-results", xml)
+            .build()
+            .unwrap();
+        assert_eq!(g2.text(), g.text());
+    }
+
+    #[test]
+    fn export_escapes_markup_characters() {
+        let g = GoddagBuilder::new()
+            .hierarchy("a", r#"<r><w k="a&quot;b">x &amp; y</w></r>"#)
+            .build()
+            .unwrap();
+        let xml = hierarchy_to_xml(&g, crate::HierarchyId(0));
+        assert_eq!(xml, r#"<r><w k="a&quot;b">x &amp; y</w></r>"#);
+        // Re-parses cleanly.
+        mhx_xml::parse(&xml).unwrap();
+    }
+
+    #[test]
+    fn empty_elements_export_self_closed() {
+        let g = GoddagBuilder::new().hierarchy("a", "<r>ab<br/>cd</r>").build().unwrap();
+        let xml = hierarchy_to_xml(&g, crate::HierarchyId(0));
+        assert_eq!(xml, "<r>ab<br/>cd</r>");
+    }
+}

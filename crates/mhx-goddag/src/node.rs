@@ -1,0 +1,152 @@
+//! KyGODDAG node identifiers and the Definition-3 order key.
+
+use std::fmt;
+
+/// Index of a hierarchy within a [`crate::Goddag`]. Registration order is
+/// the "stable but implementation dependent" hierarchy order of
+/// Definition 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HierarchyId(pub u16);
+
+impl HierarchyId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node of the KyGODDAG.
+///
+/// * `Root` — the single united root element (each hierarchy's document root
+///   maps onto it);
+/// * `Elem`/`Text` — element and text nodes of one hierarchy (arena index);
+/// * `Attr` — an attribute of an element (XPath attribute axis);
+/// * `Leaf` — a shared leaf, identified by its **byte offset** into the base
+///   text `S`. Identifying leaves by start offset keeps ids meaningful when
+///   a temporary hierarchy splits leaves: an old id still denotes the
+///   (possibly now shorter) leaf starting at that offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeId {
+    Root,
+    Elem { h: HierarchyId, i: u32 },
+    Text { h: HierarchyId, i: u32 },
+    Attr { h: HierarchyId, elem: u32, a: u16 },
+    Leaf { start: u32 },
+}
+
+impl NodeId {
+    pub fn is_root(self) -> bool {
+        matches!(self, NodeId::Root)
+    }
+
+    pub fn is_leaf(self) -> bool {
+        matches!(self, NodeId::Leaf { .. })
+    }
+
+    pub fn is_element(self) -> bool {
+        matches!(self, NodeId::Root | NodeId::Elem { .. })
+    }
+
+    pub fn is_text(self) -> bool {
+        matches!(self, NodeId::Text { .. })
+    }
+
+    pub fn is_attr(self) -> bool {
+        matches!(self, NodeId::Attr { .. })
+    }
+
+    /// The hierarchy a non-shared node belongs to (`None` for root and
+    /// leaves, which are shared by all hierarchies).
+    pub fn hierarchy(self) -> Option<HierarchyId> {
+        match self {
+            NodeId::Elem { h, .. } | NodeId::Text { h, .. } | NodeId::Attr { h, .. } => Some(h),
+            NodeId::Root | NodeId::Leaf { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Root => write!(f, "root"),
+            NodeId::Elem { h, i } => write!(f, "e{}.{}", h.0, i),
+            NodeId::Text { h, i } => write!(f, "t{}.{}", h.0, i),
+            NodeId::Attr { h, elem, a } => write!(f, "a{}.{}.{}", h.0, elem, a),
+            NodeId::Leaf { start } => write!(f, "l@{}", start),
+        }
+    }
+}
+
+/// Total order key implementing Definition 3:
+///
+/// 1. the root is first (`rank` 0);
+/// 2. within a hierarchy, DOM (preorder) order (`major` = preorder index,
+///    attributes directly after their element via `minor`);
+/// 3. across hierarchies, hierarchy registration order (`rank` = 1 + h);
+/// 4. the shared leaf layer sorts after all hierarchies (`rank` = MAX),
+///    leaves ordered by offset — our documented instantiation of the
+///    paper's "stable but implementation dependent" clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrderKey {
+    pub rank: u32,
+    pub major: u32,
+    pub minor: u32,
+}
+
+impl OrderKey {
+    pub const ROOT: OrderKey = OrderKey { rank: 0, major: 0, minor: 0 };
+
+    pub fn in_hierarchy(h: HierarchyId, preorder: u32) -> OrderKey {
+        OrderKey { rank: 1 + h.0 as u32, major: preorder, minor: 0 }
+    }
+
+    pub fn attr(h: HierarchyId, elem_preorder: u32, a: u16) -> OrderKey {
+        OrderKey { rank: 1 + h.0 as u32, major: elem_preorder, minor: 1 + a as u32 }
+    }
+
+    pub fn leaf(start: u32) -> OrderKey {
+        OrderKey { rank: u32::MAX, major: start, minor: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_key_laws() {
+        let h0 = HierarchyId(0);
+        let h1 = HierarchyId(1);
+        // Root first.
+        assert!(OrderKey::ROOT < OrderKey::in_hierarchy(h0, 0));
+        // Within hierarchy by preorder.
+        assert!(OrderKey::in_hierarchy(h0, 1) < OrderKey::in_hierarchy(h0, 2));
+        // Across hierarchies by registration order.
+        assert!(OrderKey::in_hierarchy(h0, 999) < OrderKey::in_hierarchy(h1, 0));
+        // Leaves last, by offset.
+        assert!(OrderKey::in_hierarchy(h1, 999) < OrderKey::leaf(0));
+        assert!(OrderKey::leaf(3) < OrderKey::leaf(14));
+        // Attributes right after their element, before the next element.
+        assert!(OrderKey::in_hierarchy(h0, 5) < OrderKey::attr(h0, 5, 0));
+        assert!(OrderKey::attr(h0, 5, 0) < OrderKey::attr(h0, 5, 1));
+        assert!(OrderKey::attr(h0, 5, 1) < OrderKey::in_hierarchy(h0, 6));
+    }
+
+    #[test]
+    fn node_id_predicates() {
+        let h = HierarchyId(0);
+        assert!(NodeId::Root.is_element());
+        assert!(NodeId::Root.hierarchy().is_none());
+        assert!(NodeId::Leaf { start: 0 }.is_leaf());
+        assert!(NodeId::Text { h, i: 0 }.is_text());
+        assert_eq!(NodeId::Elem { h, i: 1 }.hierarchy(), Some(h));
+        assert!(NodeId::Attr { h, elem: 0, a: 0 }.is_attr());
+    }
+
+    #[test]
+    fn display_forms() {
+        let h = HierarchyId(2);
+        assert_eq!(NodeId::Root.to_string(), "root");
+        assert_eq!(NodeId::Elem { h, i: 3 }.to_string(), "e2.3");
+        assert_eq!(NodeId::Leaf { start: 14 }.to_string(), "l@14");
+    }
+}

@@ -1,0 +1,189 @@
+//! Regular-expression abstract syntax.
+
+use std::fmt;
+
+/// A character class: a (possibly negated) union of inclusive ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSet {
+    pub negated: bool,
+    pub ranges: Vec<(char, char)>,
+}
+
+impl ClassSet {
+    pub fn single(c: char) -> ClassSet {
+        ClassSet { negated: false, ranges: vec![(c, c)] }
+    }
+
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+
+    /// `\d`
+    pub fn digit() -> ClassSet {
+        ClassSet { negated: false, ranges: vec![('0', '9')] }
+    }
+
+    /// `\w`
+    pub fn word() -> ClassSet {
+        ClassSet {
+            negated: false,
+            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+        }
+    }
+
+    /// `\s`
+    pub fn space() -> ClassSet {
+        ClassSet {
+            negated: false,
+            ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+        }
+    }
+
+    pub fn negate(mut self) -> ClassSet {
+        self.negated = !self.negated;
+        self
+    }
+}
+
+/// Parsed regex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    Literal(char),
+    /// `.` — any character (including newline; document-centric text is a
+    /// single logical line).
+    AnyChar,
+    Class(ClassSet),
+    Concat(Vec<Ast>),
+    Alternate(Vec<Ast>),
+    Repeat { ast: Box<Ast>, min: u32, max: Option<u32>, greedy: bool },
+    /// `( .. )` capturing at `index` (1-based), or `(?: .. )` when `None`.
+    Group { ast: Box<Ast>, index: Option<u32> },
+    /// `^`
+    StartAnchor,
+    /// `$`
+    EndAnchor,
+}
+
+impl fmt::Display for Ast {
+    /// Best-effort re-rendering (used in error messages and tests).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ast::Empty => Ok(()),
+            Ast::Literal(c) => {
+                if "\\.+*?()|[]{}^$".contains(*c) {
+                    write!(f, "\\{c}")
+                } else {
+                    write!(f, "{c}")
+                }
+            }
+            Ast::AnyChar => write!(f, "."),
+            Ast::Class(cs) => {
+                write!(f, "[{}", if cs.negated { "^" } else { "" })?;
+                for &(lo, hi) in &cs.ranges {
+                    if lo == hi {
+                        write!(f, "{lo}")?;
+                    } else {
+                        write!(f, "{lo}-{hi}")?;
+                    }
+                }
+                write!(f, "]")
+            }
+            Ast::Concat(parts) => {
+                for p in parts {
+                    match p {
+                        Ast::Alternate(_) => write!(f, "(?:{p})")?,
+                        _ => write!(f, "{p}")?,
+                    }
+                }
+                Ok(())
+            }
+            Ast::Alternate(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Ast::Repeat { ast, min, max, greedy } => {
+                match &**ast {
+                    a @ (Ast::Literal(_) | Ast::AnyChar | Ast::Class(_) | Ast::Group { .. }) => {
+                        write!(f, "{a}")?
+                    }
+                    a => write!(f, "(?:{a})")?,
+                }
+                match (min, max) {
+                    (0, Some(1)) => write!(f, "?")?,
+                    (0, None) => write!(f, "*")?,
+                    (1, None) => write!(f, "+")?,
+                    (m, None) => write!(f, "{{{m},}}")?,
+                    (m, Some(n)) if m == n => write!(f, "{{{m}}}")?,
+                    (m, Some(n)) => write!(f, "{{{m},{n}}}")?,
+                }
+                if !greedy {
+                    write!(f, "?")?;
+                }
+                Ok(())
+            }
+            Ast::Group { ast, index: Some(_) } => write!(f, "({ast})"),
+            Ast::Group { ast, index: None } => write!(f, "(?:{ast})"),
+            Ast::StartAnchor => write!(f, "^"),
+            Ast::EndAnchor => write!(f, "$"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_contains() {
+        let c = ClassSet { negated: false, ranges: vec![('a', 'z'), ('0', '3')] };
+        assert!(c.contains('m'));
+        assert!(c.contains('2'));
+        assert!(!c.contains('9'));
+        assert!(!c.contains('A'));
+    }
+
+    #[test]
+    fn negated_class() {
+        let c = ClassSet::digit().negate();
+        assert!(!c.contains('5'));
+        assert!(c.contains('x'));
+    }
+
+    #[test]
+    fn word_class_members() {
+        let w = ClassSet::word();
+        for c in ['a', 'Z', '0', '_'] {
+            assert!(w.contains(c));
+        }
+        assert!(!w.contains('-'));
+        assert!(!w.contains(' '));
+    }
+
+    #[test]
+    fn display_escapes_metachars() {
+        assert_eq!(Ast::Literal('+').to_string(), "\\+");
+        assert_eq!(Ast::Literal('x').to_string(), "x");
+    }
+
+    #[test]
+    fn display_repeat_forms() {
+        let r = |min, max, greedy| {
+            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min, max, greedy }.to_string()
+        };
+        assert_eq!(r(0, None, true), "a*");
+        assert_eq!(r(1, None, true), "a+");
+        assert_eq!(r(0, Some(1), true), "a?");
+        assert_eq!(r(0, None, false), "a*?");
+        assert_eq!(r(2, Some(4), true), "a{2,4}");
+        assert_eq!(r(3, Some(3), true), "a{3}");
+        assert_eq!(r(2, None, true), "a{2,}");
+    }
+}

@@ -1,0 +1,509 @@
+//! # mhx-regex — a small regex engine with capture groups
+//!
+//! Built from scratch because the sanctioned offline crate set has no
+//! `regex`, and the paper's `matches()` / `replace()` / `tokenize()` /
+//! `analyze-string()` functions all need one. Pipeline: recursive-descent
+//! parser → Thompson NFA → Pike VM, giving leftmost-first (backtracker-
+//! compatible) semantics with submatch capture in O(len·insts).
+//!
+//! Supported syntax: literals, `.`, classes `[a-z^-]` with `\d \w \s`
+//! escapes, alternation, `(..)` / `(?:..)` groups, `* + ? {m} {m,} {m,n}`
+//! with lazy variants, anchors `^ $`.
+//!
+//! ```
+//! let re = mhx_regex::Regex::new("un(a)we").unwrap();
+//! let caps = re.captures("unawendendne").unwrap();
+//! assert_eq!(caps.get(0).unwrap().as_str(), "unawe");
+//! assert_eq!(caps.get(1).unwrap().as_str(), "a");
+//! ```
+
+pub mod ast;
+pub mod nfa;
+pub mod parser;
+pub mod pikevm;
+
+pub use parser::RegexError;
+
+use nfa::Program;
+use pikevm::PikeVm;
+
+/// A match location within a haystack (byte offsets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match<'h> {
+    haystack: &'h str,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl<'h> Match<'h> {
+    pub fn as_str(&self) -> &'h str {
+        &self.haystack[self.start..self.end]
+    }
+
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// All capture groups of one match. Group 0 is the whole match.
+#[derive(Debug, Clone)]
+pub struct Captures<'h> {
+    haystack: &'h str,
+    slots: Vec<Option<usize>>,
+}
+
+impl<'h> Captures<'h> {
+    pub fn get(&self, i: usize) -> Option<Match<'h>> {
+        let (s, e) = (*self.slots.get(2 * i)?, *self.slots.get(2 * i + 1)?);
+        match (s, e) {
+            (Some(s), Some(e)) => Some(Match { haystack: self.haystack, start: s, end: e }),
+            _ => None,
+        }
+    }
+
+    /// Number of groups including group 0.
+    pub fn len(&self) -> usize {
+        self.slots.len() / 2
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // group 0 always exists
+    }
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    prog: Program,
+    pattern: String,
+}
+
+impl Regex {
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let parsed = parser::parse(pattern)?;
+        let prog = nfa::compile(&parsed.ast, parsed.group_count);
+        Ok(Regex { prog, pattern: pattern.to_string() })
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of capturing groups (excluding group 0).
+    pub fn group_count(&self) -> u32 {
+        self.prog.group_count
+    }
+
+    /// Does the pattern match anywhere in `hay`? (XPath `fn:matches`
+    /// semantics: unanchored.)
+    pub fn is_match(&self, hay: &str) -> bool {
+        PikeVm::new(&self.prog).run_search(hay, 0).is_some()
+    }
+
+    /// Does the pattern match the *entire* haystack?
+    pub fn is_full_match(&self, hay: &str) -> bool {
+        match PikeVm::new(&self.prog).run_anchored(hay, 0) {
+            Some(slots) => slots[1] == Some(hay.len()),
+            None => false,
+        }
+    }
+
+    pub fn find<'h>(&self, hay: &'h str) -> Option<Match<'h>> {
+        self.find_at(hay, 0)
+    }
+
+    pub fn find_at<'h>(&self, hay: &'h str, start: usize) -> Option<Match<'h>> {
+        let slots = PikeVm::new(&self.prog).run_search(hay, start)?;
+        Some(Match { haystack: hay, start: slots[0].unwrap(), end: slots[1].unwrap() })
+    }
+
+    pub fn captures<'h>(&self, hay: &'h str) -> Option<Captures<'h>> {
+        self.captures_at(hay, 0)
+    }
+
+    pub fn captures_at<'h>(&self, hay: &'h str, start: usize) -> Option<Captures<'h>> {
+        let slots = PikeVm::new(&self.prog).run_search(hay, start)?;
+        Some(Captures { haystack: hay, slots })
+    }
+
+    /// Iterator over non-overlapping matches, left to right. Empty matches
+    /// advance by one character so the iteration always terminates.
+    pub fn find_iter<'r, 'h>(&'r self, hay: &'h str) -> FindIter<'r, 'h> {
+        FindIter { re: self, hay, at: 0, done: false }
+    }
+
+    /// Iterator over non-overlapping [`Captures`].
+    pub fn captures_iter<'r, 'h>(&'r self, hay: &'h str) -> CapturesIter<'r, 'h> {
+        CapturesIter { re: self, hay, at: 0, done: false }
+    }
+
+    /// Replace every match with `rep`, where `$0`..`$9` in `rep` refer to
+    /// capture groups and `$$` is a literal dollar (XPath `fn:replace`).
+    pub fn replace_all(&self, hay: &str, rep: &str) -> String {
+        let mut out = String::with_capacity(hay.len());
+        let mut last = 0;
+        for caps in self.captures_iter(hay) {
+            let whole = caps.get(0).expect("group 0 present");
+            out.push_str(&hay[last..whole.start]);
+            expand(rep, &caps, &mut out);
+            last = whole.end;
+        }
+        out.push_str(&hay[last..]);
+        out
+    }
+
+    /// Split `hay` on matches (XPath `fn:tokenize` semantics: a leading
+    /// empty token is produced if the string starts with a separator).
+    pub fn split<'h>(&self, hay: &'h str) -> Vec<&'h str> {
+        let mut out = Vec::new();
+        let mut last = 0;
+        for m in self.find_iter(hay) {
+            if m.is_empty() {
+                continue;
+            }
+            out.push(&hay[last..m.start]);
+            last = m.end;
+        }
+        out.push(&hay[last..]);
+        out
+    }
+}
+
+fn expand(rep: &str, caps: &Captures<'_>, out: &mut String) {
+    let mut chars = rep.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '$' {
+            out.push(c);
+            continue;
+        }
+        match chars.peek() {
+            Some('$') => {
+                chars.next();
+                out.push('$');
+            }
+            Some(d) if d.is_ascii_digit() => {
+                let i = d.to_digit(10).unwrap() as usize;
+                chars.next();
+                if let Some(m) = caps.get(i) {
+                    out.push_str(m.as_str());
+                }
+            }
+            _ => out.push('$'),
+        }
+    }
+}
+
+pub struct FindIter<'r, 'h> {
+    re: &'r Regex,
+    hay: &'h str,
+    at: usize,
+    done: bool,
+}
+
+impl<'h> Iterator for FindIter<'_, 'h> {
+    type Item = Match<'h>;
+
+    fn next(&mut self) -> Option<Match<'h>> {
+        if self.done {
+            return None;
+        }
+        let m = self.re.find_at(self.hay, self.at)?;
+        advance_after(&m, self.hay, &mut self.at, &mut self.done);
+        Some(m)
+    }
+}
+
+pub struct CapturesIter<'r, 'h> {
+    re: &'r Regex,
+    hay: &'h str,
+    at: usize,
+    done: bool,
+}
+
+impl<'h> Iterator for CapturesIter<'_, 'h> {
+    type Item = Captures<'h>;
+
+    fn next(&mut self) -> Option<Captures<'h>> {
+        if self.done {
+            return None;
+        }
+        let caps = self.re.captures_at(self.hay, self.at)?;
+        let m = caps.get(0).expect("group 0 present");
+        advance_after(&m, self.hay, &mut self.at, &mut self.done);
+        Some(caps)
+    }
+}
+
+fn advance_after(m: &Match<'_>, hay: &str, at: &mut usize, done: &mut bool) {
+    if m.is_empty() {
+        // Step one char past an empty match.
+        match hay[m.end..].chars().next() {
+            Some(c) => *at = m.end + c.len_utf8(),
+            None => *done = true,
+        }
+    } else {
+        *at = m.end;
+    }
+    if *at > hay.len() {
+        *done = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let re = Regex::new("aa").unwrap();
+        let ms: Vec<_> = re.find_iter("aaaa").map(|m| (m.start, m.end)).collect();
+        assert_eq!(ms, vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn find_iter_empty_matches_terminate() {
+        let re = Regex::new("a*").unwrap();
+        let ms: Vec<_> = re.find_iter("ab").map(|m| (m.start, m.end)).collect();
+        // "a" at 0..1, empty at 1..1, empty at 2..2.
+        assert_eq!(ms, vec![(0, 1), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn is_full_match() {
+        let re = Regex::new("a+b").unwrap();
+        assert!(re.is_full_match("aab"));
+        assert!(!re.is_full_match("aabc"));
+        assert!(!re.is_full_match("xaab"));
+        // Greedy prefix must not spoil full match detection.
+        let re2 = Regex::new("a*").unwrap();
+        assert!(re2.is_full_match("aaa"));
+    }
+
+    #[test]
+    fn replace_all_with_groups() {
+        let re = Regex::new("(a)(b)").unwrap();
+        assert_eq!(re.replace_all("xabyab", "$2$1"), "xbayba");
+        assert_eq!(re.replace_all("ab", "[$0]"), "[ab]");
+        assert_eq!(re.replace_all("ab", "$$"), "$");
+    }
+
+    #[test]
+    fn split_tokenize() {
+        let re = Regex::new(r"\s+").unwrap();
+        assert_eq!(re.split("a b  c"), vec!["a", "b", "c"]);
+        assert_eq!(re.split(" a"), vec!["", "a"]);
+        assert_eq!(re.split("a"), vec!["a"]);
+    }
+
+    #[test]
+    fn captures_iter_collects_groups() {
+        let re = Regex::new(r"(\w)(\d)").unwrap();
+        let all: Vec<_> = re
+            .captures_iter("a1 b2")
+            .map(|c| {
+                (c.get(1).unwrap().as_str().to_string(), c.get(2).unwrap().as_str().to_string())
+            })
+            .collect();
+        assert_eq!(all, vec![("a".into(), "1".into()), ("b".into(), "2".into())]);
+    }
+
+    #[test]
+    fn paper_example1_pattern() {
+        // ".*un<a>a</a>we.*" after tag→group conversion is ".*un(a)we.*".
+        let re = Regex::new(".*un(a)we.*").unwrap();
+        let caps = re.captures("unawendendne").unwrap();
+        assert_eq!(caps.get(0).unwrap().range(), 0..12);
+        assert_eq!(caps.get(1).unwrap().range(), 2..3);
+        assert_eq!(caps.get(1).unwrap().as_str(), "a");
+    }
+
+    #[test]
+    fn group_count_exposed() {
+        assert_eq!(Regex::new("(a)(?:b)(c)").unwrap().group_count(), 2);
+    }
+
+    #[test]
+    fn multibyte_haystacks() {
+        let re = Regex::new("gecyn").unwrap();
+        let hay = "sibbe gecynde þa";
+        let m = re.find(hay).unwrap();
+        assert_eq!(m.as_str(), "gecyn");
+        let re2 = Regex::new("þa").unwrap();
+        assert_eq!(re2.find(hay).unwrap().as_str(), "þa");
+    }
+}
+
+#[cfg(test)]
+mod oracle {
+    //! Property tests against a naive backtracking oracle.
+
+    use super::*;
+    use crate::ast::Ast;
+    use proptest::prelude::*;
+
+    /// Naive backtracking matcher. Calls `k` with each end offset in
+    /// preference order; stops when `k` returns true.
+    fn bt(ast: &Ast, hay: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+        match ast {
+            Ast::Empty => k(pos),
+            Ast::Literal(c) => pos < hay.len() && hay[pos] == *c && k(pos + 1),
+            Ast::AnyChar => pos < hay.len() && k(pos + 1),
+            Ast::Class(cs) => pos < hay.len() && cs.contains(hay[pos]) && k(pos + 1),
+            Ast::StartAnchor => pos == 0 && k(pos),
+            Ast::EndAnchor => pos == hay.len() && k(pos),
+            Ast::Group { ast, .. } => bt(ast, hay, pos, k),
+            Ast::Concat(parts) => bt_concat(parts, hay, pos, k),
+            Ast::Alternate(parts) => parts.iter().any(|p| bt(p, hay, pos, k)),
+            Ast::Repeat { ast, min, max, greedy } => {
+                bt_repeat(ast, *min, *max, *greedy, hay, pos, k, 0)
+            }
+        }
+    }
+
+    fn bt_concat(
+        parts: &[Ast],
+        hay: &[char],
+        pos: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        match parts.split_first() {
+            None => k(pos),
+            Some((first, rest)) => bt(first, hay, pos, &mut |p2| bt_concat(rest, hay, p2, k)),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn bt_repeat(
+        ast: &Ast,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+        hay: &[char],
+        pos: usize,
+        k: &mut dyn FnMut(usize) -> bool,
+        depth: u32,
+    ) -> bool {
+        let can_more = max.map(|m| depth < m).unwrap_or(true) && depth < 64;
+        let must_more = depth < min;
+        let try_more = |k: &mut dyn FnMut(usize) -> bool| {
+            bt(ast, hay, pos, &mut |p2| {
+                if p2 == pos {
+                    // Empty-width iteration: stop to avoid infinite loops
+                    // (same behaviour as the VM's step dedup).
+                    return false;
+                }
+                bt_repeat(ast, min, max, greedy, hay, p2, k, depth + 1)
+            })
+        };
+        if must_more {
+            // A mandatory iteration that matches empty satisfies the whole
+            // remaining minimum (further copies would be empty too).
+            return bt(ast, hay, pos, &mut |p2| {
+                if p2 == pos {
+                    k(pos)
+                } else {
+                    bt_repeat(ast, min, max, greedy, hay, p2, k, depth + 1)
+                }
+            });
+        }
+        // The branches differ only in evaluation ORDER, which is exactly
+        // what greediness means: the closures are side-effecting, so the
+        // `||` operands are not commutative here.
+        #[allow(clippy::if_same_then_else)]
+        if greedy {
+            (can_more && try_more(k)) || k(pos)
+        } else {
+            k(pos) || (can_more && try_more(k))
+        }
+    }
+
+    /// Oracle find: earliest start, then backtracking-preferred end.
+    fn oracle_find(ast: &Ast, hay: &str) -> Option<(usize, usize)> {
+        let chars: Vec<char> = hay.chars().collect();
+        let mut offs = Vec::with_capacity(chars.len() + 1);
+        let mut b = 0;
+        for c in &chars {
+            offs.push(b);
+            b += c.len_utf8();
+        }
+        offs.push(b);
+        for start in 0..=chars.len() {
+            let mut end = None;
+            bt(ast, &chars, start, &mut |e| {
+                end = Some(e);
+                true
+            });
+            if let Some(e) = end {
+                return Some((offs[start], offs[e]));
+            }
+        }
+        None
+    }
+
+    fn arb_pattern() -> impl Strategy<Value = String> {
+        let atom = prop_oneof![
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("c".to_string()),
+            Just(".".to_string()),
+            Just("[ab]".to_string()),
+            Just("[^a]".to_string()),
+        ];
+        atom.prop_recursive(3, 16, 3, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(?:{a}|{b})")),
+                inner.clone().prop_map(|a| format!("(?:{a})*")),
+                inner.clone().prop_map(|a| format!("(?:{a})?")),
+                inner.clone().prop_map(|a| format!("(?:{a})+")),
+                inner.prop_map(|a| format!("({a})")),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The VM and the backtracking oracle agree on match spans.
+        #[test]
+        fn vm_agrees_with_backtracker(pat in arb_pattern(), hay in "[abc]{0,12}") {
+            let parsed = parser::parse(&pat).unwrap();
+            let re = Regex::new(&pat).unwrap();
+            let vm = re.find(&hay).map(|m| (m.start, m.end));
+            let oracle = oracle_find(&parsed.ast, &hay);
+            prop_assert_eq!(vm, oracle, "pattern={} hay={}", pat, hay);
+        }
+
+        /// find_iter terminates and yields ordered matches.
+        #[test]
+        fn find_iter_sound(pat in arb_pattern(), hay in "[abc]{0,16}") {
+            let re = Regex::new(&pat).unwrap();
+            let mut last_start = 0usize;
+            let mut n = 0;
+            for m in re.find_iter(&hay) {
+                prop_assert!(m.start >= last_start);
+                prop_assert!(m.end >= m.start);
+                last_start = m.start;
+                n += 1;
+                prop_assert!(n <= hay.len() + 2);
+            }
+        }
+
+        /// Parser never panics.
+        #[test]
+        fn parser_total(pat in "[ -~]{0,24}") {
+            let _ = Regex::new(&pat);
+        }
+
+        /// replace_all with identity template reconstructs the haystack.
+        #[test]
+        fn replace_identity(pat in arb_pattern(), hay in "[abc]{0,12}") {
+            let re = Regex::new(&pat).unwrap();
+            prop_assert_eq!(re.replace_all(&hay, "$0"), hay);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Thompson construction: [`Ast`] → instruction program for the Pike VM.
+
+use crate::ast::{Ast, ClassSet};
+
+/// One VM instruction. `Split` prefers its first branch, which is how
+/// greediness and leftmost-first alternation are encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    Char(char),
+    Class(ClassSet),
+    Any,
+    Split(usize, usize),
+    Jmp(usize),
+    /// Store the current input offset into capture slot `n`.
+    Save(usize),
+    AssertStart,
+    AssertEnd,
+    Match,
+}
+
+/// A compiled program. Slot layout: `2*k` = start of group `k`,
+/// `2*k + 1` = end of group `k`; group 0 is the whole match.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub insts: Vec<Inst>,
+    pub n_slots: usize,
+    pub group_count: u32,
+}
+
+pub fn compile(ast: &Ast, group_count: u32) -> Program {
+    let mut c = Compiler { insts: Vec::new() };
+    c.push(Inst::Save(0));
+    c.emit(ast);
+    c.push(Inst::Save(1));
+    c.push(Inst::Match);
+    Program { insts: c.insts, n_slots: 2 * (group_count as usize + 1), group_count }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+}
+
+impl Compiler {
+    fn push(&mut self, i: Inst) -> usize {
+        self.insts.push(i);
+        self.insts.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn emit(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(c) => {
+                self.push(Inst::Char(*c));
+            }
+            Ast::AnyChar => {
+                self.push(Inst::Any);
+            }
+            Ast::Class(cs) => {
+                self.push(Inst::Class(cs.clone()));
+            }
+            Ast::StartAnchor => {
+                self.push(Inst::AssertStart);
+            }
+            Ast::EndAnchor => {
+                self.push(Inst::AssertEnd);
+            }
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.emit(p);
+                }
+            }
+            Ast::Alternate(parts) => {
+                // split → b1, split → b2, ... with jumps to a common end.
+                let mut jmp_ends = Vec::new();
+                let mut prev_split: Option<usize> = None;
+                for (i, p) in parts.iter().enumerate() {
+                    if let Some(s) = prev_split.take() {
+                        let here = self.here();
+                        if let Inst::Split(_, ref mut b) = self.insts[s] {
+                            *b = here;
+                        }
+                    }
+                    let last = i + 1 == parts.len();
+                    if !last {
+                        let s = self.push(Inst::Split(0, 0));
+                        let here = self.here();
+                        if let Inst::Split(ref mut a, _) = self.insts[s] {
+                            *a = here;
+                        }
+                        prev_split = Some(s);
+                    }
+                    self.emit(p);
+                    if !last {
+                        jmp_ends.push(self.push(Inst::Jmp(0)));
+                    }
+                }
+                let end = self.here();
+                for j in jmp_ends {
+                    if let Inst::Jmp(ref mut t) = self.insts[j] {
+                        *t = end;
+                    }
+                }
+            }
+            Ast::Group { ast, index } => match index {
+                Some(i) => {
+                    self.push(Inst::Save(2 * *i as usize));
+                    self.emit(ast);
+                    self.push(Inst::Save(2 * *i as usize + 1));
+                }
+                None => self.emit(ast),
+            },
+            Ast::Repeat { ast, min, max, greedy } => {
+                self.emit_repeat(ast, *min, *max, *greedy);
+            }
+        }
+    }
+
+    fn emit_repeat(&mut self, ast: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        // Mandatory copies.
+        for _ in 0..min {
+            self.emit(ast);
+        }
+        match max {
+            None => {
+                // star (or the tail of plus): L: split(body, end) body jmp L
+                let l = self.here();
+                let s = self.push(Inst::Split(0, 0));
+                let body = self.here();
+                self.emit(ast);
+                self.push(Inst::Jmp(l));
+                let end = self.here();
+                self.insts[s] = if greedy {
+                    Inst::Split(body, end)
+                } else {
+                    Inst::Split(end, body)
+                };
+            }
+            Some(mx) => {
+                // (mx - min) optional copies.
+                let mut splits = Vec::new();
+                for _ in min..mx {
+                    let s = self.push(Inst::Split(0, 0));
+                    let body = self.here();
+                    splits.push((s, body));
+                    self.emit(ast);
+                }
+                let end = self.here();
+                for (s, body) in splits {
+                    self.insts[s] =
+                        if greedy { Inst::Split(body, end) } else { Inst::Split(end, body) };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(p: &str) -> Program {
+        let parsed = parse(p).unwrap();
+        compile(&parsed.ast, parsed.group_count)
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        assert_eq!(
+            p.insts,
+            vec![
+                Inst::Save(0),
+                Inst::Char('a'),
+                Inst::Char('b'),
+                Inst::Save(1),
+                Inst::Match,
+            ]
+        );
+    }
+
+    #[test]
+    fn star_is_loop() {
+        let p = prog("a*");
+        // Save0, Split(2,4), Char a, Jmp 1, Save1, Match
+        assert_eq!(p.insts[1], Inst::Split(2, 4));
+        assert_eq!(p.insts[3], Inst::Jmp(1));
+    }
+
+    #[test]
+    fn lazy_star_prefers_exit() {
+        let p = prog("a*?");
+        assert_eq!(p.insts[1], Inst::Split(4, 2));
+    }
+
+    #[test]
+    fn plus_expands_to_copy_then_star() {
+        let p = prog("a+");
+        assert_eq!(p.insts[1], Inst::Char('a'));
+        assert_eq!(p.insts[2], Inst::Split(3, 5));
+    }
+
+    #[test]
+    fn counted_expansion() {
+        let p = prog("a{2,3}");
+        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        assert_eq!(chars, 3);
+        let splits = p.insts.iter().filter(|i| matches!(i, Inst::Split(..))).count();
+        assert_eq!(splits, 1);
+    }
+
+    #[test]
+    fn groups_allocate_slots() {
+        let p = prog("(a)(b)");
+        assert_eq!(p.n_slots, 6);
+        assert!(p.insts.contains(&Inst::Save(2)));
+        assert!(p.insts.contains(&Inst::Save(5)));
+    }
+
+    #[test]
+    fn alternation_three_way() {
+        let p = prog("a|b|c");
+        let splits = p.insts.iter().filter(|i| matches!(i, Inst::Split(..))).count();
+        assert_eq!(splits, 2);
+    }
+}

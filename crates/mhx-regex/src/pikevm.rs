@@ -1,0 +1,318 @@
+//! Pike VM: NFA simulation with capture slots.
+//!
+//! Threads are kept in priority order, so alternation is leftmost-first and
+//! repetition greediness follows the `Split` branch order — the same match
+//! a backtracking engine would find, in O(len · insts) time.
+
+use crate::nfa::{Inst, Program};
+use std::rc::Rc;
+
+type Slots = Rc<Vec<Option<usize>>>;
+
+struct Thread {
+    pc: usize,
+    slots: Slots,
+}
+
+struct ThreadList {
+    threads: Vec<Thread>,
+    /// `seen[pc] == stamp` → pc already queued this step.
+    seen: Vec<u64>,
+    stamp: u64,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> ThreadList {
+        ThreadList { threads: Vec::new(), seen: vec![0; n], stamp: 0 }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.stamp += 1;
+    }
+}
+
+/// Execution over one haystack. `pos` values are byte offsets.
+pub struct PikeVm<'p> {
+    prog: &'p Program,
+}
+
+impl<'p> PikeVm<'p> {
+    pub fn new(prog: &'p Program) -> PikeVm<'p> {
+        PikeVm { prog }
+    }
+
+    /// Run an anchored-at-`start` match attempt: the match must begin
+    /// exactly at `start`. Returns the capture slots of the best
+    /// (leftmost-first) match.
+    pub fn run_anchored(&self, hay: &str, start: usize) -> Option<Vec<Option<usize>>> {
+        self.run(hay, start, true)
+    }
+
+    /// Unanchored search from `start`: earliest-starting match wins.
+    pub fn run_search(&self, hay: &str, start: usize) -> Option<Vec<Option<usize>>> {
+        self.run(hay, start, false)
+    }
+
+    fn run(&self, hay: &str, start: usize, anchored: bool) -> Option<Vec<Option<usize>>> {
+        let n = self.prog.insts.len();
+        let mut clist = ThreadList::new(n);
+        let mut nlist = ThreadList::new(n);
+        let mut best: Option<Vec<Option<usize>>> = None;
+
+        let init_slots: Slots = Rc::new(vec![None; self.prog.n_slots]);
+        clist.clear();
+
+        let tail = &hay[start..];
+        let mut iter = tail.char_indices();
+        let mut pos = start;
+        loop {
+            let next_char = iter.next().map(|(i, c)| (start + i, c));
+            debug_assert!(next_char.is_none_or(|(i, _)| i == pos));
+
+            // Seed a new thread at this position (lowest priority) while
+            // searching and nothing matched yet.
+            if pos == start || (!anchored && best.is_none()) {
+                add_thread(
+                    self.prog,
+                    &mut clist,
+                    0,
+                    pos,
+                    hay,
+                    init_slots.clone(),
+                );
+            }
+
+            if clist.threads.is_empty() && best.is_some() {
+                break;
+            }
+
+            nlist.clear();
+            let mut matched_this_step = false;
+            for t in std::mem::take(&mut clist.threads) {
+                if matched_this_step {
+                    break;
+                }
+                match &self.prog.insts[t.pc] {
+                    Inst::Char(c) => {
+                        if let Some((_, ch)) = next_char {
+                            if ch == *c {
+                                add_thread(
+                                    self.prog,
+                                    &mut nlist,
+                                    t.pc + 1,
+                                    pos + ch.len_utf8(),
+                                    hay,
+                                    t.slots,
+                                );
+                            }
+                        }
+                    }
+                    Inst::Class(cs) => {
+                        if let Some((_, ch)) = next_char {
+                            if cs.contains(ch) {
+                                add_thread(
+                                    self.prog,
+                                    &mut nlist,
+                                    t.pc + 1,
+                                    pos + ch.len_utf8(),
+                                    hay,
+                                    t.slots,
+                                );
+                            }
+                        }
+                    }
+                    Inst::Any => {
+                        if let Some((_, ch)) = next_char {
+                            add_thread(
+                                self.prog,
+                                &mut nlist,
+                                t.pc + 1,
+                                pos + ch.len_utf8(),
+                                hay,
+                                t.slots,
+                            );
+                        }
+                    }
+                    Inst::Match => {
+                        // Highest-priority match at this position: lower
+                        // priority threads are cut off, but threads already
+                        // in nlist (added by higher-priority threads) keep
+                        // running — they may produce a longer leftmost-first
+                        // match? No: they were added earlier in priority
+                        // order, so anything in nlist outranks this match
+                        // only if it *started* earlier. Since we process in
+                        // priority order, recording and cutting is correct.
+                        best = Some((*t.slots).clone());
+                        matched_this_step = true;
+                    }
+                    // Split/Jmp/Save/Assert are handled in add_thread.
+                    _ => unreachable!("epsilon instructions resolved in add_thread"),
+                }
+            }
+            std::mem::swap(&mut clist, &mut nlist);
+            match next_char {
+                Some((i, c)) => pos = i + c.len_utf8(),
+                None => break,
+            }
+            if clist.threads.is_empty() && (anchored || best.is_some()) {
+                break;
+            }
+        }
+
+        // Drain any final-position threads (Match at EOF already handled in
+        // the loop's last iteration because we iterate once past the last
+        // char with next_char = None).
+        best
+    }
+}
+
+/// Add `pc` (following epsilon transitions) to `list` at input offset `pos`.
+fn add_thread(prog: &Program, list: &mut ThreadList, pc: usize, pos: usize, hay: &str, slots: Slots) {
+    if list.seen[pc] == list.stamp {
+        return;
+    }
+    list.seen[pc] = list.stamp;
+    match &prog.insts[pc] {
+        Inst::Jmp(t) => add_thread(prog, list, *t, pos, hay, slots),
+        Inst::Split(a, b) => {
+            add_thread(prog, list, *a, pos, hay, slots.clone());
+            add_thread(prog, list, *b, pos, hay, slots);
+        }
+        Inst::Save(n) => {
+            let mut s = (*slots).clone();
+            s[*n] = Some(pos);
+            add_thread(prog, list, pc + 1, pos, hay, Rc::new(s));
+        }
+        Inst::AssertStart => {
+            if pos == 0 {
+                add_thread(prog, list, pc + 1, pos, hay, slots);
+            }
+        }
+        Inst::AssertEnd => {
+            if pos == hay.len() {
+                add_thread(prog, list, pc + 1, pos, hay, slots);
+            }
+        }
+        _ => list.threads.push(Thread { pc, slots }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::compile;
+    use crate::parser::parse;
+
+    fn slots(pattern: &str, hay: &str) -> Option<Vec<Option<usize>>> {
+        let p = parse(pattern).unwrap();
+        let prog = compile(&p.ast, p.group_count);
+        PikeVm::new(&prog).run_search(hay, 0)
+    }
+
+    fn m(pattern: &str, hay: &str) -> Option<(usize, usize)> {
+        slots(pattern, hay).map(|s| (s[0].unwrap(), s[1].unwrap()))
+    }
+
+    #[test]
+    fn literal_search() {
+        assert_eq!(m("abc", "xxabcx"), Some((2, 5)));
+        assert_eq!(m("abc", "ab"), None);
+    }
+
+    #[test]
+    fn leftmost_earliest_wins() {
+        assert_eq!(m("a|ab", "xab"), Some((1, 2))); // leftmost-first: 'a' branch
+        assert_eq!(m("ab|a", "xab"), Some((1, 3)));
+    }
+
+    #[test]
+    fn greedy_vs_lazy() {
+        assert_eq!(m("a+", "aaa"), Some((0, 3)));
+        assert_eq!(m("a+?", "aaa"), Some((0, 1)));
+        assert_eq!(m("<.*>", "<a><b>"), Some((0, 6)));
+        assert_eq!(m("<.*?>", "<a><b>"), Some((0, 3)));
+    }
+
+    #[test]
+    fn captures_basic() {
+        let s = slots("un(a)we", "unawendendne").unwrap();
+        assert_eq!((s[0], s[1]), (Some(0), Some(5)));
+        assert_eq!((s[2], s[3]), (Some(2), Some(3)));
+    }
+
+    #[test]
+    fn captures_in_repeat_keep_last() {
+        let s = slots("(a|b)+", "abab").unwrap();
+        assert_eq!((s[0], s[1]), (Some(0), Some(4)));
+        assert_eq!((s[2], s[3]), (Some(3), Some(4)));
+    }
+
+    #[test]
+    fn unmatched_group_is_none() {
+        let s = slots("(a)|(b)", "b").unwrap();
+        assert_eq!(s[2], None);
+        assert_eq!((s[4], s[5]), (Some(0), Some(1)));
+    }
+
+    #[test]
+    fn anchors_work() {
+        assert_eq!(m("^ab", "ab"), Some((0, 2)));
+        assert_eq!(m("^ab", "xab"), None);
+        assert_eq!(m("ab$", "xab"), Some((1, 3)));
+        assert_eq!(m("ab$", "abx"), None);
+        assert_eq!(m("^$", ""), Some((0, 0)));
+    }
+
+    #[test]
+    fn anchored_run_requires_start() {
+        let p = parse("ab").unwrap();
+        let prog = compile(&p.ast, p.group_count);
+        let vm = PikeVm::new(&prog);
+        assert!(vm.run_anchored("xab", 0).is_none());
+        assert!(vm.run_anchored("xab", 1).is_some());
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        assert_eq!(m("", "abc"), Some((0, 0)));
+        assert_eq!(m("x*", "abc"), Some((0, 0)));
+    }
+
+    #[test]
+    fn counted_repetition() {
+        assert_eq!(m("a{2,3}", "aaaa"), Some((0, 3)));
+        assert_eq!(m("a{2,3}", "a"), None);
+        assert_eq!(m("a{2}", "aa"), Some((0, 2)));
+    }
+
+    #[test]
+    fn multibyte_offsets_are_byte_offsets() {
+        assert_eq!(m("a", "þa"), Some((2, 3)));
+        assert_eq!(m("þ", "aþ"), Some((1, 3)));
+    }
+
+    #[test]
+    fn paper_pattern_dotstar() {
+        // ".*unawe.*" over "unawendendne": greedy .* still must find match.
+        assert_eq!(m(".*unawe.*", "unawendendne"), Some((0, 12)));
+        assert_eq!(m("unawe", "unawendendne"), Some((0, 5)));
+    }
+
+    #[test]
+    fn class_matching() {
+        assert_eq!(m("[a-c]+", "zzabcaz"), Some((2, 6)));
+        assert_eq!(m("[^a-c]+", "abxyz"), Some((2, 5)));
+        assert_eq!(m(r"\w+", "  word12  "), Some((2, 8)));
+    }
+
+    #[test]
+    fn alternation_with_groups_priority() {
+        // Leftmost-first: first alternative that matches at the leftmost
+        // start position wins, even if shorter.
+        let s = slots("(ab|a)(c?)", "abc").unwrap();
+        assert_eq!((s[0], s[1]), (Some(0), Some(3)));
+        assert_eq!((s[2], s[3]), (Some(0), Some(2)));
+        assert_eq!((s[4], s[5]), (Some(2), Some(3)));
+    }
+}

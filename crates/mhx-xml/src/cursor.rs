@@ -1,0 +1,204 @@
+//! Character cursor with line/column tracking, shared by the XML and DTD
+//! parsers.
+
+use crate::error::{ErrorKind, Pos, Result, XmlError};
+
+/// A forward-only cursor over `&str` input.
+///
+/// All lexing goes through this type so every error carries an accurate
+/// [`Pos`]. Lookahead is by string prefix (`starts_with`) or single char
+/// (`peek`); consumption is by `bump`, `eat`, `expect`, or `take_while`.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    src: &'a str,
+    offset: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(src: &'a str) -> Cursor<'a> {
+        Cursor { src, offset: 0, line: 1, column: 1 }
+    }
+
+    /// Remaining unconsumed input.
+    pub fn rest(&self) -> &'a str {
+        &self.src[self.offset..]
+    }
+
+    /// The full source (for slicing with saved offsets).
+    pub fn source(&self) -> &'a str {
+        self.src
+    }
+
+    pub fn pos(&self) -> Pos {
+        Pos { offset: self.offset, line: self.line, column: self.column }
+    }
+
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    pub fn is_eof(&self) -> bool {
+        self.offset >= self.src.len()
+    }
+
+    pub fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    /// Second char of the remaining input, if any.
+    pub fn peek2(&self) -> Option<char> {
+        let mut it = self.rest().chars();
+        it.next();
+        it.next()
+    }
+
+    pub fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    /// Consume one char and return it.
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.offset += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    /// Consume `s` if the input starts with it.
+    pub fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `s` or error with "expected `s`".
+    pub fn expect(&mut self, s: &str) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else if self.is_eof() {
+            Err(self.err(ErrorKind::UnexpectedEof))
+        } else {
+            Err(self.err(ErrorKind::Expected(format!("`{s}`"))))
+        }
+    }
+
+    /// Consume chars while `pred` holds, returning the consumed slice.
+    pub fn take_while(&mut self, mut pred: impl FnMut(char) -> bool) -> &'a str {
+        let start = self.offset;
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+        &self.src[start..self.offset]
+    }
+
+    /// Consume chars up to (not including) the first occurrence of `delim`;
+    /// errors on EOF. The delimiter is left unconsumed.
+    pub fn take_until(&mut self, delim: &str) -> Result<&'a str> {
+        let start = self.offset;
+        match self.rest().find(delim) {
+            Some(i) => {
+                let end = start + i;
+                // Re-walk for line/col accounting.
+                while self.offset < end {
+                    self.bump();
+                }
+                Ok(&self.src[start..end])
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    /// Skip XML whitespace (`S` production: space, tab, CR, LF).
+    pub fn skip_ws(&mut self) -> bool {
+        let before = self.offset;
+        self.take_while(is_xml_ws);
+        self.offset != before
+    }
+
+    pub fn err(&self, kind: ErrorKind) -> XmlError {
+        XmlError::new(kind, self.pos())
+    }
+}
+
+/// XML `S` production characters.
+pub fn is_xml_ws(c: char) -> bool {
+    matches!(c, ' ' | '\t' | '\r' | '\n')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_tracks_lines_and_columns() {
+        let mut c = Cursor::new("ab\ncd");
+        assert_eq!(c.bump(), Some('a'));
+        assert_eq!(c.pos().column, 2);
+        c.bump();
+        c.bump(); // newline
+        assert_eq!(c.pos().line, 2);
+        assert_eq!(c.pos().column, 1);
+        assert_eq!(c.bump(), Some('c'));
+        assert_eq!(c.pos().column, 2);
+    }
+
+    #[test]
+    fn eat_and_expect() {
+        let mut c = Cursor::new("<!--x-->");
+        assert!(c.eat("<!--"));
+        assert!(!c.eat("<!--"));
+        assert!(c.expect("x").is_ok());
+        assert!(c.expect("zzz").is_err());
+    }
+
+    #[test]
+    fn take_while_stops_at_predicate_boundary() {
+        let mut c = Cursor::new("abc123");
+        assert_eq!(c.take_while(|ch| ch.is_ascii_alphabetic()), "abc");
+        assert_eq!(c.rest(), "123");
+    }
+
+    #[test]
+    fn take_until_leaves_delimiter() {
+        let mut c = Cursor::new("hello-->rest");
+        assert_eq!(c.take_until("-->").unwrap(), "hello");
+        assert!(c.starts_with("-->"));
+    }
+
+    #[test]
+    fn take_until_eof_errors() {
+        let mut c = Cursor::new("hello");
+        assert!(c.take_until("-->").is_err());
+    }
+
+    #[test]
+    fn multibyte_chars_track_byte_offsets() {
+        let mut c = Cursor::new("þa");
+        assert_eq!(c.bump(), Some('þ'));
+        assert_eq!(c.offset(), 2); // þ is 2 bytes
+        assert_eq!(c.pos().column, 2); // but one column
+    }
+
+    #[test]
+    fn skip_ws_reports_progress() {
+        let mut c = Cursor::new("  \t\nx");
+        assert!(c.skip_ws());
+        assert!(!c.skip_ws());
+        assert_eq!(c.peek(), Some('x'));
+    }
+}

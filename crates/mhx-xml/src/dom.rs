@@ -1,0 +1,458 @@
+//! Arena-based DOM.
+//!
+//! Nodes live in a single `Vec` indexed by [`NodeId`]; sibling and parent
+//! links are ids, so the whole tree is cache-friendly and trivially
+//! cloneable. Ids handed out by the parser are in document (preorder) order,
+//! a property the KyGODDAG layer relies on.
+
+use crate::error::{ErrorKind, Pos, Result, XmlError};
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+///
+/// `NodeId(0)` is always the document node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub const DOCUMENT: NodeId = NodeId(0);
+
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An attribute: `name="value"` (value stored unescaped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    pub name: String,
+    pub value: String,
+}
+
+/// Node payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The synthetic document node (`NodeId::DOCUMENT`), parent of the root
+    /// element and any top-level comments/PIs.
+    Document,
+    Element { name: String, attrs: Vec<Attr> },
+    Text(String),
+    Comment(String),
+    Pi { target: String, data: String },
+}
+
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub first_child: Option<NodeId>,
+    pub last_child: Option<NodeId>,
+    pub prev_sibling: Option<NodeId>,
+    pub next_sibling: Option<NodeId>,
+}
+
+impl Node {
+    fn new(kind: NodeKind) -> Node {
+        Node {
+            kind,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            prev_sibling: None,
+            next_sibling: None,
+        }
+    }
+}
+
+/// An XML document as a node arena.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+    /// DOCTYPE name, if the source had one.
+    pub doctype_name: Option<String>,
+}
+
+impl Document {
+    /// An empty document containing only the document node.
+    pub fn new() -> Document {
+        Document { nodes: vec![Node::new(NodeKind::Document)], doctype_name: None }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        // The document node always exists.
+        self.nodes.len() <= 1
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.node(id).kind
+    }
+
+    /// Element or PI-target name; `None` for other node kinds.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Pi { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Element { .. })
+    }
+
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Text(_))
+    }
+
+    /// Text content of a text node; `None` otherwise.
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn attrs(&self, id: NodeId) -> &[Attr] {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => attrs,
+            _ => &[],
+        }
+    }
+
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attrs(id).iter().find(|a| a.name == name).map(|a| a.value.as_str())
+    }
+
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).first_child
+    }
+
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).next_sibling
+    }
+
+    pub fn prev_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).prev_sibling
+    }
+
+    /// The single root element. Errors if the document is empty.
+    pub fn root_element(&self) -> Result<NodeId> {
+        self.children(NodeId::DOCUMENT)
+            .find(|&c| self.is_element(c))
+            .ok_or_else(|| XmlError::new(ErrorKind::NoRootElement, Pos::start()))
+    }
+
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children { doc: self, next: self.node(id).first_child }
+    }
+
+    /// Preorder descendants of `id`, excluding `id` itself.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, root: id, next: self.node(id).first_child }
+    }
+
+    /// Ancestors from the parent up to (and including) the document node.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { doc: self, next: self.node(id).parent }
+    }
+
+    /// Concatenated text of all descendant text nodes (XPath string-value).
+    pub fn string_value(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        if let NodeKind::Text(t) = &self.node(id).kind {
+            out.push_str(t);
+            return;
+        }
+        let mut child = self.node(id).first_child;
+        while let Some(c) = child {
+            self.collect_text(c, out);
+            child = self.node(c).next_sibling;
+        }
+    }
+
+    /// Preorder index of every node, usable as a document-order key.
+    pub fn document_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![NodeId::DOCUMENT];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // Push children in reverse so they pop in order.
+            let mut kids: Vec<NodeId> = self.children(id).collect();
+            kids.reverse();
+            stack.extend(kids);
+        }
+        out
+    }
+
+    /// Compare two nodes by document order, walking ancestor chains
+    /// (O(depth), no precomputation).
+    pub fn cmp_document_order(&self, a: NodeId, b: NodeId) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if a == b {
+            return Ordering::Equal;
+        }
+        let pa = self.path_from_root(a);
+        let pb = self.path_from_root(b);
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            if x != y {
+                // Siblings under the common ancestor: compare sibling order.
+                return self.cmp_siblings(*x, *y);
+            }
+        }
+        // One is an ancestor of the other; the ancestor comes first.
+        pa.len().cmp(&pb.len())
+    }
+
+    fn path_from_root(&self, id: NodeId) -> Vec<NodeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    fn cmp_siblings(&self, a: NodeId, b: NodeId) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        let mut cur = self.node(a).next_sibling;
+        while let Some(n) = cur {
+            if n == b {
+                return Ordering::Less;
+            }
+            cur = self.node(n).next_sibling;
+        }
+        Ordering::Greater
+    }
+
+    // ---- mutation (used by the parser and by programmatic builders) ----
+
+    fn push_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(kind));
+        id
+    }
+
+    pub fn create_element(&mut self, name: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Element { name: name.into(), attrs: Vec::new() })
+    }
+
+    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Text(text.into()))
+    }
+
+    pub fn create_comment(&mut self, text: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Comment(text.into()))
+    }
+
+    pub fn create_pi(&mut self, target: impl Into<String>, data: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Pi { target: target.into(), data: data.into() })
+    }
+
+    /// Append `child` as the last child of `parent`. `child` must be
+    /// detached (freshly created).
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert!(self.node(child).parent.is_none(), "append_child requires a detached node");
+        let last = self.node(parent).last_child;
+        self.node_mut(child).parent = Some(parent);
+        self.node_mut(child).prev_sibling = last;
+        match last {
+            Some(l) => self.node_mut(l).next_sibling = Some(child),
+            None => self.node_mut(parent).first_child = Some(child),
+        }
+        self.node_mut(parent).last_child = Some(child);
+    }
+
+    pub fn set_attr(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        let (name, value) = (name.into(), value.into());
+        if let NodeKind::Element { attrs, .. } = &mut self.node_mut(id).kind {
+            if let Some(a) = attrs.iter_mut().find(|a| a.name == name) {
+                a.value = value;
+            } else {
+                attrs.push(Attr { name, value });
+            }
+        }
+    }
+}
+
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).next_sibling;
+        Some(id)
+    }
+}
+
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    root: NodeId,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        // Preorder successor within the subtree rooted at `root`.
+        let node = self.doc.node(id);
+        self.next = if let Some(c) = node.first_child {
+            Some(c)
+        } else {
+            let mut cur = id;
+            loop {
+                if cur == self.root {
+                    break None;
+                }
+                if let Some(s) = self.doc.node(cur).next_sibling {
+                    break Some(s);
+                }
+                match self.doc.node(cur).parent {
+                    Some(p) => cur = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(id)
+    }
+}
+
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).parent;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId, NodeId) {
+        // <r><a>x</a><b/></r>
+        let mut d = Document::new();
+        let r = d.create_element("r");
+        d.append_child(NodeId::DOCUMENT, r);
+        let a = d.create_element("a");
+        d.append_child(r, a);
+        let x = d.create_text("x");
+        d.append_child(a, x);
+        let b = d.create_element("b");
+        d.append_child(r, b);
+        (d, r, a, x, b)
+    }
+
+    #[test]
+    fn tree_links() {
+        let (d, r, a, x, b) = sample();
+        assert_eq!(d.root_element().unwrap(), r);
+        assert_eq!(d.parent(a), Some(r));
+        assert_eq!(d.next_sibling(a), Some(b));
+        assert_eq!(d.prev_sibling(b), Some(a));
+        assert_eq!(d.first_child(a), Some(x));
+        assert_eq!(d.children(r).collect::<Vec<_>>(), vec![a, b]);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (d, r, a, x, b) = sample();
+        assert_eq!(d.descendants(r).collect::<Vec<_>>(), vec![a, x, b]);
+        assert_eq!(d.descendants(NodeId::DOCUMENT).collect::<Vec<_>>(), vec![r, a, x, b]);
+        assert_eq!(d.descendants(b).count(), 0);
+    }
+
+    #[test]
+    fn ancestors_chain() {
+        let (d, r, a, x, _) = sample();
+        assert_eq!(d.ancestors(x).collect::<Vec<_>>(), vec![a, r, NodeId::DOCUMENT]);
+    }
+
+    #[test]
+    fn string_value_concatenates() {
+        let (d, r, a, _, _) = sample();
+        assert_eq!(d.string_value(r), "x");
+        assert_eq!(d.string_value(a), "x");
+    }
+
+    #[test]
+    fn attrs_roundtrip() {
+        let mut d = Document::new();
+        let e = d.create_element("e");
+        d.append_child(NodeId::DOCUMENT, e);
+        d.set_attr(e, "k", "v1");
+        d.set_attr(e, "k", "v2");
+        d.set_attr(e, "j", "w");
+        assert_eq!(d.attr(e, "k"), Some("v2"));
+        assert_eq!(d.attr(e, "j"), Some("w"));
+        assert_eq!(d.attr(e, "missing"), None);
+        assert_eq!(d.attrs(e).len(), 2);
+    }
+
+    #[test]
+    fn document_order_matches_preorder() {
+        let (d, r, a, x, b) = sample();
+        assert_eq!(d.document_order(), vec![NodeId::DOCUMENT, r, a, x, b]);
+    }
+
+    #[test]
+    fn cmp_document_order_cases() {
+        use std::cmp::Ordering::*;
+        let (d, r, a, x, b) = sample();
+        assert_eq!(d.cmp_document_order(a, b), Less);
+        assert_eq!(d.cmp_document_order(b, a), Greater);
+        assert_eq!(d.cmp_document_order(r, x), Less); // ancestor first
+        assert_eq!(d.cmp_document_order(x, r), Greater);
+        assert_eq!(d.cmp_document_order(x, x), Equal);
+        assert_eq!(d.cmp_document_order(x, b), Less); // cousins
+    }
+
+    #[test]
+    fn empty_document_has_no_root() {
+        let d = Document::new();
+        assert!(d.root_element().is_err());
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! DTD abstract syntax.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Repetition suffix on a content particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rep {
+    /// exactly once
+    One,
+    /// `?`
+    Opt,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+}
+
+impl fmt::Display for Rep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rep::One => Ok(()),
+            Rep::Opt => write!(f, "?"),
+            Rep::Star => write!(f, "*"),
+            Rep::Plus => write!(f, "+"),
+        }
+    }
+}
+
+/// A particle in an element-content model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentParticle {
+    Name(String, Rep),
+    Seq(Vec<ContentParticle>, Rep),
+    Choice(Vec<ContentParticle>, Rep),
+}
+
+impl ContentParticle {
+    pub fn rep(&self) -> Rep {
+        match self {
+            ContentParticle::Name(_, r)
+            | ContentParticle::Seq(_, r)
+            | ContentParticle::Choice(_, r) => *r,
+        }
+    }
+
+    /// All element names mentioned in this particle.
+    pub fn names(&self, out: &mut Vec<String>) {
+        match self {
+            ContentParticle::Name(n, _) => out.push(n.clone()),
+            ContentParticle::Seq(ps, _) | ContentParticle::Choice(ps, _) => {
+                for p in ps {
+                    p.names(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ContentParticle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentParticle::Name(n, r) => write!(f, "{n}{r}"),
+            ContentParticle::Seq(ps, r) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "){r}")
+            }
+            ContentParticle::Choice(ps, r) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "){r}")
+            }
+        }
+    }
+}
+
+/// The content specification of an `<!ELEMENT>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentSpec {
+    Empty,
+    Any,
+    /// `(#PCDATA)` or `(#PCDATA | a | b)*`: text plus the listed elements in
+    /// any order.
+    Mixed(Vec<String>),
+    /// Pure element content.
+    Children(ContentParticle),
+}
+
+impl fmt::Display for ContentSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentSpec::Empty => write!(f, "EMPTY"),
+            ContentSpec::Any => write!(f, "ANY"),
+            ContentSpec::Mixed(names) if names.is_empty() => write!(f, "(#PCDATA)"),
+            ContentSpec::Mixed(names) => {
+                write!(f, "(#PCDATA")?;
+                for n in names {
+                    write!(f, "|{n}")?;
+                }
+                write!(f, ")*")
+            }
+            ContentSpec::Children(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    pub name: String,
+    pub content: ContentSpec,
+}
+
+/// Attribute type in an `<!ATTLIST>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttType {
+    Cdata,
+    Id,
+    IdRef,
+    IdRefs,
+    NmToken,
+    NmTokens,
+    Entity,
+    Entities,
+    /// `(a|b|c)`
+    Enumeration(Vec<String>),
+}
+
+/// Attribute default in an `<!ATTLIST>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttDefault {
+    Required,
+    Implied,
+    Fixed(String),
+    Default(String),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttlistDecl {
+    pub element: String,
+    pub attribute: String,
+    pub ty: AttType,
+    pub default: AttDefault,
+}
+
+/// A parsed DTD (one hierarchy's schema).
+#[derive(Debug, Clone, Default)]
+pub struct Dtd {
+    /// Hierarchy name (not part of DTD syntax; set by the caller, used by
+    /// the CMH layer).
+    pub name: String,
+    pub elements: BTreeMap<String, ElementDecl>,
+    /// Attlists keyed by element name.
+    pub attlists: BTreeMap<String, Vec<AttlistDecl>>,
+    /// General entities declared in the DTD.
+    pub entities: BTreeMap<String, String>,
+}
+
+impl Dtd {
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.get(name)
+    }
+
+    pub fn attlist(&self, element: &str) -> &[AttlistDecl] {
+        self.attlists.get(element).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every element name declared.
+    pub fn element_names(&self) -> impl Iterator<Item = &str> {
+        self.elements.keys().map(String::as_str)
+    }
+
+    /// Names reachable from `root` through content models (including
+    /// `root` itself). Used by the CMH validity check.
+    pub fn reachable_from(&self, root: &str) -> Vec<String> {
+        let mut seen = vec![root.to_string()];
+        let mut queue = vec![root.to_string()];
+        while let Some(cur) = queue.pop() {
+            let Some(decl) = self.elements.get(&cur) else { continue };
+            let mut kids = Vec::new();
+            match &decl.content {
+                ContentSpec::Children(p) => p.names(&mut kids),
+                ContentSpec::Mixed(names) => kids.extend(names.iter().cloned()),
+                ContentSpec::Empty | ContentSpec::Any => {}
+            }
+            for k in kids {
+                if !seen.contains(&k) {
+                    seen.push(k.clone());
+                    queue.push(k);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn particle_display_roundtrips_shape() {
+        let p = ContentParticle::Seq(
+            vec![
+                ContentParticle::Name("a".into(), Rep::One),
+                ContentParticle::Choice(
+                    vec![
+                        ContentParticle::Name("b".into(), Rep::Star),
+                        ContentParticle::Name("c".into(), Rep::Opt),
+                    ],
+                    Rep::Plus,
+                ),
+            ],
+            Rep::One,
+        );
+        assert_eq!(p.to_string(), "(a,(b*|c?)+)");
+    }
+
+    #[test]
+    fn names_collects_all() {
+        let p = ContentParticle::Choice(
+            vec![
+                ContentParticle::Name("x".into(), Rep::One),
+                ContentParticle::Seq(vec![ContentParticle::Name("y".into(), Rep::One)], Rep::One),
+            ],
+            Rep::One,
+        );
+        let mut out = Vec::new();
+        p.names(&mut out);
+        assert_eq!(out, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn spec_display() {
+        assert_eq!(ContentSpec::Empty.to_string(), "EMPTY");
+        assert_eq!(ContentSpec::Mixed(vec![]).to_string(), "(#PCDATA)");
+        assert_eq!(
+            ContentSpec::Mixed(vec!["w".into(), "dmg".into()]).to_string(),
+            "(#PCDATA|w|dmg)*"
+        );
+    }
+
+    #[test]
+    fn reachability() {
+        let mut dtd = Dtd::default();
+        dtd.elements.insert(
+            "r".into(),
+            ElementDecl {
+                name: "r".into(),
+                content: ContentSpec::Children(ContentParticle::Name("a".into(), Rep::Star)),
+            },
+        );
+        dtd.elements.insert(
+            "a".into(),
+            ElementDecl { name: "a".into(), content: ContentSpec::Mixed(vec!["b".into()]) },
+        );
+        dtd.elements.insert(
+            "b".into(),
+            ElementDecl { name: "b".into(), content: ContentSpec::Empty },
+        );
+        dtd.elements.insert(
+            "orphan".into(),
+            ElementDecl { name: "orphan".into(), content: ContentSpec::Empty },
+        );
+        let mut r = dtd.reachable_from("r");
+        r.sort();
+        assert_eq!(r, vec!["a", "b", "r"]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Glushkov (position) automaton for element-content models.
+//!
+//! XML 1.0 requires content models to be *deterministic*: while matching a
+//! child sequence, the next element name must select at most one position.
+//! The Glushkov construction makes that check direct — a model is
+//! deterministic iff no `first`/`follow` set contains two positions with the
+//! same symbol.
+
+use super::ast::{ContentParticle, Rep};
+use std::collections::BTreeSet;
+
+/// Whether a compiled model satisfies the XML determinism constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Determinism {
+    Deterministic,
+    /// The element name that is ambiguous somewhere in the model.
+    Ambiguous(String),
+}
+
+/// Compiled content model.
+#[derive(Debug, Clone)]
+pub struct ContentAutomaton {
+    /// Symbol (element name) of each position, in occurrence order.
+    symbols: Vec<String>,
+    nullable: bool,
+    first: BTreeSet<usize>,
+    last: BTreeSet<usize>,
+    follow: Vec<BTreeSet<usize>>,
+    determinism: Determinism,
+}
+
+impl ContentAutomaton {
+    pub fn compile(p: &ContentParticle) -> ContentAutomaton {
+        let mut symbols = Vec::new();
+        let info = build(p, &mut symbols);
+        let mut follow = vec![BTreeSet::new(); symbols.len()];
+        collect_follow(p, &mut { let mut c = 0usize; move || { let v = c; c += 1; v } }, &mut follow);
+        // The closure-based position counter above must visit positions in
+        // the same order as `build`; `collect_follow` re-walks the tree and
+        // fills `follow` via first/last sets computed per subtree.
+        let determinism = check_determinism(&symbols, &info.first, &follow);
+        ContentAutomaton {
+            symbols,
+            nullable: info.nullable,
+            first: info.first,
+            last: info.last,
+            follow,
+            determinism,
+        }
+    }
+
+    pub fn determinism(&self) -> &Determinism {
+        &self.determinism
+    }
+
+    /// Does the automaton accept this sequence of element names?
+    pub fn accepts<'a, I>(&self, seq: I) -> bool
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut current: Option<BTreeSet<usize>> = None; // None = at start
+        for sym in seq {
+            let next: BTreeSet<usize> = match &current {
+                None => self
+                    .first
+                    .iter()
+                    .copied()
+                    .filter(|&p| self.symbols[p] == sym)
+                    .collect(),
+                Some(cur) => {
+                    let mut n = BTreeSet::new();
+                    for &p in cur {
+                        for &q in &self.follow[p] {
+                            if self.symbols[q] == sym {
+                                n.insert(q);
+                            }
+                        }
+                    }
+                    n
+                }
+            };
+            if next.is_empty() {
+                return false;
+            }
+            current = Some(next);
+        }
+        match current {
+            None => self.nullable,
+            Some(cur) => cur.iter().any(|p| self.last.contains(p)),
+        }
+    }
+
+    pub fn position_count(&self) -> usize {
+        self.symbols.len()
+    }
+}
+
+struct Info {
+    nullable: bool,
+    first: BTreeSet<usize>,
+    last: BTreeSet<usize>,
+}
+
+/// First pass: assign positions (in left-to-right occurrence order), compute
+/// nullable/first/last for the whole tree.
+fn build(p: &ContentParticle, symbols: &mut Vec<String>) -> Info {
+    let base = match p {
+        ContentParticle::Name(n, _) => {
+            let pos = symbols.len();
+            symbols.push(n.clone());
+            Info {
+                nullable: false,
+                first: BTreeSet::from([pos]),
+                last: BTreeSet::from([pos]),
+            }
+        }
+        ContentParticle::Seq(ps, _) => {
+            let parts: Vec<Info> = ps.iter().map(|q| build(q, symbols)).collect();
+            seq_info(&parts)
+        }
+        ContentParticle::Choice(ps, _) => {
+            let parts: Vec<Info> = ps.iter().map(|q| build(q, symbols)).collect();
+            choice_info(&parts)
+        }
+    };
+    apply_rep(base, p.rep())
+}
+
+fn seq_info(parts: &[Info]) -> Info {
+    let mut nullable = true;
+    let mut first = BTreeSet::new();
+    let mut last = BTreeSet::new();
+    for part in parts {
+        if nullable {
+            first.extend(part.first.iter().copied());
+        }
+        nullable &= part.nullable;
+    }
+    let mut tail_nullable = true;
+    for part in parts.iter().rev() {
+        if tail_nullable {
+            last.extend(part.last.iter().copied());
+        }
+        tail_nullable &= part.nullable;
+    }
+    Info { nullable, first, last }
+}
+
+fn choice_info(parts: &[Info]) -> Info {
+    let mut nullable = false;
+    let mut first = BTreeSet::new();
+    let mut last = BTreeSet::new();
+    for part in parts {
+        nullable |= part.nullable;
+        first.extend(part.first.iter().copied());
+        last.extend(part.last.iter().copied());
+    }
+    Info { nullable, first, last }
+}
+
+fn apply_rep(mut info: Info, rep: Rep) -> Info {
+    match rep {
+        Rep::One | Rep::Plus => {}
+        Rep::Opt | Rep::Star => info.nullable = true,
+    }
+    info
+}
+
+/// Second pass: compute follow sets. Re-walks the tree, recomputing
+/// first/last per subtree (cheap for DTD-sized models) and adding:
+/// - sequences: last(i) → first(i+1..) while nullable,
+/// - starred/plussed subtrees: last(sub) → first(sub).
+fn collect_follow(
+    p: &ContentParticle,
+    next_pos: &mut impl FnMut() -> usize,
+    follow: &mut [BTreeSet<usize>],
+) -> Info {
+    let base = match p {
+        ContentParticle::Name(_, _) => {
+            let pos = next_pos();
+            Info { nullable: false, first: BTreeSet::from([pos]), last: BTreeSet::from([pos]) }
+        }
+        ContentParticle::Seq(ps, _) => {
+            let parts: Vec<Info> =
+                ps.iter().map(|q| collect_follow(q, next_pos, follow)).collect();
+            // last of each prefix feeds first of following parts while those
+            // in between are nullable.
+            for i in 0..parts.len() {
+                let mut j = i + 1;
+                while j < parts.len() {
+                    for &l in &parts[i].last {
+                        follow[l].extend(parts[j].first.iter().copied());
+                    }
+                    if !parts[j].nullable {
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            seq_info(&parts)
+        }
+        ContentParticle::Choice(ps, _) => {
+            let parts: Vec<Info> =
+                ps.iter().map(|q| collect_follow(q, next_pos, follow)).collect();
+            choice_info(&parts)
+        }
+    };
+    if matches!(p.rep(), Rep::Star | Rep::Plus) {
+        for &l in base.last.clone().iter() {
+            follow[l].extend(base.first.iter().copied());
+        }
+    }
+    apply_rep(base, p.rep())
+}
+
+fn check_determinism(
+    symbols: &[String],
+    first: &BTreeSet<usize>,
+    follow: &[BTreeSet<usize>],
+) -> Determinism {
+    let sets = std::iter::once(first).chain(follow.iter());
+    for set in sets {
+        let mut seen: Vec<&str> = Vec::new();
+        for &p in set {
+            let s = symbols[p].as_str();
+            if seen.contains(&s) {
+                return Determinism::Ambiguous(s.to_string());
+            }
+            seen.push(s);
+        }
+    }
+    Determinism::Deterministic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::parser::parse_dtd;
+    use crate::dtd::ast::ContentSpec;
+
+    fn model(src: &str) -> ContentAutomaton {
+        let dtd = parse_dtd(&format!("<!ELEMENT r {src}>"), "t").unwrap();
+        match &dtd.element("r").unwrap().content {
+            ContentSpec::Children(p) => ContentAutomaton::compile(p),
+            other => panic!("expected children model, got {other:?}"),
+        }
+    }
+
+    fn accepts(a: &ContentAutomaton, s: &[&str]) -> bool {
+        a.accepts(s.iter().copied())
+    }
+
+    #[test]
+    fn sequence() {
+        let a = model("(a,b,c)");
+        assert!(accepts(&a, &["a", "b", "c"]));
+        assert!(!accepts(&a, &["a", "b"]));
+        assert!(!accepts(&a, &["a", "c", "b"]));
+        assert!(!accepts(&a, &[]));
+    }
+
+    #[test]
+    fn choice() {
+        let a = model("(a|b)");
+        assert!(accepts(&a, &["a"]));
+        assert!(accepts(&a, &["b"]));
+        assert!(!accepts(&a, &["a", "b"]));
+    }
+
+    #[test]
+    fn star_and_plus() {
+        let a = model("(a*)");
+        assert!(accepts(&a, &[]));
+        assert!(accepts(&a, &["a", "a", "a"]));
+        let b = model("(a+)");
+        assert!(!accepts(&b, &[]));
+        assert!(accepts(&b, &["a"]));
+        assert!(accepts(&b, &["a", "a"]));
+    }
+
+    #[test]
+    fn optional_in_sequence() {
+        let a = model("(a,b?,c)");
+        assert!(accepts(&a, &["a", "c"]));
+        assert!(accepts(&a, &["a", "b", "c"]));
+        assert!(!accepts(&a, &["a", "b", "b", "c"]));
+    }
+
+    #[test]
+    fn nested_repetition() {
+        let a = model("((a,b)*,c)");
+        assert!(accepts(&a, &["c"]));
+        assert!(accepts(&a, &["a", "b", "c"]));
+        assert!(accepts(&a, &["a", "b", "a", "b", "c"]));
+        assert!(!accepts(&a, &["a", "c"]));
+    }
+
+    #[test]
+    fn nullable_prefix_chain_in_sequence() {
+        let a = model("(a?,b?,c)");
+        assert!(accepts(&a, &["c"]));
+        assert!(accepts(&a, &["a", "c"]));
+        assert!(accepts(&a, &["b", "c"]));
+        assert!(accepts(&a, &["a", "b", "c"]));
+        assert!(!accepts(&a, &["b", "a", "c"]));
+    }
+
+    #[test]
+    fn determinism_flag() {
+        assert_eq!(*model("(a,b)").determinism(), Determinism::Deterministic);
+        // (a,b)|(a,c) is the canonical non-deterministic model.
+        assert_eq!(
+            *model("((a,b)|(a,c))").determinism(),
+            Determinism::Ambiguous("a".into())
+        );
+        // (a?,a) is also ambiguous.
+        assert_eq!(*model("(a?,a)").determinism(), Determinism::Ambiguous("a".into()));
+    }
+
+    #[test]
+    fn figure1_line_model() {
+        // <!ELEMENT r (line+)>
+        let a = model("(line+)");
+        assert!(accepts(&a, &["line", "line"]));
+        assert!(!accepts(&a, &["line", "w"]));
+    }
+
+    #[test]
+    fn position_count() {
+        assert_eq!(model("(a,(b|c)*,a)").position_count(), 4);
+    }
+}

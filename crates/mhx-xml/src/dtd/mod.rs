@@ -1,0 +1,19 @@
+//! DTD subset: `<!ELEMENT>`, `<!ATTLIST>`, `<!ENTITY>` declarations, content
+//! models compiled to Glushkov automata, and document validation.
+//!
+//! Concurrent markup hierarchies (paper §3) are *defined* over a collection
+//! of DTDs sharing exactly one element (the root), so this module is a real
+//! substrate, not a convenience: the CMH validator in `mhx-goddag` consumes
+//! [`Dtd`] values produced here.
+
+mod ast;
+mod automaton;
+mod parser;
+mod validate;
+
+pub use ast::{
+    AttDefault, AttType, AttlistDecl, ContentParticle, ContentSpec, Dtd, ElementDecl, Rep,
+};
+pub use automaton::{ContentAutomaton, Determinism};
+pub use parser::{parse_dtd, scan_entities};
+pub use validate::{validate, ValidationOptions};

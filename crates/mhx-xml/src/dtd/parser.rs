@@ -1,0 +1,350 @@
+//! Parser for the DTD declaration subset.
+//!
+//! Accepts a sequence of `<!ELEMENT>`, `<!ATTLIST>`, `<!ENTITY>` declarations
+//! plus comments and PIs, i.e. both standalone DTD files and internal
+//! subsets.
+
+use super::ast::{
+    AttDefault, AttType, AttlistDecl, ContentParticle, ContentSpec, Dtd, ElementDecl, Rep,
+};
+use crate::cursor::Cursor;
+use crate::error::{ErrorKind, Result};
+use crate::name::{is_name_char, is_name_start};
+
+/// Parse a DTD text. `hierarchy_name` labels the resulting [`Dtd`] for the
+/// CMH layer (use the file stem or any stable identifier).
+pub fn parse_dtd(src: &str, hierarchy_name: &str) -> Result<Dtd> {
+    let mut p = DtdParser { cur: Cursor::new(src) };
+    let mut dtd = Dtd { name: hierarchy_name.to_string(), ..Dtd::default() };
+    loop {
+        p.cur.skip_ws();
+        if p.cur.is_eof() {
+            break;
+        }
+        if p.cur.eat("<!--") {
+            p.cur.take_until("-->")?;
+            p.cur.expect("-->")?;
+            continue;
+        }
+        if p.cur.eat("<?") {
+            p.cur.take_until("?>")?;
+            p.cur.expect("?>")?;
+            continue;
+        }
+        if p.cur.eat("<!ELEMENT") {
+            let decl = p.element_decl()?;
+            if dtd.elements.contains_key(&decl.name) {
+                return Err(p
+                    .cur
+                    .err(ErrorKind::Dtd(format!("element `{}` declared twice", decl.name))));
+            }
+            dtd.elements.insert(decl.name.clone(), decl);
+            continue;
+        }
+        if p.cur.eat("<!ATTLIST") {
+            for decl in p.attlist_decl()? {
+                dtd.attlists.entry(decl.element.clone()).or_default().push(decl);
+            }
+            continue;
+        }
+        if p.cur.eat("<!ENTITY") {
+            let (name, value) = p.entity_decl()?;
+            dtd.entities.entry(name).or_insert(value);
+            continue;
+        }
+        return Err(p.cur.err(ErrorKind::Dtd("unrecognized declaration".into())));
+    }
+    Ok(dtd)
+}
+
+/// Extract only `<!ENTITY name "value">` declarations (used while parsing a
+/// document's internal subset, where we don't need the full DTD).
+pub fn scan_entities(subset: &str) -> Result<Vec<(String, String)>> {
+    let dtd = parse_dtd(subset, "internal-subset")?;
+    Ok(dtd.entities.into_iter().collect())
+}
+
+struct DtdParser<'a> {
+    cur: Cursor<'a>,
+}
+
+impl<'a> DtdParser<'a> {
+    fn name(&mut self) -> Result<String> {
+        match self.cur.peek() {
+            Some(c) if is_name_start(c) => {}
+            _ => return Err(self.cur.err(ErrorKind::Expected("a name".into()))),
+        }
+        Ok(self.cur.take_while(is_name_char).to_string())
+    }
+
+    fn quoted(&mut self) -> Result<String> {
+        let q = match self.cur.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.cur.err(ErrorKind::Expected("a quoted literal".into()))),
+        };
+        self.cur.bump();
+        let v = self.cur.take_until(&q.to_string())?.to_string();
+        self.cur.bump();
+        Ok(v)
+    }
+
+    fn element_decl(&mut self) -> Result<ElementDecl> {
+        self.cur.skip_ws();
+        let name = self.name()?;
+        self.cur.skip_ws();
+        let content = if self.cur.eat("EMPTY") {
+            ContentSpec::Empty
+        } else if self.cur.eat("ANY") {
+            ContentSpec::Any
+        } else if self.cur.starts_with("(") {
+            self.content_after_paren()?
+        } else {
+            return Err(self.cur.err(ErrorKind::Dtd("expected content model".into())));
+        };
+        self.cur.skip_ws();
+        self.cur.expect(">")?;
+        Ok(ElementDecl { name, content })
+    }
+
+    /// Parse a content spec starting at `(`: either mixed (`(#PCDATA...`)
+    /// or element content.
+    fn content_after_paren(&mut self) -> Result<ContentSpec> {
+        // Peek past the paren for #PCDATA.
+        let save = self.cur.clone();
+        self.cur.expect("(")?;
+        self.cur.skip_ws();
+        if self.cur.eat("#PCDATA") {
+            let mut names = Vec::new();
+            loop {
+                self.cur.skip_ws();
+                if self.cur.eat(")") {
+                    break;
+                }
+                self.cur.expect("|")?;
+                self.cur.skip_ws();
+                names.push(self.name()?);
+            }
+            if !names.is_empty() || self.cur.starts_with("*") {
+                self.cur.expect("*")?;
+            } else {
+                // `(#PCDATA)` may omit the star.
+                self.cur.eat("*");
+            }
+            return Ok(ContentSpec::Mixed(names));
+        }
+        // Element content: rewind and parse a full particle.
+        self.cur = save;
+        let particle = self.particle()?;
+        Ok(ContentSpec::Children(particle))
+    }
+
+    /// `particle := name rep | '(' particle (',' particle)* ')' rep
+    ///            | '(' particle ('|' particle)* ')' rep`
+    fn particle(&mut self) -> Result<ContentParticle> {
+        self.cur.skip_ws();
+        if self.cur.eat("(") {
+            let first = self.particle()?;
+            self.cur.skip_ws();
+            let mut items = vec![first];
+            let sep = match self.cur.peek() {
+                Some(',') => Some(','),
+                Some('|') => Some('|'),
+                Some(')') => None,
+                _ => return Err(self.cur.err(ErrorKind::Dtd("expected `,`, `|` or `)`".into()))),
+            };
+            if let Some(sep) = sep {
+                while self.cur.eat(&sep.to_string()) {
+                    items.push(self.particle()?);
+                    self.cur.skip_ws();
+                }
+            }
+            self.cur.expect(")")?;
+            let rep = self.rep();
+            Ok(match sep {
+                Some('|') => ContentParticle::Choice(items, rep),
+                _ if items.len() == 1 => {
+                    // Single-item group: keep as a Seq so the rep applies to
+                    // the group, preserving `(a)*` vs `a*` shape.
+                    ContentParticle::Seq(items, rep)
+                }
+                _ => ContentParticle::Seq(items, rep),
+            })
+        } else {
+            let n = self.name()?;
+            let rep = self.rep();
+            Ok(ContentParticle::Name(n, rep))
+        }
+    }
+
+    fn rep(&mut self) -> Rep {
+        if self.cur.eat("?") {
+            Rep::Opt
+        } else if self.cur.eat("*") {
+            Rep::Star
+        } else if self.cur.eat("+") {
+            Rep::Plus
+        } else {
+            Rep::One
+        }
+    }
+
+    fn attlist_decl(&mut self) -> Result<Vec<AttlistDecl>> {
+        self.cur.skip_ws();
+        let element = self.name()?;
+        let mut out = Vec::new();
+        loop {
+            self.cur.skip_ws();
+            if self.cur.eat(">") {
+                break;
+            }
+            let attribute = self.name()?;
+            self.cur.skip_ws();
+            let ty = if self.cur.eat("CDATA") {
+                AttType::Cdata
+            } else if self.cur.eat("IDREFS") {
+                AttType::IdRefs
+            } else if self.cur.eat("IDREF") {
+                AttType::IdRef
+            } else if self.cur.eat("ID") {
+                AttType::Id
+            } else if self.cur.eat("NMTOKENS") {
+                AttType::NmTokens
+            } else if self.cur.eat("NMTOKEN") {
+                AttType::NmToken
+            } else if self.cur.eat("ENTITIES") {
+                AttType::Entities
+            } else if self.cur.eat("ENTITY") {
+                AttType::Entity
+            } else if self.cur.eat("(") {
+                let mut vals = Vec::new();
+                loop {
+                    self.cur.skip_ws();
+                    vals.push(self.cur.take_while(is_name_char).to_string());
+                    self.cur.skip_ws();
+                    if self.cur.eat(")") {
+                        break;
+                    }
+                    self.cur.expect("|")?;
+                }
+                AttType::Enumeration(vals)
+            } else {
+                return Err(self.cur.err(ErrorKind::Dtd("expected attribute type".into())));
+            };
+            self.cur.skip_ws();
+            let default = if self.cur.eat("#REQUIRED") {
+                AttDefault::Required
+            } else if self.cur.eat("#IMPLIED") {
+                AttDefault::Implied
+            } else if self.cur.eat("#FIXED") {
+                self.cur.skip_ws();
+                AttDefault::Fixed(self.quoted()?)
+            } else {
+                AttDefault::Default(self.quoted()?)
+            };
+            out.push(AttlistDecl { element: element.clone(), attribute, ty, default });
+        }
+        Ok(out)
+    }
+
+    fn entity_decl(&mut self) -> Result<(String, String)> {
+        self.cur.skip_ws();
+        if self.cur.starts_with("%") {
+            return Err(self.cur.err(ErrorKind::Dtd("parameter entities unsupported".into())));
+        }
+        let name = self.name()?;
+        self.cur.skip_ws();
+        let value = self.quoted()?;
+        self.cur.skip_ws();
+        self.cur.expect(">")?;
+        Ok((name, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_line_dtd() {
+        let dtd = parse_dtd("<!ELEMENT r (line+)> <!ELEMENT line (#PCDATA)>", "lines").unwrap();
+        assert_eq!(dtd.name, "lines");
+        assert_eq!(dtd.elements.len(), 2);
+        assert_eq!(
+            dtd.element("r").unwrap().content.to_string(),
+            "(line+)"
+        );
+        assert_eq!(dtd.element("line").unwrap().content, ContentSpec::Mixed(vec![]));
+    }
+
+    #[test]
+    fn mixed_with_names() {
+        let dtd = parse_dtd("<!ELEMENT p (#PCDATA | w | dmg)*>", "t").unwrap();
+        assert_eq!(
+            dtd.element("p").unwrap().content,
+            ContentSpec::Mixed(vec!["w".into(), "dmg".into()])
+        );
+    }
+
+    #[test]
+    fn nested_model() {
+        let dtd = parse_dtd("<!ELEMENT r ((a,b)|c*)+>", "t").unwrap();
+        assert_eq!(dtd.element("r").unwrap().content.to_string(), "((a,b)|c*)+");
+    }
+
+    #[test]
+    fn empty_and_any() {
+        let dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b ANY>", "t").unwrap();
+        assert_eq!(dtd.element("a").unwrap().content, ContentSpec::Empty);
+        assert_eq!(dtd.element("b").unwrap().content, ContentSpec::Any);
+    }
+
+    #[test]
+    fn attlist_forms() {
+        let dtd = parse_dtd(
+            r#"<!ATTLIST w id ID #REQUIRED
+                          lang CDATA #IMPLIED
+                          part (I|M|F) "I"
+                          ver CDATA #FIXED "1">"#,
+            "t",
+        )
+        .unwrap();
+        let al = dtd.attlist("w");
+        assert_eq!(al.len(), 4);
+        assert_eq!(al[0].ty, AttType::Id);
+        assert_eq!(al[0].default, AttDefault::Required);
+        assert_eq!(al[2].ty, AttType::Enumeration(vec!["I".into(), "M".into(), "F".into()]));
+        assert_eq!(al[2].default, AttDefault::Default("I".into()));
+        assert_eq!(al[3].default, AttDefault::Fixed("1".into()));
+    }
+
+    #[test]
+    fn entities_and_scan() {
+        let src = r#"<!ENTITY thorn "&#xFE;"> <!ELEMENT r (#PCDATA)>"#;
+        let dtd = parse_dtd(src, "t").unwrap();
+        assert_eq!(dtd.entities.get("thorn").unwrap(), "&#xFE;");
+        let ents = scan_entities(src).unwrap();
+        assert_eq!(ents, vec![("thorn".to_string(), "&#xFE;".to_string())]);
+    }
+
+    #[test]
+    fn duplicate_element_rejected() {
+        assert!(parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a ANY>", "t").is_err());
+    }
+
+    #[test]
+    fn comments_and_pis_skipped() {
+        let dtd = parse_dtd("<!-- c --><?pi x?><!ELEMENT a EMPTY>", "t").unwrap();
+        assert_eq!(dtd.elements.len(), 1);
+    }
+
+    #[test]
+    fn parameter_entities_rejected() {
+        assert!(parse_dtd("<!ENTITY % p \"x\">", "t").is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_dtd("<!WAT>", "t").is_err());
+        assert!(parse_dtd("<!ELEMENT a >", "t").is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! Validate a [`Document`] against a [`Dtd`].
+
+use super::ast::{AttDefault, AttType, ContentSpec, Dtd};
+use super::automaton::ContentAutomaton;
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::error::{ErrorKind, Pos, Result, XmlError};
+use crate::name::is_valid_nmtoken;
+use std::collections::BTreeMap;
+
+/// Validation knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationOptions {
+    /// Allow attributes that have no `<!ATTLIST>` declaration (default:
+    /// rejected, like a validating parser).
+    pub allow_undeclared_attributes: bool,
+    /// Element name the document root must have (defaults to the document's
+    /// DOCTYPE name if present, else unchecked).
+    pub expected_root: Option<String>,
+}
+
+/// Validate `doc` against `dtd`. Returns the first violation found.
+pub fn validate(doc: &Document, dtd: &Dtd, opts: &ValidationOptions) -> Result<()> {
+    let root = doc.root_element()?;
+    let expected_root = opts
+        .expected_root
+        .clone()
+        .or_else(|| doc.doctype_name.clone());
+    if let Some(expected) = expected_root {
+        let actual = doc.name(root).unwrap_or_default();
+        if actual != expected {
+            return Err(verr(format!("root element is <{actual}>, expected <{expected}>")));
+        }
+    }
+
+    // Compile automata once per declared element.
+    let mut automata: BTreeMap<&str, ContentAutomaton> = BTreeMap::new();
+    for (name, decl) in &dtd.elements {
+        if let ContentSpec::Children(p) = &decl.content {
+            automata.insert(name.as_str(), ContentAutomaton::compile(p));
+        }
+    }
+
+    let mut ids_seen: Vec<String> = Vec::new();
+    let mut stack = vec![root];
+    while let Some(el) = stack.pop() {
+        validate_element(doc, dtd, &automata, el, opts, &mut ids_seen)?;
+        for c in doc.children(el) {
+            if doc.is_element(c) {
+                stack.push(c);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verr(msg: String) -> XmlError {
+    XmlError::new(ErrorKind::Validation(msg), Pos::start())
+}
+
+fn validate_element(
+    doc: &Document,
+    dtd: &Dtd,
+    automata: &BTreeMap<&str, ContentAutomaton>,
+    el: NodeId,
+    opts: &ValidationOptions,
+    ids_seen: &mut Vec<String>,
+) -> Result<()> {
+    let name = doc.name(el).unwrap_or_default().to_string();
+    let decl = dtd
+        .element(&name)
+        .ok_or_else(|| verr(format!("element <{name}> is not declared")))?;
+
+    // Content check.
+    match &decl.content {
+        ContentSpec::Any => {}
+        ContentSpec::Empty => {
+            if doc.children(el).next().is_some() {
+                return Err(verr(format!("element <{name}> is declared EMPTY but has content")));
+            }
+        }
+        ContentSpec::Mixed(allowed) => {
+            for c in doc.children(el) {
+                if let NodeKind::Element { name: child, .. } = doc.kind(c) {
+                    if !allowed.contains(child) {
+                        return Err(verr(format!(
+                            "element <{child}> not allowed in mixed content of <{name}>"
+                        )));
+                    }
+                }
+            }
+        }
+        ContentSpec::Children(_) => {
+            // Element content: text children must be whitespace-only.
+            for c in doc.children(el) {
+                if let NodeKind::Text(t) = doc.kind(c) {
+                    if !t.chars().all(crate::cursor::is_xml_ws) {
+                        return Err(verr(format!(
+                            "non-whitespace text inside element-content <{name}>"
+                        )));
+                    }
+                }
+            }
+            let seq: Vec<&str> = doc
+                .children(el)
+                .filter_map(|c| match doc.kind(c) {
+                    NodeKind::Element { name, .. } => Some(name.as_str()),
+                    _ => None,
+                })
+                .collect();
+            let auto = automata.get(name.as_str()).expect("compiled with declaration");
+            if !auto.accepts(seq.iter().copied()) {
+                return Err(verr(format!(
+                    "children of <{name}> ({seq:?}) do not match model {}",
+                    decl.content
+                )));
+            }
+        }
+    }
+
+    // Attribute checks.
+    let attlist = dtd.attlist(&name);
+    for a in doc.attrs(el) {
+        let Some(ad) = attlist.iter().find(|d| d.attribute == a.name) else {
+            if opts.allow_undeclared_attributes {
+                continue;
+            }
+            return Err(verr(format!("attribute `{}` on <{name}> is not declared", a.name)));
+        };
+        match &ad.ty {
+            AttType::Cdata => {}
+            AttType::Id => {
+                if !is_valid_nmtoken(&a.value) {
+                    return Err(verr(format!("ID value `{}` is not a name token", a.value)));
+                }
+                if ids_seen.contains(&a.value) {
+                    return Err(verr(format!("duplicate ID `{}`", a.value)));
+                }
+                ids_seen.push(a.value.clone());
+            }
+            AttType::IdRef | AttType::Entity | AttType::NmToken => {
+                if !is_valid_nmtoken(&a.value) {
+                    return Err(verr(format!(
+                        "value `{}` of `{}` is not a name token",
+                        a.value, a.name
+                    )));
+                }
+            }
+            AttType::IdRefs | AttType::Entities | AttType::NmTokens => {
+                if a.value.split_whitespace().count() == 0
+                    || !a.value.split_whitespace().all(is_valid_nmtoken)
+                {
+                    return Err(verr(format!(
+                        "value `{}` of `{}` is not a list of name tokens",
+                        a.value, a.name
+                    )));
+                }
+            }
+            AttType::Enumeration(vals) => {
+                if !vals.contains(&a.value) {
+                    return Err(verr(format!(
+                        "value `{}` of `{}` not in enumeration {vals:?}",
+                        a.value, a.name
+                    )));
+                }
+            }
+        }
+        if let AttDefault::Fixed(fixed) = &ad.default {
+            if &a.value != fixed {
+                return Err(verr(format!(
+                    "attribute `{}` must have fixed value `{fixed}`",
+                    a.name
+                )));
+            }
+        }
+    }
+    for ad in attlist {
+        if ad.default == AttDefault::Required && doc.attr(el, &ad.attribute).is_none() {
+            return Err(verr(format!(
+                "required attribute `{}` missing on <{name}>",
+                ad.attribute
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::parse_dtd;
+    use crate::parse::parse;
+
+    fn check(dtd_src: &str, doc_src: &str) -> Result<()> {
+        let dtd = parse_dtd(dtd_src, "t").unwrap();
+        let doc = parse(doc_src).unwrap();
+        validate(&doc, &dtd, &ValidationOptions::default())
+    }
+
+    const LINES_DTD: &str = "<!ELEMENT r (line+)> <!ELEMENT line (#PCDATA)>";
+
+    #[test]
+    fn figure1_lines_valid() {
+        check(LINES_DTD, "<r><line>gesceaftum unawendendne sin</line><line>gallice</line></r>")
+            .unwrap();
+    }
+
+    #[test]
+    fn undeclared_element() {
+        let e = check(LINES_DTD, "<r><verse/></r>").unwrap_err();
+        assert!(e.to_string().contains("do not match model"));
+    }
+
+    #[test]
+    fn model_mismatch() {
+        let e = check(LINES_DTD, "<r/>").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::Validation(_)));
+    }
+
+    #[test]
+    fn text_in_element_content_rejected_unless_ws() {
+        assert!(check(LINES_DTD, "<r>oops<line>x</line></r>").is_err());
+        check(LINES_DTD, "<r>\n  <line>x</line>\n</r>").unwrap();
+    }
+
+    #[test]
+    fn empty_decl_enforced() {
+        let dtd = "<!ELEMENT a EMPTY>";
+        check(dtd, "<a/>").unwrap();
+        assert!(check(dtd, "<a>x</a>").is_err());
+    }
+
+    #[test]
+    fn mixed_content_allows_listed_only() {
+        let dtd = "<!ELEMENT p (#PCDATA|w)*> <!ELEMENT w (#PCDATA)>";
+        check(dtd, "<p>a<w>b</w>c</p>").unwrap();
+        assert!(check(dtd, "<p><z/></p>").is_err());
+    }
+
+    #[test]
+    fn required_attribute() {
+        let dtd = "<!ELEMENT a EMPTY><!ATTLIST a id ID #REQUIRED>";
+        check(dtd, r#"<a id="x"/>"#).unwrap();
+        assert!(check(dtd, "<a/>").is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let dtd = "<!ELEMENT r (a+)><!ELEMENT a EMPTY><!ATTLIST a id ID #IMPLIED>";
+        assert!(check(dtd, r#"<r><a id="x"/><a id="x"/></r>"#).is_err());
+        check(dtd, r#"<r><a id="x"/><a id="y"/></r>"#).unwrap();
+    }
+
+    #[test]
+    fn enumeration_and_fixed() {
+        let dtd = r#"<!ELEMENT a EMPTY><!ATTLIST a part (I|M|F) "I" v CDATA #FIXED "1">"#;
+        check(dtd, r#"<a part="M" v="1"/>"#).unwrap();
+        assert!(check(dtd, r#"<a part="X"/>"#).is_err());
+        assert!(check(dtd, r#"<a v="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn undeclared_attribute_policy() {
+        let dtd_src = "<!ELEMENT a EMPTY>";
+        assert!(check(dtd_src, r#"<a extra="1"/>"#).is_err());
+        let dtd = parse_dtd(dtd_src, "t").unwrap();
+        let doc = parse(r#"<a extra="1"/>"#).unwrap();
+        validate(
+            &doc,
+            &dtd,
+            &ValidationOptions { allow_undeclared_attributes: true, ..Default::default() },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn expected_root_checked() {
+        let dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b EMPTY>", "t").unwrap();
+        let doc = parse("<b/>").unwrap();
+        let opts = ValidationOptions { expected_root: Some("a".into()), ..Default::default() };
+        assert!(validate(&doc, &dtd, &opts).is_err());
+        let opts = ValidationOptions { expected_root: Some("b".into()), ..Default::default() };
+        validate(&doc, &dtd, &opts).unwrap();
+    }
+
+    #[test]
+    fn doctype_name_used_as_expected_root() {
+        let dtd = parse_dtd("<!ELEMENT a EMPTY>", "t").unwrap();
+        let doc = parse("<!DOCTYPE b><a/>").unwrap();
+        assert!(validate(&doc, &dtd, &ValidationOptions::default()).is_err());
+    }
+
+    #[test]
+    fn nmtokens_list() {
+        let dtd = "<!ELEMENT a EMPTY><!ATTLIST a refs IDREFS #IMPLIED>";
+        check(dtd, r#"<a refs="x y z"/>"#).unwrap();
+        assert!(check(dtd, r#"<a refs=""/>"#).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Error type shared by the tokenizer, tree builder, DTD parser and validator.
+
+use std::fmt;
+
+/// A position in the source text, tracked by the [`crate::cursor::Cursor`].
+///
+/// `offset` counts bytes from the start of the input; `line` and `column`
+/// are 1-based and count Unicode scalar values, which is what editors show.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub offset: usize,
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Pos {
+    pub fn start() -> Pos {
+        Pos { offset: 0, line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// What went wrong. Variants carry just enough context to render a useful
+/// message without borrowing from the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended inside a construct.
+    UnexpectedEof,
+    /// A specific token or character was required.
+    Expected(String),
+    /// A name did not match the XML `Name` production.
+    InvalidName(String),
+    /// `</close>` did not match the innermost open `<open>`.
+    MismatchedTag { open: String, close: String },
+    /// End tag with no matching open element.
+    UnopenedTag(String),
+    /// Open elements remained at end of input.
+    UnclosedTag(String),
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// `&name;` where `name` is not a known entity.
+    UnknownEntity(String),
+    /// Malformed `&#...;` or a character reference to an invalid char.
+    BadCharRef,
+    /// Document had more than one top-level element.
+    MultipleRootElements,
+    /// Document had no top-level element.
+    NoRootElement,
+    /// Text contained a literal that is not allowed there (e.g. `<` or `]]>`).
+    IllegalTextChar(char),
+    /// Problem in a DTD declaration.
+    Dtd(String),
+    /// A document failed DTD validation.
+    Validation(String),
+    /// Anything else worth reporting verbatim.
+    Other(String),
+}
+
+/// Error with the position at which it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    pub kind: ErrorKind,
+    pub pos: Pos,
+}
+
+impl XmlError {
+    pub fn new(kind: ErrorKind, pos: Pos) -> XmlError {
+        XmlError { kind, pos }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.pos)?;
+        match &self.kind {
+            ErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ErrorKind::Expected(what) => write!(f, "expected {what}"),
+            ErrorKind::InvalidName(n) => write!(f, "invalid XML name `{n}`"),
+            ErrorKind::MismatchedTag { open, close } => {
+                write!(f, "end tag </{close}> does not match open element <{open}>")
+            }
+            ErrorKind::UnopenedTag(n) => write!(f, "end tag </{n}> has no matching start tag"),
+            ErrorKind::UnclosedTag(n) => write!(f, "element <{n}> is never closed"),
+            ErrorKind::DuplicateAttribute(n) => write!(f, "duplicate attribute `{n}`"),
+            ErrorKind::UnknownEntity(n) => write!(f, "unknown entity `&{n};`"),
+            ErrorKind::BadCharRef => write!(f, "malformed character reference"),
+            ErrorKind::MultipleRootElements => write!(f, "more than one root element"),
+            ErrorKind::NoRootElement => write!(f, "document has no root element"),
+            ErrorKind::IllegalTextChar(c) => write!(f, "character `{c}` not allowed in text"),
+            ErrorKind::Dtd(msg) => write!(f, "DTD error: {msg}"),
+            ErrorKind::Validation(msg) => write!(f, "validation error: {msg}"),
+            ErrorKind::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+pub type Result<T> = std::result::Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::new(ErrorKind::UnexpectedEof, Pos { offset: 10, line: 2, column: 5 });
+        assert_eq!(e.to_string(), "2:5: unexpected end of input");
+    }
+
+    #[test]
+    fn display_mismatched_tag() {
+        let e = XmlError::new(
+            ErrorKind::MismatchedTag { open: "a".into(), close: "b".into() },
+            Pos::start(),
+        );
+        assert_eq!(e.to_string(), "1:1: end tag </b> does not match open element <a>");
+    }
+
+    #[test]
+    fn pos_default_is_zeroed() {
+        let p = Pos::default();
+        assert_eq!((p.offset, p.line, p.column), (0, 0, 0));
+        assert_eq!(Pos::start().line, 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! XML `Name` production (simplified but Unicode-aware).
+//!
+//! We accept the ASCII letters, digits, `_ - . :` plus all non-ASCII
+//! alphabetic scalars for name characters; names must not start with a
+//! digit, `-` or `.`. This covers every name that occurs in document-centric
+//! encodings (TEI, EPPT) without dragging in the full XML 1.0 character
+//! tables.
+
+pub fn is_name_start(c: char) -> bool {
+    c == '_' || c == ':' || c.is_ascii_alphabetic() || (!c.is_ascii() && c.is_alphabetic())
+}
+
+pub fn is_name_char(c: char) -> bool {
+    is_name_start(c)
+        || c.is_ascii_digit()
+        || c == '-'
+        || c == '.'
+        || (!c.is_ascii() && c.is_numeric())
+}
+
+/// Whole-string check against the simplified `Name` production.
+pub fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => {}
+        _ => return false,
+    }
+    chars.all(is_name_char)
+}
+
+/// `Nmtoken`: one or more name characters (no start restriction).
+pub fn is_valid_nmtoken(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(is_name_char)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names() {
+        for n in ["line", "vline", "w", "dmg", "res", "_x", "a-b.c", "p:title", "þing"] {
+            assert!(is_valid_name(n), "{n} should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_names() {
+        for n in ["", "1abc", "-x", ".y", "a b", "<t>", "a&b"] {
+            assert!(!is_valid_name(n), "{n} should be invalid");
+        }
+    }
+
+    #[test]
+    fn nmtoken_allows_leading_digit() {
+        assert!(is_valid_nmtoken("1st"));
+        assert!(!is_valid_nmtoken(""));
+        assert!(!is_valid_nmtoken("a b"));
+    }
+}

@@ -1,0 +1,347 @@
+//! Pull-based XML tokenizer producing [`Event`]s.
+//!
+//! This is the lowest layer: it does not check tag balance (the tree builder
+//! in [`mod@crate::parse`] does) but it fully resolves entity and character
+//! references in text and attribute values.
+
+use crate::cursor::Cursor;
+use crate::error::{ErrorKind, Pos, Result};
+use crate::escape::{unescape, EntityMap};
+use crate::name::{is_name_char, is_name_start};
+
+/// One parsed attribute (value already unescaped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrEvent {
+    pub name: String,
+    pub value: String,
+}
+
+/// A markup event. Text is delivered unescaped; CDATA is delivered raw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name a="v" ...>` or `<name/>` (see `self_closing`).
+    StartTag { name: String, attrs: Vec<AttrEvent>, self_closing: bool },
+    /// `</name>`
+    EndTag { name: String },
+    /// Character data with references expanded.
+    Text(String),
+    /// `<![CDATA[ ... ]]>` contents, verbatim.
+    CData(String),
+    /// `<!-- ... -->` contents, verbatim.
+    Comment(String),
+    /// `<?target data?>`
+    Pi { target: String, data: String },
+    /// `<!DOCTYPE name [internal subset]>`; the subset text (between `[`
+    /// and `]`) is delivered raw for the DTD parser.
+    Doctype { name: String, internal_subset: Option<String> },
+    /// End of input.
+    Eof,
+}
+
+/// Pull parser. Call [`Reader::next_event`] until it returns [`Event::Eof`].
+pub struct Reader<'a> {
+    cur: Cursor<'a>,
+    entities: EntityMap,
+    seen_decl: bool,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(src: &'a str) -> Reader<'a> {
+        Reader { cur: Cursor::new(src), entities: EntityMap::new(), seen_decl: false }
+    }
+
+    /// Supply additional general entities (e.g. from a DTD).
+    pub fn with_entities(src: &'a str, entities: EntityMap) -> Reader<'a> {
+        Reader { cur: Cursor::new(src), entities, seen_decl: false }
+    }
+
+    /// Register a general entity mid-stream (used after a `Doctype` event
+    /// whose internal subset declared entities).
+    pub fn add_entity(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entities.insert(name, value);
+    }
+
+    pub fn pos(&self) -> Pos {
+        self.cur.pos()
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        match self.cur.peek() {
+            Some(c) if is_name_start(c) => {}
+            Some(c) => {
+                return Err(self.cur.err(ErrorKind::InvalidName(c.to_string())));
+            }
+            None => return Err(self.cur.err(ErrorKind::UnexpectedEof)),
+        }
+        Ok(self.cur.take_while(is_name_char).to_string())
+    }
+
+    fn read_attr_value(&mut self) -> Result<String> {
+        let quote = match self.cur.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.cur.err(ErrorKind::Expected("quoted attribute value".into()))),
+        };
+        let vpos = self.cur.pos();
+        self.cur.bump();
+        let raw = self.cur.take_until(&quote.to_string())?;
+        if raw.contains('<') {
+            return Err(self.cur.err(ErrorKind::IllegalTextChar('<')));
+        }
+        self.cur.bump(); // closing quote
+        Ok(unescape(raw, &self.entities, vpos)?.into_owned())
+    }
+
+    fn read_start_tag(&mut self) -> Result<Event> {
+        let name = self.read_name()?;
+        let mut attrs: Vec<AttrEvent> = Vec::new();
+        loop {
+            let had_ws = self.cur.skip_ws();
+            if self.cur.eat("/>") {
+                return Ok(Event::StartTag { name, attrs, self_closing: true });
+            }
+            if self.cur.eat(">") {
+                return Ok(Event::StartTag { name, attrs, self_closing: false });
+            }
+            if self.cur.is_eof() {
+                return Err(self.cur.err(ErrorKind::UnexpectedEof));
+            }
+            if !had_ws {
+                return Err(self.cur.err(ErrorKind::Expected("whitespace before attribute".into())));
+            }
+            let apos = self.cur.pos();
+            let aname = self.read_name()?;
+            self.cur.skip_ws();
+            self.cur.expect("=")?;
+            self.cur.skip_ws();
+            let value = self.read_attr_value()?;
+            if attrs.iter().any(|a| a.name == aname) {
+                return Err(crate::error::XmlError::new(
+                    ErrorKind::DuplicateAttribute(aname),
+                    apos,
+                ));
+            }
+            attrs.push(AttrEvent { name: aname, value });
+        }
+    }
+
+    fn read_doctype(&mut self) -> Result<Event> {
+        // `<!DOCTYPE` already consumed.
+        self.cur.skip_ws();
+        let name = self.read_name()?;
+        self.cur.skip_ws();
+        // Optional external id — we record but do not fetch it.
+        if self.cur.eat("SYSTEM") || self.cur.eat("PUBLIC") {
+            // Skip quoted literals until `[` or `>`.
+            loop {
+                self.cur.skip_ws();
+                match self.cur.peek() {
+                    Some(q @ ('"' | '\'')) => {
+                        self.cur.bump();
+                        self.cur.take_until(&q.to_string())?;
+                        self.cur.bump();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.cur.skip_ws();
+        let internal_subset = if self.cur.eat("[") {
+            let subset = self.cur.take_until("]")?.to_string();
+            self.cur.expect("]")?;
+            self.cur.skip_ws();
+            Some(subset)
+        } else {
+            None
+        };
+        self.cur.expect(">")?;
+        Ok(Event::Doctype { name, internal_subset })
+    }
+
+    /// Produce the next event.
+    pub fn next_event(&mut self) -> Result<Event> {
+        if self.cur.is_eof() {
+            return Ok(Event::Eof);
+        }
+        if !self.seen_decl {
+            self.seen_decl = true;
+            if self.cur.starts_with("<?xml") {
+                // XML declaration: skip it entirely.
+                self.cur.eat("<?xml");
+                self.cur.take_until("?>")?;
+                self.cur.expect("?>")?;
+                return self.next_event();
+            }
+        }
+        if self.cur.starts_with("<") {
+            if self.cur.eat("<!--") {
+                let body = self.cur.take_until("-->")?.to_string();
+                self.cur.expect("-->")?;
+                return Ok(Event::Comment(body));
+            }
+            if self.cur.eat("<![CDATA[") {
+                let body = self.cur.take_until("]]>")?.to_string();
+                self.cur.expect("]]>")?;
+                return Ok(Event::CData(body));
+            }
+            if self.cur.eat("<!DOCTYPE") {
+                return self.read_doctype();
+            }
+            if self.cur.eat("<?") {
+                let target = self.read_name()?;
+                self.cur.skip_ws();
+                let data = self.cur.take_until("?>")?.to_string();
+                self.cur.expect("?>")?;
+                return Ok(Event::Pi { target, data });
+            }
+            if self.cur.eat("</") {
+                let name = self.read_name()?;
+                self.cur.skip_ws();
+                self.cur.expect(">")?;
+                return Ok(Event::EndTag { name });
+            }
+            self.cur.eat("<");
+            return self.read_start_tag();
+        }
+        // Text run up to the next `<`.
+        let tpos = self.cur.pos();
+        let raw = self.cur.take_while(|c| c != '<');
+        if let Some(i) = raw.find("]]>") {
+            let mut p = tpos;
+            p.offset += i;
+            return Err(crate::error::XmlError::new(ErrorKind::IllegalTextChar(']'), p));
+        }
+        let text = unescape(raw, &self.entities, tpos)?.into_owned();
+        Ok(Event::Text(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<Event> {
+        let mut r = Reader::new(src);
+        let mut out = Vec::new();
+        loop {
+            let e = r.next_event().unwrap();
+            if e == Event::Eof {
+                break;
+            }
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn simple_element() {
+        let ev = events("<a>hi</a>");
+        assert_eq!(
+            ev,
+            vec![
+                Event::StartTag { name: "a".into(), attrs: vec![], self_closing: false },
+                Event::Text("hi".into()),
+                Event::EndTag { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_and_attrs() {
+        let ev = events(r#"<img src="x.png" alt="a &amp; b"/>"#);
+        match &ev[0] {
+            Event::StartTag { name, attrs, self_closing } => {
+                assert_eq!(name, "img");
+                assert!(*self_closing);
+                assert_eq!(attrs[0], AttrEvent { name: "src".into(), value: "x.png".into() });
+                assert_eq!(attrs[1].value, "a & b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_quoted_attrs() {
+        let ev = events("<a x='1'/>");
+        match &ev[0] {
+            Event::StartTag { attrs, .. } => assert_eq!(attrs[0].value, "1"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let mut r = Reader::new(r#"<a x="1" x="2"/>"#);
+        assert!(matches!(r.next_event().unwrap_err().kind, ErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn comment_cdata_pi() {
+        let ev = events("<a><!-- c --><![CDATA[<raw>&]]><?php echo?></a>");
+        assert_eq!(ev[1], Event::Comment(" c ".into()));
+        assert_eq!(ev[2], Event::CData("<raw>&".into()));
+        assert_eq!(ev[3], Event::Pi { target: "php".into(), data: "echo".into() });
+    }
+
+    #[test]
+    fn xml_decl_skipped() {
+        let ev = events("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+        assert!(matches!(ev[0], Event::StartTag { .. }));
+    }
+
+    #[test]
+    fn doctype_with_subset() {
+        let ev = events("<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r/>");
+        assert_eq!(
+            ev[0],
+            Event::Doctype {
+                name: "r".into(),
+                internal_subset: Some("<!ELEMENT r (#PCDATA)>".into())
+            }
+        );
+    }
+
+    #[test]
+    fn doctype_system_id() {
+        let ev = events(r#"<!DOCTYPE r SYSTEM "r.dtd"><r/>"#);
+        assert_eq!(ev[0], Event::Doctype { name: "r".into(), internal_subset: None });
+    }
+
+    #[test]
+    fn text_entities_expanded() {
+        let ev = events("<a>&lt;x&gt; &#xFE;</a>");
+        assert_eq!(ev[1], Event::Text("<x> þ".into()));
+    }
+
+    #[test]
+    fn cdata_close_in_text_rejected() {
+        let mut r = Reader::new("<a>x]]>y</a>");
+        r.next_event().unwrap();
+        assert!(r.next_event().is_err());
+    }
+
+    #[test]
+    fn mismatched_quote_is_eof_error() {
+        let mut r = Reader::new("<a x=\"1'/>");
+        assert!(r.next_event().is_err());
+    }
+
+    #[test]
+    fn end_tag_with_space() {
+        let ev = events("<a></a >");
+        assert_eq!(ev[1], Event::EndTag { name: "a".into() });
+    }
+
+    #[test]
+    fn attribute_value_with_lt_rejected() {
+        let mut r = Reader::new("<a x=\"a<b\"/>");
+        assert!(r.next_event().is_err());
+    }
+
+    #[test]
+    fn custom_entity_via_add() {
+        let mut r = Reader::new("<a>&me;</a>");
+        r.add_entity("me", "you");
+        r.next_event().unwrap();
+        assert_eq!(r.next_event().unwrap(), Event::Text("you".into()));
+    }
+}

@@ -1,0 +1,233 @@
+//! XPath abstract syntax (also consumed by the XQuery layer for embedded
+//! path expressions).
+
+use mhx_goddag::Axis;
+use std::fmt;
+
+/// Node tests, including the paper's Definition-2 extensions. The optional
+/// `hierarchies` list is the comma-separated `String` parameter: the test
+/// only accepts nodes belonging to one of the named hierarchies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTest {
+    /// `name` or `name("h1,h2")` — element (or attribute, on the attribute
+    /// axis) with this name.
+    Name { name: String, hierarchies: Option<Vec<String>> },
+    /// `*` or `*("h1,h2")` — any element (Definition 2's `*(String)`).
+    AnyElement { hierarchies: Option<Vec<String>> },
+    /// `text()` / `text("h1,h2")`.
+    Text { hierarchies: Option<Vec<String>> },
+    /// `node()` / `node("h1,h2")`.
+    AnyNode { hierarchies: Option<Vec<String>> },
+    /// `leaf()` — Definition 2's new node type test.
+    Leaf,
+    /// `comment()` — accepted for XPath compatibility; the KyGODDAG stores
+    /// no comments, so it never matches.
+    Comment,
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let h = |hs: &Option<Vec<String>>| match hs {
+            Some(v) => format!("(\"{}\")", v.join(",")),
+            None => String::new(),
+        };
+        match self {
+            NodeTest::Name { name, hierarchies } => match hierarchies {
+                None => write!(f, "{name}"),
+                Some(_) => write!(f, "{name}{}", h(hierarchies)),
+            },
+            NodeTest::AnyElement { hierarchies } => match hierarchies {
+                None => write!(f, "*"),
+                Some(_) => write!(f, "*{}", h(hierarchies)),
+            },
+            NodeTest::Text { hierarchies } => match hierarchies {
+                None => write!(f, "text()"),
+                Some(_) => write!(f, "text{}", h(hierarchies)),
+            },
+            NodeTest::AnyNode { hierarchies } => match hierarchies {
+                None => write!(f, "node()"),
+                Some(_) => write!(f, "node{}", h(hierarchies)),
+            },
+            NodeTest::Leaf => write!(f, "leaf()"),
+            NodeTest::Comment => write!(f, "comment()"),
+        }
+    }
+}
+
+/// One location step: `axis::test[pred]*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub predicates: Vec<Expr>,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.axis.name(), self.test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Union,
+}
+
+impl BinOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Or => "or",
+            BinOp::And => "and",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+            BinOp::Union => "|",
+        }
+    }
+}
+
+/// XPath expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(String),
+    Number(f64),
+    Var(String),
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Neg(Box<Expr>),
+    Call { name: String, args: Vec<Expr> },
+    /// A location path, optionally rooted at a filter expression
+    /// (`$x/child::a`, `(expr)[1]/b`, `/descendant::w`).
+    Path(PathExpr),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    pub start: PathStart,
+    pub steps: Vec<Step>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStart {
+    /// Absolute path: starts at the KyGODDAG root.
+    Root,
+    /// Relative path: starts at the context node.
+    Context,
+    /// Starts from an arbitrary expression (filter expr), e.g. `$x` with
+    /// optional predicates applied before the steps.
+    Filter { expr: Box<Expr>, predicates: Vec<Expr> },
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(s) => write!(f, "'{s}'"),
+            Expr::Number(n) => write!(f, "{}", crate::value::format_number(*n)),
+            Expr::Var(v) => write!(f, "${v}"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.name()),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Path(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.start {
+            PathStart::Root => write!(f, "/")?,
+            PathStart::Context => {}
+            PathStart::Filter { expr, predicates } => {
+                write!(f, "{expr}")?;
+                for p in predicates {
+                    write!(f, "[{p}]")?;
+                }
+                if !self.steps.is_empty() {
+                    write!(f, "/")?;
+                }
+            }
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_step() {
+        let s = Step {
+            axis: Axis::XDescendant,
+            test: NodeTest::Name { name: "w".into(), hierarchies: None },
+            predicates: vec![Expr::Number(1.0)],
+        };
+        assert_eq!(s.to_string(), "xdescendant::w[1]");
+    }
+
+    #[test]
+    fn display_node_tests() {
+        assert_eq!(NodeTest::Leaf.to_string(), "leaf()");
+        assert_eq!(
+            NodeTest::Text { hierarchies: Some(vec!["words".into(), "lines".into()]) }.to_string(),
+            "text(\"words,lines\")"
+        );
+        assert_eq!(NodeTest::AnyElement { hierarchies: None }.to_string(), "*");
+        assert_eq!(
+            NodeTest::AnyNode { hierarchies: Some(vec!["damage".into()]) }.to_string(),
+            "node(\"damage\")"
+        );
+    }
+
+    #[test]
+    fn display_path() {
+        let p = PathExpr {
+            start: PathStart::Root,
+            steps: vec![Step {
+                axis: Axis::Descendant,
+                test: NodeTest::Name { name: "line".into(), hierarchies: None },
+                predicates: vec![],
+            }],
+        };
+        assert_eq!(p.to_string(), "/descendant::line");
+    }
+}

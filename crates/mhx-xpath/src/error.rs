@@ -1,0 +1,45 @@
+//! XPath errors.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    pub msg: String,
+    /// Byte offset into the expression where the problem was detected, if
+    /// known.
+    pub at: Option<usize>,
+}
+
+impl XPathError {
+    pub fn new(msg: impl Into<String>) -> XPathError {
+        XPathError { msg: msg.into(), at: None }
+    }
+
+    pub fn at(msg: impl Into<String>, at: usize) -> XPathError {
+        XPathError { msg: msg.into(), at: Some(at) }
+    }
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(at) => write!(f, "XPath error at byte {at}: {}", self.msg),
+            None => write!(f, "XPath error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+pub type Result<T> = std::result::Result<T, XPathError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(XPathError::new("boom").to_string(), "XPath error: boom");
+        assert_eq!(XPathError::at("boom", 4).to_string(), "XPath error at byte 4: boom");
+    }
+}

@@ -1,0 +1,323 @@
+//! XPath tokenizer.
+//!
+//! Follows XPath 1.0 lexical rules: `-` is a name character (subtraction
+//! needs whitespace), `and`/`or`/`div`/`mod` are names whose operator role
+//! is decided by the parser from grammar context.
+
+use crate::error::{Result, XPathError};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// NCName (possibly with `-` or `.` inside, per XML Name rules).
+    Name(String),
+    /// String literal, quotes stripped.
+    Literal(String),
+    Number(f64),
+    /// `$name`
+    Var(String),
+    Slash,
+    DoubleSlash,
+    ColonColon,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    At,
+    Dot,
+    DotDot,
+    Comma,
+    Pipe,
+    Plus,
+    Minus,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// XQuery extras (shared lexer): `:=`, `{`, `}`, `<` tag tokens are
+    /// handled by the XQuery layer's own scanner; the XPath lexer stops at
+    /// the expression level.
+    Assign,
+    LBrace,
+    RBrace,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub at: usize,
+}
+
+pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>> {
+    let mut out = Vec::new();
+    let mut it = src.char_indices().peekable();
+    while let Some(&(i, c)) = it.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                it.next();
+            }
+            '(' => push1(&mut out, &mut it, i, Tok::LParen),
+            ')' => push1(&mut out, &mut it, i, Tok::RParen),
+            '[' => push1(&mut out, &mut it, i, Tok::LBracket),
+            ']' => push1(&mut out, &mut it, i, Tok::RBracket),
+            '@' => push1(&mut out, &mut it, i, Tok::At),
+            ',' => push1(&mut out, &mut it, i, Tok::Comma),
+            '|' => push1(&mut out, &mut it, i, Tok::Pipe),
+            '+' => push1(&mut out, &mut it, i, Tok::Plus),
+            '-' => push1(&mut out, &mut it, i, Tok::Minus),
+            '*' => push1(&mut out, &mut it, i, Tok::Star),
+            '{' => push1(&mut out, &mut it, i, Tok::LBrace),
+            '}' => push1(&mut out, &mut it, i, Tok::RBrace),
+            '/' => {
+                it.next();
+                if it.peek().map(|&(_, c)| c) == Some('/') {
+                    it.next();
+                    out.push(SpannedTok { tok: Tok::DoubleSlash, at: i });
+                } else {
+                    out.push(SpannedTok { tok: Tok::Slash, at: i });
+                }
+            }
+            ':' => {
+                it.next();
+                match it.peek().map(|&(_, c)| c) {
+                    Some(':') => {
+                        it.next();
+                        out.push(SpannedTok { tok: Tok::ColonColon, at: i });
+                    }
+                    Some('=') => {
+                        it.next();
+                        out.push(SpannedTok { tok: Tok::Assign, at: i });
+                    }
+                    _ => return Err(XPathError::at("stray `:`", i)),
+                }
+            }
+            '.' => {
+                it.next();
+                if it.peek().map(|&(_, c)| c) == Some('.') {
+                    it.next();
+                    out.push(SpannedTok { tok: Tok::DotDot, at: i });
+                } else if it.peek().map(|&(_, c)| c).is_some_and(|c| c.is_ascii_digit()) {
+                    // .5 style number
+                    let mut num = String::from("0.");
+                    while let Some(&(_, d)) = it.peek() {
+                        if d.is_ascii_digit() {
+                            num.push(d);
+                            it.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let v = num.parse().map_err(|_| XPathError::at("bad number", i))?;
+                    out.push(SpannedTok { tok: Tok::Number(v), at: i });
+                } else {
+                    out.push(SpannedTok { tok: Tok::Dot, at: i });
+                }
+            }
+            '=' => push1(&mut out, &mut it, i, Tok::Eq),
+            '!' => {
+                it.next();
+                if it.peek().map(|&(_, c)| c) == Some('=') {
+                    it.next();
+                    out.push(SpannedTok { tok: Tok::Ne, at: i });
+                } else {
+                    return Err(XPathError::at("expected `!=`", i));
+                }
+            }
+            '<' => {
+                it.next();
+                if it.peek().map(|&(_, c)| c) == Some('=') {
+                    it.next();
+                    out.push(SpannedTok { tok: Tok::Le, at: i });
+                } else {
+                    out.push(SpannedTok { tok: Tok::Lt, at: i });
+                }
+            }
+            '>' => {
+                it.next();
+                if it.peek().map(|&(_, c)| c) == Some('=') {
+                    it.next();
+                    out.push(SpannedTok { tok: Tok::Ge, at: i });
+                } else {
+                    out.push(SpannedTok { tok: Tok::Gt, at: i });
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                it.next();
+                let mut s = String::new();
+                let mut closed = false;
+                for (_, d) in it.by_ref() {
+                    if d == quote {
+                        closed = true;
+                        break;
+                    }
+                    s.push(d);
+                }
+                if !closed {
+                    return Err(XPathError::at("unterminated string literal", i));
+                }
+                out.push(SpannedTok { tok: Tok::Literal(s), at: i });
+            }
+            '$' => {
+                it.next();
+                let name = take_name(&mut it);
+                if name.is_empty() {
+                    return Err(XPathError::at("expected variable name after `$`", i));
+                }
+                out.push(SpannedTok { tok: Tok::Var(name), at: i });
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&(_, d)) = it.peek() {
+                    if d.is_ascii_digit() || d == '.' {
+                        num.push(d);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v = num.parse().map_err(|_| XPathError::at("bad number", i))?;
+                out.push(SpannedTok { tok: Tok::Number(v), at: i });
+            }
+            c if is_nc_name_start(c) => {
+                let name = take_name(&mut it);
+                out.push(SpannedTok { tok: Tok::Name(name), at: i });
+            }
+            c => return Err(XPathError::at(format!("unexpected character `{c}`"), i)),
+        }
+    }
+    Ok(out)
+}
+
+fn push1(
+    out: &mut Vec<SpannedTok>,
+    it: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    at: usize,
+    tok: Tok,
+) {
+    it.next();
+    out.push(SpannedTok { tok, at });
+}
+
+/// NCName characters: XML name chars minus `:` (reserved for `::`).
+fn is_nc_name_start(c: char) -> bool {
+    c != ':' && mhx_xml::name::is_name_start(c)
+}
+
+fn is_nc_name_char(c: char) -> bool {
+    c != ':' && mhx_xml::name::is_name_char(c)
+}
+
+fn take_name(it: &mut std::iter::Peekable<std::str::CharIndices<'_>>) -> String {
+    let mut s = String::new();
+    while let Some(&(_, c)) = it.peek() {
+        if is_nc_name_char(c) {
+            s.push(c);
+            it.next();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn paper_query_i1_lexes() {
+        let ts = toks("/descendant::line[xdescendant::w[string(.) = 'singallice']]");
+        assert_eq!(ts[0], Tok::Slash);
+        assert_eq!(ts[1], Tok::Name("descendant".into()));
+        assert_eq!(ts[2], Tok::ColonColon);
+        assert!(ts.contains(&Tok::Literal("singallice".into())));
+        assert!(ts.contains(&Tok::Name("xdescendant".into())));
+    }
+
+    #[test]
+    fn hyphenated_axis_is_one_name() {
+        let ts = toks("preceding-overlapping::dmg");
+        assert_eq!(ts[0], Tok::Name("preceding-overlapping".into()));
+    }
+
+    #[test]
+    fn subtraction_vs_name() {
+        assert_eq!(toks("a -b"), vec![Tok::Name("a".into()), Tok::Minus, Tok::Name("b".into())]);
+        assert_eq!(toks("a-b"), vec![Tok::Name("a-b".into())]);
+        assert_eq!(toks("1 - 2"), vec![Tok::Number(1.0), Tok::Minus, Tok::Number(2.0)]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("3.25"), vec![Tok::Number(3.25)]);
+        assert_eq!(toks(".5"), vec![Tok::Number(0.5)]);
+        assert_eq!(toks("42"), vec![Tok::Number(42.0)]);
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(toks(r#"'a' "b""#), vec![Tok::Literal("a".into()), Tok::Literal("b".into())]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(toks("< <= > >= = !="), vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne]);
+    }
+
+    #[test]
+    fn variables_and_paths() {
+        assert_eq!(
+            toks("$l/descendant::leaf()"),
+            vec![
+                Tok::Var("l".into()),
+                Tok::Slash,
+                Tok::Name("descendant".into()),
+                Tok::ColonColon,
+                Tok::Name("leaf".into()),
+                Tok::LParen,
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn double_slash_and_dots() {
+        assert_eq!(toks("//a/../."), vec![
+            Tok::DoubleSlash,
+            Tok::Name("a".into()),
+            Tok::Slash,
+            Tok::DotDot,
+            Tok::Slash,
+            Tok::Dot,
+        ]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("!x").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("$ ").is_err());
+        assert!(tokenize(": ").is_err());
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let ts = tokenize("a = 'b'").unwrap();
+        assert_eq!(ts[0].at, 0);
+        assert_eq!(ts[1].at, 2);
+        assert_eq!(ts[2].at, 4);
+    }
+
+    #[test]
+    fn assign_and_braces_for_xquery() {
+        assert_eq!(toks(":= { }"), vec![Tok::Assign, Tok::LBrace, Tok::RBrace]);
+    }
+}

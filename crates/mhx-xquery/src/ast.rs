@@ -1,0 +1,241 @@
+//! XQuery abstract syntax.
+//!
+//! Path steps reuse the XPath layer's [`NodeTest`] and [`Axis`]; predicates
+//! and all other sub-expressions are full XQuery expressions.
+
+use mhx_goddag::Axis;
+use mhx_xpath::NodeTest;
+
+/// Comparison operators: XPath general comparisons, XQuery value
+/// comparisons, and node comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comp {
+    // general
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    // value
+    VEq,
+    VNe,
+    VLt,
+    VLe,
+    VGt,
+    VGe,
+    // node
+    Is,
+    Before,
+    After,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IDiv,
+    Mod,
+}
+
+/// FLWOR clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    For { var: String, at: Option<String>, seq: QExpr },
+    Let { var: String, expr: QExpr },
+    Where(QExpr),
+    OrderBy { keys: Vec<OrderKeySpec> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKeySpec {
+    pub key: QExpr,
+    pub descending: bool,
+}
+
+/// A path step with XQuery predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QStep {
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub predicates: Vec<QExpr>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum QPathStart {
+    Root,
+    Context,
+    Expr(Box<QExpr>),
+}
+
+/// Direct element constructor content piece.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Literal character data (entity refs already resolved).
+    Text(String),
+    /// `{ expr }`
+    Expr(QExpr),
+    /// Nested direct constructor.
+    Elem(DirElem),
+}
+
+/// Attribute value piece.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrPiece {
+    Text(String),
+    Expr(QExpr),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirElem {
+    pub name: String,
+    pub attrs: Vec<(String, Vec<AttrPiece>)>,
+    pub content: Vec<Content>,
+}
+
+/// XQuery expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QExpr {
+    /// `(e1, e2, …)` — also `()` for the empty sequence.
+    Sequence(Vec<QExpr>),
+    Flwor { clauses: Vec<Clause>, ret: Box<QExpr> },
+    If { cond: Box<QExpr>, then: Box<QExpr>, els: Box<QExpr> },
+    Quantified { every: bool, binds: Vec<(String, QExpr)>, satisfies: Box<QExpr> },
+    Or(Box<QExpr>, Box<QExpr>),
+    And(Box<QExpr>, Box<QExpr>),
+    Compare { op: Comp, lhs: Box<QExpr>, rhs: Box<QExpr> },
+    Range { lo: Box<QExpr>, hi: Box<QExpr> },
+    Arith { op: ArithOp, lhs: Box<QExpr>, rhs: Box<QExpr> },
+    Union(Box<QExpr>, Box<QExpr>),
+    Neg(Box<QExpr>),
+    Literal(String),
+    Number(f64),
+    Var(String),
+    ContextItem,
+    Call { name: String, args: Vec<QExpr> },
+    Path { start: QPathStart, steps: Vec<QStep> },
+    /// Postfix predicates on an arbitrary expression: `$x[1]`, `(e)[cond]`.
+    Filter { base: Box<QExpr>, predicates: Vec<QExpr> },
+    DirElem(DirElem),
+}
+
+impl QExpr {
+    /// Does this expression (recursively) call `analyze-string`? Used to
+    /// decide whether evaluation needs a mutable KyGODDAG.
+    pub fn uses_analyze_string(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let QExpr::Call { name, .. } = e {
+                if name == "analyze-string" {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// Preorder walk over all sub-expressions.
+    pub fn walk(&self, f: &mut impl FnMut(&QExpr)) {
+        f(self);
+        match self {
+            QExpr::Sequence(es) => es.iter().for_each(|e| e.walk(f)),
+            QExpr::Flwor { clauses, ret } => {
+                for c in clauses {
+                    match c {
+                        Clause::For { seq, .. } => seq.walk(f),
+                        Clause::Let { expr, .. } => expr.walk(f),
+                        Clause::Where(e) => e.walk(f),
+                        Clause::OrderBy { keys } => keys.iter().for_each(|k| k.key.walk(f)),
+                    }
+                }
+                ret.walk(f);
+            }
+            QExpr::If { cond, then, els } => {
+                cond.walk(f);
+                then.walk(f);
+                els.walk(f);
+            }
+            QExpr::Quantified { binds, satisfies, .. } => {
+                binds.iter().for_each(|(_, e)| e.walk(f));
+                satisfies.walk(f);
+            }
+            QExpr::Or(a, b) | QExpr::And(a, b) | QExpr::Union(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            QExpr::Compare { lhs, rhs, .. } | QExpr::Arith { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            QExpr::Range { lo, hi } => {
+                lo.walk(f);
+                hi.walk(f);
+            }
+            QExpr::Neg(e) => e.walk(f),
+            QExpr::Call { args, .. } => args.iter().for_each(|e| e.walk(f)),
+            QExpr::Path { start, steps } => {
+                if let QPathStart::Expr(e) = start {
+                    e.walk(f);
+                }
+                for s in steps {
+                    s.predicates.iter().for_each(|p| p.walk(f));
+                }
+            }
+            QExpr::Filter { base, predicates } => {
+                base.walk(f);
+                predicates.iter().for_each(|p| p.walk(f));
+            }
+            QExpr::DirElem(d) => walk_dir(d, f),
+            QExpr::Literal(_) | QExpr::Number(_) | QExpr::Var(_) | QExpr::ContextItem => {}
+        }
+    }
+}
+
+fn walk_dir(d: &DirElem, f: &mut impl FnMut(&QExpr)) {
+    for (_, pieces) in &d.attrs {
+        for p in pieces {
+            if let AttrPiece::Expr(e) = p {
+                e.walk(f);
+            }
+        }
+    }
+    for c in &d.content {
+        match c {
+            Content::Text(_) => {}
+            Content::Expr(e) => e.walk(f),
+            Content::Elem(inner) => walk_dir(inner, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uses_analyze_string_detection() {
+        let plain = QExpr::Call { name: "string".into(), args: vec![QExpr::ContextItem] };
+        assert!(!plain.uses_analyze_string());
+        let inner = QExpr::Call { name: "analyze-string".into(), args: vec![] };
+        let nested = QExpr::Flwor {
+            clauses: vec![Clause::Let { var: "res".into(), expr: inner }],
+            ret: Box::new(QExpr::Var("res".into())),
+        };
+        assert!(nested.uses_analyze_string());
+    }
+
+    #[test]
+    fn walk_reaches_constructor_expressions() {
+        let d = DirElem {
+            name: "b".into(),
+            attrs: vec![("k".into(), vec![AttrPiece::Expr(QExpr::Var("a".into()))])],
+            content: vec![Content::Expr(QExpr::Call {
+                name: "analyze-string".into(),
+                args: vec![],
+            })],
+        };
+        assert!(QExpr::DirElem(d).uses_analyze_string());
+    }
+}

@@ -1,0 +1,66 @@
+//! XQuery errors.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XQueryError {
+    pub msg: String,
+    /// Byte offset into the query source, when known.
+    pub at: Option<usize>,
+}
+
+impl XQueryError {
+    pub fn new(msg: impl Into<String>) -> XQueryError {
+        XQueryError { msg: msg.into(), at: None }
+    }
+
+    pub fn at(msg: impl Into<String>, at: usize) -> XQueryError {
+        XQueryError { msg: msg.into(), at: Some(at) }
+    }
+}
+
+impl fmt::Display for XQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(at) => write!(f, "XQuery error at byte {at}: {}", self.msg),
+            None => write!(f, "XQuery error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for XQueryError {}
+
+impl From<mhx_xpath::XPathError> for XQueryError {
+    fn from(e: mhx_xpath::XPathError) -> XQueryError {
+        XQueryError { msg: e.msg, at: e.at }
+    }
+}
+
+impl From<mhx_xml::XmlError> for XQueryError {
+    fn from(e: mhx_xml::XmlError) -> XQueryError {
+        XQueryError { msg: e.to_string(), at: Some(e.pos.offset) }
+    }
+}
+
+impl From<mhx_goddag::GoddagError> for XQueryError {
+    fn from(e: mhx_goddag::GoddagError) -> XQueryError {
+        XQueryError::new(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, XQueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert_eq!(XQueryError::new("x").to_string(), "XQuery error: x");
+        assert_eq!(XQueryError::at("x", 3).to_string(), "XQuery error at byte 3: x");
+        let e: XQueryError = mhx_xpath::XPathError::at("p", 2).into();
+        assert_eq!(e.at, Some(2));
+        let e: XQueryError = mhx_goddag::GoddagError::NoHierarchies.into();
+        assert!(e.msg.contains("hierarchy"));
+    }
+}

@@ -1,0 +1,50 @@
+//! XQuery data model: items and sequences.
+//!
+//! Two node kinds coexist: KyGODDAG nodes (from the queried document) and
+//! *constructed* nodes living in the evaluator's output arena (a plain
+//! [`mhx_xml::Document`]), produced by direct element constructors.
+
+use mhx_goddag::NodeId;
+use mhx_xml::NodeId as OutId;
+
+/// One XQuery item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A node of the queried KyGODDAG.
+    Node(NodeId),
+    /// A constructed node in the evaluator's output document.
+    ONode(OutId),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+impl Item {
+    pub fn is_node(&self) -> bool {
+        matches!(self, Item::Node(_) | Item::ONode(_))
+    }
+
+    pub fn as_goddag_node(&self) -> Option<NodeId> {
+        match self {
+            Item::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// An XQuery sequence (flat, per the XDM).
+pub type Sequence = Vec<Item>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(Item::Node(NodeId::Root).is_node());
+        assert!(Item::ONode(OutId(1)).is_node());
+        assert!(!Item::Str("x".into()).is_node());
+        assert_eq!(Item::Node(NodeId::Root).as_goddag_node(), Some(NodeId::Root));
+        assert_eq!(Item::ONode(OutId(1)).as_goddag_node(), None);
+    }
+}

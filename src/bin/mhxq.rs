@@ -1,0 +1,126 @@
+//! `mhxq` — command-line multihierarchical XQuery.
+//!
+//! ```sh
+//! mhxq -h lines=lines.xml -h words=words.xml 'for $w in //w return string($w)'
+//! mhxq --figure1 'count(/descendant::leaf())'
+//! mhxq --figure1 --xslt-mode --query-file q.xq
+//! mhxq --figure1 --dump           # print the KyGODDAG outline instead
+//! ```
+//!
+//! Each `-h NAME=FILE` adds one hierarchy; all files must encode the same
+//! base text and share the root element (CMH discipline).
+
+use multihier_xquery::corpus::figure1;
+use multihier_xquery::goddag::{dot, GoddagBuilder};
+use multihier_xquery::xquery::{run_query_with, AnalyzeMode, EvalOptions};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mhxq [-h NAME=FILE]... [--figure1] [--xslt-mode] [--space-separator]\n\
+         \x20           [--dump | --dot] (QUERY | --query-file FILE)\n\
+         \n\
+         -h NAME=FILE       add hierarchy NAME from XML file FILE (repeatable)\n\
+         --figure1          use the built-in Figure-1 manuscript corpus\n\
+         --xslt-mode        XSLT-2.0 analyze-string semantics (default: paper-compat)\n\
+         --space-separator  standard XQuery spacing between atomic items\n\
+         --dump             print the KyGODDAG text outline and exit\n\
+         --dot              print Graphviz DOT of the KyGODDAG and exit\n\
+         --query-file FILE  read the query from FILE instead of argv"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut hierarchies: Vec<(String, String)> = Vec::new();
+    let mut use_figure1 = false;
+    let mut opts = EvalOptions::default();
+    let mut dump = false;
+    let mut dotout = false;
+    let mut query: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--hierarchy" => {
+                i += 1;
+                let Some(spec) = args.get(i) else { usage() };
+                let Some((name, path)) = spec.split_once('=') else {
+                    eprintln!("-h needs NAME=FILE, got `{spec}`");
+                    exit(2);
+                };
+                match std::fs::read_to_string(path) {
+                    Ok(src) => hierarchies.push((name.to_string(), src)),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        exit(2);
+                    }
+                }
+            }
+            "--figure1" => use_figure1 = true,
+            "--xslt-mode" => opts.analyze_mode = AnalyzeMode::Xslt,
+            "--space-separator" => opts.space_separator = true,
+            "--dump" => dump = true,
+            "--dot" => dotout = true,
+            "--query-file" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                match std::fs::read_to_string(path) {
+                    Ok(q) => query = Some(q),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        exit(2);
+                    }
+                }
+            }
+            "--help" => usage(),
+            q if !q.starts_with('-') && query.is_none() => query = Some(q.to_string()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let goddag = if use_figure1 {
+        figure1::goddag()
+    } else if hierarchies.is_empty() {
+        eprintln!("no hierarchies given (use -h NAME=FILE or --figure1)");
+        usage();
+    } else {
+        let mut b = GoddagBuilder::new();
+        for (name, src) in hierarchies {
+            b = b.hierarchy(name, src);
+        }
+        match b.build() {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("building the KyGODDAG failed: {e}");
+                exit(1);
+            }
+        }
+    };
+
+    if dump {
+        print!("{}", dot::to_text(&goddag));
+        return;
+    }
+    if dotout {
+        print!("{}", dot::to_dot(&goddag));
+        return;
+    }
+
+    let Some(query) = query else {
+        eprintln!("no query given");
+        usage();
+    };
+    match run_query_with(&goddag, &query, &opts) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    }
+}

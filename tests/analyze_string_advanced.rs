@@ -1,0 +1,144 @@
+//! Integration: analyze-string under composition — multiple temporary
+//! hierarchies in one query, fragment-pattern groups, cross-hierarchy
+//! relations of match markup, and lifecycle guarantees.
+
+use multihier_xquery::corpus::figure1;
+use multihier_xquery::prelude::*;
+
+#[test]
+fn two_analyze_strings_in_one_query() {
+    // Two temp hierarchies coexist (rest + rest2) and can be related to
+    // each other with extended axes: 'ga' (24..26) overlaps... is inside
+    // 'singal' (24..30)? ga ⊂ singal → xancestor, while 'allice' (28..34)
+    // properly overlaps 'singal'.
+    let g = figure1::goddag();
+    let out = run_query(
+        &g,
+        "let $a := analyze-string(root(), 'singal') \
+         let $b := analyze-string(root(), 'allice') \
+         return ( \
+           count($a/child::m), ' ', count($b/child::m), ' ', \
+           count($b/child::m/overlapping::m), ' ', \
+           string-join(hierarchies(), ','))",
+    )
+    .unwrap();
+    assert_eq!(
+        out,
+        "1 1 1 lines,words,restorations,damage,rest,rest2"
+    );
+    // Both are gone afterwards.
+    assert_eq!(g.hierarchy_count(), 4);
+}
+
+#[test]
+fn fragment_pattern_groups_are_queryable() {
+    // Groups from an XML-fragment pattern become real (temporary) markup:
+    // query them with ordinary axes.
+    let g = figure1::goddag();
+    let out = run_query(
+        &g,
+        "let $r := analyze-string(root(), 'si<first>n</first>gal<second>lice</second>') \
+         return ( \
+           string($r/descendant::first), '/', \
+           string($r/descendant::second), '/', \
+           count($r/descendant::first/xfollowing::second))",
+    )
+    .unwrap();
+    assert_eq!(out, "n/lice/1");
+}
+
+#[test]
+fn match_markup_relates_to_all_base_hierarchies() {
+    // The paper's core pitch: a text hit crossing markup boundaries can be
+    // located in every hierarchy at once.
+    let g = figure1::goddag();
+    let out = run_query(
+        &g,
+        "let $r := analyze-string(root(), 'una.*?sin') \
+         for $m in $r/child::m return ( \
+           'lines=', count($m/overlapping::line | $m/xancestor::line | $m/xdescendant::line), \
+           ' words=', count($m/overlapping::w | $m/xancestor::w | $m/xdescendant::w), \
+           ' dmg=', count($m/overlapping::dmg | $m/xancestor::dmg | $m/xdescendant::dmg))",
+    )
+    .unwrap();
+    // "unawendendne sin" = 11..27: inside line1 (xancestor), covers words
+    // unawendendne (11..23) as xdescendant plus overlaps singallice? span
+    // 24..34 vs 11..27 → proper overlap; word "sibbe" no. dmg1 "w" inside.
+    assert_eq!(out, "lines=1 words=2 dmg=1");
+}
+
+#[test]
+fn analyze_string_on_a_leaf() {
+    // Definition 4 takes any node; a leaf works too. Note the documented
+    // leaf-identity rule: a leaf id is its start offset, so after the
+    // temporary hierarchy splits "endendne" at the match boundaries, the
+    // *same* binding `$leaf` denotes the now-shorter leaf "end" — capture
+    // the string before the call if you need the original.
+    let g = figure1::goddag();
+    let out = run_query(
+        &g,
+        "let $leaf := (/descendant::leaf())[5] \
+         let $before := string($leaf) \
+         let $r := analyze-string($leaf, 'end') \
+         return concat($before, '/', string($leaf), ':', count($r/child::m))",
+    )
+    .unwrap();
+    assert_eq!(out, "endendne/end:2");
+}
+
+#[test]
+fn empty_matches_are_skipped() {
+    let g = figure1::goddag();
+    let out = run_query(
+        &g,
+        "let $r := analyze-string((/descendant::w)[1], 'x*') \
+         return count($r/child::m)",
+    )
+    .unwrap();
+    assert_eq!(out, "0", "zero-width matches produce no <m> markup");
+}
+
+#[test]
+fn paper_iii1_match_vs_restoration_boundaries() {
+    // The III.1 mechanics in isolation: the match 'unawe' (11..16) and the
+    // restoration 'gesceaftum una' (0..14) properly overlap, so neither
+    // contains the other — the per-leaf loop is genuinely needed.
+    let g = figure1::goddag();
+    let out = run_query(
+        &g,
+        "let $r := analyze-string((/descendant::w)[2], 'unawe') \
+         for $m in $r/child::m return ( \
+           count($m/xancestor::res(\"restorations\")), ' ', \
+           count($m/overlapping::res(\"restorations\")), ' ', \
+           string-join(for $l in $m/descendant::leaf() return string($l), '|'))",
+    )
+    .unwrap();
+    assert_eq!(out, "0 1 una|w|e");
+}
+
+#[test]
+fn deeply_nested_fragment_pattern() {
+    let g = figure1::goddag();
+    let out = run_query(
+        &g,
+        "let $r := analyze-string(root(), 'g<a>e<b>sc</b>ea</a>f') \
+         return serialize($r/child::m)",
+    )
+    .unwrap();
+    assert_eq!(out, "<m>g<a>e<b>sc</b>ea</a>f</m>");
+}
+
+#[test]
+fn analyze_string_respects_node_scope() {
+    // Matches outside the argument node's span are not tagged.
+    let g = figure1::goddag();
+    let out = run_query(
+        &g,
+        "let $r := analyze-string((/descendant::line)[1], 'ge') \
+         return count($r/child::m)",
+    )
+    .unwrap();
+    // line1 = "gesceaftum unawendendne sin": only the leading "ge"
+    // ("gecynde" is in line2).
+    assert_eq!(out, "1");
+}

@@ -1,0 +1,122 @@
+//! Integration across crates: generators → KyGODDAG → engines → baselines.
+
+use multihier_xquery::baseline::{queries, to_fragmentation, to_milestone};
+use multihier_xquery::corpus::{generate, generate_tei, GeneratorConfig, TeiConfig};
+use multihier_xquery::prelude::*;
+
+#[test]
+fn synthetic_pipeline_agrees_across_representations() {
+    for seed in [1u64, 7, 23] {
+        for jitter in [0.0, 0.6, 1.0] {
+            let doc = generate(&GeneratorConfig {
+                seed,
+                text_len: 800,
+                hierarchies: 3,
+                boundary_jitter: jitter,
+                avg_element_len: 30,
+                ..Default::default()
+            });
+            let g = doc.build_goddag();
+            let ms = to_milestone(&g, "h0");
+            let fr = to_fragmentation(&g, "h0");
+            let gd = queries::goddag_overlap_count(&g, "e0", "e1");
+            assert_eq!(gd, queries::milestone_overlap_count(&ms, "e0", "h1", "e1"));
+            assert_eq!(gd, queries::fragmentation_overlap_count(&fr, "e0", "h1", "e1"));
+            let gc = queries::goddag_containment_count(&g, "e0", "e1");
+            assert_eq!(gc, queries::milestone_containment_count(&ms, "e0", "h1", "e1"));
+            assert_eq!(gc, queries::fragmentation_containment_count(&fr, "e0", "h1", "e1"));
+        }
+    }
+}
+
+#[test]
+fn xquery_count_equals_axis_count() {
+    // The engine's `overlapping::` axis and the region-based join must
+    // count the same pairs.
+    let doc = generate(&GeneratorConfig {
+        text_len: 600,
+        hierarchies: 2,
+        boundary_jitter: 1.0,
+        ..Default::default()
+    });
+    let g = doc.build_goddag();
+    let via_axis = queries::goddag_overlap_count(&g, "e0", "e1");
+    let via_query = run_query(
+        &g,
+        "sum(for $a in /descendant::e0 return count($a/overlapping::e1))",
+    )
+    .unwrap();
+    assert_eq!(via_axis.to_string(), via_query);
+}
+
+#[test]
+fn tei_concordance_pipeline() {
+    let doc = generate_tei(&TeiConfig { acts: 1, scenes_per_act: 2, ..Default::default() });
+    let g = doc.build_goddag();
+    // Full pipeline: regex search → temp hierarchy → both base hierarchies.
+    let out = run_query(
+        &g,
+        "let $res := analyze-string(root(), 'gardena') \
+         return count($res/child::m)",
+    )
+    .unwrap();
+    let hits: usize = out.parse().unwrap();
+    // Find each hit's speaker and line through the DAG.
+    let speakers = run_query(
+        &g,
+        "let $res := analyze-string(root(), 'gardena') \
+         return count($res/child::m/xancestor::sp)",
+    )
+    .unwrap();
+    // Every whole-word hit sits inside at least one speech (unless it
+    // straddles, then it overlaps).
+    let total = run_query(
+        &g,
+        "let $res := analyze-string(root(), 'gardena') \
+         return count($res/child::m[xancestor::sp or overlapping::sp])",
+    )
+    .unwrap();
+    assert_eq!(total.parse::<usize>().unwrap(), hits);
+    assert!(speakers.parse::<usize>().unwrap() <= hits * 2);
+}
+
+#[test]
+fn dtd_validated_corpus_to_goddag() {
+    // DTD layer + goddag layer compose: validate then build.
+    use multihier_xquery::xml::dtd::{parse_dtd, validate, ValidationOptions};
+    let dtd = parse_dtd(
+        "<!ELEMENT r (e0+)> <!ELEMENT e0 (#PCDATA|s0)*> <!ELEMENT s0 (#PCDATA)> \
+         <!ATTLIST e0 n CDATA #REQUIRED>",
+        "h0",
+    )
+    .unwrap();
+    let doc = generate(&GeneratorConfig { text_len: 300, hierarchies: 1, ..Default::default() });
+    let parsed = multihier_xquery::xml::parse(&doc.encodings[0].1).unwrap();
+    validate(&parsed, &dtd, &ValidationOptions::default()).unwrap();
+    let g = GoddagBuilder::new().hierarchy_doc("h0", parsed).build().unwrap();
+    assert_eq!(g.text(), doc.text);
+}
+
+#[test]
+fn goddag_survives_many_virtual_cycles() {
+    let doc = generate(&GeneratorConfig { text_len: 400, hierarchies: 2, ..Default::default() });
+    let g = doc.build_goddag();
+    let leaves_before = g.leaf_count();
+    for i in 0..20 {
+        let q = format!(
+            "let $r := analyze-string(root(), '{}') return count($r/descendant::leaf())",
+            ["ge", "sc", "um", "de"][i % 4]
+        );
+        run_query(&g, &q).unwrap();
+    }
+    assert_eq!(g.leaf_count(), leaves_before);
+}
+
+#[test]
+fn order_is_stable_across_queries() {
+    let doc = generate(&GeneratorConfig { text_len: 500, hierarchies: 3, ..Default::default() });
+    let g = doc.build_goddag();
+    let a = run_query(&g, "for $n in /descendant::* return concat(name($n), ' ')").unwrap();
+    let b = run_query(&g, "for $n in /descendant::* return concat(name($n), ' ')").unwrap();
+    assert_eq!(a, b, "Definition-3 order is stable");
+}

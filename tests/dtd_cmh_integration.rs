@@ -1,0 +1,82 @@
+//! Integration: the DTD/CMH layer against realistic schema collections.
+
+use multihier_xquery::goddag::Cmh;
+use multihier_xquery::xml::dtd::{parse_dtd, Determinism, ContentAutomaton, ContentSpec};
+
+#[test]
+fn tei_like_cmh_validates_generated_drama() {
+    let logical = parse_dtd(
+        "<!ELEMENT r (act+)> <!ELEMENT act (scene+)> <!ELEMENT scene (sp+)> \
+         <!ELEMENT sp (#PCDATA)> \
+         <!ATTLIST act n CDATA #REQUIRED> \
+         <!ATTLIST scene n CDATA #REQUIRED> \
+         <!ATTLIST sp who CDATA #REQUIRED>",
+        "logical",
+    )
+    .unwrap();
+    let physical = parse_dtd(
+        "<!ELEMENT r (page+)> <!ELEMENT page (phline+)> <!ELEMENT phline (#PCDATA)> \
+         <!ATTLIST page n CDATA #REQUIRED> \
+         <!ATTLIST phline n CDATA #REQUIRED>",
+        "physical",
+    )
+    .unwrap();
+    let cmh = Cmh::new("r", vec![logical, physical]).unwrap();
+    let doc = multihier_xquery::corpus::generate_tei(&Default::default());
+    let parsed = vec![
+        multihier_xquery::xml::parse(&doc.logical).unwrap(),
+        multihier_xquery::xml::parse(&doc.physical).unwrap(),
+    ];
+    cmh.validate_documents(&parsed).unwrap();
+}
+
+#[test]
+fn cmh_rejects_hierarchies_sharing_a_nonroot_element() {
+    let a = parse_dtd("<!ELEMENT r (w*)> <!ELEMENT w (#PCDATA)>", "a").unwrap();
+    let b = parse_dtd(
+        "<!ELEMENT r (seg*)> <!ELEMENT seg (#PCDATA|w)*> <!ELEMENT w (#PCDATA)>",
+        "b",
+    )
+    .unwrap();
+    assert!(Cmh::new("r", vec![a, b]).is_err());
+}
+
+#[test]
+fn content_model_determinism_is_enforced_knowledge() {
+    // XML 1.0 appendix E: (a,b)|(a,c) is non-deterministic.
+    let dtd = parse_dtd("<!ELEMENT x ((a,b)|(a,c))>", "t").unwrap();
+    let ContentSpec::Children(p) = &dtd.element("x").unwrap().content else { panic!() };
+    let auto = ContentAutomaton::compile(p);
+    assert_eq!(*auto.determinism(), Determinism::Ambiguous("a".to_string()));
+    // Its deterministic rewrite is fine.
+    let dtd2 = parse_dtd("<!ELEMENT x (a,(b|c))>", "t").unwrap();
+    let ContentSpec::Children(p2) = &dtd2.element("x").unwrap().content else { panic!() };
+    assert_eq!(*ContentAutomaton::compile(p2).determinism(), Determinism::Deterministic);
+}
+
+#[test]
+fn figure1_cmh_catches_wrong_documents() {
+    let cmh = multihier_xquery::corpus::figure1::cmh();
+    // Swap two encodings: the words document is not valid under lines' DTD.
+    let docs = multihier_xquery::corpus::figure1::documents();
+    let swapped = vec![docs[1].clone(), docs[0].clone(), docs[2].clone(), docs[3].clone()];
+    assert!(cmh.validate_documents(&swapped).is_err());
+}
+
+#[test]
+fn mixed_and_element_content_interact() {
+    let dtd = parse_dtd(
+        "<!ELEMENT r (head, body)> <!ELEMENT head (#PCDATA)> \
+         <!ELEMENT body (#PCDATA|em|strong)*> <!ELEMENT em (#PCDATA)> \
+         <!ELEMENT strong (#PCDATA)>",
+        "t",
+    )
+    .unwrap();
+    let ok = multihier_xquery::xml::parse(
+        "<r><head>t</head><body>a<em>b</em>c<strong>d</strong></body></r>",
+    )
+    .unwrap();
+    multihier_xquery::xml::dtd::validate(&ok, &dtd, &Default::default()).unwrap();
+    let bad = multihier_xquery::xml::parse("<r><body>x</body><head>t</head></r>").unwrap();
+    assert!(multihier_xquery::xml::dtd::validate(&bad, &dtd, &Default::default()).is_err());
+}

@@ -1,0 +1,87 @@
+//! Integration: the standalone XPath engine and the XQuery engine agree on
+//! the path sub-language, on random documents.
+
+use multihier_xquery::corpus::{generate, GeneratorConfig};
+use multihier_xquery::prelude::*;
+use multihier_xquery::xpath::Value;
+
+/// Evaluate a path in both engines and compare result node string-values.
+fn compare(g: &mhx_goddag::Goddag, path: &str) {
+    let xp = match evaluate_xpath(g, path).unwrap() {
+        Value::Nodes(ns) => ns
+            .iter()
+            .map(|&n| format!("{}:{}", g.name(n).unwrap_or(""), g.string_value(n)))
+            .collect::<Vec<_>>(),
+        other => panic!("expected node-set from `{path}`, got {other:?}"),
+    };
+    let q = format!("for $n in {path} return concat(name($n), ':', string($n), '\u{1}')");
+    let xq_out = run_query(g, &q).unwrap();
+    let xq: Vec<String> = xq_out
+        .split('\u{1}')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    assert_eq!(xp, xq, "engines disagree on `{path}`");
+}
+
+#[test]
+fn engines_agree_on_extended_paths() {
+    let doc = generate(&GeneratorConfig {
+        text_len: 700,
+        hierarchies: 3,
+        boundary_jitter: 0.8,
+        nested: true,
+        ..Default::default()
+    });
+    let g = doc.build_goddag();
+    for path in [
+        "/descendant::e0",
+        "/descendant::e1[overlapping::e0]",
+        "/descendant::e2[xancestor::e0]",
+        "/descendant::e0/xdescendant::e1",
+        "/descendant::e0[1]/xfollowing::e1",
+        "/descendant::e0[last()]/xpreceding::e1",
+        "/descendant::e1[preceding-overlapping::e0]",
+        "/descendant::e1[following-overlapping::e0]",
+        "/descendant::leaf()[ancestor::e0 and ancestor::e1]",
+        "/descendant::text(\"h0\")",
+        "/descendant::node(\"h1\")[2]",
+        "/descendant::*(\"h2\")",
+        "/descendant::s0/parent::node()",
+        "//e0/following-sibling::e0[1]",
+        "/descendant::e0[@n = '1']",
+    ] {
+        compare(&g, path);
+    }
+}
+
+#[test]
+fn engines_agree_on_figure1_paths() {
+    let g = multihier_xquery::corpus::figure1::goddag();
+    for path in [
+        "/descendant::line[xdescendant::w[string(.) = 'singallice'] or \
+         overlapping::w[string(.) = 'singallice']]",
+        "/descendant::w[xancestor::dmg or xdescendant::dmg or overlapping::dmg]",
+        "/descendant::leaf()[ancestor::w and ancestor::dmg]",
+        "/descendant::vline/xdescendant::res",
+        "/descendant::res[overlapping::line]",
+    ] {
+        compare(&g, path);
+    }
+}
+
+#[test]
+fn xpath_functions_match_xquery_functions() {
+    let g = multihier_xquery::corpus::figure1::goddag();
+    for (xp, xq) in [
+        ("count(/descendant::w)", "count(/descendant::w)"),
+        ("string-length(string(/))", "string-length(string(root()))"),
+        ("normalize-space('  a  b ')", "normalize-space('  a  b ')"),
+        ("substring('singallice', 4, 4)", "substring('singallice', 4, 4)"),
+        ("translate('abc', 'ab', 'x')", "translate('abc', 'ab', 'x')"),
+    ] {
+        let a = evaluate_xpath(&g, xp).unwrap().to_str(&g);
+        let b = run_query(&g, xq).unwrap();
+        assert_eq!(a, b, "{xp} vs {xq}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration: engine robustness — deeply nested queries, large FLWOR
+//! pipelines, error paths, and generated-document fuzzing at the query
+//! level.
+
+use multihier_xquery::corpus::{figure1, generate, GeneratorConfig};
+use multihier_xquery::prelude::*;
+
+#[test]
+fn deeply_nested_flwor() {
+    let g = figure1::goddag();
+    let out = run_query(
+        &g,
+        "for $a in (1, 2) return \
+           for $b in (1, 2) return \
+             for $c in (1, 2) return \
+               for $d in (1, 2) return \
+                 concat($a, $b, $c, $d, ' ')",
+    )
+    .unwrap();
+    assert_eq!(out.split_whitespace().count(), 16);
+    assert!(out.starts_with("1111 "));
+    assert!(out.trim_end().ends_with("2222"));
+}
+
+#[test]
+fn long_pipeline_with_order_and_where() {
+    let g = figure1::goddag();
+    let out = run_query(
+        &g,
+        "for $l in /descendant::leaf() \
+         let $len := string-length(string($l)) \
+         where $len > 1 \
+         order by $len descending, string($l) \
+         return concat(string($l), ':', $len, ' ')",
+    )
+    .unwrap();
+    // Longest leaves first: gesceaftum(10), endendne(8), gallice(7),
+    // gecyn/sibbe(5,5 — alpha), una(3), de/in/þa(2,2,2 — alpha).
+    assert_eq!(
+        out,
+        "gesceaftum:10 endendne:8 gallice:7 gecyn:5 sibbe:5 una:3 de:2 in:2 þa:2 "
+    );
+}
+
+#[test]
+fn query_errors_are_messages_not_panics() {
+    let g = figure1::goddag();
+    for bad in [
+        "for $x in",
+        "1 +",
+        "//w[",
+        "<a>{",
+        "analyze-string(//w, '[')",
+        "let $x := 1 return $y",
+        "position()", // no focus
+        "wat::w",
+        "5/child::a",
+        "count((1,2), 3)",
+    ] {
+        match run_query(&g, bad) {
+            Err(e) => assert!(!e.msg.is_empty(), "{bad}"),
+            Ok(out) => panic!("`{bad}` unexpectedly evaluated to {out:?}"),
+        }
+    }
+}
+
+#[test]
+fn generated_documents_answer_structural_queries() {
+    for seed in 0..5u64 {
+        let doc = generate(&GeneratorConfig {
+            seed,
+            text_len: 400,
+            hierarchies: 3,
+            boundary_jitter: 0.7,
+            nested: true,
+            ..Default::default()
+        });
+        let g = doc.build_goddag();
+        // Structural invariants expressed as queries.
+        let leaves: usize =
+            run_query(&g, "count(/descendant::leaf())").unwrap().parse().unwrap();
+        assert_eq!(leaves, g.leaf_count());
+        let total_text_len: usize = run_query(
+            &g,
+            "string-length(string(root()))",
+        )
+        .unwrap()
+        .parse()
+        .unwrap();
+        assert_eq!(total_text_len, g.text().chars().count());
+        // Every leaf has at least one element ancestor in each covering
+        // hierarchy (here: h0 covers everything).
+        let uncovered: usize = run_query(
+            &g,
+            "count(/descendant::leaf()[not(ancestor::node(\"h0\"))])",
+        )
+        .unwrap()
+        .parse()
+        .unwrap();
+        assert_eq!(uncovered, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn unicode_text_handled_end_to_end() {
+    let g = GoddagBuilder::new()
+        .hierarchy("a", "<r><w>þæt wæs gōd</w> <w>cyning</w></r>")
+        .hierarchy("b", "<r><half>þæt wæs</half> <half>gōd cyning</half></r>")
+        .build()
+        .unwrap();
+    assert_eq!(run_query(&g, "string-length(string(root()))").unwrap(), "18");
+    // w1 "þæt wæs gōd" (0..15) properly overlaps half2 "gōd cyning"
+    // (11..22); w2 "cyning" is *contained* in half2, so it does not.
+    let out = run_query(&g, "for $w in //w[overlapping::half] return string($w)").unwrap();
+    assert_eq!(out, "þæt wæs gōd");
+    let hits = run_query(
+        &g,
+        "let $r := analyze-string(root(), 'wæs g') return count($r/child::m)",
+    )
+    .unwrap();
+    assert_eq!(hits, "1");
+}
+
+#[test]
+fn whitespace_only_text_nodes_are_leaves_too() {
+    let g = GoddagBuilder::new()
+        .hierarchy("a", "<r><x>a</x> <x>b</x></r>")
+        .hierarchy("b", "<r><y>a b</y></r>")
+        .build()
+        .unwrap();
+    assert_eq!(g.leaf_count(), 3); // a, ␣, b
+    assert_eq!(run_query(&g, "string((/descendant::leaf())[2])").unwrap(), " ");
+}
