@@ -45,64 +45,56 @@ pub fn to_fragmentation(g: &Goddag, dominant: &str) -> FragmentationDoc {
             render.push('>');
         }
         let mut counters: BTreeMap<(u16, u32), u32> = BTreeMap::new();
-        walk_dominant(
-            g,
-            NodeId::Root,
-            dom_h,
-            &mut |piece: Piece<'_>, out_needed: bool| {
-                if pass == 0 {
-                    if let Piece::Run { cover, .. } = &piece {
-                        for (h, _, id) in cover.iter() {
-                            let hid = g.hierarchy_id(h).expect("cover hierarchy exists");
-                            *runs_per_elem.entry((hid.0, *id)).or_insert(0) += 1;
-                        }
-                    }
-                    return;
-                }
-                if !out_needed {
-                    return;
-                }
-                match piece {
-                    Piece::Open(name, attrs) => {
-                        render.push('<');
-                        render.push_str(name);
-                        for (k, v) in &attrs {
-                            render.push_str(&format!(
-                                r#" {k}="{}""#,
-                                mhx_xml::escape::escape_attr(v)
-                            ));
-                        }
-                        render.push('>');
-                    }
-                    Piece::Close(name) => {
-                        render.push_str("</");
-                        render.push_str(name);
-                        render.push('>');
-                    }
-                    Piece::Run { text, cover } => {
-                        for (h, name, id) in cover.iter() {
-                            let hid = g.hierarchy_id(h).expect("cover hierarchy exists");
-                            let count = counters.entry((hid.0, *id)).or_insert(0);
-                            *count += 1;
-                            let total = runs_per_elem.get(&(hid.0, *id)).copied().unwrap_or(1);
-                            let part = match (total, *count) {
-                                (1, _) => "S",
-                                (_, 1) => "I",
-                                (t, c) if c == t => "F",
-                                _ => "M",
-                            };
-                            render.push_str(&format!(
-                                r#"<frag h="{h}" n="{name}" id="{id}" part="{part}">"#
-                            ));
-                        }
-                        render.push_str(&mhx_xml::escape::escape_text(text));
-                        for _ in cover.iter() {
-                            render.push_str("</frag>");
-                        }
+        walk_dominant(g, NodeId::Root, dom_h, &mut |piece: Piece<'_>, out_needed: bool| {
+            if pass == 0 {
+                if let Piece::Run { cover, .. } = &piece {
+                    for (h, _, id) in cover.iter() {
+                        let hid = g.hierarchy_id(h).expect("cover hierarchy exists");
+                        *runs_per_elem.entry((hid.0, *id)).or_insert(0) += 1;
                     }
                 }
-            },
-        );
+                return;
+            }
+            if !out_needed {
+                return;
+            }
+            match piece {
+                Piece::Open(name, attrs) => {
+                    render.push('<');
+                    render.push_str(name);
+                    for (k, v) in &attrs {
+                        render.push_str(&format!(r#" {k}="{}""#, mhx_xml::escape::escape_attr(v)));
+                    }
+                    render.push('>');
+                }
+                Piece::Close(name) => {
+                    render.push_str("</");
+                    render.push_str(name);
+                    render.push('>');
+                }
+                Piece::Run { text, cover } => {
+                    for (h, name, id) in cover.iter() {
+                        let hid = g.hierarchy_id(h).expect("cover hierarchy exists");
+                        let count = counters.entry((hid.0, *id)).or_insert(0);
+                        *count += 1;
+                        let total = runs_per_elem.get(&(hid.0, *id)).copied().unwrap_or(1);
+                        let part = match (total, *count) {
+                            (1, _) => "S",
+                            (_, 1) => "I",
+                            (t, c) if c == t => "F",
+                            _ => "M",
+                        };
+                        render.push_str(&format!(
+                            r#"<frag h="{h}" n="{name}" id="{id}" part="{part}">"#
+                        ));
+                    }
+                    render.push_str(&mhx_xml::escape::escape_text(text));
+                    for _ in cover.iter() {
+                        render.push_str("</frag>");
+                    }
+                }
+            }
+        });
         if pass == 1 {
             render.push_str("</");
             render.push_str(g.root_name());
@@ -191,7 +183,13 @@ fn cover_of(g: &Goddag, at: u32, dom_h: mhx_goddag::HierarchyId) -> Cover {
             let n = NodeId::Elem { h, i };
             let (s, e) = g.span(n);
             if s <= at && at < e {
-                cover.push((e - s, h.0, hier.name.clone(), g.name(n).unwrap_or("?").to_string(), i));
+                cover.push((
+                    e - s,
+                    h.0,
+                    hier.name.clone(),
+                    g.name(n).unwrap_or("?").to_string(),
+                    i,
+                ));
             }
         }
     }
@@ -361,8 +359,7 @@ mod tests {
         let words_g: Vec<_> =
             goddag_regions(&g, "words").into_iter().filter(|r| r.name == "w").collect();
         let lines_f = fr.dominant_regions(Some("line"));
-        let words_f: Vec<_> =
-            fr.regions("words").into_iter().filter(|r| r.name == "w").collect();
+        let words_f: Vec<_> = fr.regions("words").into_iter().filter(|r| r.name == "w").collect();
         assert_eq!(
             overlapping_pairs(&lines_g, &words_g).len(),
             overlapping_pairs(&lines_f, &words_f).len()

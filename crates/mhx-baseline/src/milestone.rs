@@ -110,18 +110,16 @@ fn write_dominant(
                         break;
                     }
                     if off > cursor {
-                        out.push_str(
-                            &mhx_xml::escape::escape_text(&text[cursor as usize..off as usize]),
-                        );
+                        out.push_str(&mhx_xml::escape::escape_text(
+                            &text[cursor as usize..off as usize],
+                        ));
                         cursor = off;
                     }
                     out.push_str(&events[*ev_idx].2);
                     *ev_idx += 1;
                 }
                 if cursor < e {
-                    out.push_str(
-                        &mhx_xml::escape::escape_text(&text[cursor as usize..e as usize]),
-                    );
+                    out.push_str(&mhx_xml::escape::escape_text(&text[cursor as usize..e as usize]));
                 }
             }
             _ => {}
@@ -160,7 +158,14 @@ impl MilestoneDoc {
         let mut open: Vec<(u32, String, u32)> = Vec::new(); // (id, name, start)
         let mut done: Vec<Region> = Vec::new();
         let mut offset = 0u32;
-        scan(&self.doc, self.doc.root_element().expect("root"), hierarchy, &mut offset, &mut open, &mut done);
+        scan(
+            &self.doc,
+            self.doc.root_element().expect("root"),
+            hierarchy,
+            &mut offset,
+            &mut open,
+            &mut done,
+        );
         done.sort_by_key(|r| r.id);
         done
     }
@@ -302,8 +307,7 @@ mod tests {
         let words_g: Vec<_> =
             goddag_regions(&g, "words").into_iter().filter(|r| r.name == "w").collect();
         let lines_m = ms.dominant_regions(Some("line"));
-        let words_m: Vec<_> =
-            ms.regions("words").into_iter().filter(|r| r.name == "w").collect();
+        let words_m: Vec<_> = ms.regions("words").into_iter().filter(|r| r.name == "w").collect();
         assert_eq!(
             overlapping_pairs(&lines_g, &words_g).len(),
             overlapping_pairs(&lines_m, &words_m).len()

@@ -27,10 +27,7 @@ pub fn goddag_overlap_count(g: &Goddag, a_name: &str, b_name: &str) -> usize {
 
 /// Same count via region extraction (used for the baselines and for the
 /// goddag-region control).
-pub fn region_overlap_count(
-    a: &[crate::region::Region],
-    b: &[crate::region::Region],
-) -> usize {
+pub fn region_overlap_count(a: &[crate::region::Region], b: &[crate::region::Region]) -> usize {
     overlapping_pairs(a, b).len()
 }
 
@@ -56,8 +53,7 @@ pub fn milestone_overlap_count(
     b_name: &str,
 ) -> usize {
     let a = ms.dominant_regions(Some(a_name));
-    let b: Vec<_> =
-        ms.regions(b_hierarchy).into_iter().filter(|r| r.name == b_name).collect();
+    let b: Vec<_> = ms.regions(b_hierarchy).into_iter().filter(|r| r.name == b_name).collect();
     overlapping_pairs(&a, &b).len()
 }
 
@@ -69,8 +65,7 @@ pub fn fragmentation_overlap_count(
     b_name: &str,
 ) -> usize {
     let a = fr.dominant_regions(Some(a_name));
-    let b: Vec<_> =
-        fr.regions(b_hierarchy).into_iter().filter(|r| r.name == b_name).collect();
+    let b: Vec<_> = fr.regions(b_hierarchy).into_iter().filter(|r| r.name == b_name).collect();
     overlapping_pairs(&a, &b).len()
 }
 
@@ -82,8 +77,7 @@ pub fn milestone_containment_count(
     b_name: &str,
 ) -> usize {
     let a = ms.dominant_regions(Some(a_name));
-    let b: Vec<_> =
-        ms.regions(b_hierarchy).into_iter().filter(|r| r.name == b_name).collect();
+    let b: Vec<_> = ms.regions(b_hierarchy).into_iter().filter(|r| r.name == b_name).collect();
     containing_pairs(&a, &b).len()
 }
 
@@ -94,8 +88,7 @@ pub fn fragmentation_containment_count(
     b_name: &str,
 ) -> usize {
     let a = fr.dominant_regions(Some(a_name));
-    let b: Vec<_> =
-        fr.regions(b_hierarchy).into_iter().filter(|r| r.name == b_name).collect();
+    let b: Vec<_> = fr.regions(b_hierarchy).into_iter().filter(|r| r.name == b_name).collect();
     containing_pairs(&a, &b).len()
 }
 

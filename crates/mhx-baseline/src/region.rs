@@ -100,10 +100,8 @@ mod tests {
     fn overlap_and_containment() {
         let g = figure1::goddag();
         let lines = goddag_regions(&g, "lines");
-        let words: Vec<Region> = goddag_regions(&g, "words")
-            .into_iter()
-            .filter(|r| r.name == "w")
-            .collect();
+        let words: Vec<Region> =
+            goddag_regions(&g, "words").into_iter().filter(|r| r.name == "w").collect();
         // Only "singallice" (24..34) properly overlaps a line.
         let ov = overlapping_pairs(&lines, &words);
         assert_eq!(ov.len(), 2, "singallice overlaps both lines");

@@ -11,11 +11,8 @@ fn by_text_size(c: &mut Criterion) {
     let mut grp = c.benchmark_group("e11_analyze_by_size");
     grp.sample_size(10).measurement_time(Duration::from_secs(1));
     for size in [500usize, 4_000, 16_000] {
-        let doc = generate(&GeneratorConfig {
-            text_len: size,
-            hierarchies: 2,
-            ..Default::default()
-        });
+        let doc =
+            generate(&GeneratorConfig { text_len: size, hierarchies: 2, ..Default::default() });
         let g = doc.build_goddag();
         grp.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
             b.iter(|| {
@@ -59,13 +56,9 @@ fn mode_comparison(c: &mut Criterion) {
     let q = "let $r := analyze-string(root(), '.*sceaft.*') return count($r/child::m)";
     let mut grp = c.benchmark_group("e11_analyze_mode");
     grp.sample_size(10).measurement_time(Duration::from_secs(1));
-    grp.bench_function("paper_compat", |b| {
-        b.iter(|| black_box(run_query(&g, q).unwrap()))
-    });
+    grp.bench_function("paper_compat", |b| b.iter(|| black_box(run_query(&g, q).unwrap())));
     let xslt = EvalOptions { analyze_mode: AnalyzeMode::Xslt, ..Default::default() };
-    grp.bench_function("xslt", |b| {
-        b.iter(|| black_box(run_query_with(&g, q, &xslt).unwrap()))
-    });
+    grp.bench_function("xslt", |b| b.iter(|| black_box(run_query_with(&g, q, &xslt).unwrap())));
     grp.finish();
 }
 

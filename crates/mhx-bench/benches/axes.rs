@@ -1,12 +1,18 @@
 //! E9 + E12 — extended-axis microbenchmarks and the interval-vs-set
 //! ablation: Definition 1 evaluated via O(1) span comparisons (our
 //! representation choice) against the literal leaf-set semantics.
+//!
+//! Plus E13: the structural index against the naive `all_nodes()` scan on
+//! a ≥10k-node corpus, with a machine-readable snapshot written to
+//! `BENCH_axes.json` at the workspace root (the acceptance evidence for
+//! the index subsystem: ≥5× on the selective axes).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mhx_corpus::{generate, GeneratorConfig};
 use mhx_goddag::axes::{axis_nodes, setsem, Axis};
+use mhx_goddag::{Goddag, NodeId, StructIndex};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const EXTENDED: [Axis; 7] = [
     Axis::XAncestor,
@@ -38,9 +44,7 @@ fn per_axis(c: &mut Criterion) {
     let mut grp = c.benchmark_group("e12_extended_axes");
     grp.sample_size(20).measurement_time(Duration::from_millis(600));
     for axis in EXTENDED {
-        grp.bench_function(axis.name(), |b| {
-            b.iter(|| black_box(axis_nodes(&g, axis, ctx)))
-        });
+        grp.bench_function(axis.name(), |b| b.iter(|| black_box(axis_nodes(&g, axis, ctx))));
     }
     // Standard axes for reference.
     for axis in [Axis::Descendant, Axis::Ancestor, Axis::Following] {
@@ -107,5 +111,126 @@ fn order_iteration(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, per_axis, interval_vs_set, order_iteration);
+/// A ≥10k-node generated corpus (counted, not assumed).
+fn large_corpus() -> Goddag {
+    let doc = generate(&GeneratorConfig {
+        text_len: 24_000,
+        hierarchies: 4,
+        boundary_jitter: 0.8,
+        avg_element_len: 25,
+        ..Default::default()
+    });
+    let g = doc.build_goddag();
+    assert!(g.all_nodes().len() >= 10_000, "corpus too small: {} nodes", g.all_nodes().len());
+    g
+}
+
+/// Mid-document element contexts spread across hierarchies.
+fn contexts(g: &Goddag, k: usize) -> Vec<NodeId> {
+    let elems: Vec<NodeId> =
+        g.all_nodes().into_iter().filter(|n| matches!(n, NodeId::Elem { .. })).collect();
+    (0..k).map(|i| elems[(i + 1) * elems.len() / (k + 2)]).collect()
+}
+
+/// E13 — indexed vs scan through criterion.
+fn indexed_vs_scan(c: &mut Criterion) {
+    let g = large_corpus();
+    let idx = StructIndex::build(&g);
+    let ctxs = contexts(&g, 8);
+
+    let mut grp = c.benchmark_group("e13_indexed_vs_scan");
+    grp.sample_size(10).measurement_time(Duration::from_millis(600));
+    for axis in EXTENDED {
+        grp.bench_function(format!("scan_{}", axis.name()), |b| {
+            b.iter(|| {
+                for &n in &ctxs {
+                    black_box(axis_nodes(&g, axis, n));
+                }
+            })
+        });
+        grp.bench_function(format!("indexed_{}", axis.name()), |b| {
+            b.iter(|| {
+                for &n in &ctxs {
+                    black_box(idx.axis_nodes(&g, axis, n));
+                }
+            })
+        });
+    }
+    grp.bench_function("index_build", |b| b.iter(|| black_box(StructIndex::build(&g))));
+    grp.finish();
+}
+
+/// E13 snapshot — median per-axis timings and speedups, written to
+/// `BENCH_axes.json` at the workspace root.
+fn emit_snapshot(_c: &mut Criterion) {
+    let g = large_corpus();
+    let idx = StructIndex::build(&g);
+    let ctxs = contexts(&g, 8);
+    let node_count = g.all_nodes().len();
+
+    let median_ns = |f: &dyn Fn()| -> f64 {
+        // Warm once, then take the median of repeated batches.
+        f();
+        let mut samples = Vec::with_capacity(9);
+        for _ in 0..9 {
+            let t0 = Instant::now();
+            f();
+            samples.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        samples[samples.len() / 2]
+    };
+
+    let mut rows = Vec::new();
+    for axis in EXTENDED {
+        let scan = median_ns(&|| {
+            for &n in &ctxs {
+                black_box(axis_nodes(&g, axis, n));
+            }
+        });
+        let indexed = median_ns(&|| {
+            for &n in &ctxs {
+                black_box(idx.axis_nodes(&g, axis, n));
+            }
+        });
+        rows.push(format!(
+            "    {{\"axis\": \"{}\", \"scan_ns\": {:.0}, \"indexed_ns\": {:.0}, \
+             \"speedup\": {:.1}}}",
+            axis.name(),
+            scan,
+            indexed,
+            scan / indexed
+        ));
+        println!(
+            "{:<24} scan {:>12.0} ns   indexed {:>12.0} ns   speedup {:>8.1}x",
+            axis.name(),
+            scan,
+            indexed,
+            scan / indexed
+        );
+    }
+    let build_ns = median_ns(&|| {
+        black_box(StructIndex::build(&g));
+    });
+    let json = format!(
+        "{{\n  \"bench\": \"axes_indexed_vs_scan\",\n  \"nodes\": {},\n  \
+         \"contexts_per_measure\": {},\n  \"index_build_ns\": {:.0},\n  \"axes\": [\n{}\n  ]\n}}\n",
+        node_count,
+        ctxs.len(),
+        build_ns,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_axes.json");
+    std::fs::write(path, json).expect("write BENCH_axes.json");
+    println!("wrote {path} ({node_count} nodes, index build {build_ns:.0} ns)");
+}
+
+criterion_group!(
+    benches,
+    per_axis,
+    interval_vs_set,
+    order_iteration,
+    indexed_vs_scan,
+    emit_snapshot
+);
 criterion_main!(benches);

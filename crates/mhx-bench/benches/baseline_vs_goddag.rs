@@ -30,9 +30,7 @@ fn series_by_size(c: &mut Criterion) {
             b.iter(|| black_box(queries::goddag_overlap_count(&gd, "e0", "e1")))
         });
         g.bench_with_input(BenchmarkId::new("goddag_regions", size), &size, |b, _| {
-            b.iter(|| {
-                black_box(queries::goddag_region_overlap_count(&gd, "h0", "e0", "h1", "e1"))
-            })
+            b.iter(|| black_box(queries::goddag_region_overlap_count(&gd, "h0", "e0", "h1", "e1")))
         });
         g.bench_with_input(BenchmarkId::new("milestone_scan", size), &size, |b, _| {
             b.iter(|| black_box(queries::milestone_overlap_count(&ms, "e0", "h1", "e1")))
@@ -63,22 +61,14 @@ fn series_by_overlap(c: &mut Criterion) {
             b.iter(|| black_box(queries::goddag_overlap_count(&gd, "e0", "e1")))
         });
         g.bench_with_input(BenchmarkId::new("goddag_regions", &key), &jitter, |b, _| {
-            b.iter(|| {
-                black_box(queries::goddag_region_overlap_count(&gd, "h0", "e0", "h1", "e1"))
-            })
+            b.iter(|| black_box(queries::goddag_region_overlap_count(&gd, "h0", "e0", "h1", "e1")))
         });
         g.bench_with_input(BenchmarkId::new("milestone_scan", &key), &jitter, |b, _| {
             b.iter(|| black_box(queries::milestone_overlap_count(&ms, "e0", "h1", "e1")))
         });
-        g.bench_with_input(
-            BenchmarkId::new("fragmentation_regroup", &key),
-            &jitter,
-            |b, _| {
-                b.iter(|| {
-                    black_box(queries::fragmentation_overlap_count(&fr, "e0", "h1", "e1"))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("fragmentation_regroup", &key), &jitter, |b, _| {
+            b.iter(|| black_box(queries::fragmentation_overlap_count(&fr, "e0", "h1", "e1")))
+        });
     }
     g.finish();
 }
@@ -95,9 +85,7 @@ fn build_costs(c: &mut Criterion) {
     g.bench_function("build_goddag", |b| b.iter(|| black_box(doc.build_goddag())));
     let gd = doc.build_goddag();
     g.bench_function("build_milestone", |b| b.iter(|| black_box(to_milestone(&gd, "h0"))));
-    g.bench_function("build_fragmentation", |b| {
-        b.iter(|| black_box(to_fragmentation(&gd, "h0")))
-    });
+    g.bench_function("build_fragmentation", |b| b.iter(|| black_box(to_fragmentation(&gd, "h0"))));
     g.finish();
 }
 

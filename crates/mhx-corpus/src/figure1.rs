@@ -12,29 +12,42 @@ use mhx_xml::Document;
 pub const TEXT: &str = "gesceaftum unawendendne singallice sibbe gecynde þa";
 
 /// Physical manuscript organization: `<line>`.
-pub const LINES: &str = "<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe gecynde þa</line></r>";
+pub const LINES: &str =
+    "<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe gecynde þa</line></r>";
 
 /// Document structure: `<vline>` (verse lines) and `<w>` (words).
 pub const WORDS: &str = "<r><vline><w>gesceaftum</w> <w>unawendendne</w> </vline><vline><w>singallice</w> <w>sibbe</w> <w>gecynde</w> </vline><vline><w>þa</w></vline></r>";
 
 /// Editorial restorations: `<res>`.
-pub const RESTORATIONS: &str = "<r><res>gesceaftum una</res>wendendne s<res>in</res><res>gallice sibbe gecyn</res>de þa</r>";
+pub const RESTORATIONS: &str =
+    "<r><res>gesceaftum una</res>wendendne s<res>in</res><res>gallice sibbe gecyn</res>de þa</r>";
 
 /// Manuscript condition: `<dmg>` (damage).
-pub const DAMAGE: &str = "<r>gesceaftum una<dmg>w</dmg>endendne singallice sibbe gecyn<dmg>de þa</dmg></r>";
+pub const DAMAGE: &str =
+    "<r>gesceaftum una<dmg>w</dmg>endendne singallice sibbe gecyn<dmg>de þa</dmg></r>";
 
 /// `(hierarchy name, encoding)` in the paper's order.
-pub const ENCODINGS: [(&str, &str); 4] = [
-    ("lines", LINES),
-    ("words", WORDS),
-    ("restorations", RESTORATIONS),
-    ("damage", DAMAGE),
-];
+pub const ENCODINGS: [(&str, &str); 4] =
+    [("lines", LINES), ("words", WORDS), ("restorations", RESTORATIONS), ("damage", DAMAGE)];
 
 /// The 16 leaves of Figure 2, in order.
 pub const LEAVES: [&str; 16] = [
-    "gesceaftum", " ", "una", "w", "endendne", " ", "s", "in", "gallice", " ", "sibbe", " ",
-    "gecyn", "de", " ", "þa",
+    "gesceaftum",
+    " ",
+    "una",
+    "w",
+    "endendne",
+    " ",
+    "s",
+    "in",
+    "gallice",
+    " ",
+    "sibbe",
+    " ",
+    "gecyn",
+    "de",
+    " ",
+    "þa",
 ];
 
 /// Build the Figure-1 KyGODDAG.
@@ -48,10 +61,7 @@ pub fn goddag() -> Goddag {
 
 /// The four encodings as parsed documents.
 pub fn documents() -> Vec<Document> {
-    ENCODINGS
-        .iter()
-        .map(|(_, src)| mhx_xml::parse(src).expect("static corpus parses"))
-        .collect()
+    ENCODINGS.iter().map(|(_, src)| mhx_xml::parse(src).expect("static corpus parses")).collect()
 }
 
 /// The Figure-1 CMH (four DTDs over root `r`).
@@ -82,7 +92,8 @@ pub const QUERY_I2_STRICT: &str = "for $l in /descendant::line[xdescendant::w[xa
  return ( for $leaf in $l/descendant::leaf() return \
  if ($leaf[ancestor::w and ancestor::dmg]) then <b>{$leaf}</b> else $leaf , <br/> )";
 
-pub const EXPECTED_I2_STRICT: &str = "gesceaftum una<b>w</b>endendne sin<br/>gallice sibbe gecyn<b>de</b> <b>þa</b><br/>";
+pub const EXPECTED_I2_STRICT: &str =
+    "gesceaftum una<b>w</b>endendne sin<br/>gallice sibbe gecyn<b>de</b> <b>þa</b><br/>";
 
 /// Paper query II.1 with the documented `child::node()`/`self::m`
 /// correction (DESIGN.md §6.2).
@@ -145,8 +156,8 @@ mod tests {
     fn all_paper_queries_reproduce() {
         let g = goddag();
         for (id, query, expected) in PAPER_QUERIES {
-            let out = mhx_xquery::run_query(&g, query)
-                .unwrap_or_else(|e| panic!("query {id}: {e}"));
+            let out =
+                mhx_xquery::run_query(&g, query).unwrap_or_else(|e| panic!("query {id}: {e}"));
             assert_eq!(out, expected, "query {id}");
         }
     }

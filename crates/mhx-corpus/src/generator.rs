@@ -124,11 +124,8 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedDoc {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let text = generate_text(&mut rng, config.text_len);
     // Shared boundary grid (char-boundary-safe positions).
-    let positions: Vec<usize> = text
-        .char_indices()
-        .map(|(i, _)| i)
-        .chain(std::iter::once(text.len()))
-        .collect();
+    let positions: Vec<usize> =
+        text.char_indices().map(|(i, _)| i).chain(std::iter::once(text.len())).collect();
     let grid = draw_boundaries(&mut rng, &positions, config.avg_element_len);
 
     let mut encodings = Vec::with_capacity(config.hierarchies);
@@ -145,10 +142,7 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedDoc {
                     if rng.gen_bool(config.boundary_jitter.clamp(0.0, 1.0)) {
                         b
                     } else {
-                        *grid
-                            .iter()
-                            .min_by_key(|&&gb| gb.abs_diff(b))
-                            .expect("grid is non-empty")
+                        *grid.iter().min_by_key(|&&gb| gb.abs_diff(b)).expect("grid is non-empty")
                     }
                 })
                 .collect();

@@ -103,11 +103,7 @@ pub fn generate(config: &TeiConfig) -> TeiDoc {
         }
         let end_char = (i + config.line_width).min(chars.len());
         let start_byte = chars[i].0;
-        let end_byte = if end_char == chars.len() {
-            text.len()
-        } else {
-            chars[end_char].0
-        };
+        let end_byte = if end_char == chars.len() { text.len() } else { chars[end_char].0 };
         physical.push_str(&format!("<phline n=\"{}\">", line_no + 1));
         physical.push_str(&mhx_xml::escape::escape_text(&text[start_byte..end_byte]));
         physical.push_str("</phline>");
@@ -140,16 +136,11 @@ mod tests {
         let doc = generate(&TeiConfig::default());
         let g = doc.build_goddag();
         // At least one speech overlaps a print line (the whole point).
-        let speeches: Vec<_> = g
-            .all_nodes()
-            .into_iter()
-            .filter(|&n| g.name(n) == Some("sp"))
-            .collect();
+        let speeches: Vec<_> =
+            g.all_nodes().into_iter().filter(|&n| g.name(n) == Some("sp")).collect();
         assert!(!speeches.is_empty());
         let overlapping_any = speeches.iter().any(|&sp| {
-            axis_nodes(&g, Axis::Overlapping, sp)
-                .iter()
-                .any(|&m| g.name(m) == Some("phline"))
+            axis_nodes(&g, Axis::Overlapping, sp).iter().any(|&m| g.name(m) == Some("phline"))
         });
         assert!(overlapping_any, "speeches must cross line breaks");
     }

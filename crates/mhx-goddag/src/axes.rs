@@ -317,16 +317,10 @@ pub mod setsem {
                     Axis::XFollowing => max_n < min_m,
                     Axis::XPreceding => min_n > max_m,
                     Axis::PrecedingOverlapping => {
-                        !ln.is_disjoint(&lm)
-                            && min_m < min_n
-                            && min_n <= max_m
-                            && max_n > max_m
+                        !ln.is_disjoint(&lm) && min_m < min_n && min_n <= max_m && max_n > max_m
                     }
                     Axis::FollowingOverlapping => {
-                        !ln.is_disjoint(&lm)
-                            && min_m <= max_n
-                            && max_n < max_m
-                            && min_n < min_m
+                        !ln.is_disjoint(&lm) && min_m <= max_n && max_n < max_m && min_n < min_m
                     }
                     Axis::Overlapping => {
                         !ln.is_disjoint(&lm)
@@ -576,7 +570,7 @@ mod tests {
     fn leaf_context_extended_axes() {
         let g = figure1();
         let leaf_w = g.leaf_at(14); // "w"
-        // xancestor of leaf includes dmg1 and the word.
+                                    // xancestor of leaf includes dmg1 and the word.
         let xa = axis_nodes(&g, Axis::XAncestor, leaf_w);
         assert!(!named(&g, &xa, "dmg").is_empty());
         assert!(!named(&g, &xa, "w").is_empty());

@@ -68,11 +68,7 @@ impl Boundaries {
 
     /// End offset of the leaf starting at (or containing) `offset`.
     pub fn leaf_end_at(&self, offset: u32) -> u32 {
-        self.map
-            .range(offset + 1..)
-            .next()
-            .map(|(k, _)| *k)
-            .unwrap_or(self.text_len)
+        self.map.range(offset + 1..).next().map(|(k, _)| *k).unwrap_or(self.text_len)
     }
 
     /// The leaf `(start, end)` containing `offset`.
@@ -179,10 +175,7 @@ mod tests {
         // 16 leaves as in Figure 2.
         assert_eq!(b.leaf_count(), 16);
         let starts: Vec<u32> = b.leaf_starts().collect();
-        assert_eq!(
-            starts,
-            vec![0, 10, 11, 14, 15, 23, 24, 25, 27, 34, 35, 40, 41, 46, 48, 49]
-        );
+        assert_eq!(starts, vec![0, 10, 11, 14, 15, 23, 24, 25, 27, 34, 35, 40, 41, 46, 48, 49]);
         // Leaf contents spell the partition from the paper.
         let words: Vec<&str> = starts
             .iter()
@@ -194,8 +187,22 @@ mod tests {
         assert_eq!(
             words,
             vec![
-                "gesceaftum", " ", "una", "w", "endendne", " ", "s", "in", "gallice", " ",
-                "sibbe", " ", "gecyn", "de", " ", "þa"
+                "gesceaftum",
+                " ",
+                "una",
+                "w",
+                "endendne",
+                " ",
+                "s",
+                "in",
+                "gallice",
+                " ",
+                "sibbe",
+                " ",
+                "gecyn",
+                "de",
+                " ",
+                "þa"
             ]
         );
     }

@@ -78,8 +78,7 @@ impl Cmh {
             expected_root: Some(self.root.clone()),
             ..ValidationOptions::default()
         };
-        validate(doc, &self.dtds[i], &opts)
-            .map_err(|e| GoddagError::Validation(e.to_string()))
+        validate(doc, &self.dtds[i], &opts).map_err(|e| GoddagError::Validation(e.to_string()))
     }
 
     /// Validate a full multihierarchical document: one encoding per DTD, in
@@ -160,8 +159,7 @@ mod tests {
 
     #[test]
     fn unreachable_element_rejected() {
-        let d1 =
-            parse_dtd("<!ELEMENT r (#PCDATA)> <!ELEMENT orphan (#PCDATA)>", "a").unwrap();
+        let d1 = parse_dtd("<!ELEMENT r (#PCDATA)> <!ELEMENT orphan (#PCDATA)>", "a").unwrap();
         let e = Cmh::new("r", vec![d1]).unwrap_err();
         assert!(matches!(e, GoddagError::Unreachable { .. }));
     }

@@ -64,11 +64,13 @@ pub fn to_dot(g: &Goddag) -> String {
         let _ = writeln!(out, "    label=\"{}\";", esc(&hier.name));
         for i in 0..hier.element_count() as u32 {
             let n = NodeId::Elem { h, i };
-            let _ = writeln!(out, "    \"{}\" [shape=ellipse label=\"{}\"];", n, esc(labels.get(n)));
+            let _ =
+                writeln!(out, "    \"{}\" [shape=ellipse label=\"{}\"];", n, esc(labels.get(n)));
         }
         for i in 0..hier.text_count() as u32 {
             let n = NodeId::Text { h, i };
-            let _ = writeln!(out, "    \"{}\" [shape=plaintext label=\"{}\"];", n, esc(labels.get(n)));
+            let _ =
+                writeln!(out, "    \"{}\" [shape=plaintext label=\"{}\"];", n, esc(labels.get(n)));
         }
         let _ = writeln!(out, "  }}");
     }

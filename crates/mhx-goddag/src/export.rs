@@ -27,11 +27,8 @@ pub fn hierarchy_to_xml(g: &Goddag, h: HierarchyId) -> String {
     out.push('>');
     // Children of the root restricted to this hierarchy, with gap text
     // filled from S (virtual hierarchies may not cover everything).
-    let kids: Vec<NodeId> = g
-        .children(NodeId::Root)
-        .into_iter()
-        .filter(|n| n.hierarchy() == Some(h))
-        .collect();
+    let kids: Vec<NodeId> =
+        g.children(NodeId::Root).into_iter().filter(|n| n.hierarchy() == Some(h)).collect();
     let mut cursor = 0u32;
     for k in kids {
         let (s, e) = g.span(k);
@@ -94,7 +91,8 @@ mod tests {
     const LINES: &str =
         "<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe gecynde þa</line></r>";
     const WORDS: &str = "<r><vline><w>gesceaftum</w> <w>unawendendne</w> </vline><vline><w>singallice</w> <w>sibbe</w> <w>gecynde</w> </vline><vline><w>þa</w></vline></r>";
-    const DAMAGE: &str = "<r>gesceaftum una<dmg>w</dmg>endendne singallice sibbe gecyn<dmg>de þa</dmg></r>";
+    const DAMAGE: &str =
+        "<r>gesceaftum una<dmg>w</dmg>endendne singallice sibbe gecyn<dmg>de þa</dmg></r>";
 
     fn figure1ish() -> Goddag {
         GoddagBuilder::new()
@@ -134,10 +132,7 @@ mod tests {
         let frag = FragmentSpec::new("hit", (11, 16));
         let h = g.add_virtual_hierarchy("search-results", &[frag]).unwrap();
         let xml = hierarchy_to_xml(&g, h);
-        assert_eq!(
-            xml,
-            "<r>gesceaftum <hit>unawe</hit>ndendne singallice sibbe gecynde þa</r>"
-        );
+        assert_eq!(xml, "<r>gesceaftum <hit>unawe</hit>ndendne singallice sibbe gecynde þa</r>");
         // The export is itself a valid hierarchy over the same text.
         let g2 = GoddagBuilder::new()
             .hierarchy("lines", LINES)

@@ -21,7 +21,19 @@ pub struct Goddag {
     /// Hierarchies `0..base_count` are permanent; the rest are virtual
     /// (analyze-string results) and removable in LIFO order.
     base_count: usize,
+    /// Bumped on every structural mutation (hierarchy install/removal).
+    /// [`crate::index::StructIndex`] snapshots it to detect staleness.
+    version: u64,
+    /// Process-unique document identity, shared by clones (the
+    /// copy-on-write evaluator's clone is the same document; a separately
+    /// built goddag is not, even with identical content). Together with
+    /// `version` this makes index staleness checks misuse-proof: an index
+    /// built for one document can never pass as current for another.
+    doc_id: u64,
 }
+
+/// Next [`Goddag::doc_id`]; process-unique is all identity needs.
+static NEXT_DOC_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Goddag {
     /// The base text `S`.
@@ -40,6 +52,17 @@ impl Goddag {
 
     pub fn hierarchy_count(&self) -> usize {
         self.hierarchies.len()
+    }
+
+    /// Structural version, bumped on every hierarchy install/removal. Used
+    /// by [`crate::index::StructIndex`] for lazy invalidation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Process-unique document identity (shared by clones).
+    pub fn doc_id(&self) -> u64 {
+        self.doc_id
     }
 
     pub fn base_hierarchy_count(&self) -> usize {
@@ -133,9 +156,9 @@ impl Goddag {
     pub fn in_hierarchy(&self, n: NodeId, h: HierarchyId) -> bool {
         match n {
             NodeId::Root => true,
-            NodeId::Elem { h: nh, .. } | NodeId::Text { h: nh, .. } | NodeId::Attr { h: nh, .. } => {
-                nh == h
-            }
+            NodeId::Elem { h: nh, .. }
+            | NodeId::Text { h: nh, .. }
+            | NodeId::Attr { h: nh, .. } => nh == h,
             NodeId::Leaf { start } => self.hierarchy(h).text_covering(start).is_some(),
         }
     }
@@ -160,13 +183,9 @@ impl Goddag {
                     hier.root_children.iter().map(move |&k| self.kid_to_node(h, k))
                 })
                 .collect(),
-            NodeId::Elem { h, i } => self
-                .hierarchy(h)
-                .elem(i)
-                .children
-                .iter()
-                .map(|&k| self.kid_to_node(h, k))
-                .collect(),
+            NodeId::Elem { h, i } => {
+                self.hierarchy(h).elem(i).children.iter().map(|&k| self.kid_to_node(h, k)).collect()
+            }
             NodeId::Text { h, i } => {
                 let (s, e) = self.hierarchy(h).text(i).span;
                 self.boundaries.leaves_in(s, e).map(|st| NodeId::Leaf { start: st }).collect()
@@ -350,9 +369,7 @@ impl Goddag {
             NodeId::Root => OrderKey::ROOT,
             NodeId::Elem { h, i } => OrderKey::in_hierarchy(h, self.hierarchy(h).elem(i).order),
             NodeId::Text { h, i } => OrderKey::in_hierarchy(h, self.hierarchy(h).text(i).order),
-            NodeId::Attr { h, elem, a } => {
-                OrderKey::attr(h, self.hierarchy(h).elem(elem).order, a)
-            }
+            NodeId::Attr { h, elem, a } => OrderKey::attr(h, self.hierarchy(h).elem(elem).order, a),
             NodeId::Leaf { start } => OrderKey::leaf(start),
         }
     }
@@ -374,24 +391,18 @@ impl Goddag {
     /// axes call this once per evaluation, which made the difference
     /// between O(N log N) and O(N) per axis call.
     pub fn all_nodes(&self) -> Vec<NodeId> {
-        let total: usize = self
-            .hierarchies
-            .iter()
-            .map(|h| h.element_count() + h.text_count())
-            .sum::<usize>()
-            + 1
-            + self.leaf_count();
+        let total: usize =
+            self.hierarchies.iter().map(|h| h.element_count() + h.text_count()).sum::<usize>()
+                + 1
+                + self.leaf_count();
         let mut out = Vec::with_capacity(total);
         out.push(NodeId::Root);
         for (h, hier) in self.hierarchies() {
             let (mut i, mut j) = (0u32, 0u32);
             let (ne, nt) = (hier.element_count() as u32, hier.text_count() as u32);
             while i < ne || j < nt {
-                let take_elem = if i < ne && j < nt {
-                    hier.elem(i).order < hier.text(j).order
-                } else {
-                    i < ne
-                };
+                let take_elem =
+                    if i < ne && j < nt { hier.elem(i).order < hier.text(j).order } else { i < ne };
                 if take_elem {
                     out.push(NodeId::Elem { h, i });
                     i += 1;
@@ -477,6 +488,7 @@ impl Goddag {
         if !is_virtual {
             self.base_count = self.hierarchies.len();
         }
+        self.version += 1;
         id
     }
 
@@ -495,6 +507,7 @@ impl Goddag {
             self.boundaries.remove(t.span.0);
             self.boundaries.remove(t.span.1);
         }
+        self.version += 1;
         Ok(())
     }
 
@@ -562,11 +575,8 @@ impl GoddagBuilder {
         };
         let root = first_doc.root_element()?;
         let root_name = first_doc.name(root).unwrap_or_default().to_string();
-        let root_attrs: Vec<(String, String)> = first_doc
-            .attrs(root)
-            .iter()
-            .map(|a| (a.name.clone(), a.value.clone()))
-            .collect();
+        let root_attrs: Vec<(String, String)> =
+            first_doc.attrs(root).iter().map(|a| (a.name.clone(), a.value.clone())).collect();
         let (h0, text) = Hierarchy::from_document(first_name, first_doc)?;
         let mut g = Goddag {
             boundaries: Boundaries::new(text.len() as u32),
@@ -575,6 +585,8 @@ impl GoddagBuilder {
             root_attrs,
             hierarchies: Vec::new(),
             base_count: 0,
+            version: 0,
+            doc_id: NEXT_DOC_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         };
         g.install(h0, false);
         for (name, doc) in docs.iter().skip(1) {
@@ -616,23 +628,34 @@ mod tests {
         assert_eq!(g.hierarchy_count(), 4);
         assert_eq!(g.leaf_count(), 16);
         assert_eq!(g.text(), "gesceaftum unawendendne singallice sibbe gecynde þa");
-        let leaf_texts: Vec<&str> =
-            g.leaves().iter().map(|&l| g.string_value(l)).collect();
+        let leaf_texts: Vec<&str> = g.leaves().iter().map(|&l| g.string_value(l)).collect();
         assert_eq!(
             leaf_texts,
             vec![
-                "gesceaftum", " ", "una", "w", "endendne", " ", "s", "in", "gallice", " ",
-                "sibbe", " ", "gecyn", "de", " ", "þa"
+                "gesceaftum",
+                " ",
+                "una",
+                "w",
+                "endendne",
+                " ",
+                "s",
+                "in",
+                "gallice",
+                " ",
+                "sibbe",
+                " ",
+                "gecyn",
+                "de",
+                " ",
+                "þa"
             ]
         );
     }
 
     #[test]
     fn text_mismatch_rejected() {
-        let r = GoddagBuilder::new()
-            .hierarchy("a", "<r>abc</r>")
-            .hierarchy("b", "<r>abX</r>")
-            .build();
+        let r =
+            GoddagBuilder::new().hierarchy("a", "<r>abc</r>").hierarchy("b", "<r>abX</r>").build();
         assert!(matches!(r, Err(GoddagError::TextMismatch { .. })));
     }
 
@@ -647,10 +670,8 @@ mod tests {
 
     #[test]
     fn duplicate_name_rejected() {
-        let r = GoddagBuilder::new()
-            .hierarchy("a", "<r>abc</r>")
-            .hierarchy("a", "<r>abc</r>")
-            .build();
+        let r =
+            GoddagBuilder::new().hierarchy("a", "<r>abc</r>").hierarchy("a", "<r>abc</r>").build();
         assert!(matches!(r, Err(GoddagError::DuplicateHierarchy(_))));
     }
 

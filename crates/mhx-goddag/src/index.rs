@@ -1,0 +1,462 @@
+//! Structural axis indexes over a [`Goddag`].
+//!
+//! The naive evaluator in [`crate::axes`] answers every extended axis by
+//! scanning `all_nodes()` — O(N) per step, O(N²) for a typical two-step
+//! path. [`StructIndex`] precomputes three structures so each axis becomes
+//! a binary search plus an output-proportional walk:
+//!
+//! * **name map** — element nodes grouped by name, in Definition-3 order,
+//!   for `descendant::name` steps (the per-hierarchy pre/post numbering
+//!   already stored on [`crate::hierarchy::ElemNode`] — `order` /
+//!   `subtree_last` — makes the per-candidate descendant check O(1));
+//! * **leaf-span interval arrays** — every non-empty-span node sorted by
+//!   span start and by span end, for `xfollowing` / `xpreceding` /
+//!   `following-overlapping` / `preceding-overlapping` / `overlapping` /
+//!   `xdescendant`;
+//! * **per-hierarchy containment chains** — element/text spans of one
+//!   hierarchy form a laminar (nesting) family, so the nodes containing a
+//!   given interval are one parent-chain walk from a binary-searched start,
+//!   for `xancestor`.
+//!
+//! An index is a snapshot: it records [`Goddag::version`] at build time and
+//! [`StructIndex::is_current`] reports staleness after virtual-hierarchy
+//! insertion or removal (`analyze-string()`); callers rebuild lazily. The
+//! naive scan stays in [`crate::axes`] as the reference oracle — the
+//! differential property suite asserts both agree on every axis.
+
+use crate::axes::{axis_nodes, Axis};
+use crate::goddag::Goddag;
+use crate::node::NodeId;
+use std::collections::HashMap;
+
+/// One non-empty node span. `start`/`end` are byte offsets into `S`.
+#[derive(Debug, Clone, Copy)]
+struct SpanEntry {
+    start: u32,
+    end: u32,
+    node: NodeId,
+}
+
+/// One node in a hierarchy's laminar containment chain. `parent` indexes
+/// into the same array (`u32::MAX` for top-level nodes).
+#[derive(Debug, Clone, Copy)]
+struct ChainEntry {
+    start: u32,
+    end: u32,
+    node: NodeId,
+    parent: u32,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Precomputed structural indexes for one [`Goddag`] snapshot.
+#[derive(Debug, Clone)]
+pub struct StructIndex {
+    version: u64,
+    doc_id: u64,
+    /// Element nodes (including the root) by name, Definition-3 order.
+    name_map: HashMap<String, Vec<NodeId>>,
+    /// All non-empty-span nodes in Definition-3 order with precomputed
+    /// spans — the low-selectivity axes (`xfollowing`/`xpreceding`) filter
+    /// this directly, producing sorted output with no re-sort and no
+    /// per-node span recomputation.
+    ordered: Vec<SpanEntry>,
+    /// The same entries sorted by `(start, end)`; ties keep Definition-3
+    /// order (stable sort over `all_nodes()`).
+    by_start: Vec<SpanEntry>,
+    /// The same entries sorted by `(end, start)`.
+    by_end: Vec<SpanEntry>,
+    /// Laminar containment chain per hierarchy, in span preorder
+    /// (start asc, end desc, node order asc).
+    chains: Vec<Vec<ChainEntry>>,
+}
+
+impl StructIndex {
+    /// Build every index structure in one `all_nodes()` pass plus sorts:
+    /// O(N log N) total.
+    pub fn build(g: &Goddag) -> StructIndex {
+        let all = g.all_nodes();
+        let mut name_map: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let mut ordered = Vec::with_capacity(all.len());
+        for &n in &all {
+            if n.is_element() {
+                if let Some(name) = g.name(n) {
+                    name_map.entry(name.to_string()).or_default().push(n);
+                }
+            }
+            let (s, e) = g.span(n);
+            if s < e {
+                ordered.push(SpanEntry { start: s, end: e, node: n });
+            }
+        }
+        let mut by_start = ordered.clone();
+        by_start.sort_by_key(|e| (e.start, e.end));
+        let mut by_end = by_start.clone();
+        by_end.sort_by_key(|e| (e.end, e.start));
+
+        let mut chains = Vec::with_capacity(g.hierarchy_count());
+        for (h, hier) in g.hierarchies() {
+            let mut nodes: Vec<(u32, u32, u32, NodeId)> = Vec::new();
+            for i in 0..hier.element_count() as u32 {
+                let e = hier.elem(i);
+                if e.span.0 < e.span.1 {
+                    nodes.push((e.span.0, e.span.1, e.order, NodeId::Elem { h, i }));
+                }
+            }
+            for i in 0..hier.text_count() as u32 {
+                let t = hier.text(i);
+                if t.span.0 < t.span.1 {
+                    nodes.push((t.span.0, t.span.1, t.order, NodeId::Text { h, i }));
+                }
+            }
+            // Span preorder: parents sort before children even on equal
+            // spans because DOM preorder breaks the tie.
+            nodes.sort_by_key(|&(s, e, order, _)| (s, std::cmp::Reverse(e), order));
+            let mut chain: Vec<ChainEntry> = Vec::with_capacity(nodes.len());
+            let mut stack: Vec<u32> = Vec::new();
+            for (s, e, _, node) in nodes {
+                while let Some(&top) = stack.last() {
+                    if chain[top as usize].end < e {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let parent = stack.last().copied().unwrap_or(NO_PARENT);
+                stack.push(chain.len() as u32);
+                chain.push(ChainEntry { start: s, end: e, node, parent });
+            }
+            chains.push(chain);
+        }
+
+        StructIndex {
+            version: g.version(),
+            doc_id: g.doc_id(),
+            name_map,
+            ordered,
+            by_start,
+            by_end,
+            chains,
+        }
+    }
+
+    /// The [`Goddag::version`] this index was built against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Does this index still describe `g`? False after any hierarchy
+    /// install/removal since [`StructIndex::build`], and always false for
+    /// a different document (clones share identity; independently built
+    /// goddags never do, even with identical content).
+    pub fn is_current(&self, g: &Goddag) -> bool {
+        self.doc_id == g.doc_id() && self.version == g.version()
+    }
+
+    /// Element nodes named `name` (including the root if it matches), in
+    /// Definition-3 order.
+    pub fn elements_named(&self, name: &str) -> &[NodeId] {
+        self.name_map.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Evaluate `axis` from `n` through the index. Results match
+    /// [`crate::axes::axis_nodes`] exactly (same order, same exclusions);
+    /// standard axes delegate to the tree walk, which is already local.
+    pub fn axis_nodes(&self, g: &Goddag, axis: Axis, n: NodeId) -> Vec<NodeId> {
+        self.axis_nodes_filtered(g, axis, n, |_| true)
+    }
+
+    /// [`StructIndex::axis_nodes`] with a post-filter applied *before* the
+    /// final Definition-3 sort, so name-selective steps avoid sorting
+    /// non-matching candidates.
+    pub fn axis_nodes_filtered(
+        &self,
+        g: &Goddag,
+        axis: Axis,
+        n: NodeId,
+        keep: impl Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        let mut out = match axis {
+            Axis::XAncestor => self.xancestor(g, n, &keep),
+            Axis::XDescendant => self.xdescendant(g, n, &keep),
+            // Low selectivity: answered pre-sorted, no final sort needed.
+            Axis::XFollowing => return self.xfollowing(g, n, &keep),
+            Axis::XPreceding => return self.xpreceding(g, n, &keep),
+            Axis::PrecedingOverlapping => self.preceding_overlapping(g, n, &keep),
+            Axis::FollowingOverlapping => self.following_overlapping(g, n, &keep),
+            Axis::Overlapping => {
+                let mut v = self.preceding_overlapping(g, n, &keep);
+                v.extend(self.following_overlapping(g, n, &keep));
+                v
+            }
+            _ => return axis_nodes(g, axis, n).into_iter().filter(|&m| keep(m)).collect(),
+        };
+        g.sort_nodes(&mut out);
+        out
+    }
+
+    /// Non-empty context span, or `None` (empty spans take part in no
+    /// extended axis — same rule as the naive path).
+    fn ctx_span(&self, g: &Goddag, n: NodeId) -> Option<(u32, u32)> {
+        let (a, b) = g.span(n);
+        (a < b).then_some((a, b))
+    }
+
+    /// `xancestor`: all `m` with `span(m) ⊇ span(n)`, excluding `n` and its
+    /// DOM descendants. Root, the one leaf that can contain the span, and
+    /// one laminar chain walk per hierarchy.
+    fn xancestor(&self, g: &Goddag, n: NodeId, keep: &impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+        let Some((a, b)) = self.ctx_span(g, n) else { return Vec::new() };
+        let mut out = Vec::new();
+        let mut push = |m: NodeId| {
+            if m != n && !g.is_descendant(m, n) && keep(m) {
+                out.push(m);
+            }
+        };
+        push(NodeId::Root);
+        // Leaves are disjoint, so only the leaf containing `a` can cover
+        // the whole span.
+        let leaf = g.leaf_at(a);
+        let (ls, le) = g.span(leaf);
+        if ls <= a && b <= le {
+            push(leaf);
+        }
+        for chain in &self.chains {
+            // Deepest candidate: last chain node with start <= a. Every
+            // container of [a, b) in this hierarchy is on its parent chain
+            // (laminar family).
+            let idx = chain.partition_point(|e| e.start <= a);
+            if idx == 0 {
+                continue;
+            }
+            let mut cur = (idx - 1) as u32;
+            loop {
+                let e = chain[cur as usize];
+                if e.end >= b {
+                    push(e.node);
+                }
+                if e.parent == NO_PARENT {
+                    break;
+                }
+                cur = e.parent;
+            }
+        }
+        out
+    }
+
+    /// `xdescendant`: all `m` with `span(m) ⊆ span(n)`, excluding `n` and
+    /// its DOM ancestors. Candidates start inside the span; the end check
+    /// filters the overlap tail.
+    fn xdescendant(&self, g: &Goddag, n: NodeId, keep: &impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+        let Some((a, b)) = self.ctx_span(g, n) else { return Vec::new() };
+        let lo = self.by_start.partition_point(|e| e.start < a);
+        let hi = self.by_start.partition_point(|e| e.start < b);
+        self.by_start[lo..hi]
+            .iter()
+            .filter(|e| e.end <= b)
+            .map(|e| e.node)
+            .filter(|&m| m != n && !g.is_descendant(n, m) && keep(m))
+            .collect()
+    }
+
+    /// `xfollowing`: all `m` starting at or after `n`'s end. The answer is
+    /// a constant fraction of the document, so it filters the
+    /// Definition-3-ordered array (output comes out sorted) instead of
+    /// binary-searching and re-sorting.
+    fn xfollowing(&self, g: &Goddag, n: NodeId, keep: &impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+        let Some((_, b)) = self.ctx_span(g, n) else { return Vec::new() };
+        self.ordered.iter().filter(|e| e.start >= b).map(|e| e.node).filter(|&m| keep(m)).collect()
+    }
+
+    /// `xpreceding`: all `m` ending at or before `n`'s start; same
+    /// ordered-filter shape as [`StructIndex::xfollowing`].
+    fn xpreceding(&self, g: &Goddag, n: NodeId, keep: &impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+        let Some((a, _)) = self.ctx_span(g, n) else { return Vec::new() };
+        self.ordered.iter().filter(|e| e.end <= a).map(|e| e.node).filter(|&m| keep(m)).collect()
+    }
+
+    /// `preceding-overlapping`: `c < a < d < b` — ends strictly inside the
+    /// span, starts strictly before it.
+    fn preceding_overlapping(
+        &self,
+        g: &Goddag,
+        n: NodeId,
+        keep: &impl Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        let Some((a, b)) = self.ctx_span(g, n) else { return Vec::new() };
+        let lo = self.by_end.partition_point(|e| e.end <= a);
+        let hi = self.by_end.partition_point(|e| e.end < b);
+        self.by_end[lo..hi]
+            .iter()
+            .filter(|e| e.start < a)
+            .map(|e| e.node)
+            .filter(|&m| keep(m))
+            .collect()
+    }
+
+    /// `following-overlapping`: `a < c < b < d` — starts strictly inside
+    /// the span, ends strictly after it.
+    fn following_overlapping(
+        &self,
+        g: &Goddag,
+        n: NodeId,
+        keep: &impl Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        let Some((a, b)) = self.ctx_span(g, n) else { return Vec::new() };
+        let lo = self.by_start.partition_point(|e| e.start <= a);
+        let hi = self.by_start.partition_point(|e| e.start < b);
+        self.by_start[lo..hi]
+            .iter()
+            .filter(|e| e.end > b)
+            .map(|e| e.node)
+            .filter(|&m| keep(m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goddag::GoddagBuilder;
+    use crate::hierarchy::FragmentSpec;
+
+    fn figure1() -> Goddag {
+        GoddagBuilder::new()
+            .hierarchy(
+                "lines",
+                "<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe gecynde þa</line></r>",
+            )
+            .hierarchy(
+                "words",
+                "<r><vline><w>gesceaftum</w> <w>unawendendne</w> </vline><vline><w>singallice</w> <w>sibbe</w> <w>gecynde</w> </vline><vline><w>þa</w></vline></r>",
+            )
+            .hierarchy(
+                "restorations",
+                "<r><res>gesceaftum una</res>wendendne s<res>in</res><res>gallice sibbe gecyn</res>de þa</r>",
+            )
+            .hierarchy(
+                "damage",
+                "<r>gesceaftum una<dmg>w</dmg>endendne singallice sibbe gecyn<dmg>de þa</dmg></r>",
+            )
+            .build()
+            .unwrap()
+    }
+
+    const ALL_AXES: [Axis; 19] = [
+        Axis::Child,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::Parent,
+        Axis::Ancestor,
+        Axis::AncestorOrSelf,
+        Axis::Following,
+        Axis::Preceding,
+        Axis::FollowingSibling,
+        Axis::PrecedingSibling,
+        Axis::SelfAxis,
+        Axis::Attribute,
+        Axis::XAncestor,
+        Axis::XDescendant,
+        Axis::XFollowing,
+        Axis::XPreceding,
+        Axis::PrecedingOverlapping,
+        Axis::FollowingOverlapping,
+        Axis::Overlapping,
+    ];
+
+    #[test]
+    fn index_matches_scan_on_figure1() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        for &n in &g.all_nodes() {
+            for axis in ALL_AXES {
+                assert_eq!(
+                    idx.axis_nodes(&g, axis, n),
+                    axis_nodes(&g, axis, n),
+                    "axis {} from {}",
+                    axis.name(),
+                    n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_map_in_document_order() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        let ws = idx.elements_named("w");
+        assert_eq!(ws.len(), 6);
+        let texts: Vec<&str> = ws.iter().map(|&n| g.string_value(n)).collect();
+        assert_eq!(
+            texts,
+            vec!["gesceaftum", "unawendendne", "singallice", "sibbe", "gecynde", "þa"]
+        );
+        assert_eq!(idx.elements_named("r"), &[NodeId::Root]);
+        assert!(idx.elements_named("nope").is_empty());
+    }
+
+    #[test]
+    fn filtered_lookup_prefilters() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        let line1 = NodeId::Elem { h: g.hierarchy_id("lines").unwrap(), i: 0 };
+        let only_w =
+            idx.axis_nodes_filtered(&g, Axis::Overlapping, line1, |m| g.name(m) == Some("w"));
+        assert_eq!(only_w.len(), 1);
+        assert_eq!(g.string_value(only_w[0]), "singallice");
+    }
+
+    #[test]
+    fn staleness_on_virtual_hierarchy() {
+        let mut g = figure1();
+        let idx = StructIndex::build(&g);
+        assert!(idx.is_current(&g));
+        let frag = FragmentSpec::new("res", (11, 23)).child(FragmentSpec::new("m", (11, 16)));
+        g.add_virtual_hierarchy("rest", &[frag]).unwrap();
+        assert!(!idx.is_current(&g));
+        let idx2 = StructIndex::build(&g);
+        assert!(idx2.is_current(&g));
+        // Rebuilt index agrees with the scan on the mutated goddag.
+        for &n in &g.all_nodes() {
+            for axis in ALL_AXES {
+                assert_eq!(idx2.axis_nodes(&g, axis, n), axis_nodes(&g, axis, n));
+            }
+        }
+        g.remove_last_hierarchy().unwrap();
+        assert!(!idx2.is_current(&g));
+    }
+
+    #[test]
+    fn foreign_index_never_current() {
+        // Two identically built documents have identical content and equal
+        // version counters, but distinct identities: an index for one must
+        // not pass as current for the other.
+        let g1 = GoddagBuilder::new().hierarchy("a", "<r>ab</r>").build().unwrap();
+        let g2 = GoddagBuilder::new().hierarchy("a", "<r>ab</r>").build().unwrap();
+        assert_eq!(g1.version(), g2.version());
+        let idx1 = StructIndex::build(&g1);
+        assert!(idx1.is_current(&g1));
+        assert!(!idx1.is_current(&g2));
+        // A clone is the same document: the index stays current until the
+        // clone mutates.
+        let mut clone = g1.clone();
+        assert!(idx1.is_current(&clone));
+        clone.add_virtual_hierarchy("rest", &[]).unwrap();
+        assert!(!idx1.is_current(&clone));
+    }
+
+    #[test]
+    fn empty_span_context_has_no_extended_relations() {
+        let g = GoddagBuilder::new()
+            .hierarchy("a", "<r>ab<br/>cd</r>")
+            .hierarchy("b", "<r><x>abcd</x></r>")
+            .build()
+            .unwrap();
+        let idx = StructIndex::build(&g);
+        let br = NodeId::Elem { h: g.hierarchy_id("a").unwrap(), i: 0 };
+        for axis in [Axis::XAncestor, Axis::XDescendant, Axis::Overlapping] {
+            assert!(idx.axis_nodes(&g, axis, br).is_empty());
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub mod error;
 pub mod export;
 pub mod goddag;
 pub mod hierarchy;
+pub mod index;
 pub mod node;
 
 pub use axes::{axis_nodes, Axis};
@@ -58,6 +59,7 @@ pub use error::{GoddagError, Result};
 pub use export::{all_hierarchies_to_xml, hierarchy_to_xml};
 pub use goddag::{Goddag, GoddagBuilder};
 pub use hierarchy::{ElemNode, FragmentSpec, Hierarchy, TextNode};
+pub use index::StructIndex;
 pub use node::{HierarchyId, NodeId, OrderKey};
 
 #[cfg(test)]
@@ -110,19 +112,16 @@ mod proptests {
 
     /// Render one hierarchy's spans as nested XML over text "ab…".
     fn render(doc: &RandomDoc, spans: &[(usize, usize)]) -> String {
-        let text: String =
-            (0..doc.text_len).map(|i| (b'a' + (i % 26) as u8) as char).collect();
+        let text: String = (0..doc.text_len).map(|i| (b'a' + (i % 26) as u8) as char).collect();
         // Opens at s (longer spans first), closes at e (shorter first).
         let mut out = String::from("<r>");
         for i in 0..=doc.text_len {
-            let mut closes: Vec<&(usize, usize)> =
-                spans.iter().filter(|&&(_, e)| e == i).collect();
+            let mut closes: Vec<&(usize, usize)> = spans.iter().filter(|&&(_, e)| e == i).collect();
             closes.sort_by_key(|&&(s, _)| std::cmp::Reverse(s));
             for _ in closes {
                 out.push_str("</x>");
             }
-            let mut opens: Vec<&(usize, usize)> =
-                spans.iter().filter(|&&(s, _)| s == i).collect();
+            let mut opens: Vec<&(usize, usize)> = spans.iter().filter(|&&(s, _)| s == i).collect();
             opens.sort_by_key(|&&(_, e)| std::cmp::Reverse(e));
             for _ in opens {
                 out.push_str("<x>");

@@ -26,10 +26,7 @@ impl ClassSet {
 
     /// `\w`
     pub fn word() -> ClassSet {
-        ClassSet {
-            negated: false,
-            ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
-        }
+        ClassSet { negated: false, ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')] }
     }
 
     /// `\s`
@@ -58,9 +55,17 @@ pub enum Ast {
     Class(ClassSet),
     Concat(Vec<Ast>),
     Alternate(Vec<Ast>),
-    Repeat { ast: Box<Ast>, min: u32, max: Option<u32>, greedy: bool },
+    Repeat {
+        ast: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+    },
     /// `( .. )` capturing at `index` (1-based), or `(?: .. )` when `None`.
-    Group { ast: Box<Ast>, index: Option<u32> },
+    Group {
+        ast: Box<Ast>,
+        index: Option<u32>,
+    },
     /// `^`
     StartAnchor,
     /// `$`

@@ -133,11 +133,8 @@ impl Compiler {
                 self.emit(ast);
                 self.push(Inst::Jmp(l));
                 let end = self.here();
-                self.insts[s] = if greedy {
-                    Inst::Split(body, end)
-                } else {
-                    Inst::Split(end, body)
-                };
+                self.insts[s] =
+                    if greedy { Inst::Split(body, end) } else { Inst::Split(end, body) };
             }
             Some(mx) => {
                 // (mx - min) optional copies.
@@ -173,13 +170,7 @@ mod tests {
         let p = prog("ab");
         assert_eq!(
             p.insts,
-            vec![
-                Inst::Save(0),
-                Inst::Char('a'),
-                Inst::Char('b'),
-                Inst::Save(1),
-                Inst::Match,
-            ]
+            vec![Inst::Save(0), Inst::Char('a'), Inst::Char('b'), Inst::Save(1), Inst::Match,]
         );
     }
 

@@ -69,9 +69,10 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.chars.get(self.pos).map(|&(i, _)| i).unwrap_or_else(|| {
-            self.chars.last().map(|&(i, c)| i + c.len_utf8()).unwrap_or(0)
-        })
+        self.chars
+            .get(self.pos)
+            .map(|&(i, _)| i)
+            .unwrap_or_else(|| self.chars.last().map(|&(i, c)| i + c.len_utf8()).unwrap_or(0))
     }
 
     fn err(&self, msg: &str) -> RegexError {
@@ -287,7 +288,8 @@ impl Parser {
             } else {
                 c
             };
-            if self.peek() == Some('-') && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
+            if self.peek() == Some('-')
+                && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
             {
                 self.bump(); // '-'
                 let hi_c = self.bump().ok_or_else(|| self.err("missing `]`"))?;

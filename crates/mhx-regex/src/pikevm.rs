@@ -73,14 +73,7 @@ impl<'p> PikeVm<'p> {
             // Seed a new thread at this position (lowest priority) while
             // searching and nothing matched yet.
             if pos == start || (!anchored && best.is_none()) {
-                add_thread(
-                    self.prog,
-                    &mut clist,
-                    0,
-                    pos,
-                    hay,
-                    init_slots.clone(),
-                );
+                add_thread(self.prog, &mut clist, 0, pos, hay, init_slots.clone());
             }
 
             if clist.threads.is_empty() && best.is_some() {
@@ -168,7 +161,14 @@ impl<'p> PikeVm<'p> {
 }
 
 /// Add `pc` (following epsilon transitions) to `list` at input offset `pos`.
-fn add_thread(prog: &Program, list: &mut ThreadList, pc: usize, pos: usize, hay: &str, slots: Slots) {
+fn add_thread(
+    prog: &Program,
+    list: &mut ThreadList,
+    pc: usize,
+    pos: usize,
+    hay: &str,
+    slots: Slots,
+) {
     if list.seen[pc] == list.stamp {
         return;
     }

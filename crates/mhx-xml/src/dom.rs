@@ -41,10 +41,16 @@ pub enum NodeKind {
     /// The synthetic document node (`NodeId::DOCUMENT`), parent of the root
     /// element and any top-level comments/PIs.
     Document,
-    Element { name: String, attrs: Vec<Attr> },
+    Element {
+        name: String,
+        attrs: Vec<Attr>,
+    },
     Text(String),
     Comment(String),
-    Pi { target: String, data: String },
+    Pi {
+        target: String,
+        data: String,
+    },
 }
 
 #[derive(Debug, Clone)]

@@ -264,10 +264,8 @@ mod tests {
             "a".into(),
             ElementDecl { name: "a".into(), content: ContentSpec::Mixed(vec!["b".into()]) },
         );
-        dtd.elements.insert(
-            "b".into(),
-            ElementDecl { name: "b".into(), content: ContentSpec::Empty },
-        );
+        dtd.elements
+            .insert("b".into(), ElementDecl { name: "b".into(), content: ContentSpec::Empty });
         dtd.elements.insert(
             "orphan".into(),
             ElementDecl { name: "orphan".into(), content: ContentSpec::Empty },

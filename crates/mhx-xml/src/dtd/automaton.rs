@@ -34,7 +34,18 @@ impl ContentAutomaton {
         let mut symbols = Vec::new();
         let info = build(p, &mut symbols);
         let mut follow = vec![BTreeSet::new(); symbols.len()];
-        collect_follow(p, &mut { let mut c = 0usize; move || { let v = c; c += 1; v } }, &mut follow);
+        collect_follow(
+            p,
+            &mut {
+                let mut c = 0usize;
+                move || {
+                    let v = c;
+                    c += 1;
+                    v
+                }
+            },
+            &mut follow,
+        );
         // The closure-based position counter above must visit positions in
         // the same order as `build`; `collect_follow` re-walks the tree and
         // fills `follow` via first/last sets computed per subtree.
@@ -61,12 +72,7 @@ impl ContentAutomaton {
         let mut current: Option<BTreeSet<usize>> = None; // None = at start
         for sym in seq {
             let next: BTreeSet<usize> = match &current {
-                None => self
-                    .first
-                    .iter()
-                    .copied()
-                    .filter(|&p| self.symbols[p] == sym)
-                    .collect(),
+                None => self.first.iter().copied().filter(|&p| self.symbols[p] == sym).collect(),
                 Some(cur) => {
                     let mut n = BTreeSet::new();
                     for &p in cur {
@@ -108,11 +114,7 @@ fn build(p: &ContentParticle, symbols: &mut Vec<String>) -> Info {
         ContentParticle::Name(n, _) => {
             let pos = symbols.len();
             symbols.push(n.clone());
-            Info {
-                nullable: false,
-                first: BTreeSet::from([pos]),
-                last: BTreeSet::from([pos]),
-            }
+            Info { nullable: false, first: BTreeSet::from([pos]), last: BTreeSet::from([pos]) }
         }
         ContentParticle::Seq(ps, _) => {
             let parts: Vec<Info> = ps.iter().map(|q| build(q, symbols)).collect();
@@ -181,8 +183,7 @@ fn collect_follow(
             Info { nullable: false, first: BTreeSet::from([pos]), last: BTreeSet::from([pos]) }
         }
         ContentParticle::Seq(ps, _) => {
-            let parts: Vec<Info> =
-                ps.iter().map(|q| collect_follow(q, next_pos, follow)).collect();
+            let parts: Vec<Info> = ps.iter().map(|q| collect_follow(q, next_pos, follow)).collect();
             // last of each prefix feeds first of following parts while those
             // in between are nullable.
             for i in 0..parts.len() {
@@ -200,8 +201,7 @@ fn collect_follow(
             seq_info(&parts)
         }
         ContentParticle::Choice(ps, _) => {
-            let parts: Vec<Info> =
-                ps.iter().map(|q| collect_follow(q, next_pos, follow)).collect();
+            let parts: Vec<Info> = ps.iter().map(|q| collect_follow(q, next_pos, follow)).collect();
             choice_info(&parts)
         }
     };
@@ -235,8 +235,8 @@ fn check_determinism(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dtd::parser::parse_dtd;
     use crate::dtd::ast::ContentSpec;
+    use crate::dtd::parser::parse_dtd;
 
     fn model(src: &str) -> ContentAutomaton {
         let dtd = parse_dtd(&format!("<!ELEMENT r {src}>"), "t").unwrap();
@@ -309,10 +309,7 @@ mod tests {
     fn determinism_flag() {
         assert_eq!(*model("(a,b)").determinism(), Determinism::Deterministic);
         // (a,b)|(a,c) is the canonical non-deterministic model.
-        assert_eq!(
-            *model("((a,b)|(a,c))").determinism(),
-            Determinism::Ambiguous("a".into())
-        );
+        assert_eq!(*model("((a,b)|(a,c))").determinism(), Determinism::Ambiguous("a".into()));
         // (a?,a) is also ambiguous.
         assert_eq!(*model("(a?,a)").determinism(), Determinism::Ambiguous("a".into()));
     }

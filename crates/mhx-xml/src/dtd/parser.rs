@@ -269,10 +269,7 @@ mod tests {
         let dtd = parse_dtd("<!ELEMENT r (line+)> <!ELEMENT line (#PCDATA)>", "lines").unwrap();
         assert_eq!(dtd.name, "lines");
         assert_eq!(dtd.elements.len(), 2);
-        assert_eq!(
-            dtd.element("r").unwrap().content.to_string(),
-            "(line+)"
-        );
+        assert_eq!(dtd.element("r").unwrap().content.to_string(), "(line+)");
         assert_eq!(dtd.element("line").unwrap().content, ContentSpec::Mixed(vec![]));
     }
 

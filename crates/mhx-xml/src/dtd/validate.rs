@@ -21,10 +21,7 @@ pub struct ValidationOptions {
 /// Validate `doc` against `dtd`. Returns the first violation found.
 pub fn validate(doc: &Document, dtd: &Dtd, opts: &ValidationOptions) -> Result<()> {
     let root = doc.root_element()?;
-    let expected_root = opts
-        .expected_root
-        .clone()
-        .or_else(|| doc.doctype_name.clone());
+    let expected_root = opts.expected_root.clone().or_else(|| doc.doctype_name.clone());
     if let Some(expected) = expected_root {
         let actual = doc.name(root).unwrap_or_default();
         if actual != expected {
@@ -66,9 +63,8 @@ fn validate_element(
     ids_seen: &mut Vec<String>,
 ) -> Result<()> {
     let name = doc.name(el).unwrap_or_default().to_string();
-    let decl = dtd
-        .element(&name)
-        .ok_or_else(|| verr(format!("element <{name}> is not declared")))?;
+    let decl =
+        dtd.element(&name).ok_or_else(|| verr(format!("element <{name}> is not declared")))?;
 
     // Content check.
     match &decl.content {
@@ -175,10 +171,7 @@ fn validate_element(
     }
     for ad in attlist {
         if ad.default == AttDefault::Required && doc.attr(el, &ad.attribute).is_none() {
-            return Err(verr(format!(
-                "required attribute `{}` missing on <{name}>",
-                ad.attribute
-            )));
+            return Err(verr(format!("required attribute `{}` missing on <{name}>", ad.attribute)));
         }
     }
     Ok(())

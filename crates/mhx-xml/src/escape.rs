@@ -61,9 +61,7 @@ pub fn unescape<'a>(raw: &'a str, entities: &EntityMap, pos: Pos) -> Result<Cow<
     while let Some(i) = rest.find('&') {
         out.push_str(&rest[..i]);
         rest = &rest[i..];
-        let semi = rest
-            .find(';')
-            .ok_or_else(|| XmlError::new(ErrorKind::BadCharRef, pos))?;
+        let semi = rest.find(';').ok_or_else(|| XmlError::new(ErrorKind::BadCharRef, pos))?;
         let body = &rest[1..semi];
         if let Some(num) = body.strip_prefix('#') {
             let cp = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
@@ -72,8 +70,7 @@ pub fn unescape<'a>(raw: &'a str, entities: &EntityMap, pos: Pos) -> Result<Cow<
                 num.parse::<u32>()
             }
             .map_err(|_| XmlError::new(ErrorKind::BadCharRef, pos))?;
-            let c =
-                char::from_u32(cp).ok_or_else(|| XmlError::new(ErrorKind::BadCharRef, pos))?;
+            let c = char::from_u32(cp).ok_or_else(|| XmlError::new(ErrorKind::BadCharRef, pos))?;
             out.push(c);
         } else if let Some(c) = predefined(body) {
             out.push(c);

@@ -68,10 +68,7 @@ pub fn parse_with(src: &str, opts: ParseOptions) -> Result<Document> {
                 }
                 let open = doc.name(top).unwrap_or_default().to_string();
                 if open != name {
-                    return Err(XmlError::new(
-                        ErrorKind::MismatchedTag { open, close: name },
-                        pos,
-                    ));
+                    return Err(XmlError::new(ErrorKind::MismatchedTag { open, close: name }, pos));
                 }
                 stack.pop();
             }
@@ -202,8 +199,8 @@ mod tests {
         let d = parse(src).unwrap();
         let r = d.root_element().unwrap();
         assert_eq!(d.children(r).count(), 1);
-        let d2 = parse_with(src, ParseOptions { drop_comments: true, ..Default::default() })
-            .unwrap();
+        let d2 =
+            parse_with(src, ParseOptions { drop_comments: true, ..Default::default() }).unwrap();
         let r2 = d2.root_element().unwrap();
         assert_eq!(d2.children(r2).count(), 0);
     }

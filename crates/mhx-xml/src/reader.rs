@@ -106,7 +106,9 @@ impl<'a> Reader<'a> {
                 return Err(self.cur.err(ErrorKind::UnexpectedEof));
             }
             if !had_ws {
-                return Err(self.cur.err(ErrorKind::Expected("whitespace before attribute".into())));
+                return Err(self
+                    .cur
+                    .err(ErrorKind::Expected("whitespace before attribute".into())));
             }
             let apos = self.cur.pos();
             let aname = self.read_name()?;

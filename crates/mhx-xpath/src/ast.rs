@@ -117,9 +117,16 @@ pub enum Expr {
     Literal(String),
     Number(f64),
     Var(String),
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     Neg(Box<Expr>),
-    Call { name: String, args: Vec<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// A location path, optionally rooted at a filter expression
     /// (`$x/child::a`, `(expr)[1]/b`, `/descendant::w`).
     Path(PathExpr),

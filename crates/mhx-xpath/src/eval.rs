@@ -27,7 +27,20 @@ impl Context {
 }
 
 /// Evaluate an XPath expression string with the KyGODDAG root as context.
+///
+/// Goes through the compiled pipeline (parse → compile → index-backed
+/// evaluation), building a throwaway [`mhx_goddag::StructIndex`]; callers
+/// issuing many queries against one document should use the engine facade
+/// in the root crate, which caches both the index and the compiled plans.
 pub fn evaluate_xpath(g: &Goddag, src: &str) -> Result<Value> {
+    let compiled = crate::plan::CompiledXPath::compile(src)?;
+    let idx = mhx_goddag::index::StructIndex::build(g);
+    compiled.evaluate(g, &idx, &Context::new(NodeId::Root))
+}
+
+/// [`evaluate_xpath`] through the naive interpreter (`all_nodes()` scans) —
+/// the reference oracle for differential tests.
+pub fn evaluate_xpath_naive(g: &Goddag, src: &str) -> Result<Value> {
     let expr = crate::parser::parse(src)?;
     evaluate_expr(g, &expr, &Context::new(NodeId::Root))
 }
@@ -104,9 +117,7 @@ fn eval_path(g: &Goddag, p: &PathExpr, ctx: &Context) -> Result<Value> {
                 return Ok(v);
             }
             let Value::Nodes(ns) = v else {
-                return Err(XPathError::new(
-                    "filter/path expression requires a node-set operand",
-                ));
+                return Err(XPathError::new("filter/path expression requires a node-set operand"));
             };
             let mut ns = ns;
             for pred in predicates {
@@ -151,12 +162,7 @@ pub fn apply_predicate(
     let mut out = Vec::with_capacity(size);
     for (i, &m) in candidates.iter().enumerate() {
         let position = if reverse { size - i } else { i + 1 };
-        let ctx = Context {
-            node: m,
-            position,
-            size,
-            variables: outer.variables.clone(),
-        };
+        let ctx = Context { node: m, position, size, variables: outer.variables.clone() };
         let v = evaluate_expr(g, pred, &ctx)?;
         let keep = match v {
             // Numeric predicate = position shorthand.
@@ -176,9 +182,9 @@ pub fn node_test_matches(g: &Goddag, axis: Axis, m: NodeId, test: &NodeTest) -> 
     let in_hierarchies = |hs: &Option<Vec<String>>| -> bool {
         match hs {
             None => true,
-            Some(names) => names.iter().any(|name| {
-                g.hierarchy_id(name).map(|h| g.in_hierarchy(m, h)).unwrap_or(false)
-            }),
+            Some(names) => names
+                .iter()
+                .any(|name| g.hierarchy_id(name).map(|h| g.in_hierarchy(m, h)).unwrap_or(false)),
         }
     };
     match test {
@@ -302,7 +308,7 @@ mod tests {
         // *("words") restricts elements to the words hierarchy.
         let words_only = strings(&g, "/descendant::*(\"words\")");
         assert_eq!(words_only.len(), 3 + 6); // 3 vlines + 6 words
-        // text("lines") finds exactly the two line texts.
+                                             // text("lines") finds exactly the two line texts.
         assert_eq!(nodes(&g, "/descendant::text(\"lines\")").len(), 2);
     }
 

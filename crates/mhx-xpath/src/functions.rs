@@ -32,9 +32,7 @@ fn arity(name: &str, vals: &[Value], lo: usize, hi: usize) -> Result<()> {
 /// XPath-compatible subset).
 pub fn dispatch(g: &Goddag, name: &str, vals: &[Value], ctx: &Context) -> Result<Value> {
     let ctx_nodes = || Value::Nodes(vec![ctx.node]);
-    let arg_or_ctx = |i: usize| -> Value {
-        vals.get(i).cloned().unwrap_or_else(ctx_nodes)
-    };
+    let arg_or_ctx = |i: usize| -> Value { vals.get(i).cloned().unwrap_or_else(ctx_nodes) };
     Ok(match name {
         // ---- node-set functions ----
         "position" => {
@@ -189,9 +187,7 @@ pub fn dispatch(g: &Goddag, name: &str, vals: &[Value], ctx: &Context) -> Result
             arity(name, vals, 1, 1)?;
             match &vals[0] {
                 Value::Nodes(ns) => Value::Num(
-                    ns.iter()
-                        .map(|&n| crate::value::parse_number(g.string_value(n)))
-                        .sum(),
+                    ns.iter().map(|&n| crate::value::parse_number(g.string_value(n))).sum(),
                 ),
                 _ => return Err(XPathError::new("sum() requires a node-set")),
             }

@@ -268,7 +268,10 @@ mod tests {
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(toks("< <= > >= = !="), vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne]);
+        assert_eq!(
+            toks("< <= > >= = !="),
+            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Ne]
+        );
     }
 
     #[test]
@@ -289,14 +292,17 @@ mod tests {
 
     #[test]
     fn double_slash_and_dots() {
-        assert_eq!(toks("//a/../."), vec![
-            Tok::DoubleSlash,
-            Tok::Name("a".into()),
-            Tok::Slash,
-            Tok::DotDot,
-            Tok::Slash,
-            Tok::Dot,
-        ]);
+        assert_eq!(
+            toks("//a/../."),
+            vec![
+                Tok::DoubleSlash,
+                Tok::Name("a".into()),
+                Tok::Slash,
+                Tok::DotDot,
+                Tok::Slash,
+                Tok::Dot,
+            ]
+        );
     }
 
     #[test]

@@ -40,12 +40,14 @@ pub mod eval;
 pub mod functions;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod value;
 
 pub use ast::{BinOp, Expr, NodeTest, PathExpr, PathStart, Step};
 pub use error::{Result, XPathError};
 pub use eval::{evaluate_expr, evaluate_xpath, node_test_matches, Context};
 pub use parser::parse;
+pub use plan::{choose_strategy, resolve_step, CompiledXPath, StepStrategy};
 pub use value::Value;
 
 #[cfg(test)]

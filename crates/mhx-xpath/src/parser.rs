@@ -280,8 +280,7 @@ impl Parser {
         let axis = if self.eat(&Tok::At) {
             Axis::Attribute
         } else if let (Some(Tok::Name(n)), Some(Tok::ColonColon)) = (self.peek(), self.peek2()) {
-            let axis = Axis::from_name(n)
-                .ok_or_else(|| self.err(format!("unknown axis `{n}`")))?;
+            let axis = Axis::from_name(n).ok_or_else(|| self.err(format!("unknown axis `{n}`")))?;
             self.bump();
             self.bump();
             axis
@@ -325,11 +324,8 @@ impl Parser {
                     Ok(NodeTest::Comment)
                 }
                 _ => {
-                    let hierarchies = if allow_name_hierarchy {
-                        self.opt_hierarchy_list()?
-                    } else {
-                        None
-                    };
+                    let hierarchies =
+                        if allow_name_hierarchy { self.opt_hierarchy_list()? } else { None };
                     Ok(NodeTest::Name { name: n, hierarchies })
                 }
             },
@@ -435,10 +431,15 @@ mod tests {
 
     #[test]
     fn extended_axes_parse() {
-        for axis in
-            ["xancestor", "xdescendant", "xfollowing", "xpreceding", "preceding-overlapping",
-             "following-overlapping", "overlapping"]
-        {
+        for axis in [
+            "xancestor",
+            "xdescendant",
+            "xfollowing",
+            "xpreceding",
+            "preceding-overlapping",
+            "following-overlapping",
+            "overlapping",
+        ] {
             let e = ok(&format!("{axis}::dmg"));
             let Expr::Path(p) = e else { panic!() };
             assert_eq!(p.steps[0].axis.name(), axis);
@@ -494,10 +495,7 @@ mod tests {
         let Expr::Path(p) = e else { panic!() };
         assert_eq!(p.steps[0].axis, Axis::Parent);
         assert_eq!(p.steps[1].axis, Axis::Attribute);
-        assert_eq!(
-            p.steps[1].test,
-            NodeTest::Name { name: "part".into(), hierarchies: None }
-        );
+        assert_eq!(p.steps[1].test, NodeTest::Name { name: "part".into(), hierarchies: None });
         let e = ok("//w");
         let Expr::Path(p) = e else { panic!() };
         assert_eq!(p.steps.len(), 2);

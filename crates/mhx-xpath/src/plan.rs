@@ -1,0 +1,462 @@
+//! The compiled query pipeline: parsed paths lowered into step plans that
+//! resolve axes through [`StructIndex`] lookups instead of `all_nodes()`
+//! scans.
+//!
+//! The pipeline splits query processing into
+//!
+//! 1. **parse** ([`crate::parser::parse`]) — text → [`Expr`];
+//! 2. **compile** ([`compile`]) — [`Expr`] → [`CompiledExpr`], choosing a
+//!    [`StepStrategy`] per location step from `(axis, node test)` alone, so
+//!    a compiled expression is document-independent and cacheable (the
+//!    engine facade in the root crate keeps an LRU of these keyed by query
+//!    text);
+//! 3. **evaluate** ([`CompiledXPath::evaluate`] / [`evaluate_compiled`]) —
+//!    plan × goddag × index → value.
+//!
+//! The step resolver [`resolve_step`] is shared with `mhx-xquery`, whose
+//! path sub-language compiles its steps through [`choose_strategy`] as
+//! well — both engines answer axis steps from the same index-backed core.
+//! The naive interpreter in [`crate::eval`] stays untouched as the
+//! reference oracle for differential testing.
+
+use crate::ast::{BinOp, Expr, NodeTest, PathExpr, PathStart, Step};
+use crate::error::{Result, XPathError};
+use crate::eval::{node_test_matches, Context};
+use crate::value::{compare, Value};
+use mhx_goddag::index::StructIndex;
+use mhx_goddag::{axis_nodes, Axis, Goddag, NodeId};
+
+/// How one location step obtains its candidate nodes. Chosen at compile
+/// time from the axis and node test only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStrategy {
+    /// `descendant::name` / `descendant-or-self::name` — look the name up
+    /// in the index and keep descendants of the context node (O(1) per
+    /// candidate via the pre/post numbering).
+    NameIndex,
+    /// `descendant::leaf()` — the context node's covered leaf run, straight
+    /// from the leaf layer.
+    LeafRange,
+    /// The seven Definition-1 axes — interval lookups on the span index.
+    IndexedExtended,
+    /// Everything else — the ordinary (already output-local) axis walk.
+    AxisWalk,
+}
+
+/// Pick the strategy for a step. Shared by the XPath compiler and the
+/// XQuery parser (whose `QStep` carries the same axis/test pair).
+pub fn choose_strategy(axis: Axis, test: &NodeTest) -> StepStrategy {
+    match axis {
+        Axis::XAncestor
+        | Axis::XDescendant
+        | Axis::XFollowing
+        | Axis::XPreceding
+        | Axis::PrecedingOverlapping
+        | Axis::FollowingOverlapping
+        | Axis::Overlapping => StepStrategy::IndexedExtended,
+        Axis::Descendant | Axis::DescendantOrSelf => match test {
+            NodeTest::Name { .. } => StepStrategy::NameIndex,
+            NodeTest::Leaf if axis == Axis::Descendant => StepStrategy::LeafRange,
+            _ => StepStrategy::AxisWalk,
+        },
+        _ => StepStrategy::AxisWalk,
+    }
+}
+
+/// Candidate nodes for one step from context node `n`, node test already
+/// applied, in Definition-3 order. This is the index-backed core both
+/// engines evaluate path steps through.
+pub fn resolve_step(
+    g: &Goddag,
+    idx: &StructIndex,
+    strategy: StepStrategy,
+    axis: Axis,
+    test: &NodeTest,
+    n: NodeId,
+) -> Vec<NodeId> {
+    match strategy {
+        StepStrategy::NameIndex => {
+            let NodeTest::Name { name, .. } = test else {
+                unreachable!("NameIndex is only chosen for name tests");
+            };
+            let or_self = axis == Axis::DescendantOrSelf;
+            idx.elements_named(name)
+                .iter()
+                .copied()
+                .filter(|&m| g.is_descendant(m, n) || (or_self && m == n))
+                .filter(|&m| node_test_matches(g, axis, m, test))
+                .collect()
+        }
+        StepStrategy::LeafRange => match n {
+            // Only nodes with DOM children can reach leaves; for those the
+            // descendant leaf set is exactly the covered leaf run.
+            NodeId::Root | NodeId::Elem { .. } | NodeId::Text { .. } => g.leaves_of(n),
+            NodeId::Attr { .. } | NodeId::Leaf { .. } => Vec::new(),
+        },
+        StepStrategy::IndexedExtended => {
+            idx.axis_nodes_filtered(g, axis, n, |m| node_test_matches(g, axis, m, test))
+        }
+        StepStrategy::AxisWalk => walk_step(g, axis, test, n),
+    }
+}
+
+/// The plain (index-free) axis walk with the node test applied — the
+/// [`StepStrategy::AxisWalk`] resolver, callable without an index.
+pub fn walk_step(g: &Goddag, axis: Axis, test: &NodeTest, n: NodeId) -> Vec<NodeId> {
+    axis_nodes(g, axis, n).into_iter().filter(|&m| node_test_matches(g, axis, m, test)).collect()
+}
+
+/// One compiled location step.
+#[derive(Debug, Clone)]
+pub struct StepPlan {
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub strategy: StepStrategy,
+    pub predicates: Vec<CompiledExpr>,
+}
+
+impl StepPlan {
+    pub fn new(axis: Axis, test: NodeTest, predicates: Vec<CompiledExpr>) -> StepPlan {
+        let strategy = choose_strategy(axis, &test);
+        StepPlan { axis, test, strategy, predicates }
+    }
+}
+
+/// Compiled form of [`PathStart`].
+#[derive(Debug, Clone)]
+pub enum StartPlan {
+    Root,
+    Context,
+    Filter { expr: Box<CompiledExpr>, predicates: Vec<CompiledExpr> },
+}
+
+/// Compiled form of [`PathExpr`].
+#[derive(Debug, Clone)]
+pub struct PathPlan {
+    pub start: StartPlan,
+    pub steps: Vec<StepPlan>,
+}
+
+/// Compiled form of [`Expr`]: identical shape, but every location path is
+/// a [`PathPlan`] with per-step strategies.
+#[derive(Debug, Clone)]
+pub enum CompiledExpr {
+    Literal(String),
+    Number(f64),
+    Var(String),
+    Binary { op: BinOp, lhs: Box<CompiledExpr>, rhs: Box<CompiledExpr> },
+    Neg(Box<CompiledExpr>),
+    Call { name: String, args: Vec<CompiledExpr> },
+    Path(PathPlan),
+}
+
+/// Lower a parsed expression into its compiled form.
+pub fn compile(expr: &Expr) -> CompiledExpr {
+    match expr {
+        Expr::Literal(s) => CompiledExpr::Literal(s.clone()),
+        Expr::Number(n) => CompiledExpr::Number(*n),
+        Expr::Var(v) => CompiledExpr::Var(v.clone()),
+        Expr::Binary { op, lhs, rhs } => CompiledExpr::Binary {
+            op: *op,
+            lhs: Box::new(compile(lhs)),
+            rhs: Box::new(compile(rhs)),
+        },
+        Expr::Neg(e) => CompiledExpr::Neg(Box::new(compile(e))),
+        Expr::Call { name, args } => {
+            CompiledExpr::Call { name: name.clone(), args: args.iter().map(compile).collect() }
+        }
+        Expr::Path(p) => CompiledExpr::Path(compile_path(p)),
+    }
+}
+
+fn compile_path(p: &PathExpr) -> PathPlan {
+    let start = match &p.start {
+        PathStart::Root => StartPlan::Root,
+        PathStart::Context => StartPlan::Context,
+        PathStart::Filter { expr, predicates } => StartPlan::Filter {
+            expr: Box::new(compile(expr)),
+            predicates: predicates.iter().map(compile).collect(),
+        },
+    };
+    let steps = p
+        .steps
+        .iter()
+        .map(|s: &Step| {
+            StepPlan::new(s.axis, s.test.clone(), s.predicates.iter().map(compile).collect())
+        })
+        .collect();
+    PathPlan { start, steps }
+}
+
+/// A parse-and-compile bundle, the unit the engine facade caches.
+#[derive(Debug, Clone)]
+pub struct CompiledXPath {
+    src: String,
+    plan: CompiledExpr,
+}
+
+impl CompiledXPath {
+    /// Parse and compile `src`.
+    pub fn compile(src: &str) -> Result<CompiledXPath> {
+        let expr = crate::parser::parse(src)?;
+        Ok(CompiledXPath { src: src.to_string(), plan: compile(&expr) })
+    }
+
+    /// The original query text (the cache key).
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    pub fn plan(&self) -> &CompiledExpr {
+        &self.plan
+    }
+
+    /// Evaluate against a goddag and a current index for it.
+    pub fn evaluate(&self, g: &Goddag, idx: &StructIndex, ctx: &Context) -> Result<Value> {
+        debug_assert!(idx.is_current(g), "stale index passed to compiled evaluation");
+        evaluate_compiled(g, idx, &self.plan, ctx)
+    }
+}
+
+/// Evaluate a compiled expression. Mirrors [`crate::eval::evaluate_expr`]
+/// except that path steps go through [`resolve_step`].
+pub fn evaluate_compiled(
+    g: &Goddag,
+    idx: &StructIndex,
+    expr: &CompiledExpr,
+    ctx: &Context,
+) -> Result<Value> {
+    match expr {
+        CompiledExpr::Literal(s) => Ok(Value::Str(s.clone())),
+        CompiledExpr::Number(n) => Ok(Value::Num(*n)),
+        CompiledExpr::Var(v) => ctx
+            .variables
+            .get(v)
+            .cloned()
+            .ok_or_else(|| XPathError::new(format!("unbound variable ${v}"))),
+        CompiledExpr::Neg(e) => Ok(Value::Num(-evaluate_compiled(g, idx, e, ctx)?.to_num(g))),
+        CompiledExpr::Binary { op, lhs, rhs } => eval_binary(g, idx, *op, lhs, rhs, ctx),
+        CompiledExpr::Call { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(evaluate_compiled(g, idx, a, ctx)?);
+            }
+            crate::functions::dispatch(g, name, &vals, ctx)
+        }
+        CompiledExpr::Path(p) => eval_path(g, idx, p, ctx),
+    }
+}
+
+fn eval_binary(
+    g: &Goddag,
+    idx: &StructIndex,
+    op: BinOp,
+    lhs: &CompiledExpr,
+    rhs: &CompiledExpr,
+    ctx: &Context,
+) -> Result<Value> {
+    match op {
+        BinOp::Or => {
+            if evaluate_compiled(g, idx, lhs, ctx)?.to_bool() {
+                return Ok(Value::Bool(true));
+            }
+            Ok(Value::Bool(evaluate_compiled(g, idx, rhs, ctx)?.to_bool()))
+        }
+        BinOp::And => {
+            if !evaluate_compiled(g, idx, lhs, ctx)?.to_bool() {
+                return Ok(Value::Bool(false));
+            }
+            Ok(Value::Bool(evaluate_compiled(g, idx, rhs, ctx)?.to_bool()))
+        }
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let a = evaluate_compiled(g, idx, lhs, ctx)?;
+            let b = evaluate_compiled(g, idx, rhs, ctx)?;
+            Ok(Value::Bool(compare(g, op, &a, &b)))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            let a = evaluate_compiled(g, idx, lhs, ctx)?.to_num(g);
+            let b = evaluate_compiled(g, idx, rhs, ctx)?.to_num(g);
+            Ok(Value::Num(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Mod => a % b,
+                _ => unreachable!("arithmetic ops"),
+            }))
+        }
+        BinOp::Union => {
+            let a = evaluate_compiled(g, idx, lhs, ctx)?;
+            let b = evaluate_compiled(g, idx, rhs, ctx)?;
+            match (a, b) {
+                (Value::Nodes(mut xs), Value::Nodes(ys)) => {
+                    xs.extend(ys);
+                    Ok(Value::nodes(xs, g))
+                }
+                _ => Err(XPathError::new("`|` requires node-sets on both sides")),
+            }
+        }
+    }
+}
+
+fn eval_path(g: &Goddag, idx: &StructIndex, p: &PathPlan, ctx: &Context) -> Result<Value> {
+    let mut current: Vec<NodeId> = match &p.start {
+        StartPlan::Root => vec![NodeId::Root],
+        StartPlan::Context => vec![ctx.node],
+        StartPlan::Filter { expr, predicates } => {
+            let v = evaluate_compiled(g, idx, expr, ctx)?;
+            if p.steps.is_empty() && predicates.is_empty() {
+                return Ok(v);
+            }
+            let Value::Nodes(ns) = v else {
+                return Err(XPathError::new("filter/path expression requires a node-set operand"));
+            };
+            let mut ns = ns;
+            for pred in predicates {
+                ns = apply_predicate(g, idx, &ns, pred, ctx, false)?;
+            }
+            ns
+        }
+    };
+    for step in &p.steps {
+        current = eval_step(g, idx, &current, step, ctx)?;
+    }
+    Ok(Value::nodes(current, g))
+}
+
+fn eval_step(
+    g: &Goddag,
+    idx: &StructIndex,
+    input: &[NodeId],
+    step: &StepPlan,
+    outer: &Context,
+) -> Result<Vec<NodeId>> {
+    let mut out: Vec<NodeId> = Vec::new();
+    for &n in input {
+        let mut candidates = resolve_step(g, idx, step.strategy, step.axis, &step.test, n);
+        for pred in &step.predicates {
+            candidates = apply_predicate(g, idx, &candidates, pred, outer, step.axis.is_reverse())?;
+        }
+        out.extend(candidates);
+    }
+    g.sort_nodes(&mut out);
+    out.dedup();
+    Ok(out)
+}
+
+/// Compiled twin of [`crate::eval::apply_predicate`].
+fn apply_predicate(
+    g: &Goddag,
+    idx: &StructIndex,
+    candidates: &[NodeId],
+    pred: &CompiledExpr,
+    outer: &Context,
+    reverse: bool,
+) -> Result<Vec<NodeId>> {
+    let size = candidates.len();
+    let mut out = Vec::with_capacity(size);
+    for (i, &m) in candidates.iter().enumerate() {
+        let position = if reverse { size - i } else { i + 1 };
+        let ctx = Context { node: m, position, size, variables: outer.variables.clone() };
+        let v = evaluate_compiled(g, idx, pred, &ctx)?;
+        let keep = match v {
+            Value::Num(n) => (position as f64) == n,
+            other => other.to_bool(),
+        };
+        if keep {
+            out.push(m);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_expr;
+    use mhx_goddag::GoddagBuilder;
+
+    fn figure1() -> Goddag {
+        GoddagBuilder::new()
+            .hierarchy(
+                "lines",
+                "<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe gecynde þa</line></r>",
+            )
+            .hierarchy(
+                "words",
+                "<r><vline><w>gesceaftum</w> <w>unawendendne</w> </vline><vline><w>singallice</w> <w>sibbe</w> <w>gecynde</w> </vline><vline><w>þa</w></vline></r>",
+            )
+            .hierarchy(
+                "restorations",
+                "<r><res>gesceaftum una</res>wendendne s<res>in</res><res>gallice sibbe gecyn</res>de þa</r>",
+            )
+            .hierarchy(
+                "damage",
+                "<r>gesceaftum una<dmg>w</dmg>endendne singallice sibbe gecyn<dmg>de þa</dmg></r>",
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn strategies_chosen_statically() {
+        let named = NodeTest::Name { name: "w".into(), hierarchies: None };
+        assert_eq!(choose_strategy(Axis::Descendant, &named), StepStrategy::NameIndex);
+        assert_eq!(choose_strategy(Axis::DescendantOrSelf, &named), StepStrategy::NameIndex);
+        assert_eq!(choose_strategy(Axis::Descendant, &NodeTest::Leaf), StepStrategy::LeafRange);
+        assert_eq!(choose_strategy(Axis::Overlapping, &named), StepStrategy::IndexedExtended);
+        assert_eq!(choose_strategy(Axis::Child, &named), StepStrategy::AxisWalk);
+        assert_eq!(
+            choose_strategy(Axis::Descendant, &NodeTest::AnyNode { hierarchies: None }),
+            StepStrategy::AxisWalk
+        );
+    }
+
+    #[test]
+    fn compiled_equals_naive_on_paper_queries() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        for src in [
+            "/descendant::line[xdescendant::w[string(.) = 'singallice'] or \
+             overlapping::w[string(.) = 'singallice']]",
+            "/descendant::line[xdescendant::w[xancestor::dmg or xdescendant::dmg or \
+             overlapping::dmg]]",
+            "/descendant::line[1]/descendant::leaf()",
+            "/descendant::leaf()[ancestor::w and ancestor::dmg]",
+            "/descendant::w[last()]/preceding::w[1]",
+            "/descendant::w[position() = 2]",
+            "/descendant::node(\"damage\")",
+            "/descendant::*(\"words\")",
+            "/descendant::line | /descendant::w[1]",
+            "//vline//w",
+            "(/descendant::w)[3]",
+            "count(/descendant::leaf())",
+            "/descendant::w[1]/../.",
+            "/descendant-or-self::r",
+            "string-length(string(/descendant::w[3]))",
+        ] {
+            let expr = crate::parser::parse(src).unwrap();
+            let ctx = Context::new(NodeId::Root);
+            let naive = evaluate_expr(&g, &expr, &ctx).unwrap();
+            let compiled = CompiledXPath::compile(src).unwrap();
+            let fast = compiled.evaluate(&g, &idx, &ctx).unwrap();
+            assert_eq!(fast, naive, "compiled and naive disagree on `{src}`");
+        }
+    }
+
+    #[test]
+    fn compiled_reusable_across_documents() {
+        let compiled = CompiledXPath::compile("/descendant::w").unwrap();
+        let g1 = figure1();
+        let idx1 = StructIndex::build(&g1);
+        let v1 = compiled.evaluate(&g1, &idx1, &Context::new(NodeId::Root)).unwrap();
+        let Value::Nodes(ns1) = v1 else { panic!() };
+        assert_eq!(ns1.len(), 6);
+
+        let g2 = GoddagBuilder::new().hierarchy("a", "<r><w>x</w></r>").build().unwrap();
+        let idx2 = StructIndex::build(&g2);
+        let v2 = compiled.evaluate(&g2, &idx2, &Context::new(NodeId::Root)).unwrap();
+        let Value::Nodes(ns2) = v2 else { panic!() };
+        assert_eq!(ns2.len(), 1);
+    }
+}

@@ -71,7 +71,11 @@ pub fn format_number(n: f64) -> String {
     if n.is_nan() {
         "NaN".to_string()
     } else if n.is_infinite() {
-        if n > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+        if n > 0.0 {
+            "Infinity".to_string()
+        } else {
+            "-Infinity".to_string()
+        }
     } else if n == n.trunc() && n.abs() < 1e15 {
         format!("{}", n as i64)
     } else {
@@ -207,11 +211,8 @@ mod tests {
     #[test]
     fn nodeset_string_value_is_first_node() {
         let g = g();
-        let words: Vec<NodeId> = g
-            .all_nodes()
-            .into_iter()
-            .filter(|&n| g.name(n) == Some("w"))
-            .collect();
+        let words: Vec<NodeId> =
+            g.all_nodes().into_iter().filter(|&n| g.name(n) == Some("w")).collect();
         let v = Value::Nodes(words);
         assert_eq!(v.to_str(&g), "5");
         assert_eq!(v.to_num(&g), 5.0);
@@ -220,11 +221,8 @@ mod tests {
     #[test]
     fn existential_nodeset_compare() {
         let g = g();
-        let words: Vec<NodeId> = g
-            .all_nodes()
-            .into_iter()
-            .filter(|&n| g.name(n) == Some("w"))
-            .collect();
+        let words: Vec<NodeId> =
+            g.all_nodes().into_iter().filter(|&n| g.name(n) == Some("w")).collect();
         let v = Value::Nodes(words);
         // = 'abc' holds because SOME node equals.
         assert!(compare(&g, BinOp::Eq, &v, &Value::Str("abc".into())));

@@ -85,9 +85,8 @@ pub fn parse_pattern(pattern: &str, mode: AnalyzeMode) -> Result<TaggedPattern> 
 /// `<tag>…</tag>` → `(…)`, collecting the group tree. Capture indexes are
 /// assigned in tag-open order, matching the regex engine's group numbering.
 fn fragment_to_regex(doc: &mhx_xml::Document) -> Result<(String, Vec<GroupSpec>)> {
-    let root = doc
-        .root_element()
-        .map_err(|e| XQueryError::new(format!("pattern fragment: {e}")))?;
+    let root =
+        doc.root_element().map_err(|e| XQueryError::new(format!("pattern fragment: {e}")))?;
     let mut src = String::new();
     let mut next_group = 1u32;
     let groups = walk(doc, root, &mut src, &mut next_group)?;
@@ -125,7 +124,12 @@ fn walk(
 
 /// Run analyze-string over a KyGODDAG node: install the temporary
 /// hierarchy and return the `<res>` element node.
-pub fn analyze_string(g: &mut Goddag, node: NodeId, pattern: &str, mode: AnalyzeMode) -> Result<NodeId> {
+pub fn analyze_string(
+    g: &mut Goddag,
+    node: NodeId,
+    pattern: &str,
+    mode: AnalyzeMode,
+) -> Result<NodeId> {
     let tp = parse_pattern(pattern, mode)?;
     let (start, end) = g.span(node);
     let content = &g.text()[start as usize..end as usize];
@@ -136,10 +140,7 @@ pub fn analyze_string(g: &mut Goddag, node: NodeId, pattern: &str, mode: Analyze
         if whole.is_empty() {
             continue;
         }
-        let mut m = FragmentSpec::new(
-            "m",
-            (start + whole.start as u32, start + whole.end as u32),
-        );
+        let mut m = FragmentSpec::new("m", (start + whole.start as u32, start + whole.end as u32));
         m.children = build_group_frags(&tp.groups, &caps, start);
         res.children.push(m);
     }
@@ -161,10 +162,8 @@ fn build_group_frags(
         if m.is_empty() {
             continue;
         }
-        let mut f = FragmentSpec::new(
-            spec.name.clone(),
-            (base + m.start as u32, base + m.end as u32),
-        );
+        let mut f =
+            FragmentSpec::new(spec.name.clone(), (base + m.start as u32, base + m.end as u32));
         f.attrs = spec.attrs.clone();
         f.children = build_group_frags(&spec.children, caps, base);
         out.push(f);
@@ -190,10 +189,7 @@ mod tests {
     use mhx_goddag::GoddagBuilder;
 
     fn word_goddag() -> Goddag {
-        GoddagBuilder::new()
-            .hierarchy("words", "<r><w>unawendendne</w></r>")
-            .build()
-            .unwrap()
+        GoddagBuilder::new().hierarchy("words", "<r><w>unawendendne</w></r>").build().unwrap()
     }
 
     #[test]
@@ -240,11 +236,7 @@ mod tests {
         // analyze-string(<w>unawendendne</w>, ".*un<a>a</a>we.*") must
         // produce <res><m>un<a>a</a>we</m>ndendne</res>.
         let mut g = word_goddag();
-        let w = g
-            .all_nodes()
-            .into_iter()
-            .find(|&n| g.name(n) == Some("w"))
-            .unwrap();
+        let w = g.all_nodes().into_iter().find(|&n| g.name(n) == Some("w")).unwrap();
         let res = analyze_string(&mut g, w, ".*un<a>a</a>we.*", AnalyzeMode::PaperCompat).unwrap();
         assert_eq!(g.name(res), Some("res"));
         assert_eq!(g.string_value(res), "unawendendne");
@@ -263,17 +255,10 @@ mod tests {
 
     #[test]
     fn multiple_matches_multiple_m() {
-        let mut g = GoddagBuilder::new()
-            .hierarchy("t", "<r><w>abcabcab</w></r>")
-            .build()
-            .unwrap();
+        let mut g = GoddagBuilder::new().hierarchy("t", "<r><w>abcabcab</w></r>").build().unwrap();
         let w = g.all_nodes().into_iter().find(|&n| g.name(n) == Some("w")).unwrap();
         let res = analyze_string(&mut g, w, "abc", AnalyzeMode::Xslt).unwrap();
-        let m_count = g
-            .children(res)
-            .iter()
-            .filter(|&&c| g.name(c) == Some("m"))
-            .count();
+        let m_count = g.children(res).iter().filter(|&&c| g.name(c) == Some("m")).count();
         assert_eq!(m_count, 2);
     }
 
@@ -284,8 +269,7 @@ mod tests {
             .hierarchy("lines", "<r><line>unawen</line><line>dendne</line></r>")
             .build()
             .unwrap();
-        let res =
-            analyze_string(&mut g, NodeId::Root, "wendend", AnalyzeMode::Xslt).unwrap();
+        let res = analyze_string(&mut g, NodeId::Root, "wendend", AnalyzeMode::Xslt).unwrap();
         let m = g.children(res)[1]; // text "una", <m>, text "ne"
         assert_eq!(g.name(m), Some("m"));
         assert_eq!(g.string_value(m), "wendend");

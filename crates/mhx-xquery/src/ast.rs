@@ -4,7 +4,7 @@
 //! and all other sub-expressions are full XQuery expressions.
 
 use mhx_goddag::Axis;
-use mhx_xpath::NodeTest;
+use mhx_xpath::{choose_strategy, NodeTest, StepStrategy};
 
 /// Comparison operators: XPath general comparisons, XQuery value
 /// comparisons, and node comparisons.
@@ -55,12 +55,22 @@ pub struct OrderKeySpec {
     pub descending: bool,
 }
 
-/// A path step with XQuery predicates.
+/// A path step with XQuery predicates, compiled at parse time: `strategy`
+/// records how the shared plan layer ([`mhx_xpath::plan`]) resolves the
+/// axis — through the structural index or the plain walk.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QStep {
     pub axis: Axis,
     pub test: NodeTest,
     pub predicates: Vec<QExpr>,
+    pub strategy: StepStrategy,
+}
+
+impl QStep {
+    pub fn new(axis: Axis, test: NodeTest, predicates: Vec<QExpr>) -> QStep {
+        let strategy = choose_strategy(axis, &test);
+        QStep { axis, test, predicates, strategy }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -100,24 +110,55 @@ pub struct DirElem {
 pub enum QExpr {
     /// `(e1, e2, …)` — also `()` for the empty sequence.
     Sequence(Vec<QExpr>),
-    Flwor { clauses: Vec<Clause>, ret: Box<QExpr> },
-    If { cond: Box<QExpr>, then: Box<QExpr>, els: Box<QExpr> },
-    Quantified { every: bool, binds: Vec<(String, QExpr)>, satisfies: Box<QExpr> },
+    Flwor {
+        clauses: Vec<Clause>,
+        ret: Box<QExpr>,
+    },
+    If {
+        cond: Box<QExpr>,
+        then: Box<QExpr>,
+        els: Box<QExpr>,
+    },
+    Quantified {
+        every: bool,
+        binds: Vec<(String, QExpr)>,
+        satisfies: Box<QExpr>,
+    },
     Or(Box<QExpr>, Box<QExpr>),
     And(Box<QExpr>, Box<QExpr>),
-    Compare { op: Comp, lhs: Box<QExpr>, rhs: Box<QExpr> },
-    Range { lo: Box<QExpr>, hi: Box<QExpr> },
-    Arith { op: ArithOp, lhs: Box<QExpr>, rhs: Box<QExpr> },
+    Compare {
+        op: Comp,
+        lhs: Box<QExpr>,
+        rhs: Box<QExpr>,
+    },
+    Range {
+        lo: Box<QExpr>,
+        hi: Box<QExpr>,
+    },
+    Arith {
+        op: ArithOp,
+        lhs: Box<QExpr>,
+        rhs: Box<QExpr>,
+    },
     Union(Box<QExpr>, Box<QExpr>),
     Neg(Box<QExpr>),
     Literal(String),
     Number(f64),
     Var(String),
     ContextItem,
-    Call { name: String, args: Vec<QExpr> },
-    Path { start: QPathStart, steps: Vec<QStep> },
+    Call {
+        name: String,
+        args: Vec<QExpr>,
+    },
+    Path {
+        start: QPathStart,
+        steps: Vec<QStep>,
+    },
     /// Postfix predicates on an arbitrary expression: `$x[1]`, `(e)[cond]`.
-    Filter { base: Box<QExpr>, predicates: Vec<QExpr> },
+    Filter {
+        base: Box<QExpr>,
+        predicates: Vec<QExpr>,
+    },
     DirElem(DirElem),
 }
 

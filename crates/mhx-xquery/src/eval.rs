@@ -10,9 +10,11 @@ use crate::analyze::AnalyzeMode;
 use crate::ast::{ArithOp, AttrPiece, Clause, Comp, Content, DirElem, QExpr, QPathStart, QStep};
 use crate::error::{Result, XQueryError};
 use crate::item::{Item, Sequence};
-use mhx_goddag::{axis_nodes, Axis, Goddag, NodeId};
+use mhx_goddag::index::StructIndex;
+use mhx_goddag::{Axis, Goddag, NodeId};
 use mhx_xml::{Document, NodeId as OutId, NodeKind};
-use mhx_xpath::NodeTest;
+use mhx_xpath::plan;
+use mhx_xpath::{NodeTest, StepStrategy};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 
@@ -41,17 +43,71 @@ impl Env {
     }
 }
 
-/// The evaluator. Holds the (copy-on-write) KyGODDAG and the output arena
-/// for constructed nodes.
+/// The evaluator's handle on a [`StructIndex`]: borrowed from the caller
+/// (the engine facade shares its long-lived index), or owned after a lazy
+/// (re)build — which happens on first indexed step, and again whenever
+/// `analyze-string()` installs or removes a temporary hierarchy on the
+/// copy-on-write goddag and bumps its version.
+enum IndexState<'g> {
+    None,
+    Borrowed(&'g StructIndex),
+    Owned(StructIndex),
+}
+
+impl IndexState<'_> {
+    fn get(&self) -> Option<&StructIndex> {
+        match self {
+            IndexState::None => None,
+            IndexState::Borrowed(i) => Some(i),
+            IndexState::Owned(i) => Some(i),
+        }
+    }
+}
+
+/// The evaluator. Holds the (copy-on-write) KyGODDAG, the structural index
+/// over it, and the output arena for constructed nodes.
 pub struct Evaluator<'g> {
     pub(crate) g: Cow<'g, Goddag>,
     pub(crate) out: Document,
     pub(crate) opts: EvalOptions,
+    index: IndexState<'g>,
 }
 
 impl<'g> Evaluator<'g> {
     pub fn new(g: &'g Goddag, opts: EvalOptions) -> Evaluator<'g> {
-        Evaluator { g: Cow::Borrowed(g), out: Document::new(), opts }
+        Evaluator { g: Cow::Borrowed(g), out: Document::new(), opts, index: IndexState::None }
+    }
+
+    /// Like [`Evaluator::new`], but starting from a pre-built index for `g`
+    /// (the engine facade's). The evaluator falls back to its own rebuild
+    /// the moment the copy-on-write goddag diverges.
+    pub fn with_index(g: &'g Goddag, idx: &'g StructIndex, opts: EvalOptions) -> Evaluator<'g> {
+        let index = if idx.is_current(g) { IndexState::Borrowed(idx) } else { IndexState::None };
+        Evaluator { g: Cow::Borrowed(g), out: Document::new(), opts, index }
+    }
+
+    /// Make `self.index` current for `self.g`, rebuilding if missing or
+    /// stale (after an `analyze-string()` mutation).
+    fn ensure_index(&mut self) {
+        let fresh = self.index.get().map(|i| i.is_current(self.g.as_ref())).unwrap_or(false);
+        if !fresh {
+            self.index = IndexState::Owned(StructIndex::build(self.g.as_ref()));
+        }
+    }
+
+    /// Candidate nodes for one compiled step from a KyGODDAG context node,
+    /// resolved through the shared plan layer. Computed per context node so
+    /// a predicate that mutates the goddag (nested `analyze-string()`) is
+    /// seen by subsequent context nodes, exactly like the naive walk.
+    fn step_candidates(&mut self, step: &QStep, n: NodeId) -> Vec<NodeId> {
+        if step.strategy == StepStrategy::AxisWalk {
+            // The plain walk never touches the index; skip (re)builds.
+            return plan::walk_step(self.g.as_ref(), step.axis, &step.test, n);
+        }
+        self.ensure_index();
+        let g = self.g.as_ref();
+        let idx = self.index.get().expect("ensure_index populated the slot");
+        plan::resolve_step(g, idx, step.strategy, step.axis, &step.test, n)
     }
 
     pub fn goddag(&self) -> &Goddag {
@@ -99,9 +155,7 @@ impl<'g> Evaluator<'g> {
                 Item::Bool(b) => *b,
                 _ => unreachable!("node case handled above"),
             }),
-            _ => Err(XQueryError::new(
-                "effective boolean value of a multi-item atomic sequence",
-            )),
+            _ => Err(XQueryError::new("effective boolean value of a multi-item atomic sequence")),
         }
     }
 
@@ -471,13 +525,9 @@ impl<'g> Evaluator<'g> {
         let mut out: Sequence = Vec::new();
         for item in input {
             let candidates: Sequence = match item {
-                Item::Node(n) => axis_nodes(self.g.as_ref(), step.axis, *n)
-                    .into_iter()
-                    .filter(|&m| {
-                        mhx_xpath::node_test_matches(self.g.as_ref(), step.axis, m, &step.test)
-                    })
-                    .map(Item::Node)
-                    .collect(),
+                Item::Node(n) => {
+                    self.step_candidates(step, *n).into_iter().map(Item::Node).collect()
+                }
                 Item::ONode(o) => self.onode_axis(*o, step.axis, &step.test)?,
                 _ => {
                     return Err(XQueryError::new("path step applied to an atomic value"));
@@ -570,11 +620,7 @@ impl<'g> Evaluator<'g> {
                 )));
             }
         };
-        Ok(nodes
-            .into_iter()
-            .filter(|&m| self.onode_test(m, test))
-            .map(Item::ONode)
-            .collect())
+        Ok(nodes.into_iter().filter(|&m| self.onode_test(m, test)).map(Item::ONode).collect())
     }
 
     fn onode_test(&self, o: OutId, test: &NodeTest) -> bool {
@@ -583,9 +629,7 @@ impl<'g> Evaluator<'g> {
                 hierarchies.is_none()
                     && matches!(self.out.kind(o), NodeKind::Element { name: n, .. } if n == name)
             }
-            NodeTest::AnyElement { hierarchies } => {
-                hierarchies.is_none() && self.out.is_element(o)
-            }
+            NodeTest::AnyElement { hierarchies } => hierarchies.is_none() && self.out.is_element(o),
             NodeTest::Text { hierarchies } => hierarchies.is_none() && self.out.is_text(o),
             NodeTest::AnyNode { hierarchies } => hierarchies.is_none(),
             NodeTest::Leaf => false,
@@ -726,9 +770,9 @@ impl<'g> Evaluator<'g> {
                 let kids: Vec<OutId> = self.out.children(o).collect();
                 // Copy children under a fresh element-less parent is not
                 // representable; document nodes never appear as items.
-                kids.first().map(|&c| self.deep_copy_onode(c)).unwrap_or_else(|| {
-                    self.out.create_text(String::new())
-                })
+                kids.first()
+                    .map(|&c| self.deep_copy_onode(c))
+                    .unwrap_or_else(|| self.out.create_text(String::new()))
             }
         }
     }

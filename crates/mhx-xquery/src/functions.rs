@@ -105,9 +105,7 @@ fn dispatch(ev: &mut Evaluator<'_>, name: &str, vals: &[Sequence], env: &Env) ->
             };
             let n = match item {
                 Some(Item::Node(n)) => ev.goddag().name(n).unwrap_or("").to_string(),
-                Some(Item::ONode(o)) => {
-                    ev.output_doc().name(o).unwrap_or("").to_string()
-                }
+                Some(Item::ONode(o)) => ev.output_doc().name(o).unwrap_or("").to_string(),
                 Some(_) => return Err(XQueryError::new("name() requires a node")),
                 None => String::new(),
             };
@@ -243,9 +241,7 @@ fn dispatch(ev: &mut Evaluator<'_>, name: &str, vals: &[Sequence], env: &Env) ->
             let from = (start - 1.0).max(0.0) as usize;
             let until = (start + len - 1.0).max(0.0);
             let until = if until.is_infinite() { chars.len() } else { until as usize };
-            vec![Item::Str(
-                chars[from.min(chars.len())..until.min(chars.len())].iter().collect(),
-            )]
+            vec![Item::Str(chars[from.min(chars.len())..until.min(chars.len())].iter().collect())]
         }
         "substring-before" => {
             arity(name, vals, 2, 2)?;
@@ -257,9 +253,7 @@ fn dispatch(ev: &mut Evaluator<'_>, name: &str, vals: &[Sequence], env: &Env) ->
             arity(name, vals, 2, 2)?;
             let s = s1(ev, vals)?;
             let p = one_string(ev, &vals[1], name)?;
-            vec![Item::Str(
-                s.find(&p).map(|i| s[i + p.len()..].to_string()).unwrap_or_default(),
-            )]
+            vec![Item::Str(s.find(&p).map(|i| s[i + p.len()..].to_string()).unwrap_or_default())]
         }
         "string-length" => {
             arity(name, vals, 0, 1)?;
@@ -347,9 +341,7 @@ fn dispatch(ev: &mut Evaluator<'_>, name: &str, vals: &[Sequence], env: &Env) ->
             vals[0]
                 .iter()
                 .map(|i| ev.item_number(i))
-                .fold(None, |acc: Option<f64>, x| {
-                    Some(acc.map_or(x, |a| a.min(x)))
-                })
+                .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.min(x))))
                 .map(|v| vec![Item::Num(v)])
                 .unwrap_or_default()
         }
@@ -358,9 +350,7 @@ fn dispatch(ev: &mut Evaluator<'_>, name: &str, vals: &[Sequence], env: &Env) ->
             vals[0]
                 .iter()
                 .map(|i| ev.item_number(i))
-                .fold(None, |acc: Option<f64>, x| {
-                    Some(acc.map_or(x, |a| a.max(x)))
-                })
+                .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.max(x))))
                 .map(|v| vec![Item::Num(v)])
                 .unwrap_or_default()
         }
@@ -405,20 +395,16 @@ fn dispatch(ev: &mut Evaluator<'_>, name: &str, vals: &[Sequence], env: &Env) ->
         "hierarchy" => {
             arity(name, vals, 1, 1)?;
             let h = match vals[0].first() {
-                Some(Item::Node(n)) => n
-                    .hierarchy()
-                    .map(|h| ev.goddag().hierarchy(h).name.clone())
-                    .unwrap_or_default(),
+                Some(Item::Node(n)) => {
+                    n.hierarchy().map(|h| ev.goddag().hierarchy(h).name.clone()).unwrap_or_default()
+                }
                 _ => String::new(),
             };
             vec![Item::Str(h)]
         }
         "hierarchies" => {
             arity(name, vals, 0, 0)?;
-            ev.goddag()
-                .hierarchies()
-                .map(|(_, h)| Item::Str(h.name.clone()))
-                .collect()
+            ev.goddag().hierarchies().map(|(_, h)| Item::Str(h.name.clone())).collect()
         }
         "leaf-count" => {
             arity(name, vals, 0, 0)?;

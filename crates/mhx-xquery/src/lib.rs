@@ -59,8 +59,27 @@ pub fn run_query(g: &Goddag, src: &str) -> Result<String> {
 /// [`run_query`] with options.
 pub fn run_query_with(g: &Goddag, src: &str, opts: &EvalOptions) -> Result<String> {
     let ast = parse_query(src)?;
+    run_parsed_with(g, &ast, opts)
+}
+
+/// Run an already-parsed (compiled) query. The engine facade in the root
+/// crate caches parsed queries and calls this, skipping the re-parse.
+pub fn run_parsed_with(g: &Goddag, ast: &QExpr, opts: &EvalOptions) -> Result<String> {
     let mut ev = Evaluator::new(g, opts.clone());
-    let seq = ev.eval(&ast, &Env::default())?;
+    let seq = ev.eval(ast, &Env::default())?;
+    Ok(serialize::serialize_sequence(&ev, &seq))
+}
+
+/// [`run_parsed_with`] sharing a pre-built structural index for `g`, so
+/// repeated queries against one document skip the per-query index build.
+pub fn run_parsed_with_index(
+    g: &Goddag,
+    idx: &mhx_goddag::StructIndex,
+    ast: &QExpr,
+    opts: &EvalOptions,
+) -> Result<String> {
+    let mut ev = Evaluator::with_index(g, idx, opts.clone());
+    let seq = ev.eval(ast, &Env::default())?;
     Ok(serialize::serialize_sequence(&ev, &seq))
 }
 
@@ -322,14 +341,8 @@ mod engine_tests {
 
     #[test]
     fn constructed_node_navigation() {
-        assert_eq!(
-            run("let $x := <d><a>1</a><b>2</b></d> return string($x/child::b)"),
-            "2"
-        );
-        assert_eq!(
-            run("let $x := <d><a>1</a></d> return count($x/descendant::node())"),
-            "2"
-        );
+        assert_eq!(run("let $x := <d><a>1</a><b>2</b></d> return string($x/child::b)"), "2");
+        assert_eq!(run("let $x := <d><a>1</a></d> return count($x/descendant::node())"), "2");
     }
 
     #[test]

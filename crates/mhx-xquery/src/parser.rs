@@ -71,10 +71,7 @@ impl<'a> P<'a> {
         if !self.at_name() {
             return Err(self.err("expected a name"));
         }
-        Ok(self
-            .cur
-            .take_while(|c| c != ':' && mhx_xml::name::is_name_char(c))
-            .to_string())
+        Ok(self.cur.take_while(|c| c != ':' && mhx_xml::name::is_name_char(c)).to_string())
     }
 
     /// Consume keyword `w` if present with a word boundary.
@@ -542,18 +539,18 @@ impl<'a> P<'a> {
     fn axis_step(&mut self) -> Result<QStep> {
         self.ws();
         if self.cur.eat("..") {
-            return Ok(QStep {
-                axis: Axis::Parent,
-                test: NodeTest::AnyNode { hierarchies: None },
-                predicates: self.predicates()?,
-            });
+            return Ok(QStep::new(
+                Axis::Parent,
+                NodeTest::AnyNode { hierarchies: None },
+                self.predicates()?,
+            ));
         }
         if self.cur.eat(".") {
-            return Ok(QStep {
-                axis: Axis::SelfAxis,
-                test: NodeTest::AnyNode { hierarchies: None },
-                predicates: self.predicates()?,
-            });
+            return Ok(QStep::new(
+                Axis::SelfAxis,
+                NodeTest::AnyNode { hierarchies: None },
+                self.predicates()?,
+            ));
         }
         let (axis, explicit) = if self.cur.eat("@") {
             (Axis::Attribute, true)
@@ -576,7 +573,7 @@ impl<'a> P<'a> {
         };
         let test = self.node_test(explicit)?;
         let predicates = self.predicates()?;
-        Ok(QStep { axis, test, predicates })
+        Ok(QStep::new(axis, test, predicates))
     }
 
     fn node_test(&mut self, allow_name_hierarchy: bool) -> Result<NodeTest> {
@@ -753,9 +750,7 @@ impl<'a> P<'a> {
 
     fn number(&mut self) -> Result<QExpr> {
         let s = self.cur.take_while(|c| c.is_ascii_digit() || c == '.');
-        s.parse::<f64>()
-            .map(QExpr::Number)
-            .map_err(|_| self.err(format!("bad number `{s}`")))
+        s.parse::<f64>().map(QExpr::Number).map_err(|_| self.err(format!("bad number `{s}`")))
     }
 
     // ---------- direct constructors ----------
@@ -864,9 +859,8 @@ impl<'a> P<'a> {
                         self.ws();
                         self.cur.expect(">").map_err(|_| self.err("expected `>`"))?;
                         if close != open_name {
-                            return Err(self.err(format!(
-                                "mismatched end tag </{close}> for <{open_name}>"
-                            )));
+                            return Err(self
+                                .err(format!("mismatched end tag </{close}> for <{open_name}>")));
                         }
                         return Ok(out);
                     }
@@ -932,11 +926,7 @@ fn flush_text(text: &mut String, out: &mut Vec<Content>) {
 }
 
 fn dos_step() -> QStep {
-    QStep {
-        axis: Axis::DescendantOrSelf,
-        test: NodeTest::AnyNode { hierarchies: None },
-        predicates: vec![],
-    }
+    QStep::new(Axis::DescendantOrSelf, NodeTest::AnyNode { hierarchies: None }, vec![])
 }
 
 fn split_hier(s: &str) -> Vec<String> {
@@ -1058,10 +1048,7 @@ mod tests {
 
     #[test]
     fn node_comparisons_and_ranges() {
-        assert!(matches!(
-            ok("$a is $b"),
-            QExpr::Compare { op: Comp::Is, .. }
-        ));
+        assert!(matches!(ok("$a is $b"), QExpr::Compare { op: Comp::Is, .. }));
         assert!(matches!(ok("$a << $b"), QExpr::Compare { op: Comp::Before, .. }));
         assert!(matches!(ok("$a >> $b"), QExpr::Compare { op: Comp::After, .. }));
         assert!(matches!(ok("1 to 5"), QExpr::Range { .. }));
@@ -1123,10 +1110,7 @@ mod tests {
     fn hierarchy_node_tests_in_xquery() {
         let q = ok("/descendant::text(\"words\")");
         let QExpr::Path { steps, .. } = q else { panic!() };
-        assert_eq!(
-            steps[0].test,
-            NodeTest::Text { hierarchies: Some(vec!["words".into()]) }
-        );
+        assert_eq!(steps[0].test, NodeTest::Text { hierarchies: Some(vec!["words".into()]) });
     }
 
     #[test]

@@ -149,10 +149,8 @@ mod tests {
     fn sequence_with_space_separator() {
         let ast = parse_query("('a', 'b', <br/>, 'c')").unwrap();
         let g = g();
-        let mut ev = Evaluator::new(
-            &g,
-            EvalOptions { space_separator: true, ..Default::default() },
-        );
+        let mut ev =
+            Evaluator::new(&g, EvalOptions { space_separator: true, ..Default::default() });
         let seq = ev.eval(&ast, &Env::default()).unwrap();
         assert_eq!(serialize_sequence(&ev, &seq), "a b<br/>c");
     }

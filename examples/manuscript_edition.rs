@@ -14,7 +14,11 @@ fn main() {
     let cmh = figure1::cmh();
     let docs = figure1::documents();
     cmh.validate_documents(&docs).expect("Figure-1 encodings are CMH-valid");
-    println!("CMH check: {} DTDs over root <{}> — all encodings valid\n", cmh.dtds().len(), cmh.root());
+    println!(
+        "CMH check: {} DTDs over root <{}> — all encodings valid\n",
+        cmh.dtds().len(),
+        cmh.root()
+    );
 
     // 2. Build the KyGODDAG and show the Figure-2 structure.
     let g = figure1::goddag();

@@ -11,10 +11,7 @@ use multihier_xquery::baseline::{queries, to_fragmentation, to_milestone};
 use multihier_xquery::corpus::{generate, GeneratorConfig};
 
 fn main() {
-    let jitter: f64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.6);
+    let jitter: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.6);
     let config = GeneratorConfig {
         text_len: 4_000,
         hierarchies: 3,
@@ -27,10 +24,15 @@ fn main() {
     let ms = to_milestone(&g, "h0");
     let fr = to_fragmentation(&g, "h0");
 
-    println!("synthetic edition: {} chars, {} hierarchies, boundary jitter {jitter}",
-        g.text().len(), g.hierarchy_count());
-    println!("overlap density (proper-overlap pairs / cross-hierarchy pairs): {:.3}\n",
-        doc.overlap_density());
+    println!(
+        "synthetic edition: {} chars, {} hierarchies, boundary jitter {jitter}",
+        g.text().len(),
+        g.hierarchy_count()
+    );
+    println!(
+        "overlap density (proper-overlap pairs / cross-hierarchy pairs): {:.3}\n",
+        doc.overlap_density()
+    );
 
     let sep_sizes: usize = doc.encodings.iter().map(|(_, s)| s.len()).sum();
     println!("representation sizes:");
@@ -51,5 +53,7 @@ fn main() {
     println!("  fragmentation regroup  : {frc}");
     assert_eq!(gd, msc);
     assert_eq!(gd, frc);
-    println!("\nall three representations agree — run `cargo bench -p mhx-bench` to see what they cost.");
+    println!(
+        "\nall three representations agree — run `cargo bench -p mhx-bench` to see what they cost."
+    );
 }

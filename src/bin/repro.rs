@@ -116,7 +116,10 @@ fn queries_repro(failures: &mut usize) {
 /// single-document blowup shape.
 fn baseline(failures: &mut usize) {
     println!("=== E8: representation comparison (answers + size shape) ===");
-    println!("{:>7} {:>8} {:>10} {:>10} {:>10} {:>6}", "jitter", "overlap", "separate", "milestone", "fragments", "agree");
+    println!(
+        "{:>7} {:>8} {:>10} {:>10} {:>10} {:>6}",
+        "jitter", "overlap", "separate", "milestone", "fragments", "agree"
+    );
     for jitter in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let doc = generate(&GeneratorConfig {
             text_len: 3000,

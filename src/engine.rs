@@ -1,0 +1,352 @@
+//! The engine facade: one KyGODDAG, one structural index, one LRU cache of
+//! compiled query plans.
+//!
+//! [`Engine`] is the intended serving entry point: it owns the document,
+//! keeps the [`StructIndex`] current across hierarchy mutations, and caches
+//! the parse/compile work per query text so repeated evaluation of the same
+//! query re-parses nothing. Both query languages go through it — XPath
+//! plans are [`CompiledXPath`] values, XQuery plans are parsed [`QExpr`]
+//! trees whose path steps were compiled to [`mhx_xpath::StepStrategy`]s at
+//! parse time. Plans are document-independent (they name axes, tests and
+//! strategies, never node ids), so hierarchy mutations invalidate only the
+//! index, never the plan cache.
+
+use mhx_goddag::{Goddag, StructIndex};
+use mhx_xpath::{CompiledXPath, Context, Value};
+use mhx_xquery::{parse_query, EvalOptions, QExpr};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error from either engine, unified for facade callers.
+#[derive(Debug, Clone)]
+pub struct EngineError(String);
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<mhx_xpath::XPathError> for EngineError {
+    fn from(e: mhx_xpath::XPathError) -> EngineError {
+        EngineError(e.to_string())
+    }
+}
+
+impl From<mhx_xquery::XQueryError> for EngineError {
+    fn from(e: mhx_xquery::XQueryError) -> EngineError {
+        EngineError(e.to_string())
+    }
+}
+
+impl From<mhx_goddag::GoddagError> for EngineError {
+    fn from(e: mhx_goddag::GoddagError) -> EngineError {
+        EngineError(e.to_string())
+    }
+}
+
+/// A cached, compiled query plan. `Arc` so cache hits hand out a handle
+/// without cloning the plan and eviction never invalidates a running query.
+#[derive(Debug, Clone)]
+enum CachedPlan {
+    XPath(Arc<CompiledXPath>),
+    XQuery(Arc<QExpr>),
+}
+
+/// Plan-cache counters (cumulative since [`Engine`] construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: usize,
+}
+
+/// Least-recently-used plan cache keyed by query text. Recency is a
+/// monotonic stamp per entry; eviction scans for the minimum — O(capacity),
+/// trivial next to a parse, and free of list bookkeeping.
+struct PlanCache {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<String, (u64, CachedPlan)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            stamp: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<CachedPlan> {
+        self.stamp += 1;
+        match self.map.get_mut(key) {
+            Some((stamp, plan)) => {
+                *stamp = self.stamp;
+                self.hits += 1;
+                Some(plan.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: String, plan: CachedPlan) {
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.stamp += 1;
+        self.map.insert(key, (self.stamp, plan));
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+        }
+    }
+}
+
+/// Default plan-cache capacity (distinct query texts kept compiled).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// The query engine facade. See the module docs.
+pub struct Engine {
+    g: Goddag,
+    index: StructIndex,
+    opts: EvalOptions,
+    cache: PlanCache,
+}
+
+impl Engine {
+    /// Wrap a document; builds the structural index eagerly.
+    pub fn new(g: Goddag) -> Engine {
+        Engine::with_options(g, EvalOptions::default())
+    }
+
+    /// [`Engine::new`] with XQuery evaluation options.
+    pub fn with_options(g: Goddag, opts: EvalOptions) -> Engine {
+        let index = StructIndex::build(&g);
+        Engine { g, index, opts, cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY) }
+    }
+
+    /// Override the plan-cache capacity (min 1).
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Engine {
+        self.cache = PlanCache::new(capacity);
+        self
+    }
+
+    pub fn goddag(&self) -> &Goddag {
+        &self.g
+    }
+
+    /// The current structural index (always in sync with the goddag).
+    pub fn index(&self) -> &StructIndex {
+        &self.index
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Add a base hierarchy to the document; rebuilds the index. Compiled
+    /// plans stay valid (they are document-independent).
+    pub fn add_hierarchy(&mut self, name: &str, xml: &str) -> Result<(), EngineError> {
+        let doc = mhx_xml::parse(xml).map_err(|e| EngineError(e.to_string()))?;
+        self.g.add_document_hierarchy(name, &doc)?;
+        self.index = StructIndex::build(&self.g);
+        Ok(())
+    }
+
+    fn ensure_index(&mut self) {
+        if !self.index.is_current(&self.g) {
+            self.index = StructIndex::build(&self.g);
+        }
+    }
+
+    /// Cache key namespaced by language: the same source text is a valid
+    /// query in both languages (every XPath expression parses as XQuery),
+    /// and the two compile to different plans. `\0` cannot occur in query
+    /// text, so the prefix is collision-free.
+    fn cache_key(lang: &str, src: &str) -> String {
+        let mut key = String::with_capacity(lang.len() + 1 + src.len());
+        key.push_str(lang);
+        key.push('\0');
+        key.push_str(src);
+        key
+    }
+
+    /// Evaluate an XPath expression from the root, through the cached
+    /// compiled plan and the structural index.
+    pub fn xpath(&mut self, src: &str) -> Result<Value, EngineError> {
+        let key = Engine::cache_key("xpath", src);
+        let plan = match self.cache.get(&key) {
+            Some(CachedPlan::XPath(p)) => p,
+            Some(CachedPlan::XQuery(_)) | None => {
+                let p = Arc::new(CompiledXPath::compile(src)?);
+                self.cache.insert(key, CachedPlan::XPath(Arc::clone(&p)));
+                p
+            }
+        };
+        self.ensure_index();
+        let ctx = Context::new(mhx_goddag::NodeId::Root);
+        Ok(plan.evaluate(&self.g, &self.index, &ctx)?)
+    }
+
+    /// Run an XQuery query and serialize the result (paper-style), through
+    /// the cached parse and the structural index.
+    pub fn xquery(&mut self, src: &str) -> Result<String, EngineError> {
+        let key = Engine::cache_key("xquery", src);
+        let plan = match self.cache.get(&key) {
+            Some(CachedPlan::XQuery(p)) => p,
+            Some(CachedPlan::XPath(_)) | None => {
+                let p = Arc::new(parse_query(src)?);
+                self.cache.insert(key, CachedPlan::XQuery(Arc::clone(&p)));
+                p
+            }
+        };
+        self.ensure_index();
+        Ok(mhx_xquery::run_parsed_with_index(&self.g, &self.index, &plan, &self.opts)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhx_goddag::GoddagBuilder;
+
+    fn two_hierarchies() -> Goddag {
+        GoddagBuilder::new()
+            .hierarchy(
+                "lines",
+                "<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe gecynde þa</line></r>",
+            )
+            .hierarchy(
+                "words",
+                "<r><w>gesceaftum</w> <w>unawendendne</w> <w>singallice</w> <w>sibbe</w> \
+                 <w>gecynde</w> <w>þa</w></r>",
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn repeated_query_hits_plan_cache() {
+        let mut e = Engine::new(two_hierarchies());
+        let q = "for $l in /descendant::line[overlapping::w] return string($l)";
+        let first = e.xquery(q).unwrap();
+        assert_eq!(e.cache_stats().misses, 1);
+        assert_eq!(e.cache_stats().hits, 0);
+        for _ in 0..5 {
+            assert_eq!(e.xquery(q).unwrap(), first);
+        }
+        let stats = e.cache_stats();
+        assert_eq!(stats.misses, 1, "no re-parse after the first evaluation");
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn xpath_and_xquery_share_the_cache() {
+        let mut e = Engine::new(two_hierarchies());
+        let v = e.xpath("/descendant::w[3]").unwrap();
+        assert_eq!(v.to_str(e.goddag()), "singallice");
+        e.xpath("/descendant::w[3]").unwrap();
+        e.xquery("count(/descendant::w)").unwrap();
+        let stats = e.cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn same_text_in_both_languages_does_not_collide() {
+        let mut e = Engine::new(two_hierarchies());
+        // Valid in both languages; the plans differ.
+        let q = "count(/descendant::w)";
+        assert_eq!(e.xquery(q).unwrap(), "6");
+        assert_eq!(e.xpath(q).unwrap(), Value::Num(6.0));
+        assert_eq!(e.xquery(q).unwrap(), "6");
+        assert_eq!(e.xpath(q).unwrap(), Value::Num(6.0));
+        let stats = e.cache_stats();
+        assert_eq!(stats.entries, 2, "one entry per language");
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 2, "second round is all cache hits");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut e = Engine::new(two_hierarchies()).with_plan_cache_capacity(2);
+        e.xpath("/descendant::w[1]").unwrap();
+        e.xpath("/descendant::w[2]").unwrap();
+        // Touch the first so the second is now least recent.
+        e.xpath("/descendant::w[1]").unwrap();
+        e.xpath("/descendant::w[3]").unwrap();
+        let stats = e.cache_stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        // The touched plan survived; the untouched one was evicted.
+        e.xpath("/descendant::w[1]").unwrap();
+        assert_eq!(e.cache_stats().hits, 2);
+        e.xpath("/descendant::w[2]").unwrap();
+        assert_eq!(e.cache_stats().misses, 4, "evicted plan re-compiles");
+    }
+
+    #[test]
+    fn analyze_string_queries_leave_engine_consistent() {
+        let mut e = Engine::new(two_hierarchies());
+        let q = "for $m in analyze-string(/, 'gallice') return string($m)";
+        let out = e.xquery(q).unwrap();
+        assert!(out.contains("gallice"), "match materialized: {out}");
+        // Temporary hierarchies died with the evaluator: the engine's own
+        // goddag and index are untouched and still current.
+        assert_eq!(e.goddag().hierarchy_count(), 2);
+        assert!(e.index().is_current(e.goddag()));
+        assert_eq!(e.xquery(q).unwrap(), out);
+    }
+
+    #[test]
+    fn add_hierarchy_keeps_plans_and_refreshes_index() {
+        let mut e = Engine::new(two_hierarchies());
+        let q = "/descendant::res";
+        let Value::Nodes(none) = e.xpath(q).unwrap() else { panic!() };
+        assert!(none.is_empty());
+        e.add_hierarchy(
+            "restorations",
+            "<r><res>gesceaftum una</res>wendendne s<res>in</res><res>gallice sibbe gecyn</res>de þa</r>",
+        )
+        .unwrap();
+        let Value::Nodes(found) = e.xpath(q).unwrap() else { panic!() };
+        assert_eq!(found.len(), 3);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1, "compiled plan survived the hierarchy mutation");
+    }
+
+    #[test]
+    fn bad_queries_surface_errors() {
+        let mut e = Engine::new(two_hierarchies());
+        assert!(e.xpath("/descendant::").is_err());
+        assert!(e.xquery("for $x in").is_err());
+        assert!(e.add_hierarchy("words", "<r>nope</r>").is_err());
+    }
+}

@@ -52,9 +52,14 @@ pub use mhx_xml as xml;
 pub use mhx_xpath as xpath;
 pub use mhx_xquery as xquery;
 
+pub mod engine;
+
+pub use engine::{CacheStats, Engine, EngineError};
+
 /// The most common imports in one place.
 pub mod prelude {
-    pub use mhx_goddag::{Goddag, GoddagBuilder, NodeId};
+    pub use crate::engine::{CacheStats, Engine, EngineError};
+    pub use mhx_goddag::{Goddag, GoddagBuilder, NodeId, StructIndex};
     pub use mhx_xml::Document;
     pub use mhx_xpath::evaluate_xpath;
     pub use mhx_xquery::{run_query, run_query_with, EvalOptions};

@@ -22,10 +22,7 @@ fn two_analyze_strings_in_one_query() {
            string-join(hierarchies(), ','))",
     )
     .unwrap();
-    assert_eq!(
-        out,
-        "1 1 1 lines,words,restorations,damage,rest,rest2"
-    );
+    assert_eq!(out, "1 1 1 lines,words,restorations,damage,rest,rest2");
     // Both are gone afterwards.
     assert_eq!(g.hierarchy_count(), 4);
 }

@@ -41,11 +41,8 @@ fn xquery_count_equals_axis_count() {
     });
     let g = doc.build_goddag();
     let via_axis = queries::goddag_overlap_count(&g, "e0", "e1");
-    let via_query = run_query(
-        &g,
-        "sum(for $a in /descendant::e0 return count($a/overlapping::e1))",
-    )
-    .unwrap();
+    let via_query =
+        run_query(&g, "sum(for $a in /descendant::e0 return count($a/overlapping::e1))").unwrap();
     assert_eq!(via_axis.to_string(), via_query);
 }
 

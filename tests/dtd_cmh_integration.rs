@@ -1,7 +1,7 @@
 //! Integration: the DTD/CMH layer against realistic schema collections.
 
 use multihier_xquery::goddag::Cmh;
-use multihier_xquery::xml::dtd::{parse_dtd, Determinism, ContentAutomaton, ContentSpec};
+use multihier_xquery::xml::dtd::{parse_dtd, ContentAutomaton, ContentSpec, Determinism};
 
 #[test]
 fn tei_like_cmh_validates_generated_drama() {
@@ -33,11 +33,9 @@ fn tei_like_cmh_validates_generated_drama() {
 #[test]
 fn cmh_rejects_hierarchies_sharing_a_nonroot_element() {
     let a = parse_dtd("<!ELEMENT r (w*)> <!ELEMENT w (#PCDATA)>", "a").unwrap();
-    let b = parse_dtd(
-        "<!ELEMENT r (seg*)> <!ELEMENT seg (#PCDATA|w)*> <!ELEMENT w (#PCDATA)>",
-        "b",
-    )
-    .unwrap();
+    let b =
+        parse_dtd("<!ELEMENT r (seg*)> <!ELEMENT seg (#PCDATA|w)*> <!ELEMENT w (#PCDATA)>", "b")
+            .unwrap();
     assert!(Cmh::new("r", vec![a, b]).is_err());
 }
 

@@ -16,11 +16,8 @@ fn compare(g: &mhx_goddag::Goddag, path: &str) {
     };
     let q = format!("for $n in {path} return concat(name($n), ':', string($n), '\u{1}')");
     let xq_out = run_query(g, &q).unwrap();
-    let xq: Vec<String> = xq_out
-        .split('\u{1}')
-        .filter(|s| !s.is_empty())
-        .map(str::to_string)
-        .collect();
+    let xq: Vec<String> =
+        xq_out.split('\u{1}').filter(|s| !s.is_empty()).map(str::to_string).collect();
     assert_eq!(xp, xq, "engines disagree on `{path}`");
 }
 

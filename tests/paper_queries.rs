@@ -11,11 +11,7 @@ fn e1_figure1_cmh_and_roundtrip() {
     for (name, src) in figure1::ENCODINGS {
         let doc = multihier_xquery::xml::parse(src).unwrap();
         assert_eq!(multihier_xquery::xml::to_string(&doc), src, "{name} round-trips");
-        assert_eq!(
-            doc.string_value(doc.root_element().unwrap()),
-            figure1::TEXT,
-            "{name} spells S"
-        );
+        assert_eq!(doc.string_value(doc.root_element().unwrap()), figure1::TEXT, "{name} spells S");
     }
 }
 
@@ -34,7 +30,7 @@ fn e2_figure2_structure() {
     assert_eq!(count("words"), 9); // 3 vlines + 6 words
     assert_eq!(count("restorations"), 3); // res1..res3
     assert_eq!(count("damage"), 2); // dmg1, dmg2
-    // The DOT dump mentions every cluster and all 16 leaf boxes.
+                                    // The DOT dump mentions every cluster and all 16 leaf boxes.
     let dot = multihier_xquery::goddag::dot::to_dot(&g);
     for c in ["cluster_0", "cluster_1", "cluster_2", "cluster_3"] {
         assert!(dot.contains(c));
@@ -94,7 +90,6 @@ fn xslt_mode_differs_from_paper_mode() {
 #[test]
 fn sequence_output_form() {
     let g = figure1::goddag();
-    let items =
-        run_query_sequence(&g, figure1::QUERY_I1, &EvalOptions::default()).unwrap();
+    let items = run_query_sequence(&g, figure1::QUERY_I1, &EvalOptions::default()).unwrap();
     assert_eq!(items, vec!["gesceaftum unawendendne sin", "gallice sibbe gecynde þa"]);
 }

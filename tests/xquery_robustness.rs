@@ -36,10 +36,7 @@ fn long_pipeline_with_order_and_where() {
     .unwrap();
     // Longest leaves first: gesceaftum(10), endendne(8), gallice(7),
     // gecyn/sibbe(5,5 — alpha), una(3), de/in/þa(2,2,2 — alpha).
-    assert_eq!(
-        out,
-        "gesceaftum:10 endendne:8 gallice:7 gecyn:5 sibbe:5 una:3 de:2 in:2 þa:2 "
-    );
+    assert_eq!(out, "gesceaftum:10 endendne:8 gallice:7 gecyn:5 sibbe:5 una:3 de:2 in:2 þa:2 ");
 }
 
 #[test]
@@ -77,26 +74,18 @@ fn generated_documents_answer_structural_queries() {
         });
         let g = doc.build_goddag();
         // Structural invariants expressed as queries.
-        let leaves: usize =
-            run_query(&g, "count(/descendant::leaf())").unwrap().parse().unwrap();
+        let leaves: usize = run_query(&g, "count(/descendant::leaf())").unwrap().parse().unwrap();
         assert_eq!(leaves, g.leaf_count());
-        let total_text_len: usize = run_query(
-            &g,
-            "string-length(string(root()))",
-        )
-        .unwrap()
-        .parse()
-        .unwrap();
+        let total_text_len: usize =
+            run_query(&g, "string-length(string(root()))").unwrap().parse().unwrap();
         assert_eq!(total_text_len, g.text().chars().count());
         // Every leaf has at least one element ancestor in each covering
         // hierarchy (here: h0 covers everything).
-        let uncovered: usize = run_query(
-            &g,
-            "count(/descendant::leaf()[not(ancestor::node(\"h0\"))])",
-        )
-        .unwrap()
-        .parse()
-        .unwrap();
+        let uncovered: usize =
+            run_query(&g, "count(/descendant::leaf()[not(ancestor::node(\"h0\"))])")
+                .unwrap()
+                .parse()
+                .unwrap();
         assert_eq!(uncovered, 0, "seed {seed}");
     }
 }
@@ -113,11 +102,8 @@ fn unicode_text_handled_end_to_end() {
     // (11..22); w2 "cyning" is *contained* in half2, so it does not.
     let out = run_query(&g, "for $w in //w[overlapping::half] return string($w)").unwrap();
     assert_eq!(out, "þæt wæs gōd");
-    let hits = run_query(
-        &g,
-        "let $r := analyze-string(root(), 'wæs g') return count($r/child::m)",
-    )
-    .unwrap();
+    let hits = run_query(&g, "let $r := analyze-string(root(), 'wæs g') return count($r/child::m)")
+        .unwrap();
     assert_eq!(hits, "1");
 }
 
