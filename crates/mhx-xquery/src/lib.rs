@@ -40,7 +40,7 @@ pub mod serialize;
 
 pub use analyze::AnalyzeMode;
 pub use ast::QExpr;
-pub use error::{Result, XQueryError};
+pub use error::{Result, XQueryError, XQueryErrorKind};
 pub use eval::{Env, EvalOptions, Evaluator};
 pub use item::{Item, Sequence};
 pub use parser::parse_query;

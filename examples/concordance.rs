@@ -1,66 +1,97 @@
 //! A digital-humanities workload: a KWIC (keyword in context) concordance
-//! over a generated TEI-style drama, locating each hit in *both*
-//! hierarchies at once — "who speaks it" (logical) and "which page/line it
-//! is printed on" (physical) — even when the hit straddles a line break.
+//! over a small *corpus* of generated TEI-style dramas, locating each hit
+//! in *both* hierarchies at once — "who speaks it" (logical) and "which
+//! page/line it is printed on" (physical) — even when the hit straddles a
+//! line break.
+//!
+//! Serving shape: one [`Catalog`] holds every edition; the concordance
+//! query is `prepare`d once and executed against each document through the
+//! shared plan cache (compile once, serve the whole corpus).
 //!
 //! ```sh
 //! cargo run --example concordance [search-term]
 //! ```
 
 use multihier_xquery::corpus::{generate_tei, TeiConfig};
-use multihier_xquery::xquery::{run_query, run_query_sequence, EvalOptions};
+use multihier_xquery::prelude::*;
 
 fn main() {
     let term = std::env::args().nth(1).unwrap_or_else(|| "scyld".to_string());
-    let doc = generate_tei(&TeiConfig::default());
-    let g = doc.build_goddag();
-    println!(
-        "edition: {} chars, hierarchies: logical (act/scene/sp), physical (page/phline)\n",
-        g.text().len()
-    );
+
+    // Two editions of the same kind of material, one catalog.
+    let catalog = Catalog::new();
+    for (id, seed) in [("first-quarto", 0xBE0), ("second-quarto", 0x90CA)] {
+        let doc = generate_tei(&TeiConfig { seed, ..TeiConfig::default() });
+        catalog.insert(id, doc.build_goddag());
+        let chars = catalog.with_document(id, |g| g.text().len()).unwrap();
+        println!("edition {id}: {chars} chars, hierarchies: logical (act/scene/sp), physical (page/phline)");
+    }
+    println!();
 
     // Tag every occurrence of the term as a temporary hierarchy, then
-    // locate each match against both base hierarchies.
-    let q = format!(
-        "let $res := analyze-string(root(), '{term}') \
-         for $m in $res/child::m return ( \
-           '\"', string($m), '\" — speaker: ', \
-           string(($m/xancestor::sp/@who)[1]), \
-           ', page ', string((($m/xancestor::page | $m/overlapping::page)/@n)[1]), \
-           ', line(s) ', \
-           string-join(for $l in ($m/xancestor::phline | $m/overlapping::phline) \
-                       return string($l/@n), '+'), \
-           '\n')"
-    );
-    let out = run_query(&g, &q).expect("concordance query runs");
-    let hits = out.lines().count();
-    println!("{out}");
-    println!("{hits} occurrence(s) of {term:?}");
+    // locate each match against both base hierarchies. Prepared once —
+    // compiled exactly once for the whole corpus.
+    let concordance = catalog
+        .prepare(
+            QueryLang::XQuery,
+            &format!(
+                "let $res := analyze-string(root(), '{term}') \
+                 for $m in $res/child::m return ( \
+                   '\"', string($m), '\" — speaker: ', \
+                   string(($m/xancestor::sp/@who)[1]), \
+                   ', page ', string((($m/xancestor::page | $m/overlapping::page)/@n)[1]), \
+                   ', line(s) ', \
+                   string-join(for $l in ($m/xancestor::phline | $m/overlapping::phline) \
+                               return string($l/@n), '+'), \
+                   '\n')"
+            ),
+        )
+        .expect("concordance query compiles");
 
-    // Hits that straddle a print line (the overlap the paper is about).
-    let q2 = format!(
+    // Hits that straddle a print line (the overlap the paper is about) —
+    // issued as plain text per document: it compiles on the first edition
+    // and is a cross-document cache hit on every further one.
+    let straddling = format!(
         "let $res := analyze-string(root(), '{term}') \
          return count($res/child::m[overlapping::phline])"
     );
-    let straddling = run_query(&g, &q2).unwrap();
-    println!("{straddling} of them straddle a line break");
 
-    // A per-speaker tally via FLWOR + order by.
-    let q3 = "for $who in distinct-values(/descendant::sp/@who) \
-              order by $who \
-              return concat($who, ': ', count(/descendant::sp[@who = $who]), ' speeches; ')";
-    println!("\nspeeches per speaker:\n{}", run_query(&g, q3).unwrap());
+    for id in catalog.document_ids() {
+        let out = catalog.execute(&id, &concordance).expect("concordance query runs");
+        let hits = out.serialize().lines().count();
+        println!("--- {id} ---");
+        println!("{out}");
+        println!("{hits} occurrence(s) of {term:?}");
+        println!("{} of them straddle a line break\n", catalog.xquery(&id, &straddling).unwrap());
+    }
 
-    // Same data, one string per item.
-    let per_item = run_query_sequence(
-        &g,
-        "for $p in /descendant::page return concat('page ', string($p/@n), ': ', \
-         count($p/xdescendant::phline), ' lines')",
-        &EvalOptions::default(),
-    )
-    .unwrap();
-    println!("\nphysical layout:");
-    for line in per_item {
+    // A per-session view of one edition: FLWOR + order by tally, and the
+    // one-string-per-item physical layout.
+    let session = catalog.session("first-quarto").unwrap();
+    let tally = "for $who in distinct-values(/descendant::sp/@who) \
+                 order by $who \
+                 return concat($who, ': ', count(/descendant::sp[@who = $who]), ' speeches; ')";
+    println!("speeches per speaker ({}):\n{}", session.doc_id(), session.xquery(tally).unwrap());
+
+    println!("\nphysical layout ({}):", session.doc_id());
+    let layout = session
+        .xquery(
+            "for $p in /descendant::page return concat('page ', string($p/@n), ': ', \
+             count($p/xdescendant::phline), ' lines', '\n')",
+        )
+        .unwrap();
+    for line in layout.serialize().lines() {
         println!("  {line}");
     }
+
+    let stats = catalog.cache_stats();
+    println!(
+        "\nshared plan cache over {} documents: {} distinct queries compiled once each \
+         ({} misses, {} hits, {} cross-document)",
+        catalog.len(),
+        stats.entries,
+        stats.misses,
+        stats.hits,
+        stats.cross_doc_hits
+    );
 }

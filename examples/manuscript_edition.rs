@@ -7,7 +7,7 @@
 
 use multihier_xquery::corpus::figure1;
 use multihier_xquery::goddag::dot;
-use multihier_xquery::xquery::run_query;
+use multihier_xquery::prelude::*;
 
 fn main() {
     // 1. Validate the four encodings against the CMH (four DTDs over <r>).
@@ -21,22 +21,22 @@ fn main() {
     );
 
     // 2. Build the KyGODDAG and show the Figure-2 structure.
-    let g = figure1::goddag();
-    println!("{}", dot::to_text(&g));
+    let engine = Engine::new(figure1::goddag());
+    engine.with_goddag(|g| println!("{}", dot::to_text(g)));
 
-    // 3. Run every paper query.
+    // 3. Run every paper query through the serving facade.
     for (id, query, expected) in figure1::PAPER_QUERIES {
-        let out = run_query(&g, query).expect("paper query evaluates");
-        let status = if out == expected { "OK " } else { "DIFF" };
+        let out = engine.xquery(query).expect("paper query evaluates");
+        let status = if out.serialize() == expected { "OK " } else { "DIFF" };
         println!("[{status}] query {id}");
         println!("       {out}");
-        if out != expected {
+        if out.serialize() != expected {
             println!("  want {expected}");
         }
     }
 
     // 4. Graphviz output for the curious (pipe to `dot -Tsvg`).
     if std::env::args().any(|a| a == "--dot") {
-        println!("\n{}", dot::to_dot(&g));
+        engine.with_goddag(|g| println!("\n{}", dot::to_dot(g)));
     }
 }

@@ -26,20 +26,23 @@ fn main() {
     println!("base text S = {:?}", goddag.text());
     println!("{} hierarchies, {} shared leaves\n", goddag.hierarchy_count(), goddag.leaf_count());
 
+    // The serving facade: owns the document, keeps the structural index
+    // current, caches compiled plans. Queries take &self.
+    let engine = Engine::new(goddag);
+
     // 1. Which lines contain the word "singallice"? The xdescendant axis
     //    finds contained words; the overlapping axis catches the split one.
     let q1 = "for $l in /descendant::line[xdescendant::w[string(.) = 'singallice'] or \
               overlapping::w[string(.) = 'singallice']] return (string($l), '|')";
-    println!("Q1 lines containing 'singallice':\n  {}\n", run_query(&goddag, q1).unwrap());
+    println!("Q1 lines containing 'singallice':\n  {}\n", engine.xquery(q1).unwrap());
 
-    // 2. Extended XPath standalone: which words straddle a line break?
+    // 2. Extended XPath through the same facade, same QueryOutcome result
+    //    type: which words straddle a line break?
     let q2 = "/descendant::w[overlapping::line]";
-    let v = evaluate_xpath(&goddag, q2).unwrap();
+    let out = engine.xpath(q2).unwrap();
     println!("Q2 words overlapping a line break:");
-    if let multihier_xquery::xpath::Value::Nodes(ns) = &v {
-        for &n in ns {
-            println!("  {:?}", goddag.string_value(n));
-        }
+    for &n in out.nodes().unwrap_or(&[]) {
+        engine.with_goddag(|g| println!("  {:?}", g.string_value(n)));
     }
     println!();
 
@@ -49,5 +52,10 @@ fn main() {
     let q3 = "let $res := analyze-string(root(), 'sin.?gall') \
               return (serialize($res/child::m), ' overlaps ', \
               count($res/child::m/overlapping::line), ' lines')";
-    println!("Q3 analyze-string over the whole text:\n  {}", run_query(&goddag, q3).unwrap());
+    println!("Q3 analyze-string over the whole text:\n  {}\n", engine.xquery(q3).unwrap());
+
+    // Every plan compiled once; repeats are cache hits.
+    engine.xquery(q1).unwrap();
+    let stats = engine.cache_stats();
+    println!("plan cache: {} misses, {} hits, {} entries", stats.misses, stats.hits, stats.entries);
 }

@@ -1,48 +1,125 @@
-//! `mhxq` — command-line multihierarchical XQuery.
+//! `mhxq` — command-line multihierarchical XQuery over a document catalog.
 //!
 //! ```sh
 //! mhxq -h lines=lines.xml -h words=words.xml 'for $w in //w return string($w)'
 //! mhxq --figure1 'count(/descendant::leaf())'
+//! mhxq --doc a -h lines=a1.xml -h words=a2.xml \
+//!      --doc b -h lines=b1.xml -h words=b2.xml --stats 'count(//w)'
+//! mhxq --doc ms=encoding.xml 'count(/descendant::leaf())'
 //! mhxq --figure1 --xslt-mode --query-file q.xq
 //! mhxq --figure1 --dump           # print the KyGODDAG outline instead
 //! ```
 //!
-//! Each `-h NAME=FILE` adds one hierarchy; all files must encode the same
-//! base text and share the root element (CMH discipline).
+//! Each `--doc ID` starts a new document; subsequent `-h NAME=FILE` flags
+//! add its hierarchies (all files of one document must encode the same
+//! base text and share the root element — the CMH discipline). The
+//! shorthand `--doc ID=FILE` registers a single-hierarchy document in one
+//! flag. Without `--doc`, hierarchies build the single document `main`.
+//! The query runs against every document through one shared plan cache:
+//! it compiles once, no matter how many manuscripts it serves.
 
 use multihier_xquery::corpus::figure1;
-use multihier_xquery::goddag::{dot, GoddagBuilder};
-use multihier_xquery::xquery::{run_query_with, AnalyzeMode, EvalOptions};
+use multihier_xquery::goddag::{dot, Goddag, GoddagBuilder};
+use multihier_xquery::prelude::{Catalog, EvalOptions};
+use multihier_xquery::xquery::AnalyzeMode;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mhxq [-h NAME=FILE]... [--figure1] [--xslt-mode] [--space-separator]\n\
+        "usage: mhxq [--doc ID[=FILE]]... [-h NAME=FILE]... [--figure1] [--xpath]\n\
+         \x20           [--xslt-mode] [--space-separator] [--stats]\n\
          \x20           [--dump | --dot] (QUERY | --query-file FILE)\n\
          \n\
+         --doc ID           start document ID; following -h flags attach to it\n\
+         --doc ID=FILE      register document ID from a single XML file\n\
          -h NAME=FILE       add hierarchy NAME from XML file FILE (repeatable)\n\
-         --figure1          use the built-in Figure-1 manuscript corpus\n\
+         --figure1          add the built-in Figure-1 manuscript corpus as a document\n\
+         --xpath            evaluate QUERY as XPath instead of XQuery\n\
          --xslt-mode        XSLT-2.0 analyze-string semantics (default: paper-compat)\n\
          --space-separator  standard XQuery spacing between atomic items\n\
-         --dump             print the KyGODDAG text outline and exit\n\
-         --dot              print Graphviz DOT of the KyGODDAG and exit\n\
+         --stats            print shared plan-cache counters to stderr after the run\n\
+         --dump             print the KyGODDAG text outline(s) and exit\n\
+         --dot              print Graphviz DOT of the KyGODDAG(s) and exit\n\
          --query-file FILE  read the query from FILE instead of argv"
     );
     exit(2);
 }
 
+fn read_file(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            exit(2);
+        }
+    }
+}
+
+/// One document being assembled from CLI flags.
+struct DocSpec {
+    id: String,
+    hierarchies: Vec<(String, String)>,
+    /// Pre-built goddag (`--figure1`), mutually exclusive with
+    /// `hierarchies`.
+    prebuilt: Option<Goddag>,
+}
+
+impl DocSpec {
+    fn new(id: impl Into<String>) -> DocSpec {
+        DocSpec { id: id.into(), hierarchies: Vec::new(), prebuilt: None }
+    }
+
+    fn build(self) -> Goddag {
+        if let Some(g) = self.prebuilt {
+            return g;
+        }
+        let mut b = GoddagBuilder::new();
+        for (name, src) in self.hierarchies {
+            b = b.hierarchy(name, src);
+        }
+        match b.build() {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("building document `{}` failed: {e}", self.id);
+                exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut hierarchies: Vec<(String, String)> = Vec::new();
-    let mut use_figure1 = false;
+    let mut docs: Vec<DocSpec> = Vec::new();
     let mut opts = EvalOptions::default();
+    let mut use_xpath = false;
+    let mut stats = false;
     let mut dump = false;
     let mut dotout = false;
     let mut query: Option<String> = None;
 
+    // The document that bare `-h` flags attach to.
+    fn current<'a>(docs: &'a mut Vec<DocSpec>, id: &str) -> &'a mut DocSpec {
+        if docs.is_empty() {
+            docs.push(DocSpec::new(id));
+        }
+        docs.last_mut().expect("just ensured non-empty")
+    }
+
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--doc" => {
+                i += 1;
+                let Some(spec) = args.get(i) else { usage() };
+                match spec.split_once('=') {
+                    Some((id, path)) => {
+                        let mut d = DocSpec::new(id);
+                        d.hierarchies.push(("doc".to_string(), read_file(path)));
+                        docs.push(d);
+                    }
+                    None => docs.push(DocSpec::new(spec.as_str())),
+                }
+            }
             "-h" | "--hierarchy" => {
                 i += 1;
                 let Some(spec) = args.get(i) else { usage() };
@@ -50,29 +127,44 @@ fn main() {
                     eprintln!("-h needs NAME=FILE, got `{spec}`");
                     exit(2);
                 };
-                match std::fs::read_to_string(path) {
-                    Ok(src) => hierarchies.push((name.to_string(), src)),
-                    Err(e) => {
-                        eprintln!("cannot read {path}: {e}");
-                        exit(2);
+                let src = read_file(path);
+                let doc = current(&mut docs, "main");
+                if doc.prebuilt.is_some() {
+                    eprintln!(
+                        "document `{}` is prebuilt (--figure1); start a new one with --doc \
+                         before adding hierarchies",
+                        doc.id
+                    );
+                    exit(2);
+                }
+                doc.hierarchies.push((name.to_string(), src));
+            }
+            "--figure1" => {
+                // A prebuilt corpus is its own document: fill the pending
+                // `--doc ID` if one is open and empty, else add `figure1`
+                // alongside whatever else was specified — never overwrite
+                // hierarchies the user already attached.
+                match docs.last_mut() {
+                    Some(d) if d.hierarchies.is_empty() && d.prebuilt.is_none() => {
+                        d.prebuilt = Some(figure1::goddag())
+                    }
+                    _ => {
+                        let mut d = DocSpec::new("figure1");
+                        d.prebuilt = Some(figure1::goddag());
+                        docs.push(d);
                     }
                 }
             }
-            "--figure1" => use_figure1 = true,
+            "--xpath" => use_xpath = true,
             "--xslt-mode" => opts.analyze_mode = AnalyzeMode::Xslt,
             "--space-separator" => opts.space_separator = true,
+            "--stats" => stats = true,
             "--dump" => dump = true,
             "--dot" => dotout = true,
             "--query-file" => {
                 i += 1;
                 let Some(path) = args.get(i) else { usage() };
-                match std::fs::read_to_string(path) {
-                    Ok(q) => query = Some(q),
-                    Err(e) => {
-                        eprintln!("cannot read {path}: {e}");
-                        exit(2);
-                    }
-                }
+                query = Some(read_file(path));
             }
             "--help" => usage(),
             q if !q.starts_with('-') && query.is_none() => query = Some(q.to_string()),
@@ -84,31 +176,40 @@ fn main() {
         i += 1;
     }
 
-    let goddag = if use_figure1 {
-        figure1::goddag()
-    } else if hierarchies.is_empty() {
-        eprintln!("no hierarchies given (use -h NAME=FILE or --figure1)");
+    if docs.is_empty() {
+        eprintln!("no documents given (use -h NAME=FILE, --doc, or --figure1)");
         usage();
-    } else {
-        let mut b = GoddagBuilder::new();
-        for (name, src) in hierarchies {
-            b = b.hierarchy(name, src);
-        }
-        match b.build() {
-            Ok(g) => g,
-            Err(e) => {
-                eprintln!("building the KyGODDAG failed: {e}");
-                exit(1);
-            }
-        }
-    };
-
-    if dump {
-        print!("{}", dot::to_text(&goddag));
-        return;
     }
-    if dotout {
-        print!("{}", dot::to_dot(&goddag));
+    for d in &docs {
+        if d.prebuilt.is_none() && d.hierarchies.is_empty() {
+            eprintln!("document `{}` has no hierarchies (add -h NAME=FILE after --doc)", d.id);
+            exit(2);
+        }
+    }
+
+    let multi = docs.len() > 1;
+    let catalog = Catalog::with_options(opts);
+    let mut order: Vec<String> = Vec::new();
+    for d in docs {
+        let id = d.id.clone();
+        if order.contains(&id) {
+            eprintln!("duplicate document id `{id}` (each --doc needs a distinct id)");
+            exit(2);
+        }
+        catalog.insert(&id, d.build());
+        order.push(id);
+    }
+
+    if dump || dotout {
+        for id in &order {
+            if multi {
+                println!("=== {id} ===");
+            }
+            let text = catalog
+                .with_document(id, |g| if dump { dot::to_text(g) } else { dot::to_dot(g) })
+                .expect("document was just registered");
+            print!("{text}");
+        }
         return;
     }
 
@@ -116,11 +217,41 @@ fn main() {
         eprintln!("no query given");
         usage();
     };
-    match run_query_with(&goddag, &query, &opts) {
-        Ok(out) => println!("{out}"),
-        Err(e) => {
-            eprintln!("{e}");
-            exit(1);
+
+    let mut failed = false;
+    for id in &order {
+        let outcome =
+            if use_xpath { catalog.xpath(id, &query) } else { catalog.xquery(id, &query) };
+        match outcome {
+            Ok(out) => {
+                if multi {
+                    println!("[{id}] {out}");
+                } else {
+                    println!("{out}");
+                }
+            }
+            // A static (parse/compile) error belongs to the query text,
+            // not a document: report it once, unprefixed, and stop.
+            Err(e) if e.is_static() => {
+                eprintln!("{e}");
+                failed = true;
+                break;
+            }
+            Err(e) => {
+                eprintln!("{}{e}", if multi { format!("[{id}] ") } else { String::new() });
+                failed = true;
+            }
         }
+    }
+
+    if stats {
+        let s = catalog.cache_stats();
+        eprintln!(
+            "plan cache: {} hits ({} cross-document), {} misses, {} evictions, {} entries",
+            s.hits, s.cross_doc_hits, s.misses, s.evictions, s.entries
+        );
+    }
+    if failed {
+        exit(1);
     }
 }

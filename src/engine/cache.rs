@@ -1,0 +1,225 @@
+//! The shared plan cache.
+//!
+//! One LRU cache of compiled plans serves every document in a
+//! [`Catalog`](crate::engine::Catalog): plans are document-independent
+//! (they name axes, tests and strategies, never node ids), so
+//! `count(/descendant::w)` compiles once and serves every manuscript. The
+//! cache is keyed by `(language, query text)` — the same source text is a
+//! valid query in both languages and compiles to different plans, so the
+//! two never collide. Interior mutability (a [`Mutex`] around the map and
+//! counters) lets lookups run from `&self` query paths.
+
+use crate::engine::error::QueryLang;
+use mhx_xpath::CompiledXPath;
+use mhx_xquery::QExpr;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A cached, compiled query plan. `Arc` so cache hits hand out a handle
+/// without cloning the plan and eviction never invalidates a running query.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedPlan {
+    XPath(Arc<CompiledXPath>),
+    XQuery(Arc<QExpr>),
+}
+
+/// Plan-cache counters, cumulative since construction. Resizing the cache
+/// preserves them (and the surviving entries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Hits where the requesting document differs from the document whose
+    /// query first compiled the entry — the cross-document sharing the
+    /// catalog exists for.
+    pub cross_doc_hits: u64,
+    /// Current number of cached plans.
+    pub entries: usize,
+}
+
+struct Entry {
+    stamp: u64,
+    /// Document the compiling query ran against (None for `prepare`d
+    /// queries, which are document-free).
+    origin_doc: Option<String>,
+    plan: CachedPlan,
+}
+
+struct Inner {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<(QueryLang, String), Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    cross_doc_hits: u64,
+}
+
+impl Inner {
+    /// Evict least-recently-used entries until `len <= capacity`. Recency
+    /// is a monotonic stamp per entry; eviction scans for the minimum —
+    /// O(capacity), trivial next to a parse.
+    fn shrink_to_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The `Send + Sync` LRU plan cache shared across a catalog's documents.
+pub(crate) struct SharedPlanCache {
+    inner: Mutex<Inner>,
+}
+
+impl SharedPlanCache {
+    pub(crate) fn new(capacity: usize) -> SharedPlanCache {
+        SharedPlanCache {
+            inner: Mutex::new(Inner {
+                capacity: capacity.max(1),
+                stamp: 0,
+                map: HashMap::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                cross_doc_hits: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic mid-lookup leaves only counters/LRU stamps possibly
+        // stale, never a dangling plan; recover rather than propagate.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up a plan, attributing the hit to `doc` for the cross-document
+    /// counter.
+    pub(crate) fn get(&self, lang: QueryLang, src: &str, doc: Option<&str>) -> Option<CachedPlan> {
+        let mut inner = self.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        // Tuple keys have no borrowed-key lookup; a short-lived owned key
+        // is fine next to a parse.
+        let key = (lang, src.to_string());
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                let cross = match (&entry.origin_doc, doc) {
+                    (Some(origin), Some(d)) => origin != d,
+                    _ => false,
+                };
+                let plan = entry.plan.clone();
+                inner.hits += 1;
+                if cross {
+                    inner.cross_doc_hits += 1;
+                }
+                Some(plan)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled plan, recording which document compiled it.
+    pub(crate) fn insert(&self, lang: QueryLang, src: &str, doc: Option<&str>, plan: CachedPlan) {
+        let mut inner = self.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        inner.map.insert(
+            (lang, src.to_string()),
+            Entry { stamp, origin_doc: doc.map(str::to_string), plan },
+        );
+        inner.shrink_to_capacity();
+    }
+
+    /// Change the capacity, keeping the most recent entries up to the new
+    /// capacity and all cumulative counters (trimmed entries count as
+    /// evictions).
+    pub(crate) fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.capacity = capacity.max(1);
+        inner.shrink_to_capacity();
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            cross_doc_hits: inner.cross_doc_hits,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> CachedPlan {
+        CachedPlan::XPath(Arc::new(CompiledXPath::compile("/descendant::w").unwrap()))
+    }
+
+    #[test]
+    fn resize_preserves_entries_and_counters() {
+        let c = SharedPlanCache::new(8);
+        for i in 0..4 {
+            let src = format!("/descendant::w[{i}]");
+            assert!(c.get(QueryLang::XPath, &src, Some("a")).is_none());
+            c.insert(QueryLang::XPath, &src, Some("a"), plan());
+        }
+        assert_eq!(c.stats().entries, 4);
+        assert_eq!(c.stats().misses, 4);
+
+        // Shrinking to 2 keeps the two most recent entries and the stats.
+        c.set_capacity(2);
+        let s = c.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.misses, 4, "cumulative counters survive the resize");
+        assert_eq!(s.evictions, 2, "trimmed entries count as evictions");
+        assert!(c.get(QueryLang::XPath, "/descendant::w[3]", Some("a")).is_some());
+        assert!(c.get(QueryLang::XPath, "/descendant::w[0]", Some("a")).is_none());
+
+        // Growing never drops anything.
+        c.set_capacity(16);
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.capacity(), 16);
+    }
+
+    #[test]
+    fn cross_document_hits_are_attributed() {
+        let c = SharedPlanCache::new(4);
+        c.insert(QueryLang::XPath, "/descendant::w", Some("ms-a"), plan());
+        assert!(c.get(QueryLang::XPath, "/descendant::w", Some("ms-a")).is_some());
+        assert_eq!(c.stats().cross_doc_hits, 0);
+        assert!(c.get(QueryLang::XPath, "/descendant::w", Some("ms-b")).is_some());
+        assert_eq!(c.stats().cross_doc_hits, 1);
+        // Document-free (prepared) lookups never count as cross-document.
+        assert!(c.get(QueryLang::XPath, "/descendant::w", None).is_some());
+        assert_eq!(c.stats().cross_doc_hits, 1);
+        assert_eq!(c.stats().hits, 3);
+    }
+
+    #[test]
+    fn languages_do_not_collide() {
+        let c = SharedPlanCache::new(4);
+        c.insert(QueryLang::XPath, "count(/descendant::w)", None, plan());
+        assert!(c.get(QueryLang::XQuery, "count(/descendant::w)", None).is_none());
+        assert!(c.get(QueryLang::XPath, "count(/descendant::w)", None).is_some());
+    }
+}

@@ -1,0 +1,596 @@
+//! The multi-document serving facade.
+//!
+//! A [`Catalog`] maps document ids to independent documents (KyGODDAG +
+//! structural index) behind **one plan cache shared across all documents**.
+//! Everything is interior-mutable: queries take `&self`, per-document state
+//! sits behind `RwLock`s, and `Catalog` is `Send + Sync`, so one catalog
+//! can serve concurrent queries against different (or the same) documents
+//! from many threads.
+//!
+//! Lock discipline: a query clones the `Arc<DocEntry>` out of the registry
+//! (released immediately), then holds that document's goddag read lock for
+//! the duration of evaluation — so a concurrent [`Catalog::add_hierarchy`]
+//! on the *same* document waits, while queries on *other* documents never
+//! contend. The index slot is a lazily rebuilt `Arc` snapshot: readers
+//! validate it against the goddag version and rebuild under the slot's
+//! write lock when a mutation invalidated it.
+
+use crate::engine::cache::{CacheStats, CachedPlan, SharedPlanCache};
+use crate::engine::error::{
+    xpath_eval_error, xpath_parse_error, xquery_error, EngineError, QueryLang,
+};
+use crate::engine::result::QueryOutcome;
+use crate::engine::session::{Prepared, Session};
+use mhx_goddag::{Goddag, NodeId, StructIndex};
+use mhx_xpath::{CompiledXPath, Context};
+use mhx_xquery::ast::Clause;
+use mhx_xquery::{parse_query, EvalOptions, QExpr};
+use std::collections::BTreeMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Default plan-cache capacity (distinct query texts kept compiled).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// One registered document: its goddag and the lazily maintained
+/// structural index snapshot.
+pub(crate) struct DocEntry {
+    g: RwLock<Goddag>,
+    index: RwLock<Option<Arc<StructIndex>>>,
+}
+
+impl DocEntry {
+    fn new(g: Goddag) -> DocEntry {
+        // Build eagerly: registration is the natural place to pay the
+        // one-time cost, and it keeps first-query latency flat.
+        let index = StructIndex::build(&g);
+        DocEntry { g: RwLock::new(g), index: RwLock::new(Some(Arc::new(index))) }
+    }
+
+    /// A current index snapshot for `g` (the caller holds `g`'s read lock,
+    /// so the goddag cannot move under us while we validate/rebuild).
+    fn current_index(&self, g: &Goddag) -> Arc<StructIndex> {
+        {
+            let slot = self.index.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(idx) = slot.as_ref() {
+                if idx.is_current(g) {
+                    return Arc::clone(idx);
+                }
+            }
+        }
+        let mut slot = self.index.write().unwrap_or_else(PoisonError::into_inner);
+        // Double-check: another reader may have rebuilt while we waited.
+        if let Some(idx) = slot.as_ref() {
+            if idx.is_current(g) {
+                return Arc::clone(idx);
+            }
+        }
+        let idx = Arc::new(StructIndex::build(g));
+        *slot = Some(Arc::clone(&idx));
+        idx
+    }
+}
+
+/// The multi-document query facade. See the [module docs](self).
+///
+/// ```
+/// use multihier_xquery::prelude::*;
+///
+/// fn manuscript(line_break: usize) -> Goddag {
+///     let text = "gesceaftum unawendendne singallice";
+///     GoddagBuilder::new()
+///         .hierarchy(
+///             "lines",
+///             format!("<r><line>{}</line><line>{}</line></r>", &text[..line_break], &text[line_break..]),
+///         )
+///         .hierarchy("words", "<r><w>gesceaftum</w> <w>unawendendne</w> <w>singallice</w></r>")
+///         .build()
+///         .unwrap()
+/// }
+///
+/// let catalog = Catalog::new();
+/// catalog.insert("ms-a", manuscript(14));
+/// catalog.insert("ms-b", manuscript(30));
+///
+/// // One query text, two documents, one compilation: the plan cache is
+/// // shared because plans are document-independent.
+/// let q = "for $w in /descendant::w[overlapping::line] return string($w)";
+/// assert_eq!(catalog.xquery("ms-a", q).unwrap().serialize(), "unawendendne");
+/// assert_eq!(catalog.xquery("ms-b", q).unwrap().serialize(), "singallice");
+/// let stats = catalog.cache_stats();
+/// assert_eq!(stats.misses, 1);
+/// assert_eq!(stats.cross_doc_hits, 1);
+/// ```
+pub struct Catalog {
+    docs: RwLock<BTreeMap<String, Arc<DocEntry>>>,
+    cache: SharedPlanCache,
+    opts: EvalOptions,
+}
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog::new()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog with default evaluation options and plan-cache
+    /// capacity.
+    pub fn new() -> Catalog {
+        Catalog::with_options(EvalOptions::default())
+    }
+
+    /// [`Catalog::new`] with catalog-wide default XQuery evaluation
+    /// options (sessions can override per connection).
+    pub fn with_options(opts: EvalOptions) -> Catalog {
+        Catalog {
+            docs: RwLock::new(BTreeMap::new()),
+            cache: SharedPlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
+            opts,
+        }
+    }
+
+    /// Builder-style capacity override. Preserves any already-cached plans
+    /// up to the new capacity and all cumulative counters — resizing never
+    /// silently discards a warm cache.
+    pub fn with_plan_cache_capacity(self, capacity: usize) -> Catalog {
+        self.set_plan_cache_capacity(capacity);
+        self
+    }
+
+    /// Change the plan-cache capacity in place (min 1), keeping the most
+    /// recently used entries and the cumulative stats.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.cache.set_capacity(capacity);
+    }
+
+    /// Current plan-cache capacity.
+    pub fn plan_cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// The catalog-wide default evaluation options.
+    pub fn options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Shared plan-cache counters (cumulative across all documents).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Document registry
+    // ------------------------------------------------------------------
+
+    fn registry(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<DocEntry>>> {
+        self.docs.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register (or replace) a document under `id`. Builds its structural
+    /// index eagerly. Cached plans are unaffected — they are
+    /// document-independent.
+    pub fn insert(&self, id: impl Into<String>, g: Goddag) {
+        let entry = Arc::new(DocEntry::new(g));
+        self.docs.write().unwrap_or_else(PoisonError::into_inner).insert(id.into(), entry);
+    }
+
+    /// Remove a document. Running queries against it finish on their own
+    /// snapshot; subsequent queries get [`EngineError::UnknownDocument`].
+    pub fn remove(&self, id: &str) -> bool {
+        self.docs.write().unwrap_or_else(PoisonError::into_inner).remove(id).is_some()
+    }
+
+    pub fn contains(&self, id: &str) -> bool {
+        self.registry().contains_key(id)
+    }
+
+    /// Registered document ids, sorted.
+    pub fn document_ids(&self) -> Vec<String> {
+        self.registry().keys().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.registry().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.registry().is_empty()
+    }
+
+    fn entry(&self, id: &str) -> Result<Arc<DocEntry>, EngineError> {
+        self.registry().get(id).cloned().ok_or_else(|| EngineError::unknown_document(id))
+    }
+
+    /// Read a document's goddag under its lock.
+    ///
+    /// The closure runs while this document's read lock is held: do
+    /// **not** call back into the catalog for the *same* document from
+    /// inside it — `add_hierarchy` (a writer) would deadlock against the
+    /// held read guard (`std::sync::RwLock` is not reentrant), and even a
+    /// same-document query can deadlock once another thread queues a
+    /// write. Queries against *other* documents are fine.
+    ///
+    /// ```
+    /// use multihier_xquery::prelude::*;
+    ///
+    /// let catalog = Catalog::new();
+    /// catalog.insert(
+    ///     "ms",
+    ///     GoddagBuilder::new().hierarchy("w", "<r><w>abc</w></r>").build().unwrap(),
+    /// );
+    /// let n = catalog.with_document("ms", |g| g.leaf_count()).unwrap();
+    /// assert_eq!(n, 1);
+    /// ```
+    pub fn with_document<T>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&Goddag) -> T,
+    ) -> Result<T, EngineError> {
+        let entry = self.entry(id)?;
+        let g = entry.g.read().unwrap_or_else(PoisonError::into_inner);
+        Ok(f(&g))
+    }
+
+    /// Add a base hierarchy to a registered document. Takes the document's
+    /// write lock (queries on other documents are unaffected); the index
+    /// rebuilds lazily on the next query. Compiled plans stay valid.
+    pub fn add_hierarchy(&self, id: &str, name: &str, xml: &str) -> Result<(), EngineError> {
+        let entry = self.entry(id)?;
+        let doc = mhx_xml::parse(xml)?;
+        let mut g = entry.g.write().unwrap_or_else(PoisonError::into_inner);
+        g.add_document_hierarchy(name, &doc)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Query entry points
+    // ------------------------------------------------------------------
+
+    /// Evaluate an XPath expression from the root of document `id`.
+    pub fn xpath(&self, id: &str, src: &str) -> Result<QueryOutcome, EngineError> {
+        // Resolve the document first: an unknown id fails without
+        // compiling (or caching) anything.
+        let entry = self.entry(id)?;
+        let plan = self.plan_for(QueryLang::XPath, src, Some(id))?;
+        self.eval_entry(&entry, &plan, &self.opts)
+    }
+
+    /// Run an XQuery query against document `id` with the catalog's
+    /// default options.
+    pub fn xquery(&self, id: &str, src: &str) -> Result<QueryOutcome, EngineError> {
+        let entry = self.entry(id)?;
+        let plan = self.plan_for(QueryLang::XQuery, src, Some(id))?;
+        self.eval_entry(&entry, &plan, &self.opts)
+    }
+
+    /// Language-dispatched entry point (what a network front end calls).
+    pub fn query(&self, id: &str, lang: QueryLang, src: &str) -> Result<QueryOutcome, EngineError> {
+        match lang {
+            QueryLang::XPath => self.xpath(id, src),
+            QueryLang::XQuery => self.xquery(id, src),
+        }
+    }
+
+    /// Compile a query once (through the shared cache) into a reusable
+    /// handle, without touching any document.
+    ///
+    /// ```
+    /// use multihier_xquery::prelude::*;
+    ///
+    /// let catalog = Catalog::new();
+    /// catalog.insert(
+    ///     "ms",
+    ///     GoddagBuilder::new().hierarchy("w", "<r><w>a</w><w>b</w></r>").build().unwrap(),
+    /// );
+    /// let q = catalog.prepare(QueryLang::XQuery, "count(/descendant::w)").unwrap();
+    /// assert_eq!(catalog.execute("ms", &q).unwrap().serialize(), "2");
+    /// ```
+    pub fn prepare(&self, lang: QueryLang, src: &str) -> Result<Prepared, EngineError> {
+        let plan = self.plan_for(lang, src, None)?;
+        Ok(Prepared::new(lang, src.to_string(), plan))
+    }
+
+    /// Execute a prepared query against document `id` with the catalog's
+    /// default options.
+    pub fn execute(&self, id: &str, prepared: &Prepared) -> Result<QueryOutcome, EngineError> {
+        self.eval_plan(id, prepared.plan(), &self.opts)
+    }
+
+    /// Execute a prepared query with explicit options (sessions route
+    /// through this).
+    pub(crate) fn execute_with(
+        &self,
+        id: &str,
+        plan: &CachedPlan,
+        opts: &EvalOptions,
+    ) -> Result<QueryOutcome, EngineError> {
+        self.eval_plan(id, plan, opts)
+    }
+
+    /// Open a per-connection handle pinned to document `id`, carrying its
+    /// own [`EvalOptions`] (initialized from the catalog defaults).
+    pub fn session(&self, id: &str) -> Result<Session<'_>, EngineError> {
+        if !self.contains(id) {
+            return Err(EngineError::unknown_document(id));
+        }
+        Ok(Session::new(self, id.to_string(), self.opts.clone()))
+    }
+
+    // ------------------------------------------------------------------
+    // Plan pipeline
+    // ------------------------------------------------------------------
+
+    /// Parse + compile `src` through the shared cache. `doc` attributes
+    /// the lookup for the cross-document hit counter.
+    pub(crate) fn plan_for(
+        &self,
+        lang: QueryLang,
+        src: &str,
+        doc: Option<&str>,
+    ) -> Result<CachedPlan, EngineError> {
+        if let Some(plan) = self.cache.get(lang, src, doc) {
+            return Ok(plan);
+        }
+        let plan = match lang {
+            QueryLang::XPath => {
+                let p = CompiledXPath::compile(src).map_err(xpath_parse_error)?;
+                CachedPlan::XPath(Arc::new(p))
+            }
+            QueryLang::XQuery => {
+                let ast = parse_query(src).map_err(xquery_error)?;
+                check_static(&ast)?;
+                CachedPlan::XQuery(Arc::new(ast))
+            }
+        };
+        self.cache.insert(lang, src, doc, plan.clone());
+        Ok(plan)
+    }
+
+    fn eval_plan(
+        &self,
+        id: &str,
+        plan: &CachedPlan,
+        opts: &EvalOptions,
+    ) -> Result<QueryOutcome, EngineError> {
+        let entry = self.entry(id)?;
+        self.eval_entry(&entry, plan, opts)
+    }
+
+    fn eval_entry(
+        &self,
+        entry: &DocEntry,
+        plan: &CachedPlan,
+        opts: &EvalOptions,
+    ) -> Result<QueryOutcome, EngineError> {
+        let g = entry.g.read().unwrap_or_else(PoisonError::into_inner);
+        let idx = entry.current_index(&g);
+        match plan {
+            CachedPlan::XPath(p) => {
+                let ctx = Context::new(NodeId::Root);
+                let v = p.evaluate(&g, &idx, &ctx).map_err(xpath_eval_error)?;
+                Ok(QueryOutcome::from_xpath_value(v, &g, &idx, opts))
+            }
+            CachedPlan::XQuery(ast) => {
+                let out =
+                    mhx_xquery::run_parsed_with_index(&g, &idx, ast, opts).map_err(xquery_error)?;
+                Ok(QueryOutcome::from_markup(out))
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Static (compile-stage) checks
+// ----------------------------------------------------------------------
+
+/// XQuery's static rules make a reference to an undeclared variable a
+/// compile-time error. The engine enforces it here — queries always start
+/// from an empty variable environment — so `$typo` surfaces as
+/// [`EngineError::Compile`] before any document is touched, and invalid
+/// plans never enter the shared cache.
+fn check_static(ast: &QExpr) -> Result<(), EngineError> {
+    let mut scope: Vec<&str> = Vec::new();
+    if let Some(var) = free_variable(ast, &mut scope) {
+        return Err(EngineError::Compile {
+            lang: QueryLang::XQuery,
+            message: format!("unbound variable ${var}"),
+        });
+    }
+    Ok(())
+}
+
+/// First variable referenced outside any enclosing `for`/`let`/quantified
+/// binding, in document order of the AST.
+fn free_variable<'a>(e: &'a QExpr, scope: &mut Vec<&'a str>) -> Option<String> {
+    use mhx_xquery::ast::{AttrPiece, Content, DirElem, QPathStart};
+
+    fn check_dir<'a>(d: &'a DirElem, scope: &mut Vec<&'a str>) -> Option<String> {
+        for (_, pieces) in &d.attrs {
+            for p in pieces {
+                if let AttrPiece::Expr(e) = p {
+                    if let Some(v) = free_variable(e, scope) {
+                        return Some(v);
+                    }
+                }
+            }
+        }
+        for c in &d.content {
+            let found = match c {
+                Content::Text(_) => None,
+                Content::Expr(e) => free_variable(e, scope),
+                Content::Elem(inner) => check_dir(inner, scope),
+            };
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    match e {
+        QExpr::Var(v) => (!scope.contains(&v.as_str())).then(|| v.clone()),
+        QExpr::Flwor { clauses, ret } => {
+            let depth = scope.len();
+            for c in clauses {
+                let found = match c {
+                    Clause::For { var, at, seq } => {
+                        let found = free_variable(seq, scope);
+                        scope.push(var);
+                        if let Some(at) = at {
+                            scope.push(at);
+                        }
+                        found
+                    }
+                    Clause::Let { var, expr } => {
+                        let found = free_variable(expr, scope);
+                        scope.push(var);
+                        found
+                    }
+                    Clause::Where(e) => free_variable(e, scope),
+                    Clause::OrderBy { keys } => {
+                        keys.iter().find_map(|k| free_variable(&k.key, scope))
+                    }
+                };
+                if found.is_some() {
+                    scope.truncate(depth);
+                    return found;
+                }
+            }
+            let found = free_variable(ret, scope);
+            scope.truncate(depth);
+            found
+        }
+        QExpr::Quantified { binds, satisfies, .. } => {
+            let depth = scope.len();
+            for (var, seq) in binds {
+                if let Some(v) = free_variable(seq, scope) {
+                    scope.truncate(depth);
+                    return Some(v);
+                }
+                scope.push(var);
+            }
+            let found = free_variable(satisfies, scope);
+            scope.truncate(depth);
+            found
+        }
+        QExpr::Sequence(es) => es.iter().find_map(|e| free_variable(e, scope)),
+        QExpr::If { cond, then, els } => free_variable(cond, scope)
+            .or_else(|| free_variable(then, scope))
+            .or_else(|| free_variable(els, scope)),
+        QExpr::Or(a, b) | QExpr::And(a, b) | QExpr::Union(a, b) => {
+            free_variable(a, scope).or_else(|| free_variable(b, scope))
+        }
+        QExpr::Compare { lhs, rhs, .. } | QExpr::Arith { lhs, rhs, .. } => {
+            free_variable(lhs, scope).or_else(|| free_variable(rhs, scope))
+        }
+        QExpr::Range { lo, hi } => free_variable(lo, scope).or_else(|| free_variable(hi, scope)),
+        QExpr::Neg(e) => free_variable(e, scope),
+        QExpr::Call { args, .. } => args.iter().find_map(|e| free_variable(e, scope)),
+        QExpr::Path { start, steps } => {
+            if let QPathStart::Expr(e) = start {
+                if let Some(v) = free_variable(e, scope) {
+                    return Some(v);
+                }
+            }
+            steps.iter().find_map(|s| s.predicates.iter().find_map(|p| free_variable(p, scope)))
+        }
+        QExpr::Filter { base, predicates } => free_variable(base, scope)
+            .or_else(|| predicates.iter().find_map(|p| free_variable(p, scope))),
+        QExpr::DirElem(d) => check_dir(d, scope),
+        QExpr::Literal(_) | QExpr::Number(_) | QExpr::ContextItem => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhx_goddag::GoddagBuilder;
+
+    fn two_hierarchies() -> Goddag {
+        GoddagBuilder::new()
+            .hierarchy(
+                "lines",
+                "<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe gecynde þa</line></r>",
+            )
+            .hierarchy(
+                "words",
+                "<r><w>gesceaftum</w> <w>unawendendne</w> <w>singallice</w> <w>sibbe</w> \
+                 <w>gecynde</w> <w>þa</w></r>",
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn index_rebuilds_lazily_after_hierarchy_mutation() {
+        let c = Catalog::new();
+        c.insert("ms", two_hierarchies());
+        assert!(c.xpath("ms", "/descendant::res").unwrap().nodes().unwrap().is_empty());
+        c.add_hierarchy(
+            "ms",
+            "restorations",
+            "<r><res>gesceaftum una</res>wendendne s<res>in</res><res>gallice sibbe gecyn</res>de þa</r>",
+        )
+        .unwrap();
+        // The entry's index snapshot is stale now; the next query rebuilds
+        // it and sees the new hierarchy through the same compiled plan.
+        let found = c.xpath("ms", "/descendant::res").unwrap();
+        assert_eq!(found.nodes().unwrap().len(), 3);
+        let stats = c.cache_stats();
+        assert_eq!(stats.hits, 1, "compiled plan survived the hierarchy mutation");
+        // And the rebuilt snapshot is current: one more query, no rebuild
+        // artifacts, same answer.
+        assert_eq!(c.xpath("ms", "/descendant::res").unwrap().nodes().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn static_checker_accepts_all_binding_forms() {
+        for q in [
+            "for $w at $i in /descendant::w return concat($i, string($w))",
+            "let $a := 2 let $b := $a * 3 return $a + $b",
+            "some $w in /descendant::w satisfies string($w) = 'sibbe'",
+            "every $x in (1, 2) satisfies $x > 0",
+            "for $w in /descendant::w where string($w) order by string($w) return $w",
+            "for $w in /descendant::w return <b k=\"{$w}\">{$w}</b>",
+            "let $res := analyze-string(/, 'ge') for $n in $res/child::m return string($n)",
+            "for $w in /descendant::w return $w[1]",
+        ] {
+            let ast = parse_query(q).unwrap();
+            assert_eq!(check_static(&ast), Ok(()), "false positive on `{q}`");
+        }
+    }
+
+    #[test]
+    fn static_checker_rejects_free_variables() {
+        for (q, var) in [
+            ("$undefined", "undefined"),
+            ("for $w in /descendant::w return $typo", "typo"),
+            ("let $a := $a return 1", "a"),
+            ("(for $x in (1) return $x, $x)", "x"),
+            ("some $x in (1) satisfies $y", "y"),
+            ("/descendant::w[$p]", "p"),
+        ] {
+            let ast = parse_query(q).unwrap();
+            match check_static(&ast) {
+                Err(EngineError::Compile { message, .. }) => {
+                    assert!(message.contains(var), "`{q}` should name ${var}: {message}")
+                }
+                other => panic!("`{q}` should fail the static check, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn removed_documents_stop_serving() {
+        let c = Catalog::new();
+        c.insert("ms", two_hierarchies());
+        assert!(c.xpath("ms", "/descendant::w").is_ok());
+        assert!(c.remove("ms"));
+        assert!(!c.remove("ms"));
+        assert!(matches!(
+            c.xpath("ms", "/descendant::w"),
+            Err(EngineError::UnknownDocument { .. })
+        ));
+        assert!(c.is_empty());
+    }
+}

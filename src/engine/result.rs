@@ -1,0 +1,171 @@
+//! The unified query result type.
+//!
+//! Both query languages return a [`QueryOutcome`], so callers never branch
+//! on language: XPath produces node sets and atomics, XQuery produces
+//! serialized markup, and every outcome carries its paper-style serialized
+//! form (computed once, at evaluation time, with the same serializer the
+//! XQuery engine uses — element nodes render their own hierarchy's markup,
+//! leaves render text).
+//!
+//! Serializing eagerly is a deliberate trade-off: it makes the outcome
+//! self-contained (valid after the document mutates or is removed, safe to
+//! ship across threads) at the cost of rendering markup the caller may
+//! never read. Node-set queries pay per result-subtree — for bulk node
+//! *enumeration* on large documents (`/descendant::*`), prefer the
+//! unserialized one-shot layers ([`mhx_xpath::evaluate_xpath`]) over the
+//! catalog facade.
+
+use crate::engine::error::QueryLang;
+use mhx_goddag::{Goddag, NodeId, StructIndex};
+use mhx_xpath::Value;
+use mhx_xquery::{serialize, EvalOptions, Evaluator, Item};
+
+/// The value inside a [`QueryOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryValue {
+    /// A node set in KyGODDAG document order (XPath path results).
+    Nodes(Vec<NodeId>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    /// Serialized markup (XQuery sequences, which may contain constructed
+    /// elements that outlive no evaluator).
+    Markup(String),
+}
+
+/// What a query evaluated to, in both typed and serialized form.
+///
+/// ```
+/// use multihier_xquery::prelude::*;
+///
+/// let catalog = Catalog::new();
+/// catalog.insert(
+///     "ms",
+///     GoddagBuilder::new()
+///         .hierarchy("lines", "<r><line>ab</line><line>cd</line></r>")
+///         .hierarchy("words", "<r><w>a</w><w>bc</w><w>d</w></r>")
+///         .build()
+///         .unwrap(),
+/// );
+///
+/// // Same result type from both languages:
+/// let n = catalog.xpath("ms", "count(/descendant::w)").unwrap();
+/// let q = catalog.xquery("ms", "count(/descendant::w)").unwrap();
+/// assert_eq!(n.serialize(), "3");
+/// assert_eq!(q.serialize(), "3");
+/// assert_eq!(n.num(), Some(3.0));
+///
+/// // Node sets keep their identity alongside the serialized form
+/// // (element nodes render the markup of their own hierarchy).
+/// let words = catalog.xpath("ms", "/descendant::w[overlapping::line]").unwrap();
+/// assert_eq!(words.nodes().unwrap().len(), 1);
+/// assert_eq!(words.serialize(), "<w>bc</w>");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    lang: QueryLang,
+    value: QueryValue,
+    serialized: String,
+}
+
+impl QueryOutcome {
+    /// Wrap an XPath [`Value`], serializing it through the XQuery
+    /// serializer so both languages print identically.
+    pub(crate) fn from_xpath_value(
+        v: Value,
+        g: &Goddag,
+        idx: &StructIndex,
+        opts: &EvalOptions,
+    ) -> QueryOutcome {
+        let items: Vec<Item> = match &v {
+            Value::Nodes(ns) => ns.iter().map(|&n| Item::Node(n)).collect(),
+            Value::Str(s) => vec![Item::Str(s.clone())],
+            Value::Num(n) => vec![Item::Num(*n)],
+            Value::Bool(b) => vec![Item::Bool(*b)],
+        };
+        let ev = Evaluator::with_index(g, idx, opts.clone());
+        let serialized = serialize::serialize_sequence(&ev, &items);
+        let value = match v {
+            Value::Nodes(ns) => QueryValue::Nodes(ns),
+            Value::Str(s) => QueryValue::Str(s),
+            Value::Num(n) => QueryValue::Num(n),
+            Value::Bool(b) => QueryValue::Bool(b),
+        };
+        QueryOutcome { lang: QueryLang::XPath, value, serialized }
+    }
+
+    /// Wrap an already-serialized XQuery result.
+    pub(crate) fn from_markup(serialized: String) -> QueryOutcome {
+        QueryOutcome {
+            lang: QueryLang::XQuery,
+            value: QueryValue::Markup(serialized.clone()),
+            serialized,
+        }
+    }
+
+    /// Which language produced this outcome.
+    pub fn lang(&self) -> QueryLang {
+        self.lang
+    }
+
+    /// The paper-style serialized form ("the output … is either a string
+    /// or a sequence of strings").
+    pub fn serialize(&self) -> &str {
+        &self.serialized
+    }
+
+    /// Consume into the serialized form without cloning.
+    pub fn into_string(self) -> String {
+        self.serialized
+    }
+
+    /// Borrow the typed value.
+    pub fn value(&self) -> &QueryValue {
+        &self.value
+    }
+
+    /// Consume into the typed value.
+    pub fn into_value(self) -> QueryValue {
+        self.value
+    }
+
+    /// The node set, if this outcome is one.
+    pub fn nodes(&self) -> Option<&[NodeId]> {
+        match &self.value {
+            QueryValue::Nodes(ns) => Some(ns),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this outcome is an atomic number.
+    pub fn num(&self) -> Option<f64> {
+        match &self.value {
+            QueryValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this outcome is an atomic boolean.
+    pub fn bool(&self) -> Option<bool> {
+        match &self.value {
+            QueryValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True when the outcome holds nothing: an empty node set or an empty
+    /// serialized sequence.
+    pub fn is_empty(&self) -> bool {
+        match &self.value {
+            QueryValue::Nodes(ns) => ns.is_empty(),
+            QueryValue::Str(s) | QueryValue::Markup(s) => s.is_empty(),
+            QueryValue::Num(_) | QueryValue::Bool(_) => false,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.serialized)
+    }
+}

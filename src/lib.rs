@@ -54,11 +54,17 @@ pub use mhx_xquery as xquery;
 
 pub mod engine;
 
-pub use engine::{CacheStats, Engine, EngineError};
+pub use engine::{
+    CacheStats, Catalog, Engine, EngineError, Prepared, QueryLang, QueryOutcome, QueryValue,
+    Session,
+};
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::engine::{CacheStats, Engine, EngineError};
+    pub use crate::engine::{
+        CacheStats, Catalog, Engine, EngineError, Prepared, QueryLang, QueryOutcome, QueryValue,
+        Session,
+    };
     pub use mhx_goddag::{Goddag, GoddagBuilder, NodeId, StructIndex};
     pub use mhx_xml::Document;
     pub use mhx_xpath::evaluate_xpath;

@@ -308,7 +308,7 @@ pub mod collection {
     use super::strategy::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`], inclusive on both ends.
+    /// Length bounds for [`vec()`], inclusive on both ends.
     pub trait IntoSizeRange {
         fn bounds(self) -> (usize, usize);
     }
