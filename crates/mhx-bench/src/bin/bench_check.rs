@@ -1,0 +1,127 @@
+//! `bench-check` — the CI perf-regression gate.
+//!
+//! Compares freshly emitted bench snapshots against the committed
+//! baselines and exits nonzero when a tracked ratio regresses (see
+//! `mhx_bench::snapshot` for the exact pass/fail rule). Usage:
+//!
+//! ```text
+//! bench-check --baseline <dir> [--fresh <dir>] [--tolerance 0.25]
+//!             [--min-batch-speedup <x>]
+//! ```
+//!
+//! `--baseline` points at copies of the committed `BENCH_*.json` saved
+//! *before* the bench run (the benches overwrite the files in place);
+//! `--fresh` (default `.`) at the just-emitted ones. `--min-batch-speedup`
+//! raises the unconditional floor on every batch metric above its built-in
+//! value (2x for the structurally superior steps, no-regression parity for
+//! the rest) — CI also passes an impossibly high value here to prove the
+//! gate can fail.
+
+use mhx_bench::snapshot::{compare, override_batch_floor, parse, tracked_metrics, Metric};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const SNAPSHOTS: [(&str, &str); 3] =
+    [("axes", "BENCH_axes.json"), ("catalog", "BENCH_catalog.json"), ("batch", "BENCH_batch.json")];
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    tolerance: f64,
+    min_batch_speedup: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut fresh = PathBuf::from(".");
+    let mut tolerance = 0.25;
+    let mut min_batch_speedup = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--fresh" => fresh = PathBuf::from(value("--fresh")?),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|_| "--tolerance must be a number".to_string())?;
+            }
+            "--min-batch-speedup" => {
+                min_batch_speedup = Some(
+                    value("--min-batch-speedup")?
+                        .parse()
+                        .map_err(|_| "--min-batch-speedup must be a number".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench-check --baseline <dir> [--fresh <dir>] [--tolerance 0.25] \
+                     [--min-batch-speedup <x>]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let baseline = baseline.ok_or("--baseline <dir> is required")?;
+    Ok(Args { baseline, fresh, tolerance, min_batch_speedup })
+}
+
+fn load_metrics(dir: &Path, stem: &str, file: &str) -> Result<Vec<Metric>, String> {
+    let path = dir.join(file);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    tracked_metrics(stem, &doc)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures = 0usize;
+    let mut total = 0usize;
+    for (stem, file) in SNAPSHOTS {
+        let base = match load_metrics(&args.baseline, stem, file) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("bench-check: baseline {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut new = match load_metrics(&args.fresh, stem, file) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("bench-check: fresh {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(min) = args.min_batch_speedup {
+            override_batch_floor(&mut new, min);
+        }
+        println!("== {file}");
+        for verdict in compare(&base, &new, args.tolerance) {
+            println!("  {verdict}");
+            total += 1;
+            if !verdict.passed {
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench-check: {failures}/{total} tracked ratios regressed \
+             (tolerance {:.0}%)",
+            args.tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench-check: all {total} tracked ratios within tolerance");
+        ExitCode::SUCCESS
+    }
+}

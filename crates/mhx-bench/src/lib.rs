@@ -7,8 +7,21 @@
 //! * `baseline_vs_goddag` — E8 (KyGODDAG vs milestone vs fragmentation,
 //!   series over size and overlap density);
 //! * `axes` — E9 (interval vs literal set semantics) and E12 (per-axis
-//!   microbenchmarks) plus E10's order iteration;
+//!   microbenchmarks) plus E10's order iteration, and E13's
+//!   indexed-vs-scan snapshot (`BENCH_axes.json`);
+//! * `catalog` — E14 (multi-document serving through the shared plan
+//!   cache, `BENCH_catalog.json`);
+//! * `batch` — E15 (batched vs per-node step evaluation on wide context
+//!   sets, `BENCH_batch.json`);
 //! * `goddag_scaling` — E10 (construction scaling);
 //! * `analyze_string` — E11 (Definition-4 machinery).
 //!
 //! Run with `cargo bench -p mhx-bench`; results feed EXPERIMENTS.md.
+//!
+//! The crate also ships the **`bench-check` binary** — the CI
+//! perf-regression gate. It compares the freshly emitted `BENCH_*.json`
+//! snapshots against the committed baselines ([`snapshot`] holds the
+//! std-only JSON parser, the tracked-ratio extraction, and the pass/fail
+//! rule) and exits nonzero when a tracked ratio regresses.
+
+pub mod snapshot;

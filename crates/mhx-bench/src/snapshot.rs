@@ -1,0 +1,584 @@
+//! Perf-snapshot parsing and regression checking — the library behind the
+//! `bench-check` binary (the CI perf gate).
+//!
+//! The bench targets emit small, hand-formatted JSON snapshots
+//! (`BENCH_axes.json`, `BENCH_catalog.json`, `BENCH_batch.json`) that are
+//! committed as baselines. `bench-check` re-reads the freshly emitted
+//! snapshots and compares the **tracked ratios** (speedups, hit rates —
+//! dimensionless, so they transfer across machines far better than raw
+//! nanoseconds) against the committed ones.
+//!
+//! A metric fails when it regresses **relative to the baseline beyond the
+//! tolerance AND drops below its absolute health floor** — requiring both
+//! keeps ordinary timing noise from flaking the gate (a 25% wobble on a
+//! 700× speedup is still a vastly healthy 525×) while a real regression
+//! (index stops helping, batch slower than per-node) trips both conditions
+//! at once. Metrics with a `hard_min` (the batch acceptance floor) fail
+//! unconditionally below it. The parser is std-only on purpose: the gate
+//! must not grow dependencies the build environment lacks.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+// ---------- minimal JSON ----------
+
+/// A parsed JSON value. Objects preserve insertion order (irrelevant for
+/// checking, handy for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Supports exactly what the snapshots use:
+/// objects, arrays, strings with `\"`/`\\`/`\/`/`\b`/`\f`/`\n`/`\r`/`\t`/
+/// `\uXXXX` escapes, numbers, booleans, null.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let Json::Str(key) = parse_value(bytes, pos)? else {
+                    return Err(format!("object key must be a string at byte {pos}"));
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                entries.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number run");
+    text.parse::<f64>().map(Json::Num).map_err(|_| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the whole UTF-8 run up to the next quote/backslash.
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid UTF-8")?,
+                );
+            }
+        }
+    }
+}
+
+// ---------- tracked metrics ----------
+
+/// One tracked higher-is-better ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// `file:path` identifier, e.g. `axes:xfollowing:speedup`.
+    pub name: String,
+    pub value: f64,
+    /// Absolute health floor: a fresh value at or above it never fails the
+    /// relative check (guards microsecond-scale ratios against CI noise).
+    pub healthy: f64,
+    /// Unconditional minimum (acceptance floor); `None` = relative-only.
+    pub hard_min: Option<f64>,
+}
+
+/// Verdict for one metric comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    pub name: String,
+    pub baseline: f64,
+    pub fresh: f64,
+    pub passed: bool,
+    pub detail: String,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:<40} baseline {:>10.2}  fresh {:>10.2}  {}",
+            if self.passed { "PASS" } else { "FAIL" },
+            self.name,
+            self.baseline,
+            self.fresh,
+            self.detail
+        )
+    }
+}
+
+/// Extract the tracked metrics from one parsed snapshot. `file` is the
+/// snapshot stem: `axes`, `catalog`, or `batch`.
+pub fn tracked_metrics(file: &str, doc: &Json) -> Result<Vec<Metric>, String> {
+    let mut out = Vec::new();
+    match file {
+        "axes" => {
+            // Per-axis indexed-vs-scan speedups. Healthy = the index
+            // subsystem's original ≥5x acceptance bar.
+            let axes = doc
+                .get("axes")
+                .and_then(Json::as_arr)
+                .ok_or("BENCH_axes.json: missing `axes` array")?;
+            for row in axes {
+                let axis = row
+                    .get("axis")
+                    .and_then(Json::as_str)
+                    .ok_or("BENCH_axes.json: row without `axis`")?;
+                let speedup = row
+                    .get("speedup")
+                    .and_then(Json::as_f64)
+                    .ok_or("BENCH_axes.json: row without `speedup`")?;
+                out.push(Metric {
+                    name: format!("axes:{axis}:speedup"),
+                    value: speedup,
+                    healthy: 5.0,
+                    hard_min: Some(2.0),
+                });
+            }
+        }
+        "catalog" => {
+            // Deterministic cache-effectiveness ratios (counter-derived, so
+            // noise-free); the raw pass timings are deliberately untracked.
+            let shared = doc.get("shared").ok_or("BENCH_catalog.json: missing `shared`")?;
+            let hit_rate = shared
+                .get("hit_rate")
+                .and_then(Json::as_f64)
+                .ok_or("BENCH_catalog.json: missing `shared.hit_rate`")?;
+            out.push(Metric {
+                name: "catalog:hit_rate".into(),
+                value: hit_rate,
+                healthy: 0.9,
+                hard_min: Some(0.5),
+            });
+            let shared_compiles = shared
+                .get("compiles")
+                .and_then(Json::as_f64)
+                .ok_or("BENCH_catalog.json: missing `shared.compiles`")?;
+            let per_doc_compiles = doc
+                .get("per_doc_caches")
+                .and_then(|p| p.get("compiles"))
+                .and_then(Json::as_f64)
+                .ok_or("BENCH_catalog.json: missing `per_doc_caches.compiles`")?;
+            out.push(Metric {
+                name: "catalog:compile_reduction".into(),
+                value: per_doc_compiles / shared_compiles.max(1.0),
+                healthy: 2.0,
+                hard_min: Some(1.5),
+            });
+        }
+        "batch" => {
+            // Full-width batch-vs-per-node speedups. The min/max-reduction
+            // and name-intersection steps must stay well ahead (the PR's
+            // ≥2x acceptance bar); the window-parity steps (overlap,
+            // xancestor, xdescendant — already output-local per node) are
+            // gated against falling behind per-node, not for a big win.
+            let wide = doc
+                .get("wide_speedups")
+                .and_then(Json::as_obj)
+                .ok_or("BENCH_batch.json: missing `wide_speedups` object")?;
+            for (step, v) in wide {
+                let speedup = v.as_f64().ok_or("BENCH_batch.json: non-numeric wide speedup")?;
+                let superior = matches!(
+                    step.as_str(),
+                    "xfollowing::*" | "xpreceding::*" | "descendant::s0" | "descendant::leaf()"
+                );
+                // The health floor sits just above the 2x acceptance bar
+                // so a slower CI runner that still clears the bar (e.g.
+                // the leaf() step's ~5.7x baseline measuring ~3x) never
+                // fails on the relative check alone.
+                let (healthy, hard_min) =
+                    if superior { (2.5, Some(2.0)) } else { (1.0, Some(0.6)) };
+                out.push(Metric {
+                    name: format!("batch:{step}:wide_speedup"),
+                    value: speedup,
+                    healthy,
+                    hard_min,
+                });
+            }
+            if out.is_empty() {
+                return Err("BENCH_batch.json: `wide_speedups` is empty".into());
+            }
+        }
+        other => return Err(format!("unknown snapshot kind `{other}`")),
+    }
+    Ok(out)
+}
+
+/// Compare fresh metrics against baseline metrics. Baseline metrics with
+/// no fresh counterpart fail (shape drift must be deliberate: update the
+/// committed snapshot); fresh metrics with no baseline are reported as
+/// informational passes (they gate once committed).
+pub fn compare(baseline: &[Metric], fresh: &[Metric], tolerance: f64) -> Vec<Verdict> {
+    let fresh_by_name: BTreeMap<&str, &Metric> =
+        fresh.iter().map(|m| (m.name.as_str(), m)).collect();
+    let mut verdicts = Vec::new();
+    for base in baseline {
+        let Some(new) = fresh_by_name.get(base.name.as_str()) else {
+            verdicts.push(Verdict {
+                name: base.name.clone(),
+                baseline: base.value,
+                fresh: f64::NAN,
+                passed: false,
+                detail: "metric missing from fresh snapshot".into(),
+            });
+            continue;
+        };
+        verdicts.push(judge(base, new, tolerance));
+    }
+    let baseline_names: BTreeMap<&str, ()> =
+        baseline.iter().map(|m| (m.name.as_str(), ())).collect();
+    for new in fresh {
+        if !baseline_names.contains_key(new.name.as_str()) {
+            verdicts.push(Verdict {
+                name: new.name.clone(),
+                baseline: f64::NAN,
+                fresh: new.value,
+                passed: true,
+                detail: "new metric (no baseline yet)".into(),
+            });
+        }
+    }
+    verdicts
+}
+
+fn judge(base: &Metric, fresh: &Metric, tolerance: f64) -> Verdict {
+    let floor = base.value * (1.0 - tolerance);
+    if let Some(hard) = fresh.hard_min {
+        if fresh.value < hard {
+            return Verdict {
+                name: base.name.clone(),
+                baseline: base.value,
+                fresh: fresh.value,
+                passed: false,
+                detail: format!("below hard minimum {hard:.2}"),
+            };
+        }
+    }
+    let relative_ok = fresh.value >= floor;
+    let healthy_ok = fresh.value >= fresh.healthy;
+    let passed = relative_ok || healthy_ok;
+    let detail = if passed {
+        if relative_ok {
+            format!("within {:.0}% of baseline", tolerance * 100.0)
+        } else {
+            format!(
+                "regressed past {:.0}% tolerance but still above health floor {:.2}",
+                tolerance * 100.0,
+                fresh.healthy
+            )
+        }
+    } else {
+        format!(
+            "regressed more than {:.0}% (limit {floor:.2}) and below health floor {:.2}",
+            tolerance * 100.0,
+            fresh.healthy
+        )
+    };
+    Verdict { name: base.name.clone(), baseline: base.value, fresh: fresh.value, passed, detail }
+}
+
+/// Apply a hard-minimum override to every batch metric (the
+/// `--min-batch-speedup` flag; also how CI proves the gate can fail).
+pub fn override_batch_floor(metrics: &mut [Metric], min: f64) {
+    for m in metrics {
+        if m.name.starts_with("batch:") {
+            m.hard_min = Some(m.hard_min.map_or(min, |h| h.max(min)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AXES: &str = r#"{
+  "bench": "axes_indexed_vs_scan",
+  "nodes": 10547,
+  "axes": [
+    {"axis": "xfollowing", "scan_ns": 1987830, "indexed_ns": 102148, "speedup": 19.5},
+    {"axis": "overlapping", "scan_ns": 2084460, "indexed_ns": 3073, "speedup": 678.3}
+  ]
+}"#;
+
+    const CATALOG: &str = r#"{
+  "shared": {"cold_pass_ns": 2954166, "hit_rate": 0.958, "compiles": 6},
+  "per_doc_caches": {"cold_pass_ns": 3349886, "compiles": 48}
+}"#;
+
+    const BATCH: &str = r#"{
+  "bench": "batch_vs_per_node",
+  "wide_speedups": {
+    "xfollowing::*": 4100.25,
+    "overlapping::*": 0.99,
+    "descendant::s0": 58.50
+  }
+}"#;
+
+    #[test]
+    fn parser_handles_snapshot_shapes() {
+        let doc = parse(AXES).unwrap();
+        assert_eq!(doc.get("nodes").and_then(Json::as_f64), Some(10547.0));
+        let axes = doc.get("axes").and_then(Json::as_arr).unwrap();
+        assert_eq!(axes.len(), 2);
+        assert_eq!(axes[0].get("axis").and_then(Json::as_str), Some("xfollowing"));
+        let esc = parse(r#"{"s": "a\"b\\c\ndé"}"#).unwrap();
+        assert_eq!(esc.get("s").and_then(Json::as_str), Some("a\"b\\c\ndé"));
+        assert!(parse("{").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse(r#"{"x": nope}"#).is_err());
+    }
+
+    #[test]
+    fn metrics_extracted_from_all_three_snapshots() {
+        let axes = tracked_metrics("axes", &parse(AXES).unwrap()).unwrap();
+        assert_eq!(axes.len(), 2);
+        assert_eq!(axes[0].name, "axes:xfollowing:speedup");
+        let catalog = tracked_metrics("catalog", &parse(CATALOG).unwrap()).unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog[1].value, 8.0); // 48 / 6 compiles
+        let batch = tracked_metrics("batch", &parse(BATCH).unwrap()).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(tracked_metrics("nope", &parse(BATCH).unwrap()).is_err());
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let base = tracked_metrics("axes", &parse(AXES).unwrap()).unwrap();
+        let verdicts = compare(&base, &base, 0.25);
+        assert!(verdicts.iter().all(|v| v.passed), "{verdicts:?}");
+    }
+
+    #[test]
+    fn degraded_snapshot_fails() {
+        let base = tracked_metrics("axes", &parse(AXES).unwrap()).unwrap();
+        // The index "stopped helping": speedups collapse to ~1x.
+        let degraded = r#"{
+  "axes": [
+    {"axis": "xfollowing", "speedup": 1.1},
+    {"axis": "overlapping", "speedup": 0.9}
+  ]
+}"#;
+        let fresh = tracked_metrics("axes", &parse(degraded).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(verdicts.iter().all(|v| !v.passed), "{verdicts:?}");
+    }
+
+    #[test]
+    fn noise_within_tolerance_or_above_health_floor_passes() {
+        let base = tracked_metrics("axes", &parse(AXES).unwrap()).unwrap();
+        // 19.5 → 16.0 is within 25%; 678.3 → 400.0 is far past 25% but way
+        // above the 5x health floor — neither should flake the gate.
+        let wobbly = r#"{
+  "axes": [
+    {"axis": "xfollowing", "speedup": 16.0},
+    {"axis": "overlapping", "speedup": 400.0}
+  ]
+}"#;
+        let fresh = tracked_metrics("axes", &parse(wobbly).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(verdicts.iter().all(|v| v.passed), "{verdicts:?}");
+    }
+
+    #[test]
+    fn batch_hard_floor_fails_unconditionally() {
+        let base = tracked_metrics("batch", &parse(BATCH).unwrap()).unwrap();
+        // Batch slower than per-node on a structurally superior step: even
+        // a matching baseline would not save it (hard_min 2.0).
+        let broken = r#"{
+  "wide_speedups": {
+    "xfollowing::*": 1.2,
+    "overlapping::*": 0.99,
+    "descendant::s0": 58.50
+  }
+}"#;
+        let fresh = tracked_metrics("batch", &parse(broken).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        let failed: Vec<_> = verdicts.iter().filter(|v| !v.passed).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].name, "batch:xfollowing::*:wide_speedup");
+    }
+
+    #[test]
+    fn missing_metric_fails_new_metric_passes() {
+        let base = tracked_metrics("batch", &parse(BATCH).unwrap()).unwrap();
+        let reshaped = r#"{
+  "wide_speedups": {
+    "xfollowing::*": 4100.0,
+    "descendant::s0": 60.0,
+    "brand-new::*": 3.0
+  }
+}"#;
+        let fresh = tracked_metrics("batch", &parse(reshaped).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        let missing = verdicts.iter().find(|v| v.name.contains("overlapping")).unwrap();
+        assert!(!missing.passed);
+        let new = verdicts.iter().find(|v| v.name.contains("brand-new")).unwrap();
+        assert!(new.passed);
+    }
+
+    #[test]
+    fn batch_floor_override_raises_hard_min() {
+        let mut metrics = tracked_metrics("batch", &parse(BATCH).unwrap()).unwrap();
+        override_batch_floor(&mut metrics, 1_000_000.0);
+        let verdicts = compare(&metrics.clone(), &metrics, 0.25);
+        // Every batch metric is now below the impossible floor — this is
+        // exactly the CI self-test that proves the gate can fail.
+        assert!(verdicts.iter().all(|v| !v.passed), "{verdicts:?}");
+    }
+}

@@ -362,6 +362,14 @@ impl Goddag {
         NodeId::Leaf { start: self.boundaries.leaf_start_at(off) }
     }
 
+    /// The leaves covered by the byte range `[s, e)` — the span-based form
+    /// of [`Goddag::leaves_of`], for batch evaluation over merged context
+    /// spans (node spans are always leaf-aligned, so a union of spans
+    /// covers exactly the union of the per-node leaf runs).
+    pub fn leaves_in_span(&self, s: u32, e: u32) -> Vec<NodeId> {
+        self.boundaries.leaves_in(s, e).map(|st| NodeId::Leaf { start: st }).collect()
+    }
+
     // ---------- order (Definition 3) ----------
 
     pub fn order_key(&self, n: NodeId) -> OrderKey {

@@ -23,10 +23,22 @@
 //! insertion or removal (`analyze-string()`); callers rebuild lazily. The
 //! naive scan stays in [`crate::axes`] as the reference oracle — the
 //! differential property suite asserts both agree on every axis.
+//!
+//! Besides the per-node lookups there is a **batch layer**
+//! ([`StructIndex::axis_nodes_batch`], [`StructIndex::elements_named_batch`])
+//! that evaluates one axis for a whole document-ordered context set in a
+//! single pass over the index structures — the set-at-a-time shape of
+//! holistic/structural-join evaluation. Per context set, not per context
+//! node: `xfollowing`/`xpreceding` collapse to one min/max reduction plus
+//! one filter of the ordered array, `xdescendant` is a merge sweep of the
+//! start-sorted spans against the sorted context spans, the overlap axes
+//! answer each candidate with an O(1) range-min/max query over the context
+//! spans, and `xancestor` shares one output buffer (and one final sort)
+//! across all containment-chain walks.
 
 use crate::axes::{axis_nodes, Axis};
 use crate::goddag::Goddag;
-use crate::node::NodeId;
+use crate::node::{HierarchyId, NodeId};
 use std::collections::HashMap;
 
 /// One non-empty node span. `start`/`end` are byte offsets into `S`.
@@ -176,12 +188,37 @@ impl StructIndex {
         n: NodeId,
         keep: impl Fn(NodeId) -> bool,
     ) -> Vec<NodeId> {
-        let mut out = match axis {
+        match axis {
+            // Low selectivity: answered pre-sorted, no final sort needed.
+            Axis::XFollowing => self.xfollowing(g, n, &keep),
+            Axis::XPreceding => self.xpreceding(g, n, &keep),
+            _ => {
+                let mut out = self.axis_nodes_filtered_unsorted(g, axis, n, keep);
+                g.sort_nodes(&mut out);
+                out
+            }
+        }
+    }
+
+    /// [`StructIndex::axis_nodes_filtered`] without the per-node
+    /// Definition-3 sort. For callers that union the candidate sets of many
+    /// context nodes and sort once per *step* (the batched evaluators and
+    /// the per-node fallback of predicate-free steps), sorting each context
+    /// node's slice first is pure waste. Output order is unspecified,
+    /// except that standard (tree-walk) axes and
+    /// `xfollowing`/`xpreceding` happen to come back sorted already.
+    pub fn axis_nodes_filtered_unsorted(
+        &self,
+        g: &Goddag,
+        axis: Axis,
+        n: NodeId,
+        keep: impl Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        match axis {
             Axis::XAncestor => self.xancestor(g, n, &keep),
             Axis::XDescendant => self.xdescendant(g, n, &keep),
-            // Low selectivity: answered pre-sorted, no final sort needed.
-            Axis::XFollowing => return self.xfollowing(g, n, &keep),
-            Axis::XPreceding => return self.xpreceding(g, n, &keep),
+            Axis::XFollowing => self.xfollowing(g, n, &keep),
+            Axis::XPreceding => self.xpreceding(g, n, &keep),
             Axis::PrecedingOverlapping => self.preceding_overlapping(g, n, &keep),
             Axis::FollowingOverlapping => self.following_overlapping(g, n, &keep),
             Axis::Overlapping => {
@@ -189,10 +226,431 @@ impl StructIndex {
                 v.extend(self.following_overlapping(g, n, &keep));
                 v
             }
-            _ => return axis_nodes(g, axis, n).into_iter().filter(|&m| keep(m)).collect(),
-        };
-        g.sort_nodes(&mut out);
+            _ => axis_nodes(g, axis, n).into_iter().filter(|&m| keep(m)).collect(),
+        }
+    }
+
+    /// Evaluate `axis` for a whole context set in one pass: the union of
+    /// [`StructIndex::axis_nodes_filtered`] over `ctxs`, in Definition-3
+    /// order, deduplicated. `ctxs` should be in document order (the
+    /// per-step invariant of the evaluators); the result is correct for any
+    /// order, but the merge sweeps assume sorted *spans*, which this method
+    /// derives itself.
+    ///
+    /// Where the win comes from, per axis:
+    /// * `xfollowing`/`xpreceding` — the union over contexts collapses to a
+    ///   single min (resp. max) reduction over the context spans and one
+    ///   filter of the Definition-3-ordered span array: O(contexts + N)
+    ///   instead of O(contexts × N), output already sorted;
+    /// * `xdescendant` — one merge sweep of the start-sorted span array
+    ///   against the start-sorted context spans, tracking the
+    ///   maximal-ending context seen so far as a containment witness;
+    /// * the overlap axes — one sweep of the relevant window answering each
+    ///   candidate with an O(1) range-max/min query over the context spans;
+    /// * `xancestor` — per-context containment-chain walks sharing one
+    ///   output buffer, so the document-order sort-dedup happens once for
+    ///   the whole context set instead of once per context node.
+    pub fn axis_nodes_batch(
+        &self,
+        g: &Goddag,
+        axis: Axis,
+        ctxs: &[NodeId],
+        keep: impl Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        match axis {
+            Axis::XAncestor
+            | Axis::XDescendant
+            | Axis::XFollowing
+            | Axis::XPreceding
+            | Axis::PrecedingOverlapping
+            | Axis::FollowingOverlapping
+            | Axis::Overlapping => {}
+            // Standard axes are already output-local tree walks; batch them
+            // as the per-node walk with one hoisted sort-dedup.
+            _ => {
+                let mut out: Vec<NodeId> = ctxs
+                    .iter()
+                    .flat_map(|&n| axis_nodes(g, axis, n))
+                    .filter(|&m| keep(m))
+                    .collect();
+                g.sort_nodes(&mut out);
+                out.dedup();
+                return out;
+            }
+        }
+        // Empty-span contexts take part in no extended axis (same rule as
+        // the per-node path).
+        let mut spans: Vec<(u32, u32, NodeId)> = ctxs
+            .iter()
+            .filter_map(|&n| {
+                let (a, b) = g.span(n);
+                (a < b).then_some((a, b, n))
+            })
+            .collect();
+        if spans.is_empty() {
+            return Vec::new();
+        }
+        spans.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        match axis {
+            Axis::XFollowing => {
+                // m ∈ xfollowing(n) ⇔ start(m) ≥ end(n); the union over the
+                // context set is xfollowing of the earliest-ending context.
+                let min_end = spans.iter().map(|s| s.1).min().expect("non-empty");
+                self.ordered
+                    .iter()
+                    .filter(|e| e.start >= min_end)
+                    .map(|e| e.node)
+                    .filter(|&m| keep(m))
+                    .collect()
+            }
+            Axis::XPreceding => {
+                let max_start = spans.last().expect("non-empty").0;
+                self.ordered
+                    .iter()
+                    .filter(|e| e.end <= max_start)
+                    .map(|e| e.node)
+                    .filter(|&m| keep(m))
+                    .collect()
+            }
+            Axis::XDescendant => {
+                let mut out = self.xdescendant_batch(g, &spans, &keep);
+                g.sort_nodes(&mut out);
+                out.dedup();
+                out
+            }
+            Axis::XAncestor => {
+                let mut out = self.xancestor_batch(g, &spans, &keep);
+                g.sort_nodes(&mut out);
+                out.dedup();
+                out
+            }
+            Axis::PrecedingOverlapping => {
+                let mut out = self.preceding_overlapping_batch(&spans, &keep);
+                g.sort_nodes(&mut out);
+                out.dedup();
+                out
+            }
+            Axis::FollowingOverlapping => {
+                let mut out = self.following_overlapping_batch(&spans, &keep);
+                g.sort_nodes(&mut out);
+                out.dedup();
+                out
+            }
+            Axis::Overlapping => {
+                // A node can precede-overlap one context and follow-overlap
+                // another, so the union needs a dedup.
+                let mut out = self.preceding_overlapping_batch(&spans, &keep);
+                out.extend(self.following_overlapping_batch(&spans, &keep));
+                g.sort_nodes(&mut out);
+                out.dedup();
+                out
+            }
+            _ => unreachable!("outer match restricts to extended axes"),
+        }
+    }
+
+    /// Batch `xdescendant`. Two regimes, chosen by comparing the global
+    /// candidate window against the summed per-context windows (both known
+    /// from binary searches before any scanning):
+    ///
+    /// * **narrow contexts** (spans that tile the document, e.g. a
+    ///   `//w/...` context set) — the per-context windows are tiny and
+    ///   sum to less than the global window, so scan each into a shared
+    ///   buffer (the caller sorts and dedups once);
+    /// * **wide contexts** — one merge sweep of `by_start` against the
+    ///   start-sorted context spans. A candidate is contained by *some*
+    ///   context iff it is contained by the maximal-ending context whose
+    ///   span starts at or before the candidate's; a second witness covers
+    ///   the case where the first is excluded for this candidate (the
+    ///   candidate is the witness itself or one of its DOM ancestors), and
+    ///   only a double exclusion falls back to scanning the context set.
+    fn xdescendant_batch(
+        &self,
+        g: &Goddag,
+        spans: &[(u32, u32, NodeId)],
+        keep: &impl Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        let min_a = spans[0].0;
+        let max_b = spans.iter().map(|s| s.1).max().expect("non-empty");
+        let lo = self.by_start.partition_point(|e| e.start < min_a);
+        let hi = self.by_start.partition_point(|e| e.start < max_b);
+        let windows: Vec<(usize, usize)> = spans
+            .iter()
+            .map(|&(a, b, _)| {
+                (
+                    self.by_start.partition_point(|e| e.start < a),
+                    self.by_start.partition_point(|e| e.start < b),
+                )
+            })
+            .collect();
+        let total: usize = windows.iter().map(|w| w.1 - w.0).sum();
+        let mut out = Vec::new();
+        if total < hi - lo {
+            for (&(_, b, n), &(wlo, whi)) in spans.iter().zip(&windows) {
+                for e in &self.by_start[wlo..whi] {
+                    let m = e.node;
+                    if e.end <= b && m != n && !g.is_descendant(n, m) && keep(m) {
+                        out.push(m);
+                    }
+                }
+            }
+            return out;
+        }
+        let mut j = 0;
+        // Top two contexts by end among those starting at or before the
+        // candidate; distinct nodes by construction (contexts are deduped).
+        let mut w1: Option<(u32, NodeId)> = None;
+        let mut w2: Option<(u32, NodeId)> = None;
+        for e in &self.by_start[lo..hi] {
+            while j < spans.len() && spans[j].0 <= e.start {
+                let cand = (spans[j].1, spans[j].2);
+                match w1 {
+                    None => w1 = Some(cand),
+                    Some(best) if cand.0 > best.0 => {
+                        w2 = Some(best);
+                        w1 = Some(cand);
+                    }
+                    Some(_) => {
+                        if w2.is_none_or(|second| cand.0 > second.0) {
+                            w2 = Some(cand);
+                        }
+                    }
+                }
+                j += 1;
+            }
+            let Some((end1, node1)) = w1 else { continue };
+            if e.end > end1 {
+                continue; // not contained by any context
+            }
+            let m = e.node;
+            let included = if m != node1 && !g.is_descendant(node1, m) {
+                true
+            } else {
+                match w2 {
+                    Some((end2, node2)) if e.end <= end2 && m != node2 => {
+                        !g.is_descendant(node2, m)
+                            || spans.iter().any(|&(a, b, n)| {
+                                a <= e.start && e.end <= b && m != n && !g.is_descendant(n, m)
+                            })
+                    }
+                    Some((end2, _)) if e.end <= end2 => spans.iter().any(|&(a, b, n)| {
+                        a <= e.start && e.end <= b && m != n && !g.is_descendant(n, m)
+                    }),
+                    // Only the first witness contains this candidate, and
+                    // it is excluded.
+                    _ => false,
+                }
+            };
+            if included && keep(m) {
+                out.push(m);
+            }
+        }
         out
+    }
+
+    /// Batch `xancestor`: root and covering-leaf checks per context plus
+    /// one laminar chain walk per (hierarchy, context), all pushing into a
+    /// shared buffer; the caller sorts and dedups once.
+    fn xancestor_batch(
+        &self,
+        g: &Goddag,
+        spans: &[(u32, u32, NodeId)],
+        keep: &impl Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        // The root covers every span and is a DOM ancestor of nothing it
+        // needs excluding — it is an xancestor of every non-root context.
+        if spans.iter().any(|&(_, _, n)| n != NodeId::Root) && keep(NodeId::Root) {
+            out.push(NodeId::Root);
+        }
+        for &(a, b, n) in spans {
+            // Leaves are disjoint, so only the leaf containing `a` can
+            // cover the whole context span.
+            let leaf = g.leaf_at(a);
+            let (ls, le) = g.span(leaf);
+            if ls <= a && b <= le && leaf != n && !g.is_descendant(leaf, n) && keep(leaf) {
+                out.push(leaf);
+            }
+        }
+        for chain in &self.chains {
+            for &(a, b, n) in spans {
+                let idx = chain.partition_point(|e| e.start <= a);
+                if idx == 0 {
+                    continue;
+                }
+                let mut cur = (idx - 1) as u32;
+                loop {
+                    let e = chain[cur as usize];
+                    if e.end >= b && e.node != n && !g.is_descendant(e.node, n) && keep(e.node) {
+                        out.push(e.node);
+                    }
+                    if e.parent == NO_PARENT {
+                        break;
+                    }
+                    cur = e.parent;
+                }
+            }
+        }
+        out
+    }
+
+    /// Batch `preceding-overlapping`: candidate `[c, d)` qualifies iff some
+    /// context `[a, b)` has `c < a < d < b`. Two regimes, like
+    /// [`StructIndex::xdescendant_batch`]: narrow contexts scan their own
+    /// `by_end` windows into a shared buffer; wide contexts do one sweep of
+    /// the global window, answering each candidate with an O(1) range-max
+    /// query (among contexts starting inside `(c, d)`, does the maximal end
+    /// exceed `d`?) over the start-sorted context spans.
+    fn preceding_overlapping_batch(
+        &self,
+        spans: &[(u32, u32, NodeId)],
+        keep: &impl Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        let min_a = spans[0].0;
+        let max_b = spans.iter().map(|s| s.1).max().expect("non-empty");
+        let lo = self.by_end.partition_point(|e| e.end <= min_a);
+        let hi = self.by_end.partition_point(|e| e.end < max_b);
+        let windows: Vec<(usize, usize)> = spans
+            .iter()
+            .map(|&(a, b, _)| {
+                (
+                    self.by_end.partition_point(|e| e.end <= a),
+                    self.by_end.partition_point(|e| e.end < b),
+                )
+            })
+            .collect();
+        let total: usize = windows.iter().map(|w| w.1 - w.0).sum();
+        if total < hi - lo {
+            let mut out = Vec::new();
+            for (&(a, _, _), &(wlo, whi)) in spans.iter().zip(&windows) {
+                for e in &self.by_end[wlo..whi] {
+                    if e.start < a && keep(e.node) {
+                        out.push(e.node);
+                    }
+                }
+            }
+            return out;
+        }
+        let starts: Vec<u32> = spans.iter().map(|s| s.0).collect();
+        let rmq = Rmq::max_over(spans.iter().map(|s| s.1).collect());
+        self.by_end[lo..hi]
+            .iter()
+            .filter(|e| {
+                let l = starts.partition_point(|&a| a <= e.start);
+                let r = starts.partition_point(|&a| a < e.end);
+                l < r && rmq.query(l, r) > e.end
+            })
+            .map(|e| e.node)
+            .filter(|&m| keep(m))
+            .collect()
+    }
+
+    /// Batch `following-overlapping`: candidate `[c, d)` qualifies iff some
+    /// context `[a, b)` has `a < c < b < d`. Same two regimes; the wide
+    /// sweep answers each candidate with an O(1) range-min query (among
+    /// contexts ending inside `(c, d)`, does the minimal start undercut
+    /// `c`?) over the end-sorted context spans.
+    fn following_overlapping_batch(
+        &self,
+        spans: &[(u32, u32, NodeId)],
+        keep: &impl Fn(NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        let min_a = spans[0].0;
+        let max_b = spans.iter().map(|s| s.1).max().expect("non-empty");
+        let lo = self.by_start.partition_point(|e| e.start <= min_a);
+        let hi = self.by_start.partition_point(|e| e.start < max_b);
+        let windows: Vec<(usize, usize)> = spans
+            .iter()
+            .map(|&(a, b, _)| {
+                (
+                    self.by_start.partition_point(|e| e.start <= a),
+                    self.by_start.partition_point(|e| e.start < b),
+                )
+            })
+            .collect();
+        let total: usize = windows.iter().map(|w| w.1 - w.0).sum();
+        if total < hi - lo {
+            let mut out = Vec::new();
+            for (&(_, b, _), &(wlo, whi)) in spans.iter().zip(&windows) {
+                for e in &self.by_start[wlo..whi] {
+                    if e.end > b && keep(e.node) {
+                        out.push(e.node);
+                    }
+                }
+            }
+            return out;
+        }
+        let mut by_end: Vec<(u32, u32)> = spans.iter().map(|&(a, b, _)| (b, a)).collect();
+        by_end.sort_unstable();
+        let ends: Vec<u32> = by_end.iter().map(|s| s.0).collect();
+        let rmq = Rmq::min_over(by_end.iter().map(|s| s.1).collect());
+        self.by_start[lo..hi]
+            .iter()
+            .filter(|e| {
+                let l = ends.partition_point(|&b| b <= e.start);
+                let r = ends.partition_point(|&b| b < e.end);
+                l < r && rmq.query(l, r) < e.start
+            })
+            .map(|e| e.node)
+            .filter(|&m| keep(m))
+            .collect()
+    }
+
+    /// Batch form of the `descendant::name` lookup: the name-map entries
+    /// that are DOM descendants of (or, with `or_self`, equal to) at least
+    /// one context node, in Definition-3 order. One pass over the name run
+    /// against merged per-hierarchy preorder intervals, instead of one
+    /// full-run filter per context node.
+    pub fn elements_named_batch(
+        &self,
+        g: &Goddag,
+        name: &str,
+        ctxs: &[NodeId],
+        or_self: bool,
+    ) -> Vec<NodeId> {
+        let entries = self.elements_named(name);
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        if ctxs.iter().any(|n| n.is_root()) {
+            // The root reaches every element; only itself needs `or_self`.
+            return entries.iter().copied().filter(|&m| or_self || !m.is_root()).collect();
+        }
+        // Element contexts contribute a preorder interval per hierarchy
+        // (the `order`/`subtree_last` numbering); text, leaf, and attribute
+        // contexts have no element descendants.
+        let mut intervals: HashMap<HierarchyId, Vec<(u32, u32)>> = HashMap::new();
+        for &n in ctxs {
+            if let NodeId::Elem { h, i } = n {
+                let e = g.hierarchy(h).elem(i);
+                let lo = if or_self { e.order } else { e.order + 1 };
+                if lo <= e.subtree_last {
+                    intervals.entry(h).or_default().push((lo, e.subtree_last));
+                }
+            }
+        }
+        for runs in intervals.values_mut() {
+            runs.sort_unstable();
+            let mut merged: Vec<(u32, u32)> = Vec::with_capacity(runs.len());
+            for &(lo, hi) in runs.iter() {
+                match merged.last_mut() {
+                    Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+                    _ => merged.push((lo, hi)),
+                }
+            }
+            *runs = merged;
+        }
+        entries
+            .iter()
+            .copied()
+            .filter(|&m| {
+                let NodeId::Elem { h, i } = m else { return false };
+                let Some(runs) = intervals.get(&h) else { return false };
+                let o = g.hierarchy(h).elem(i).order;
+                let idx = runs.partition_point(|&(lo, _)| lo <= o);
+                idx > 0 && o <= runs[idx - 1].1
+            })
+            .collect()
     }
 
     /// Non-empty context span, or `None` (empty spans take part in no
@@ -311,6 +769,59 @@ impl StructIndex {
             .map(|e| e.node)
             .filter(|&m| keep(m))
             .collect()
+    }
+}
+
+/// Sparse-table range max/min over a static `u32` array: O(n log n) build,
+/// O(1) query. Sized by the context set of one batch call, so the build is
+/// negligible next to the candidate sweep it serves.
+struct Rmq {
+    /// `rows[k][i]` aggregates `vals[i..i + 2^k]`.
+    rows: Vec<Vec<u32>>,
+    take_max: bool,
+}
+
+impl Rmq {
+    fn max_over(vals: Vec<u32>) -> Rmq {
+        Rmq::build(vals, true)
+    }
+
+    fn min_over(vals: Vec<u32>) -> Rmq {
+        Rmq::build(vals, false)
+    }
+
+    fn build(vals: Vec<u32>, take_max: bool) -> Rmq {
+        let n = vals.len();
+        let mut rows = vec![vals];
+        let mut w = 1;
+        while 2 * w <= n {
+            let prev = rows.last().expect("at least the base row");
+            let row: Vec<u32> = (0..=n - 2 * w)
+                .map(|i| {
+                    let (x, y) = (prev[i], prev[i + w]);
+                    if take_max {
+                        x.max(y)
+                    } else {
+                        x.min(y)
+                    }
+                })
+                .collect();
+            rows.push(row);
+            w *= 2;
+        }
+        Rmq { rows, take_max }
+    }
+
+    /// Aggregate over `vals[l..r)`; requires `l < r`.
+    fn query(&self, l: usize, r: usize) -> u32 {
+        debug_assert!(l < r && r <= self.rows[0].len());
+        let k = (usize::BITS - 1 - (r - l).leading_zeros()) as usize;
+        let (x, y) = (self.rows[k][l], self.rows[k][r - (1 << k)]);
+        if self.take_max {
+            x.max(y)
+        } else {
+            x.min(y)
+        }
     }
 }
 
@@ -444,6 +955,101 @@ mod tests {
         assert!(idx1.is_current(&clone));
         clone.add_virtual_hierarchy("rest", &[]).unwrap();
         assert!(!idx1.is_current(&clone));
+    }
+
+    /// Batch evaluation over a context set equals the sorted, deduplicated
+    /// union of per-node lookups, for every axis.
+    fn assert_batch_matches_union(g: &Goddag, idx: &StructIndex, ctxs: &[NodeId]) {
+        for axis in ALL_AXES {
+            let batch = idx.axis_nodes_batch(g, axis, ctxs, |_| true);
+            let mut union: Vec<NodeId> =
+                ctxs.iter().flat_map(|&n| idx.axis_nodes(g, axis, n)).collect();
+            g.sort_nodes(&mut union);
+            union.dedup();
+            assert_eq!(batch, union, "axis {} over {} contexts", axis.name(), ctxs.len());
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_node_union_on_figure1() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        let all = g.all_nodes();
+        // Every third node, the full set, singletons, and the empty set.
+        let every_third: Vec<NodeId> = all.iter().copied().step_by(3).collect();
+        assert_batch_matches_union(&g, &idx, &every_third);
+        assert_batch_matches_union(&g, &idx, &all);
+        assert_batch_matches_union(&g, &idx, &[NodeId::Root]);
+        assert_batch_matches_union(&g, &idx, &[]);
+        let elems: Vec<NodeId> =
+            all.iter().copied().filter(|n| matches!(n, NodeId::Elem { .. })).collect();
+        assert_batch_matches_union(&g, &idx, &elems);
+    }
+
+    #[test]
+    fn batch_applies_filter_before_sort() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        let lines: Vec<NodeId> = {
+            let h = g.hierarchy_id("lines").unwrap();
+            vec![NodeId::Elem { h, i: 0 }, NodeId::Elem { h, i: 1 }]
+        };
+        let only_w =
+            idx.axis_nodes_batch(&g, Axis::Overlapping, &lines, |m| g.name(m) == Some("w"));
+        // "singallice" overlaps both lines — once in the union.
+        assert_eq!(only_w.len(), 1);
+        assert_eq!(g.string_value(only_w[0]), "singallice");
+    }
+
+    #[test]
+    fn named_batch_matches_per_node_union() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        let all = g.all_nodes();
+        for name in ["w", "vline", "res", "dmg", "r", "nope"] {
+            for or_self in [false, true] {
+                for ctxs in [&all[..], &all[..all.len() / 2], &all[2..5], &[]] {
+                    let batch = idx.elements_named_batch(&g, name, ctxs, or_self);
+                    let mut union: Vec<NodeId> = idx
+                        .elements_named(name)
+                        .iter()
+                        .copied()
+                        .filter(|&m| {
+                            ctxs.iter().any(|&n| g.is_descendant(m, n) || (or_self && m == n))
+                        })
+                        .collect();
+                    g.sort_nodes(&mut union);
+                    union.dedup();
+                    assert_eq!(batch, union, "name {name}, or_self {or_self}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_variant_matches_as_a_set() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        for &n in &g.all_nodes() {
+            for axis in ALL_AXES {
+                let mut unsorted = idx.axis_nodes_filtered_unsorted(&g, axis, n, |_| true);
+                g.sort_nodes(&mut unsorted);
+                assert_eq!(unsorted, idx.axis_nodes(&g, axis, n), "axis {}", axis.name());
+            }
+        }
+    }
+
+    #[test]
+    fn rmq_agrees_with_scan() {
+        let vals = vec![5u32, 1, 9, 3, 9, 0, 7, 2, 8];
+        let max = Rmq::max_over(vals.clone());
+        let min = Rmq::min_over(vals.clone());
+        for l in 0..vals.len() {
+            for r in l + 1..=vals.len() {
+                assert_eq!(max.query(l, r), *vals[l..r].iter().max().unwrap());
+                assert_eq!(min.query(l, r), *vals[l..r].iter().min().unwrap());
+            }
+        }
     }
 
     #[test]

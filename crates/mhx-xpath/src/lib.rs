@@ -47,7 +47,10 @@ pub use ast::{BinOp, Expr, NodeTest, PathExpr, PathStart, Step};
 pub use error::{Result, XPathError};
 pub use eval::{evaluate_expr, evaluate_xpath, node_test_matches, Context};
 pub use parser::parse;
-pub use plan::{choose_strategy, resolve_step, CompiledXPath, StepStrategy};
+pub use plan::{
+    choose_strategy, resolve_step, resolve_step_batch, resolve_step_unsorted, walk_step,
+    CompiledXPath, StepStrategy,
+};
 pub use value::Value;
 
 #[cfg(test)]

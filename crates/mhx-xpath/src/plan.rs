@@ -13,11 +13,16 @@
 //! 3. **evaluate** ([`CompiledXPath::evaluate`] / [`evaluate_compiled`]) —
 //!    plan × goddag × index → value.
 //!
-//! The step resolver [`resolve_step`] is shared with `mhx-xquery`, whose
-//! path sub-language compiles its steps through [`choose_strategy`] as
-//! well — both engines answer axis steps from the same index-backed core.
-//! The naive interpreter in [`crate::eval`] stays untouched as the
-//! reference oracle for differential testing.
+//! The step resolvers [`resolve_step`] (one context node) and
+//! [`resolve_step_batch`] (a whole context set in one index pass) are
+//! shared with `mhx-xquery`, whose path sub-language compiles its steps
+//! through [`choose_strategy`] as well — both engines answer axis steps
+//! from the same index-backed core. Predicate-free steps take the batch
+//! path, so the document-order sort-dedup happens once per step instead of
+//! once per context node; predicated steps stay per-node because XPath
+//! positions are assigned within each context node's candidate list. The
+//! naive interpreter in [`crate::eval`] stays untouched as the reference
+//! oracle for differential testing.
 
 use crate::ast::{BinOp, Expr, NodeTest, PathExpr, PathStart, Step};
 use crate::error::{Result, XPathError};
@@ -104,6 +109,121 @@ pub fn resolve_step(
 /// [`StepStrategy::AxisWalk`] resolver, callable without an index.
 pub fn walk_step(g: &Goddag, axis: Axis, test: &NodeTest, n: NodeId) -> Vec<NodeId> {
     axis_nodes(g, axis, n).into_iter().filter(|&m| node_test_matches(g, axis, m, test)).collect()
+}
+
+/// [`resolve_step`] without the per-context-node Definition-3 sort, for
+/// callers that union many contexts' candidates and sort once per step.
+/// Output order is unspecified.
+pub fn resolve_step_unsorted(
+    g: &Goddag,
+    idx: &StructIndex,
+    strategy: StepStrategy,
+    axis: Axis,
+    test: &NodeTest,
+    n: NodeId,
+) -> Vec<NodeId> {
+    match strategy {
+        StepStrategy::IndexedExtended => {
+            idx.axis_nodes_filtered_unsorted(g, axis, n, |m| node_test_matches(g, axis, m, test))
+        }
+        _ => resolve_step(g, idx, strategy, axis, test, n),
+    }
+}
+
+/// Set-at-a-time step resolution: the union of [`resolve_step`] over a
+/// whole context set, in Definition-3 order, deduplicated — computed in
+/// one pass over the index structures instead of one lookup per context
+/// node (see [`StructIndex::axis_nodes_batch`] for the per-axis
+/// algorithms). Predicates are the caller's business: they need
+/// per-context positions, so predicated steps stay on the per-node path.
+///
+/// `ctxs` is expected in document order without duplicates (the per-step
+/// invariant both evaluators maintain); anything else — e.g. a `(//b,
+/// //a)` path start — is renormalized here first, which is semantics-
+/// preserving because the result is an order-independent union.
+pub fn resolve_step_batch(
+    g: &Goddag,
+    idx: &StructIndex,
+    strategy: StepStrategy,
+    axis: Axis,
+    test: &NodeTest,
+    ctxs: &[NodeId],
+) -> Vec<NodeId> {
+    match ctxs {
+        [] => return Vec::new(),
+        // A singleton batch is exactly the per-node lookup.
+        &[n] => return resolve_step(g, idx, strategy, axis, test, n),
+        _ => {}
+    }
+    let normalized: Vec<NodeId>;
+    let ctxs = if is_doc_ordered(g, ctxs) {
+        ctxs
+    } else {
+        let mut v = ctxs.to_vec();
+        g.sort_nodes(&mut v);
+        v.dedup();
+        normalized = v;
+        &normalized
+    };
+    match strategy {
+        StepStrategy::NameIndex => {
+            let NodeTest::Name { name, .. } = test else {
+                unreachable!("NameIndex is only chosen for name tests");
+            };
+            let or_self = axis == Axis::DescendantOrSelf;
+            idx.elements_named_batch(g, name, ctxs, or_self)
+                .into_iter()
+                .filter(|&m| node_test_matches(g, axis, m, test))
+                .collect()
+        }
+        StepStrategy::LeafRange => {
+            // Merge the (leaf-aligned) context spans, then emit each merged
+            // run's leaves once — sorted and duplicate-free by
+            // construction.
+            let mut spans: Vec<(u32, u32)> = ctxs
+                .iter()
+                .filter(|n| matches!(n, NodeId::Root | NodeId::Elem { .. } | NodeId::Text { .. }))
+                .map(|&n| g.span(n))
+                .filter(|(s, e)| s < e)
+                .collect();
+            spans.sort_unstable();
+            let mut out = Vec::new();
+            let mut run: Option<(u32, u32)> = None;
+            for (s, e) in spans {
+                match &mut run {
+                    Some((_, re)) if s <= *re => *re = (*re).max(e),
+                    _ => {
+                        if let Some((rs, re)) = run {
+                            out.extend(g.leaves_in_span(rs, re));
+                        }
+                        run = Some((s, e));
+                    }
+                }
+            }
+            if let Some((rs, re)) = run {
+                out.extend(g.leaves_in_span(rs, re));
+            }
+            out
+        }
+        StepStrategy::IndexedExtended => {
+            idx.axis_nodes_batch(g, axis, ctxs, |m| node_test_matches(g, axis, m, test))
+        }
+        StepStrategy::AxisWalk => {
+            // No set-at-a-time index form for the tree-walk axes; still
+            // hoist the document-order sort-dedup to once per step.
+            let mut out = Vec::new();
+            for &n in ctxs {
+                out.extend(walk_step(g, axis, test, n));
+            }
+            g.sort_nodes(&mut out);
+            out.dedup();
+            out
+        }
+    }
+}
+
+fn is_doc_ordered(g: &Goddag, ns: &[NodeId]) -> bool {
+    ns.windows(2).all(|w| g.cmp_order(w[0], w[1]) == std::cmp::Ordering::Less)
 }
 
 /// One compiled location step.
@@ -331,6 +451,12 @@ fn eval_step(
     step: &StepPlan,
     outer: &Context,
 ) -> Result<Vec<NodeId>> {
+    // Predicate-free steps take the whole context set through the index in
+    // one pass. Predicated steps stay per-node: `position()` is assigned
+    // within each context node's candidate list.
+    if step.predicates.is_empty() {
+        return Ok(resolve_step_batch(g, idx, step.strategy, step.axis, &step.test, input));
+    }
     let mut out: Vec<NodeId> = Vec::new();
     for &n in input {
         let mut candidates = resolve_step(g, idx, step.strategy, step.axis, &step.test, n);
@@ -442,6 +568,88 @@ mod tests {
             let fast = compiled.evaluate(&g, &idx, &ctx).unwrap();
             assert_eq!(fast, naive, "compiled and naive disagree on `{src}`");
         }
+    }
+
+    #[test]
+    fn batch_matches_per_node_union_for_every_strategy() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        let all = g.all_nodes();
+        let ctx_sets: Vec<Vec<NodeId>> = vec![
+            all.clone(),
+            all.iter().copied().step_by(4).collect(),
+            vec![NodeId::Root],
+            Vec::new(),
+        ];
+        let tests = [
+            NodeTest::Name { name: "w".into(), hierarchies: None },
+            NodeTest::Name { name: "w".into(), hierarchies: Some(vec!["words".into()]) },
+            NodeTest::AnyElement { hierarchies: None },
+            NodeTest::AnyNode { hierarchies: Some(vec!["damage".into()]) },
+            NodeTest::Text { hierarchies: None },
+            NodeTest::Leaf,
+        ];
+        for axis in [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::Ancestor,
+            Axis::XAncestor,
+            Axis::XDescendant,
+            Axis::XFollowing,
+            Axis::XPreceding,
+            Axis::PrecedingOverlapping,
+            Axis::FollowingOverlapping,
+            Axis::Overlapping,
+        ] {
+            for test in &tests {
+                let strategy = choose_strategy(axis, test);
+                for ctxs in &ctx_sets {
+                    let batch = resolve_step_batch(&g, &idx, strategy, axis, test, ctxs);
+                    let mut union: Vec<NodeId> = ctxs
+                        .iter()
+                        .flat_map(|&n| resolve_step(&g, &idx, strategy, axis, test, n))
+                        .collect();
+                    g.sort_nodes(&mut union);
+                    union.dedup();
+                    assert_eq!(
+                        batch,
+                        union,
+                        "axis {} test {:?} over {} contexts",
+                        axis.name(),
+                        test,
+                        ctxs.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_renormalizes_unordered_contexts() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        let mut ctxs = idx.elements_named("w").to_vec();
+        let sorted = resolve_step_batch(
+            &g,
+            &idx,
+            StepStrategy::IndexedExtended,
+            Axis::XFollowing,
+            &NodeTest::AnyNode { hierarchies: None },
+            &ctxs,
+        );
+        ctxs.reverse();
+        ctxs.push(ctxs[0]); // duplicate, out of order
+        let renormalized = resolve_step_batch(
+            &g,
+            &idx,
+            StepStrategy::IndexedExtended,
+            Axis::XFollowing,
+            &NodeTest::AnyNode { hierarchies: None },
+            &ctxs,
+        );
+        assert_eq!(sorted, renormalized);
+        assert!(!sorted.is_empty());
     }
 
     #[test]

@@ -107,7 +107,36 @@ impl<'g> Evaluator<'g> {
         self.ensure_index();
         let g = self.g.as_ref();
         let idx = self.index.get().expect("ensure_index populated the slot");
-        plan::resolve_step(g, idx, step.strategy, step.axis, &step.test, n)
+        if step.predicates.is_empty() {
+            // No predicates → no per-candidate positions; the per-step
+            // sort-dedup downstream makes the per-node sort redundant.
+            plan::resolve_step_unsorted(g, idx, step.strategy, step.axis, &step.test, n)
+        } else {
+            plan::resolve_step(g, idx, step.strategy, step.axis, &step.test, n)
+        }
+    }
+
+    /// Set-at-a-time form of [`Evaluator::step_candidates`]: one index pass
+    /// for the whole context set (sorted, deduplicated output). Only taken
+    /// for predicate-free steps, where no expression — hence no
+    /// `analyze-string()` mutation — can run between context nodes.
+    fn step_candidates_batch(&mut self, step: &QStep, ctxs: &[NodeId]) -> Vec<NodeId> {
+        if step.strategy == StepStrategy::AxisWalk {
+            // The plain walk never touches the index; skip (re)builds and
+            // hoist the document-order sort-dedup to once per step.
+            let g = self.g.as_ref();
+            let mut out = Vec::new();
+            for &n in ctxs {
+                out.extend(plan::walk_step(g, step.axis, &step.test, n));
+            }
+            g.sort_nodes(&mut out);
+            out.dedup();
+            return out;
+        }
+        self.ensure_index();
+        let g = self.g.as_ref();
+        let idx = self.index.get().expect("ensure_index populated the slot");
+        plan::resolve_step_batch(g, idx, step.strategy, step.axis, &step.test, ctxs)
     }
 
     pub fn goddag(&self) -> &Goddag {
@@ -522,6 +551,24 @@ impl<'g> Evaluator<'g> {
     }
 
     fn eval_step(&mut self, input: &[Item], step: &QStep, env: &Env) -> Result<Sequence> {
+        // Batched fast path: a pure KyGODDAG node set and no predicates —
+        // nothing evaluates per candidate, so no `analyze-string()`
+        // mutation can occur mid-step and the whole context set can go
+        // through the index in one pass.
+        if step.predicates.is_empty() && input.iter().all(|i| matches!(i, Item::Node(_))) {
+            let ctxs: Vec<NodeId> = input
+                .iter()
+                .map(|i| match i {
+                    Item::Node(n) => *n,
+                    _ => unreachable!("guard above admits only goddag nodes"),
+                })
+                .collect();
+            return Ok(self
+                .step_candidates_batch(step, &ctxs)
+                .into_iter()
+                .map(Item::Node)
+                .collect());
+        }
         let mut out: Sequence = Vec::new();
         for item in input {
             let candidates: Sequence = match item {

@@ -20,6 +20,11 @@
 //! * Both languages return [`QueryOutcome`]; failures are typed
 //!   [`EngineError`]s that keep the source stage (parse / compile / eval /
 //!   unknown document) instead of flattening to a string.
+//! * Evaluation under the facade is **batched**: cached plans feed whole
+//!   intermediate node sets through `resolve_step_batch` (one index pass
+//!   per predicate-free step), so wide results — the common shape for
+//!   corpus-level extended-axis queries — cost one sort-dedup per step,
+//!   not one per context node (see `BENCH_batch.json`).
 //!
 //! [`Engine`] remains as the one-document convenience wrapper.
 

@@ -1,16 +1,19 @@
 //! Differential property suite for the structural index: on random
 //! multihierarchical documents (including virtual hierarchies, both
 //! spec-built and `analyze-string()`-built), index-backed axis evaluation
-//! must equal the naive `all_nodes()` scan for every axis, and the
-//! compiled XPath pipeline must equal the naive interpreter on random
-//! extended paths. The naive side is the reference oracle the tentpole
-//! refactor promised to keep.
+//! must equal the naive `all_nodes()` scan for every axis, the compiled
+//! XPath pipeline must equal the naive interpreter on random extended
+//! paths, and batched step resolution must equal the per-node union on
+//! random context sets for every axis × node-test pair. The naive side is
+//! the reference oracle the tentpole refactor promised to keep.
 
 use multihier_xquery::corpus::{generate, GeneratorConfig};
 use multihier_xquery::goddag::axes::{axis_nodes, setsem, Axis};
-use multihier_xquery::goddag::{FragmentSpec, Goddag, StructIndex};
+use multihier_xquery::goddag::{FragmentSpec, Goddag, NodeId, StructIndex};
 use multihier_xquery::xpath::eval::evaluate_xpath_naive;
-use multihier_xquery::xpath::{evaluate_xpath, Value};
+use multihier_xquery::xpath::{
+    choose_strategy, evaluate_xpath, resolve_step, resolve_step_batch, NodeTest, Value,
+};
 use proptest::prelude::*;
 
 const ALL_AXES: [Axis; 19] = [
@@ -125,6 +128,50 @@ proptest! {
                     idx.axis_nodes(&g, axis, n),
                     setsem::axis_nodes_setsem(&g, axis, n),
                     "axis {} from {}", axis.name(), n
+                );
+            }
+        }
+    }
+
+    /// Batched step resolution equals the per-node union — sorted, deduped
+    /// — on random context sets, for every axis × node test. This is the
+    /// contract the evaluators rely on when they switch predicate-free
+    /// steps to `resolve_step_batch`.
+    #[test]
+    fn batch_step_equals_per_node_union(cfg in arb_config(), mask_lo in 0u32..u32::MAX, mask_hi in 0u32..u32::MAX, shift in 0usize..64) {
+        let mask = (mask_hi as u64) << 32 | mask_lo as u64;
+        let g = generate(&cfg).build_goddag();
+        let idx = StructIndex::build(&g);
+        // A pseudo-random document-ordered context subset from the mask
+        // bits (rotated so every region of the document gets picked).
+        let ctxs: Vec<NodeId> = g
+            .all_nodes()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> ((i + shift) % 64) & 1 == 1)
+            .map(|(_, n)| n)
+            .collect();
+        let tests = [
+            NodeTest::Name { name: "e0".into(), hierarchies: None },
+            NodeTest::Name { name: "s0".into(), hierarchies: None },
+            NodeTest::AnyElement { hierarchies: None },
+            NodeTest::AnyNode { hierarchies: None },
+            NodeTest::Text { hierarchies: None },
+            NodeTest::Leaf,
+        ];
+        for axis in ALL_AXES {
+            for test in &tests {
+                let strategy = choose_strategy(axis, test);
+                let batch = resolve_step_batch(&g, &idx, strategy, axis, test, &ctxs);
+                let mut union: Vec<NodeId> = ctxs
+                    .iter()
+                    .flat_map(|&n| resolve_step(&g, &idx, strategy, axis, test, n))
+                    .collect();
+                g.sort_nodes(&mut union);
+                union.dedup();
+                prop_assert_eq!(
+                    batch, union,
+                    "axis {} test {:?} over {} contexts", axis.name(), test, ctxs.len()
                 );
             }
         }
