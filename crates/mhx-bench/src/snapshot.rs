@@ -355,6 +355,47 @@ pub fn tracked_metrics(file: &str, doc: &Json) -> Result<Vec<Metric>, String> {
                 return Err("BENCH_batch.json: `wide_speedups` is empty".into());
             }
         }
+        "plan" => {
+            // Optimized-vs-as-written speedups on the same compiled query.
+            // The rewrite-profiting shapes (fusion, batch-routed
+            // predicates) must stay well ahead; the reorder row's win
+            // depends on predicate selectivity so it gates above break-
+            // even; the positional rows are untouched by design and gate
+            // parity only.
+            let speedups = doc
+                .get("speedups")
+                .and_then(Json::as_obj)
+                .ok_or("BENCH_plan.json: missing `speedups` object")?;
+            for (query, v) in speedups {
+                let speedup = v.as_f64().ok_or("BENCH_plan.json: non-numeric speedup")?;
+                // Every label is matched explicitly: an unknown row means
+                // benches/plan.rs drifted from the gate, and silently
+                // falling back to the parity floor would let a collapsed
+                // optimizer win pass CI.
+                let (healthy, hard_min) = match query.as_str() {
+                    "fused_scan" | "fused_ext_pred" | "wide_pred_batch" | "overlap_fused" => {
+                        (2.5, Some(2.0))
+                    }
+                    "reorder_cheap_first" => (1.5, Some(1.0)),
+                    "positional_parity" | "positional_last" => (1.0, Some(0.6)),
+                    other => {
+                        return Err(format!(
+                            "BENCH_plan.json: unknown speedup row `{other}` — register its \
+                             floors in tracked_metrics"
+                        ));
+                    }
+                };
+                out.push(Metric {
+                    name: format!("plan:{query}:speedup"),
+                    value: speedup,
+                    healthy,
+                    hard_min,
+                });
+            }
+            if out.is_empty() {
+                return Err("BENCH_plan.json: `speedups` is empty".into());
+            }
+        }
         other => return Err(format!("unknown snapshot kind `{other}`")),
     }
     Ok(out)
@@ -470,6 +511,16 @@ mod tests {
   }
 }"#;
 
+    const PLAN: &str = r#"{
+  "bench": "plan_optimizer",
+  "speedups": {
+    "fused_scan": 270.0,
+    "wide_pred_batch": 14.4,
+    "reorder_cheap_first": 3.2,
+    "positional_parity": 1.01
+  }
+}"#;
+
     #[test]
     fn parser_handles_snapshot_shapes() {
         let doc = parse(AXES).unwrap();
@@ -494,7 +545,53 @@ mod tests {
         assert_eq!(catalog[1].value, 8.0); // 48 / 6 compiles
         let batch = tracked_metrics("batch", &parse(BATCH).unwrap()).unwrap();
         assert_eq!(batch.len(), 3);
+        let plan = tracked_metrics("plan", &parse(PLAN).unwrap()).unwrap();
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0].name, "plan:fused_scan:speedup");
+        assert_eq!(plan[0].hard_min, Some(2.0));
+        assert_eq!(plan[3].hard_min, Some(0.6), "positional rows gate parity only");
         assert!(tracked_metrics("nope", &parse(BATCH).unwrap()).is_err());
+    }
+
+    #[test]
+    fn degraded_plan_snapshot_fails() {
+        let base = tracked_metrics("plan", &parse(PLAN).unwrap()).unwrap();
+        // The optimizer "stopped helping": rewrite-profiting shapes fall to
+        // ~1x (below their 2x hard floor) and the parity row regresses to
+        // slower-than-as-written (below the 0.6 parity floor).
+        let degraded = r#"{
+  "speedups": {
+    "fused_scan": 1.1,
+    "wide_pred_batch": 0.9,
+    "reorder_cheap_first": 0.8,
+    "positional_parity": 0.4
+  }
+}"#;
+        let fresh = tracked_metrics("plan", &parse(degraded).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(verdicts.iter().all(|v| !v.passed), "{verdicts:?}");
+
+        // A healthy wobble (25%+ down but above the health floors) passes.
+        let wobbly = r#"{
+  "speedups": {
+    "fused_scan": 150.0,
+    "wide_pred_batch": 9.0,
+    "reorder_cheap_first": 2.0,
+    "positional_parity": 0.95
+  }
+}"#;
+        let fresh = tracked_metrics("plan", &parse(wobbly).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(verdicts.iter().all(|v| v.passed), "{verdicts:?}");
+    }
+
+    #[test]
+    fn unregistered_plan_row_is_an_error() {
+        // A renamed/typo'd bench label must not silently inherit the
+        // parity floor — the gate fails loudly until it is registered.
+        let drifted = r#"{"speedups": {"fusion_scan": 250.0}}"#;
+        let err = tracked_metrics("plan", &parse(drifted).unwrap()).unwrap_err();
+        assert!(err.contains("fusion_scan"), "{err}");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod error;
 pub mod eval;
 pub mod functions;
 pub mod lexer;
+pub mod opt;
 pub mod parser;
 pub mod plan;
 pub mod value;
@@ -46,10 +47,11 @@ pub mod value;
 pub use ast::{BinOp, Expr, NodeTest, PathExpr, PathStart, Step};
 pub use error::{Result, XPathError};
 pub use eval::{evaluate_expr, evaluate_xpath, node_test_matches, Context};
+pub use opt::{classify_predicate, OptimizerReport, PredicateClass};
 pub use parser::parse;
 pub use plan::{
     choose_strategy, resolve_step, resolve_step_batch, resolve_step_unsorted, walk_step,
-    CompiledXPath, StepStrategy,
+    CompiledXPath, EvalCounters, StepStrategy,
 };
 pub use value::Value;
 

@@ -1,0 +1,434 @@
+//! Plan-level optimizer: plan-to-plan rewrites over [`CompiledExpr`].
+//!
+//! The compiled pipeline (parse → compile → evaluate) leaves predicates
+//! exactly as written and resolves every predicated step per context node,
+//! because `position()`/`last()` are assigned within each context node's
+//! candidate list. On the extended axes that is expensive in a new way: an
+//! `xfollowing::*[xancestor::page]` step pays span-index lookups *per
+//! context node per candidate*, so predicate order and batchability
+//! dominate query cost. This module recovers the set-at-a-time path for
+//! the (very common) predicates that cannot observe the focus position:
+//!
+//! 1. **Classification** ([`classify_predicate`]): a predicate is
+//!    *position-free* when it references neither `position()` nor `last()`
+//!    in the current focus (nested predicates get a fresh focus and do not
+//!    count) **and** its statically-known type can never be numeric (a
+//!    numeric predicate value is the `[2]` position shorthand). Anything
+//!    of unknown type — variables, unknown functions — is conservatively
+//!    *positional*.
+//! 2. **Reordering** ([`optimize`] pass 2): within each maximal run of
+//!    consecutive position-free predicates, predicates are stable-sorted
+//!    cheapest-first ([`predicate_cost`]) — name/attribute/string tests
+//!    before extended-axis subqueries. Position-free filters commute (each
+//!    keeps a node independent of the list), and the set reaching the next
+//!    positional predicate is order-independent, so this never crosses a
+//!    positional predicate.
+//! 3. **Batch routing** ([`optimize`] pass 3): a step whose predicates are
+//!    *all* position-free is flagged for the evaluator to resolve through
+//!    `resolve_step_batch` (one index pass for the whole context set) and
+//!    filter the deduplicated union once — filtering commutes with union
+//!    for position-free predicates.
+//! 4. **Step fusion** ([`optimize`] pass 1): the parser desugars `//x` to
+//!    `descendant-or-self::node()/child::x` — two index-free axis walks.
+//!    When the following step's predicates are all position-free, the pair
+//!    fuses to `descendant::x[preds]`, whose strategy is a single indexed
+//!    scan (`NameIndex`/`LeafRange`). Chains collapse pairwise, so
+//!    `//a//b` becomes two name-index scans instead of four tree walks.
+//!
+//! Every rewrite is semantics-preserving by construction and proved so by
+//! the differential suite (`tests/plan_optimizer_differential.rs`), which
+//! asserts optimized == unoptimized node sets (document order included) on
+//! random GODDAGs and random predicate mixes. The `optimize` knob on
+//! `EvalOptions` (default **on**) lets tests and benches A/B the same
+//! compiled query.
+
+use crate::ast::NodeTest;
+use crate::plan::{CompiledExpr, PathPlan, StartPlan, StepPlan, StepStrategy};
+use mhx_goddag::Axis;
+
+/// The optimizer's verdict on one predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateClass {
+    /// Cannot observe `position()`/`last()` and can never evaluate to a
+    /// number: safe to reorder among its position-free neighbours and to
+    /// apply set-at-a-time over a batched candidate union.
+    PositionFree,
+    /// Everything else (including conservatively-unknown expressions).
+    Positional,
+}
+
+/// Counts of rewrites applied to one compiled expression. Surfaced through
+/// `CompiledXPath::report()` and the engine stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizerReport {
+    /// `descendant-or-self::node()/child::x` pairs collapsed into a single
+    /// indexed `descendant::x` scan.
+    pub fused_steps: u32,
+    /// Predicate runs whose order changed (cheapest-first).
+    pub reordered_predicate_runs: u32,
+    /// Predicated steps routed through the set-at-a-time batch path.
+    pub batch_routed_steps: u32,
+}
+
+impl OptimizerReport {
+    /// Total rewrites applied (0 = the plan was already optimal).
+    pub fn total(&self) -> u32 {
+        self.fused_steps + self.reordered_predicate_runs + self.batch_routed_steps
+    }
+}
+
+/// Classify one compiled predicate. See the module docs for the rule.
+pub fn classify_predicate(pred: &CompiledExpr) -> PredicateClass {
+    if !uses_focus(pred) && !matches!(static_type(pred), Ty::Num | Ty::Unknown) {
+        PredicateClass::PositionFree
+    } else {
+        PredicateClass::Positional
+    }
+}
+
+fn is_position_free(pred: &CompiledExpr) -> bool {
+    classify_predicate(pred) == PredicateClass::PositionFree
+}
+
+/// Does the expression read the *current* focus position or size?
+/// Predicates of nested paths/filters get a fresh focus from
+/// `apply_predicate` and are skipped; a filter-start expression is
+/// evaluated in the current focus and is not.
+fn uses_focus(e: &CompiledExpr) -> bool {
+    match e {
+        CompiledExpr::Literal(_) | CompiledExpr::Number(_) | CompiledExpr::Var(_) => false,
+        CompiledExpr::Neg(inner) => uses_focus(inner),
+        CompiledExpr::Binary { lhs, rhs, .. } => uses_focus(lhs) || uses_focus(rhs),
+        CompiledExpr::Call { name, args } => {
+            matches!(name.as_str(), "position" | "last") || args.iter().any(uses_focus)
+        }
+        CompiledExpr::Path(p) => match &p.start {
+            StartPlan::Filter { expr, .. } => uses_focus(expr),
+            StartPlan::Root | StartPlan::Context => false,
+        },
+    }
+}
+
+/// Coarse static type lattice — only what classification needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Bool,
+    Str,
+    Num,
+    Nodes,
+    Unknown,
+}
+
+fn static_type(e: &CompiledExpr) -> Ty {
+    use crate::ast::BinOp;
+    match e {
+        CompiledExpr::Literal(_) => Ty::Str,
+        CompiledExpr::Number(_) => Ty::Num,
+        CompiledExpr::Var(_) => Ty::Unknown,
+        CompiledExpr::Neg(_) => Ty::Num,
+        CompiledExpr::Binary { op, .. } => match op {
+            BinOp::Or
+            | BinOp::And
+            | BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge => Ty::Bool,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => Ty::Num,
+            BinOp::Union => Ty::Nodes,
+        },
+        CompiledExpr::Call { name, .. } => match name.as_str() {
+            "boolean" | "not" | "true" | "false" | "starts-with" | "ends-with" | "contains"
+            | "matches" => Ty::Bool,
+            "string" | "concat" | "substring" | "substring-before" | "substring-after"
+            | "normalize-space" | "translate" | "upper-case" | "lower-case" | "name"
+            | "local-name" | "replace" | "tokenize" | "hierarchy" => Ty::Str,
+            "position" | "last" | "count" | "string-length" | "number" | "sum" | "floor"
+            | "ceiling" | "round" | "leaf-count" => Ty::Num,
+            "leaves" => Ty::Nodes,
+            _ => Ty::Unknown,
+        },
+        CompiledExpr::Path(_) => Ty::Nodes,
+    }
+}
+
+/// Relative evaluation cost of a predicate — dimensionless weights used
+/// only to order position-free predicates cheapest-first. Extended-axis
+/// subqueries dominate; attribute/self/name tests are near-free.
+pub fn predicate_cost(e: &CompiledExpr) -> u64 {
+    match e {
+        CompiledExpr::Literal(_) | CompiledExpr::Number(_) | CompiledExpr::Var(_) => 1,
+        CompiledExpr::Neg(inner) => 1 + predicate_cost(inner),
+        CompiledExpr::Binary { lhs, rhs, .. } => 1 + predicate_cost(lhs) + predicate_cost(rhs),
+        CompiledExpr::Call { name, args } => {
+            let base = match name.as_str() {
+                // Regex compilation per call.
+                "matches" | "replace" | "tokenize" => 16,
+                _ => 2,
+            };
+            base + args.iter().map(predicate_cost).sum::<u64>()
+        }
+        CompiledExpr::Path(p) => {
+            let start = match &p.start {
+                StartPlan::Filter { expr, predicates } => {
+                    predicate_cost(expr) + predicates.iter().map(predicate_cost).sum::<u64>()
+                }
+                StartPlan::Root | StartPlan::Context => 0,
+            };
+            start
+                + p.steps
+                    .iter()
+                    .map(|s| {
+                        step_cost(s.strategy, s.axis)
+                            + s.predicates.iter().map(predicate_cost).sum::<u64>()
+                    })
+                    .sum::<u64>()
+        }
+    }
+}
+
+/// Relative cost of resolving one step — shared with the XQuery
+/// optimizer so both engines order the same predicates the same way.
+pub fn step_cost(strategy: StepStrategy, axis: Axis) -> u64 {
+    match strategy {
+        // Span-index interval lookups — the expensive extended axes.
+        StepStrategy::IndexedExtended => 64,
+        // One name-run / leaf-run intersection.
+        StepStrategy::NameIndex | StepStrategy::LeafRange => 24,
+        StepStrategy::AxisWalk => match axis {
+            Axis::SelfAxis | Axis::Attribute | Axis::Parent => 2,
+            Axis::Child
+            | Axis::FollowingSibling
+            | Axis::PrecedingSibling
+            | Axis::Ancestor
+            | Axis::AncestorOrSelf => 6,
+            // Whole-subtree / whole-document walks.
+            _ => 48,
+        },
+    }
+}
+
+/// Optimize a compiled expression: returns the rewritten plan and the
+/// rewrite counts. The input is left untouched (the engine keeps both
+/// forms so a per-connection `optimize: false` can A/B the same cached
+/// compilation).
+pub fn optimize(expr: &CompiledExpr) -> (CompiledExpr, OptimizerReport) {
+    let mut report = OptimizerReport::default();
+    let out = opt_expr(expr, &mut report);
+    (out, report)
+}
+
+fn opt_expr(e: &CompiledExpr, report: &mut OptimizerReport) -> CompiledExpr {
+    match e {
+        CompiledExpr::Literal(_) | CompiledExpr::Number(_) | CompiledExpr::Var(_) => e.clone(),
+        CompiledExpr::Neg(inner) => CompiledExpr::Neg(Box::new(opt_expr(inner, report))),
+        CompiledExpr::Binary { op, lhs, rhs } => CompiledExpr::Binary {
+            op: *op,
+            lhs: Box::new(opt_expr(lhs, report)),
+            rhs: Box::new(opt_expr(rhs, report)),
+        },
+        CompiledExpr::Call { name, args } => CompiledExpr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| opt_expr(a, report)).collect(),
+        },
+        CompiledExpr::Path(p) => CompiledExpr::Path(opt_path(p, report)),
+    }
+}
+
+fn opt_path(p: &PathPlan, report: &mut OptimizerReport) -> PathPlan {
+    let start = match &p.start {
+        StartPlan::Root => StartPlan::Root,
+        StartPlan::Context => StartPlan::Context,
+        StartPlan::Filter { expr, predicates } => {
+            let mut preds: Vec<CompiledExpr> =
+                predicates.iter().map(|q| opt_expr(q, report)).collect();
+            report.reordered_predicate_runs += reorder_position_free_runs(&mut preds);
+            StartPlan::Filter { expr: Box::new(opt_expr(expr, report)), predicates: preds }
+        }
+    };
+
+    // Optimize inside each step's predicates first, so classification and
+    // cost see the rewritten (cheaper) nested plans.
+    let mut steps: Vec<StepPlan> = p
+        .steps
+        .iter()
+        .map(|s| {
+            let mut out = s.clone();
+            out.predicates = s.predicates.iter().map(|q| opt_expr(q, report)).collect();
+            out
+        })
+        .collect();
+
+    // Pass 1 — fuse `descendant-or-self::node()` + downward step pairs
+    // (the `//x` desugaring) into one indexed descendant scan.
+    let mut fused: Vec<StepPlan> = Vec::with_capacity(steps.len());
+    let mut i = 0;
+    while i < steps.len() {
+        if i + 1 < steps.len() && is_dos_any_node(&steps[i]) {
+            let next = &steps[i + 1];
+            let downward =
+                matches!(next.axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf);
+            if downward && next.predicates.iter().all(is_position_free) {
+                let axis = if next.axis == Axis::DescendantOrSelf {
+                    Axis::DescendantOrSelf
+                } else {
+                    Axis::Descendant
+                };
+                let mut s = StepPlan::new(axis, next.test.clone(), next.predicates.clone());
+                s.rewritten = true;
+                report.fused_steps += 1;
+                fused.push(s);
+                i += 2;
+                continue;
+            }
+        }
+        fused.push(steps[i].clone());
+        i += 1;
+    }
+    steps = fused;
+
+    // Pass 2 — cheapest-first within position-free predicate runs.
+    // Pass 3 — flag all-position-free steps for the batch path.
+    for step in &mut steps {
+        let runs = reorder_position_free_runs(&mut step.predicates);
+        if runs > 0 {
+            report.reordered_predicate_runs += runs;
+            step.rewritten = true;
+        }
+        if !step.predicates.is_empty() && step.predicates.iter().all(is_position_free) {
+            step.preds_position_free = true;
+            step.rewritten = true;
+            report.batch_routed_steps += 1;
+        }
+    }
+    PathPlan { start, steps }
+}
+
+fn is_dos_any_node(s: &StepPlan) -> bool {
+    s.axis == Axis::DescendantOrSelf
+        && matches!(&s.test, NodeTest::AnyNode { hierarchies: None })
+        && s.predicates.is_empty()
+}
+
+/// Stable-sort each maximal run of consecutive position-free predicates by
+/// cost. Returns the number of runs whose order actually changed.
+fn reorder_position_free_runs(preds: &mut [CompiledExpr]) -> u32 {
+    let mut changed = 0;
+    let mut i = 0;
+    while i < preds.len() {
+        if !is_position_free(&preds[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < preds.len() && is_position_free(&preds[i]) {
+            i += 1;
+        }
+        let run = &mut preds[start..i];
+        if run.len() > 1 {
+            let costs: Vec<u64> = run.iter().map(predicate_cost).collect();
+            if costs.windows(2).any(|w| w[0] > w[1]) {
+                let mut keyed: Vec<(u64, CompiledExpr)> =
+                    costs.into_iter().zip(run.iter().cloned()).collect();
+                keyed.sort_by_key(|(c, _)| *c);
+                for (slot, (_, pred)) in run.iter_mut().zip(keyed) {
+                    *slot = pred;
+                }
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::compile;
+
+    fn compile_src(src: &str) -> CompiledExpr {
+        compile(&crate::parser::parse(src).unwrap())
+    }
+
+    fn first_path(e: &CompiledExpr) -> &PathPlan {
+        match e {
+            CompiledExpr::Path(p) => p,
+            other => panic!("expected a path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classification_table() {
+        // (predicate source, expected class)
+        for (src, expected) in [
+            ("/descendant::w[xancestor::p]", PredicateClass::PositionFree),
+            ("/descendant::w[@n]", PredicateClass::PositionFree),
+            ("/descendant::w[string(.) = 'a']", PredicateClass::PositionFree),
+            ("/descendant::w[contains(string(.), 'a')]", PredicateClass::PositionFree),
+            ("/descendant::w[child::a or xdescendant::b]", PredicateClass::PositionFree),
+            // Nested positional predicates get a fresh focus: still free.
+            ("/descendant::w[xancestor::p[1]]", PredicateClass::PositionFree),
+            ("/descendant::w[2]", PredicateClass::Positional),
+            ("/descendant::w[position() = 2]", PredicateClass::Positional),
+            ("/descendant::w[last()]", PredicateClass::Positional),
+            ("/descendant::w[position() < last()]", PredicateClass::Positional),
+            ("/descendant::w[count(child::a)]", PredicateClass::Positional),
+            ("/descendant::w[$v]", PredicateClass::Positional),
+            ("/descendant::w[string-length(string(.)) - 2]", PredicateClass::Positional),
+            // position() inside a function argument still reads the focus.
+            ("/descendant::w[string(position()) = '1']", PredicateClass::Positional),
+        ] {
+            let plan = compile_src(src);
+            let pred = &first_path(&plan).steps[0].predicates[0];
+            assert_eq!(classify_predicate(pred), expected, "classifying predicate of `{src}`");
+        }
+    }
+
+    #[test]
+    fn reorder_is_cheapest_first_and_stops_at_positional() {
+        let plan = compile_src("/descendant::w[xancestor::p][@n][2][xfollowing::q][@m]");
+        let (opt, report) = optimize(&plan);
+        let step = &first_path(&opt).steps[0];
+        // Run 1 (before the positional [2]): @n now precedes xancestor::p.
+        // Run 2 (after it): @m precedes xfollowing::q.
+        let shown: Vec<String> = step.predicates.iter().map(|p| format!("{p:?}")).collect();
+        assert!(shown[0].contains("Attribute"), "cheap attribute test first: {shown:?}");
+        assert!(shown[1].contains("XAncestor"), "extended axis second: {shown:?}");
+        assert!(shown[2].contains("Number"), "positional barrier untouched: {shown:?}");
+        assert!(shown[3].contains("Attribute"), "cheap test first in run 2: {shown:?}");
+        assert!(shown[4].contains("XFollowing"), "extended axis last: {shown:?}");
+        assert_eq!(report.reordered_predicate_runs, 2);
+        // A positional predicate anywhere keeps the step off the batch path.
+        assert!(!step.preds_position_free);
+    }
+
+    #[test]
+    fn fusion_collapses_slashslash_chains() {
+        let (opt, report) = optimize(&compile_src("//vline//w[xancestor::p]"));
+        let path = first_path(&opt);
+        assert_eq!(path.steps.len(), 2, "4 desugared steps fused to 2: {path:?}");
+        assert_eq!(path.steps[0].axis, Axis::Descendant);
+        assert_eq!(path.steps[0].strategy, StepStrategy::NameIndex);
+        assert_eq!(path.steps[1].axis, Axis::Descendant);
+        assert_eq!(path.steps[1].strategy, StepStrategy::NameIndex);
+        assert_eq!(report.fused_steps, 2);
+        assert!(path.steps[1].preds_position_free, "position-free predicate batch-routed");
+    }
+
+    #[test]
+    fn fusion_blocked_by_positional_predicate() {
+        // `//w[2]` means "second w child of each node" — not fusable.
+        let (opt, report) = optimize(&compile_src("//w[2]"));
+        let path = first_path(&opt);
+        assert_eq!(path.steps.len(), 2);
+        assert_eq!(report.fused_steps, 0);
+        assert_eq!(path.steps[1].axis, Axis::Child);
+    }
+
+    #[test]
+    fn already_optimal_plans_report_zero() {
+        let (_, report) = optimize(&compile_src("/descendant::w[1]/child::a"));
+        assert_eq!(report.total(), 0);
+    }
+}

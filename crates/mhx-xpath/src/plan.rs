@@ -19,17 +19,47 @@
 //! through [`choose_strategy`] as well — both engines answer axis steps
 //! from the same index-backed core. Predicate-free steps take the batch
 //! path, so the document-order sort-dedup happens once per step instead of
-//! once per context node; predicated steps stay per-node because XPath
-//! positions are assigned within each context node's candidate list. The
-//! naive interpreter in [`crate::eval`] stays untouched as the reference
-//! oracle for differential testing.
+//! once per context node. Predicated steps stay per-node — XPath positions
+//! are assigned within each context node's candidate list — *unless* the
+//! plan-level optimizer ([`crate::opt`]) proved every predicate
+//! position-free and routed the step through the batch path too
+//! ([`StepPlan::preds_position_free`]). The naive interpreter in
+//! [`crate::eval`] stays untouched as the reference oracle for
+//! differential testing.
 
 use crate::ast::{BinOp, Expr, NodeTest, PathExpr, PathStart, Step};
 use crate::error::{Result, XPathError};
 use crate::eval::{node_test_matches, Context};
+use crate::opt::OptimizerReport;
 use crate::value::{compare, Value};
 use mhx_goddag::index::StructIndex;
 use mhx_goddag::{axis_nodes, Axis, Goddag, NodeId};
+use std::cell::Cell;
+
+/// Per-evaluation step counters, surfaced through the engine stats. `Cell`
+/// so the shared-reference evaluation call chain can increment without
+/// threading `&mut` through every expression case.
+#[derive(Debug, Default)]
+pub struct EvalCounters {
+    /// Steps resolved set-at-a-time (one index pass for the whole context
+    /// set) — predicate-free steps and optimizer-routed position-free
+    /// predicated steps.
+    pub batched_steps: Cell<u64>,
+    /// Steps evaluated from a plan the optimizer rewrote (fused, reordered
+    /// or batch-routed).
+    pub rewritten_steps: Cell<u64>,
+}
+
+impl EvalCounters {
+    fn count_step(&self, step: &StepPlan, batched: bool) {
+        if batched {
+            self.batched_steps.set(self.batched_steps.get() + 1);
+        }
+        if step.rewritten {
+            self.rewritten_steps.set(self.rewritten_steps.get() + 1);
+        }
+    }
+}
 
 /// How one location step obtains its candidate nodes. Chosen at compile
 /// time from the axis and node test only.
@@ -233,12 +263,19 @@ pub struct StepPlan {
     pub test: NodeTest,
     pub strategy: StepStrategy,
     pub predicates: Vec<CompiledExpr>,
+    /// Set by the optimizer when every predicate is position-free: the
+    /// evaluator may resolve the whole context set through
+    /// [`resolve_step_batch`] and filter the deduplicated union once.
+    pub preds_position_free: bool,
+    /// Set by the optimizer on any step it changed (fused, reordered, or
+    /// batch-routed) — drives the `rewritten_steps` engine counter.
+    pub rewritten: bool,
 }
 
 impl StepPlan {
     pub fn new(axis: Axis, test: NodeTest, predicates: Vec<CompiledExpr>) -> StepPlan {
         let strategy = choose_strategy(axis, &test);
-        StepPlan { axis, test, strategy, predicates }
+        StepPlan { axis, test, strategy, predicates, preds_position_free: false, rewritten: false }
     }
 }
 
@@ -308,18 +345,27 @@ fn compile_path(p: &PathExpr) -> PathPlan {
     PathPlan { start, steps }
 }
 
-/// A parse-and-compile bundle, the unit the engine facade caches.
+/// A parse-and-compile bundle, the unit the engine facade caches. Holds
+/// **both** the plan as written and the optimizer's rewrite of it
+/// (computed eagerly at compile time — a cheap AST transform), so one
+/// cached compilation serves connections with the `optimize` knob on *and*
+/// off: the knob selects a plan at evaluation time, it never forks the
+/// cache key.
 #[derive(Debug, Clone)]
 pub struct CompiledXPath {
     src: String,
     plan: CompiledExpr,
+    optimized: CompiledExpr,
+    report: OptimizerReport,
 }
 
 impl CompiledXPath {
-    /// Parse and compile `src`.
+    /// Parse, compile, and optimize `src`.
     pub fn compile(src: &str) -> Result<CompiledXPath> {
         let expr = crate::parser::parse(src)?;
-        Ok(CompiledXPath { src: src.to_string(), plan: compile(&expr) })
+        let plan = compile(&expr);
+        let (optimized, report) = crate::opt::optimize(&plan);
+        Ok(CompiledXPath { src: src.to_string(), plan, optimized, report })
     }
 
     /// The original query text (the cache key).
@@ -327,14 +373,40 @@ impl CompiledXPath {
         &self.src
     }
 
+    /// The plan as written (what `optimize: false` evaluates).
     pub fn plan(&self) -> &CompiledExpr {
         &self.plan
     }
 
-    /// Evaluate against a goddag and a current index for it.
+    /// The optimizer's rewrite (what `optimize: true` evaluates).
+    pub fn optimized_plan(&self) -> &CompiledExpr {
+        &self.optimized
+    }
+
+    /// Rewrites the optimizer applied at compile time.
+    pub fn report(&self) -> &OptimizerReport {
+        &self.report
+    }
+
+    /// Evaluate against a goddag and a current index for it, through the
+    /// optimized plan (the default knob setting).
     pub fn evaluate(&self, g: &Goddag, idx: &StructIndex, ctx: &Context) -> Result<Value> {
+        self.evaluate_with(g, idx, ctx, true, &EvalCounters::default())
+    }
+
+    /// [`CompiledXPath::evaluate`] with an explicit plan choice and step
+    /// counters — the engine facade's entry point.
+    pub fn evaluate_with(
+        &self,
+        g: &Goddag,
+        idx: &StructIndex,
+        ctx: &Context,
+        optimize: bool,
+        counters: &EvalCounters,
+    ) -> Result<Value> {
         debug_assert!(idx.is_current(g), "stale index passed to compiled evaluation");
-        evaluate_compiled(g, idx, &self.plan, ctx)
+        let plan = if optimize { &self.optimized } else { &self.plan };
+        eval_expr(g, idx, plan, ctx, counters)
     }
 }
 
@@ -346,6 +418,16 @@ pub fn evaluate_compiled(
     expr: &CompiledExpr,
     ctx: &Context,
 ) -> Result<Value> {
+    eval_expr(g, idx, expr, ctx, &EvalCounters::default())
+}
+
+fn eval_expr(
+    g: &Goddag,
+    idx: &StructIndex,
+    expr: &CompiledExpr,
+    ctx: &Context,
+    k: &EvalCounters,
+) -> Result<Value> {
     match expr {
         CompiledExpr::Literal(s) => Ok(Value::Str(s.clone())),
         CompiledExpr::Number(n) => Ok(Value::Num(*n)),
@@ -354,16 +436,16 @@ pub fn evaluate_compiled(
             .get(v)
             .cloned()
             .ok_or_else(|| XPathError::new(format!("unbound variable ${v}"))),
-        CompiledExpr::Neg(e) => Ok(Value::Num(-evaluate_compiled(g, idx, e, ctx)?.to_num(g))),
-        CompiledExpr::Binary { op, lhs, rhs } => eval_binary(g, idx, *op, lhs, rhs, ctx),
+        CompiledExpr::Neg(e) => Ok(Value::Num(-eval_expr(g, idx, e, ctx, k)?.to_num(g))),
+        CompiledExpr::Binary { op, lhs, rhs } => eval_binary(g, idx, *op, lhs, rhs, ctx, k),
         CompiledExpr::Call { name, args } => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(evaluate_compiled(g, idx, a, ctx)?);
+                vals.push(eval_expr(g, idx, a, ctx, k)?);
             }
             crate::functions::dispatch(g, name, &vals, ctx)
         }
-        CompiledExpr::Path(p) => eval_path(g, idx, p, ctx),
+        CompiledExpr::Path(p) => eval_path(g, idx, p, ctx, k),
     }
 }
 
@@ -374,28 +456,29 @@ fn eval_binary(
     lhs: &CompiledExpr,
     rhs: &CompiledExpr,
     ctx: &Context,
+    k: &EvalCounters,
 ) -> Result<Value> {
     match op {
         BinOp::Or => {
-            if evaluate_compiled(g, idx, lhs, ctx)?.to_bool() {
+            if eval_expr(g, idx, lhs, ctx, k)?.to_bool() {
                 return Ok(Value::Bool(true));
             }
-            Ok(Value::Bool(evaluate_compiled(g, idx, rhs, ctx)?.to_bool()))
+            Ok(Value::Bool(eval_expr(g, idx, rhs, ctx, k)?.to_bool()))
         }
         BinOp::And => {
-            if !evaluate_compiled(g, idx, lhs, ctx)?.to_bool() {
+            if !eval_expr(g, idx, lhs, ctx, k)?.to_bool() {
                 return Ok(Value::Bool(false));
             }
-            Ok(Value::Bool(evaluate_compiled(g, idx, rhs, ctx)?.to_bool()))
+            Ok(Value::Bool(eval_expr(g, idx, rhs, ctx, k)?.to_bool()))
         }
         BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            let a = evaluate_compiled(g, idx, lhs, ctx)?;
-            let b = evaluate_compiled(g, idx, rhs, ctx)?;
+            let a = eval_expr(g, idx, lhs, ctx, k)?;
+            let b = eval_expr(g, idx, rhs, ctx, k)?;
             Ok(Value::Bool(compare(g, op, &a, &b)))
         }
         BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-            let a = evaluate_compiled(g, idx, lhs, ctx)?.to_num(g);
-            let b = evaluate_compiled(g, idx, rhs, ctx)?.to_num(g);
+            let a = eval_expr(g, idx, lhs, ctx, k)?.to_num(g);
+            let b = eval_expr(g, idx, rhs, ctx, k)?.to_num(g);
             Ok(Value::Num(match op {
                 BinOp::Add => a + b,
                 BinOp::Sub => a - b,
@@ -406,8 +489,8 @@ fn eval_binary(
             }))
         }
         BinOp::Union => {
-            let a = evaluate_compiled(g, idx, lhs, ctx)?;
-            let b = evaluate_compiled(g, idx, rhs, ctx)?;
+            let a = eval_expr(g, idx, lhs, ctx, k)?;
+            let b = eval_expr(g, idx, rhs, ctx, k)?;
             match (a, b) {
                 (Value::Nodes(mut xs), Value::Nodes(ys)) => {
                     xs.extend(ys);
@@ -419,12 +502,18 @@ fn eval_binary(
     }
 }
 
-fn eval_path(g: &Goddag, idx: &StructIndex, p: &PathPlan, ctx: &Context) -> Result<Value> {
+fn eval_path(
+    g: &Goddag,
+    idx: &StructIndex,
+    p: &PathPlan,
+    ctx: &Context,
+    k: &EvalCounters,
+) -> Result<Value> {
     let mut current: Vec<NodeId> = match &p.start {
         StartPlan::Root => vec![NodeId::Root],
         StartPlan::Context => vec![ctx.node],
         StartPlan::Filter { expr, predicates } => {
-            let v = evaluate_compiled(g, idx, expr, ctx)?;
+            let v = eval_expr(g, idx, expr, ctx, k)?;
             if p.steps.is_empty() && predicates.is_empty() {
                 return Ok(v);
             }
@@ -433,13 +522,13 @@ fn eval_path(g: &Goddag, idx: &StructIndex, p: &PathPlan, ctx: &Context) -> Resu
             };
             let mut ns = ns;
             for pred in predicates {
-                ns = apply_predicate(g, idx, &ns, pred, ctx, false)?;
+                ns = apply_predicate(g, idx, &ns, pred, ctx, false, k)?;
             }
             ns
         }
     };
     for step in &p.steps {
-        current = eval_step(g, idx, &current, step, ctx)?;
+        current = eval_step(g, idx, &current, step, ctx, k)?;
     }
     Ok(Value::nodes(current, g))
 }
@@ -450,18 +539,36 @@ fn eval_step(
     input: &[NodeId],
     step: &StepPlan,
     outer: &Context,
+    k: &EvalCounters,
 ) -> Result<Vec<NodeId>> {
     // Predicate-free steps take the whole context set through the index in
-    // one pass. Predicated steps stay per-node: `position()` is assigned
-    // within each context node's candidate list.
+    // one pass.
     if step.predicates.is_empty() {
+        k.count_step(step, true);
         return Ok(resolve_step_batch(g, idx, step.strategy, step.axis, &step.test, input));
     }
+    // Optimizer-routed steps: every predicate is position-free, so
+    // filtering the deduplicated union once equals filtering per context
+    // node and unioning (set filters commute with union).
+    if step.preds_position_free {
+        k.count_step(step, true);
+        let mut candidates =
+            resolve_step_batch(g, idx, step.strategy, step.axis, &step.test, input);
+        for pred in &step.predicates {
+            candidates =
+                apply_predicate(g, idx, &candidates, pred, outer, step.axis.is_reverse(), k)?;
+        }
+        return Ok(candidates);
+    }
+    // Positional steps stay per-node: `position()` is assigned within each
+    // context node's candidate list.
+    k.count_step(step, false);
     let mut out: Vec<NodeId> = Vec::new();
     for &n in input {
         let mut candidates = resolve_step(g, idx, step.strategy, step.axis, &step.test, n);
         for pred in &step.predicates {
-            candidates = apply_predicate(g, idx, &candidates, pred, outer, step.axis.is_reverse())?;
+            candidates =
+                apply_predicate(g, idx, &candidates, pred, outer, step.axis.is_reverse(), k)?;
         }
         out.extend(candidates);
     }
@@ -478,13 +585,14 @@ fn apply_predicate(
     pred: &CompiledExpr,
     outer: &Context,
     reverse: bool,
+    k: &EvalCounters,
 ) -> Result<Vec<NodeId>> {
     let size = candidates.len();
     let mut out = Vec::with_capacity(size);
     for (i, &m) in candidates.iter().enumerate() {
         let position = if reverse { size - i } else { i + 1 };
         let ctx = Context { node: m, position, size, variables: outer.variables.clone() };
-        let v = evaluate_compiled(g, idx, pred, &ctx)?;
+        let v = eval_expr(g, idx, pred, &ctx, k)?;
         let keep = match v {
             Value::Num(n) => (position as f64) == n,
             other => other.to_bool(),

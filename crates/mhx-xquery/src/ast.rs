@@ -64,12 +64,20 @@ pub struct QStep {
     pub test: NodeTest,
     pub predicates: Vec<QExpr>,
     pub strategy: StepStrategy,
+    /// Set by the optimizer ([`crate::opt`]) when every predicate is
+    /// position-free *and* pure (no `analyze-string`): the evaluator may
+    /// resolve the whole context set in one index pass and filter the
+    /// deduplicated union once.
+    pub preds_position_free: bool,
+    /// Set by the optimizer on any step it changed — drives the
+    /// `rewritten_steps` engine counter.
+    pub rewritten: bool,
 }
 
 impl QStep {
     pub fn new(axis: Axis, test: NodeTest, predicates: Vec<QExpr>) -> QStep {
         let strategy = choose_strategy(axis, &test);
-        QStep { axis, test, predicates, strategy }
+        QStep { axis, test, predicates, strategy, preds_position_free: false, rewritten: false }
     }
 }
 

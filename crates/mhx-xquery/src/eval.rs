@@ -19,7 +19,7 @@ use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Evaluation options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EvalOptions {
     /// How `analyze-string()` treats its pattern (see [`AnalyzeMode`]).
     pub analyze_mode: AnalyzeMode,
@@ -27,6 +27,31 @@ pub struct EvalOptions {
     /// serializing the result sequence (standard XQuery serialization).
     /// Off by default: the paper's printed outputs concatenate directly.
     pub space_separator: bool,
+    /// Run queries through the plan-level optimizer ([`crate::opt`] /
+    /// `mhx_xpath::opt`): predicate reordering, `//x` fusion, and
+    /// set-at-a-time routing of position-free predicated steps. **On by
+    /// default**; flip off per connection to A/B the same cached plan.
+    pub optimize: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions { analyze_mode: AnalyzeMode::default(), space_separator: false, optimize: true }
+    }
+}
+
+/// Per-evaluation step counters (the XQuery twin of
+/// `mhx_xpath::plan::EvalCounters`), surfaced through the engine stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Steps resolved set-at-a-time — predicate-free steps over pure node
+    /// sets and optimizer-routed position-free predicated steps.
+    pub batched_steps: u64,
+    /// Steps evaluated from a plan the optimizer rewrote.
+    pub rewritten_steps: u64,
+    /// Rewrites the optimizer applied to this query's plan (0 when the
+    /// `optimize` knob is off or the plan was already optimal).
+    pub plan_rewrites: u64,
 }
 
 /// Variable bindings + focus (context item, position, size).
@@ -70,12 +95,19 @@ pub struct Evaluator<'g> {
     pub(crate) g: Cow<'g, Goddag>,
     pub(crate) out: Document,
     pub(crate) opts: EvalOptions,
+    pub(crate) stats: EvalStats,
     index: IndexState<'g>,
 }
 
 impl<'g> Evaluator<'g> {
     pub fn new(g: &'g Goddag, opts: EvalOptions) -> Evaluator<'g> {
-        Evaluator { g: Cow::Borrowed(g), out: Document::new(), opts, index: IndexState::None }
+        Evaluator {
+            g: Cow::Borrowed(g),
+            out: Document::new(),
+            opts,
+            stats: EvalStats::default(),
+            index: IndexState::None,
+        }
     }
 
     /// Like [`Evaluator::new`], but starting from a pre-built index for `g`
@@ -83,7 +115,18 @@ impl<'g> Evaluator<'g> {
     /// the moment the copy-on-write goddag diverges.
     pub fn with_index(g: &'g Goddag, idx: &'g StructIndex, opts: EvalOptions) -> Evaluator<'g> {
         let index = if idx.is_current(g) { IndexState::Borrowed(idx) } else { IndexState::None };
-        Evaluator { g: Cow::Borrowed(g), out: Document::new(), opts, index }
+        Evaluator {
+            g: Cow::Borrowed(g),
+            out: Document::new(),
+            opts,
+            stats: EvalStats::default(),
+            index,
+        }
+    }
+
+    /// Step counters accumulated since construction.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
     }
 
     /// Make `self.index` current for `self.g`, rebuilding if missing or
@@ -551,11 +594,15 @@ impl<'g> Evaluator<'g> {
     }
 
     fn eval_step(&mut self, input: &[Item], step: &QStep, env: &Env) -> Result<Sequence> {
-        // Batched fast path: a pure KyGODDAG node set and no predicates —
-        // nothing evaluates per candidate, so no `analyze-string()`
-        // mutation can occur mid-step and the whole context set can go
-        // through the index in one pass.
-        if step.predicates.is_empty() && input.iter().all(|i| matches!(i, Item::Node(_))) {
+        // Batched fast path: a pure KyGODDAG node set and either no
+        // predicates or only optimizer-certified position-free *pure*
+        // predicates. Predicate-free: nothing evaluates per candidate, so
+        // no `analyze-string()` mutation can occur mid-step. Batch-routed:
+        // the optimizer proved the predicates cannot observe the focus
+        // position and never mutate the goddag, so filtering the
+        // deduplicated union once equals per-node filter-then-union.
+        let batchable = step.predicates.is_empty() || step.preds_position_free;
+        if batchable && input.iter().all(|i| matches!(i, Item::Node(_))) {
             let ctxs: Vec<NodeId> = input
                 .iter()
                 .map(|i| match i {
@@ -563,11 +610,19 @@ impl<'g> Evaluator<'g> {
                     _ => unreachable!("guard above admits only goddag nodes"),
                 })
                 .collect();
-            return Ok(self
-                .step_candidates_batch(step, &ctxs)
-                .into_iter()
-                .map(Item::Node)
-                .collect());
+            self.stats.batched_steps += 1;
+            if step.rewritten {
+                self.stats.rewritten_steps += 1;
+            }
+            let mut items: Sequence =
+                self.step_candidates_batch(step, &ctxs).into_iter().map(Item::Node).collect();
+            for p in &step.predicates {
+                items = self.apply_predicate(items, p, env, step.axis.is_reverse())?;
+            }
+            return Ok(items);
+        }
+        if step.rewritten {
+            self.stats.rewritten_steps += 1;
         }
         let mut out: Sequence = Vec::new();
         for item in input {

@@ -35,13 +35,14 @@ pub mod error;
 pub mod eval;
 pub mod functions;
 pub mod item;
+pub mod opt;
 pub mod parser;
 pub mod serialize;
 
 pub use analyze::AnalyzeMode;
 pub use ast::QExpr;
 pub use error::{Result, XQueryError, XQueryErrorKind};
-pub use eval::{Env, EvalOptions, Evaluator};
+pub use eval::{Env, EvalOptions, EvalStats, Evaluator};
 pub use item::{Item, Sequence};
 pub use parser::parse_query;
 
@@ -62,12 +63,13 @@ pub fn run_query_with(g: &Goddag, src: &str, opts: &EvalOptions) -> Result<Strin
     run_parsed_with(g, &ast, opts)
 }
 
-/// Run an already-parsed (compiled) query. The engine facade in the root
-/// crate caches parsed queries and calls this, skipping the re-parse.
+/// Run an already-parsed query, skipping the re-parse but optimizing per
+/// call. Repeat executions of one query should go through
+/// [`CompiledXQuery`] instead, which runs the optimizer once and carries
+/// both plan forms — that is what the engine facade in the root crate
+/// caches.
 pub fn run_parsed_with(g: &Goddag, ast: &QExpr, opts: &EvalOptions) -> Result<String> {
-    let mut ev = Evaluator::new(g, opts.clone());
-    let seq = ev.eval(ast, &Env::default())?;
-    Ok(serialize::serialize_sequence(&ev, &seq))
+    run_parsed_collecting(g, None, ast, opts).map(|(out, _)| out)
 }
 
 /// [`run_parsed_with`] sharing a pre-built structural index for `g`, so
@@ -78,9 +80,41 @@ pub fn run_parsed_with_index(
     ast: &QExpr,
     opts: &EvalOptions,
 ) -> Result<String> {
-    let mut ev = Evaluator::with_index(g, idx, opts.clone());
-    let seq = ev.eval(ast, &Env::default())?;
-    Ok(serialize::serialize_sequence(&ev, &seq))
+    run_parsed_collecting(g, Some(idx), ast, opts).map(|(out, _)| out)
+}
+
+/// Evaluate `ast` on an existing evaluator, applying the plan-level
+/// optimizer when `opts.optimize` is on — the single optimize-or-not
+/// branch every ad-hoc entry point shares. (Cached plans skip the
+/// per-call rewrite: see [`CompiledXQuery`].)
+fn eval_with_options(ev: &mut Evaluator<'_>, ast: &QExpr, opts: &EvalOptions) -> Result<Sequence> {
+    if opts.optimize {
+        let (optimized, report) = opt::optimize(ast);
+        ev.stats.plan_rewrites = report.total() as u64;
+        ev.eval(&optimized, &Env::default())
+    } else {
+        ev.eval(ast, &Env::default())
+    }
+}
+
+/// Run a parsed query (optionally with a shared pre-built index),
+/// applying the plan-level optimizer when `opts.optimize` is on, and
+/// return the serialized result together with the evaluation's step
+/// counters. Optimizes per call; repeat executions should go through
+/// [`CompiledXQuery`], which caches the rewrite.
+pub fn run_parsed_collecting(
+    g: &Goddag,
+    idx: Option<&mhx_goddag::StructIndex>,
+    ast: &QExpr,
+    opts: &EvalOptions,
+) -> Result<(String, EvalStats)> {
+    let mut ev = match idx {
+        Some(idx) => Evaluator::with_index(g, idx, opts.clone()),
+        None => Evaluator::new(g, opts.clone()),
+    };
+    let seq = eval_with_options(&mut ev, ast, opts)?;
+    let out = serialize::serialize_sequence(&ev, &seq);
+    Ok((out, *ev.stats()))
 }
 
 /// Run a query and return one serialized string per top-level result item
@@ -88,8 +122,80 @@ pub fn run_parsed_with_index(
 pub fn run_query_sequence(g: &Goddag, src: &str, opts: &EvalOptions) -> Result<Vec<String>> {
     let ast = parse_query(src)?;
     let mut ev = Evaluator::new(g, opts.clone());
-    let seq = ev.eval(&ast, &Env::default())?;
+    let seq = eval_with_options(&mut ev, &ast, opts)?;
     Ok(serialize::serialize_items(&ev, &seq))
+}
+
+/// A parse-and-optimize bundle mirroring `mhx_xpath::CompiledXPath`: holds
+/// **both** the query as parsed and the optimizer's rewrite of it
+/// (computed once, up front), so the engine facade's cached plans serve
+/// connections with the `optimize` knob on *and* off without re-running
+/// the rewrite per execution — the knob selects an AST at evaluation
+/// time, it never forks the cache key.
+#[derive(Debug, Clone)]
+pub struct CompiledXQuery {
+    src: String,
+    ast: QExpr,
+    optimized: QExpr,
+    report: opt::OptimizerReport,
+}
+
+impl CompiledXQuery {
+    /// Parse and optimize `src`.
+    pub fn compile(src: &str) -> Result<CompiledXQuery> {
+        Ok(CompiledXQuery::from_ast(src.to_string(), parse_query(src)?))
+    }
+
+    /// Wrap an already-parsed query (e.g. after static checks), running
+    /// the optimizer once.
+    pub fn from_ast(src: String, ast: QExpr) -> CompiledXQuery {
+        let (optimized, report) = opt::optimize(&ast);
+        CompiledXQuery { src, ast, optimized, report }
+    }
+
+    /// The original query text (the cache key).
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// The query as parsed (what `optimize: false` evaluates).
+    pub fn ast(&self) -> &QExpr {
+        &self.ast
+    }
+
+    /// The optimizer's rewrite (what `optimize: true` evaluates).
+    pub fn optimized_ast(&self) -> &QExpr {
+        &self.optimized
+    }
+
+    /// Rewrites the optimizer applied at compile time.
+    pub fn report(&self) -> &opt::OptimizerReport {
+        &self.report
+    }
+
+    /// Run against a goddag (optionally sharing a pre-built index),
+    /// selecting the plan by `opts.optimize`, and return the serialized
+    /// result with the evaluation's step counters.
+    pub fn run_with_index(
+        &self,
+        g: &Goddag,
+        idx: Option<&mhx_goddag::StructIndex>,
+        opts: &EvalOptions,
+    ) -> Result<(String, EvalStats)> {
+        let mut ev = match idx {
+            Some(idx) => Evaluator::with_index(g, idx, opts.clone()),
+            None => Evaluator::new(g, opts.clone()),
+        };
+        let ast = if opts.optimize {
+            ev.stats.plan_rewrites = self.report.total() as u64;
+            &self.optimized
+        } else {
+            &self.ast
+        };
+        let seq = ev.eval(ast, &Env::default())?;
+        let out = serialize::serialize_sequence(&ev, &seq);
+        Ok((out, *ev.stats()))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,467 @@
+//! Plan-level optimizer for the XQuery AST — the XQuery twin of
+//! `mhx_xpath::opt`, applied to [`QExpr`] path expressions.
+//!
+//! Same three rewrites, same legality argument (see the `mhx-xpath`
+//! module docs for the full rule): predicate **classification**
+//! (position-free vs positional), cheapest-first **reordering** within
+//! position-free runs, set-at-a-time **batch routing** for steps whose
+//! predicates are all position-free, and `//x` chain **fusion** into
+//! indexed `descendant::x` scans.
+//!
+//! One extra requirement on top of the XPath rules: XQuery predicates can
+//! mutate the copy-on-write KyGODDAG through `analyze-string()` (temporary
+//! hierarchies installed mid-query), and the per-node path makes that
+//! mutation visible to *subsequent context nodes* of the same step. Batch
+//! routing and fusion therefore also require the predicates to be **pure**
+//! ([`QExpr::uses_analyze_string`] is false) — an impure predicate pins
+//! the step to the per-node path so the mutation interleaving stays
+//! exactly as written.
+
+use crate::ast::{AttrPiece, Clause, Comp, Content, DirElem, QExpr, QPathStart, QStep};
+use mhx_goddag::Axis;
+use mhx_xpath::opt::step_cost;
+use mhx_xpath::{NodeTest, PredicateClass};
+
+pub use mhx_xpath::OptimizerReport;
+
+/// Classify one XQuery predicate (see module docs).
+pub fn classify_predicate(pred: &QExpr) -> PredicateClass {
+    if !uses_focus(pred) && !matches!(static_type(pred), Ty::Num | Ty::Unknown) {
+        PredicateClass::PositionFree
+    } else {
+        PredicateClass::Positional
+    }
+}
+
+/// Position-free *and* pure — the condition for reordering, batch routing
+/// and fusion.
+fn is_free(pred: &QExpr) -> bool {
+    classify_predicate(pred) == PredicateClass::PositionFree && !pred.uses_analyze_string()
+}
+
+/// Does the expression read the *current* focus position or size?
+/// Predicates (of steps and filters) get a fresh focus and are skipped;
+/// everything else — FLWOR clause sources, function arguments, filter
+/// bases, path-start expressions — evaluates under the current focus.
+fn uses_focus(e: &QExpr) -> bool {
+    match e {
+        QExpr::Literal(_) | QExpr::Number(_) | QExpr::Var(_) | QExpr::ContextItem => false,
+        QExpr::Sequence(es) => es.iter().any(uses_focus),
+        QExpr::Flwor { clauses, ret } => {
+            clauses.iter().any(|c| match c {
+                Clause::For { seq, .. } => uses_focus(seq),
+                Clause::Let { expr, .. } => uses_focus(expr),
+                Clause::Where(e) => uses_focus(e),
+                Clause::OrderBy { keys } => keys.iter().any(|k| uses_focus(&k.key)),
+            }) || uses_focus(ret)
+        }
+        QExpr::If { cond, then, els } => uses_focus(cond) || uses_focus(then) || uses_focus(els),
+        QExpr::Quantified { binds, satisfies, .. } => {
+            binds.iter().any(|(_, e)| uses_focus(e)) || uses_focus(satisfies)
+        }
+        QExpr::Or(a, b) | QExpr::And(a, b) | QExpr::Union(a, b) => uses_focus(a) || uses_focus(b),
+        QExpr::Compare { lhs, rhs, .. } | QExpr::Arith { lhs, rhs, .. } => {
+            uses_focus(lhs) || uses_focus(rhs)
+        }
+        QExpr::Range { lo, hi } => uses_focus(lo) || uses_focus(hi),
+        QExpr::Neg(inner) => uses_focus(inner),
+        QExpr::Call { name, args } => {
+            matches!(name.as_str(), "position" | "last") || args.iter().any(uses_focus)
+        }
+        QExpr::Path { start, .. } => match start {
+            QPathStart::Expr(e) => uses_focus(e),
+            QPathStart::Root | QPathStart::Context => false,
+        },
+        QExpr::Filter { base, .. } => uses_focus(base),
+        QExpr::DirElem(d) => dir_uses_focus(d),
+    }
+}
+
+fn dir_uses_focus(d: &DirElem) -> bool {
+    d.attrs
+        .iter()
+        .any(|(_, pieces)| pieces.iter().any(|p| matches!(p, AttrPiece::Expr(e) if uses_focus(e))))
+        || d.content.iter().any(|c| match c {
+            Content::Text(_) => false,
+            Content::Expr(e) => uses_focus(e),
+            Content::Elem(inner) => dir_uses_focus(inner),
+        })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Bool,
+    Str,
+    Num,
+    Nodes,
+    Unknown,
+}
+
+fn static_type(e: &QExpr) -> Ty {
+    match e {
+        QExpr::Literal(_) => Ty::Str,
+        QExpr::Number(_) => Ty::Num,
+        QExpr::Var(_) | QExpr::ContextItem | QExpr::Flwor { .. } => Ty::Unknown,
+        // ebv([]) is false; a non-empty literal sequence could hold
+        // anything — conservatively unknown.
+        QExpr::Sequence(es) => {
+            if es.is_empty() {
+                Ty::Bool
+            } else {
+                Ty::Unknown
+            }
+        }
+        QExpr::If { then, els, .. } => {
+            let (a, b) = (static_type(then), static_type(els));
+            if a == b {
+                a
+            } else {
+                Ty::Unknown
+            }
+        }
+        QExpr::Quantified { .. } | QExpr::Or(_, _) | QExpr::And(_, _) => Ty::Bool,
+        QExpr::Compare { op, .. } => match op {
+            // Value/node comparisons on empty operands yield (), but ()
+            // is never numeric, so Bool stays safe for classification.
+            Comp::Is | Comp::Before | Comp::After => Ty::Bool,
+            _ => Ty::Bool,
+        },
+        QExpr::Range { .. } | QExpr::Arith { .. } | QExpr::Neg(_) => Ty::Num,
+        QExpr::Union(_, _) | QExpr::Path { .. } | QExpr::DirElem(_) => Ty::Nodes,
+        QExpr::Filter { base, .. } => match static_type(base) {
+            Ty::Nodes => Ty::Nodes,
+            _ => Ty::Unknown,
+        },
+        QExpr::Call { name, .. } => match name.as_str() {
+            "boolean" | "not" | "true" | "false" | "empty" | "exists" | "starts-with"
+            | "ends-with" | "contains" | "matches" => Ty::Bool,
+            "string" | "string-join" | "concat" | "substring" | "substring-before"
+            | "substring-after" | "normalize-space" | "translate" | "upper-case" | "lower-case"
+            | "name" | "local-name" | "replace" | "serialize" | "hierarchy" => Ty::Str,
+            "position" | "last" | "count" | "string-length" | "number" | "sum" | "avg" | "min"
+            | "max" | "abs" | "floor" | "ceiling" | "round" | "leaf-count" => Ty::Num,
+            "root" | "leaves" | "analyze-string" => Ty::Nodes,
+            _ => Ty::Unknown,
+        },
+    }
+}
+
+/// Relative cost weights for ordering position-free predicates — the same
+/// scale as `mhx_xpath::opt::predicate_cost`.
+fn cost(e: &QExpr) -> u64 {
+    match e {
+        QExpr::Literal(_) | QExpr::Number(_) | QExpr::Var(_) | QExpr::ContextItem => 1,
+        QExpr::Sequence(es) => 1 + es.iter().map(cost).sum::<u64>(),
+        QExpr::Flwor { clauses, ret } => {
+            4 + clauses
+                .iter()
+                .map(|c| match c {
+                    Clause::For { seq, .. } => cost(seq),
+                    Clause::Let { expr, .. } => cost(expr),
+                    Clause::Where(e) => cost(e),
+                    Clause::OrderBy { keys } => keys.iter().map(|k| cost(&k.key)).sum(),
+                })
+                .sum::<u64>()
+                + cost(ret)
+        }
+        QExpr::If { cond, then, els } => 1 + cost(cond) + cost(then).max(cost(els)),
+        QExpr::Quantified { binds, satisfies, .. } => {
+            2 + binds.iter().map(|(_, e)| cost(e)).sum::<u64>() + cost(satisfies)
+        }
+        QExpr::Or(a, b) | QExpr::And(a, b) | QExpr::Union(a, b) => 1 + cost(a) + cost(b),
+        QExpr::Compare { lhs, rhs, .. } | QExpr::Arith { lhs, rhs, .. } => {
+            1 + cost(lhs) + cost(rhs)
+        }
+        QExpr::Range { lo, hi } => 1 + cost(lo) + cost(hi),
+        QExpr::Neg(inner) => 1 + cost(inner),
+        QExpr::Call { name, args } => {
+            let base = match name.as_str() {
+                "matches" | "replace" | "tokenize" | "analyze-string" => 16,
+                _ => 2,
+            };
+            base + args.iter().map(cost).sum::<u64>()
+        }
+        QExpr::Path { start, steps } => {
+            let start_cost = match start {
+                QPathStart::Expr(e) => cost(e),
+                QPathStart::Root | QPathStart::Context => 0,
+            };
+            start_cost
+                + steps
+                    .iter()
+                    .map(|s| {
+                        step_cost(s.strategy, s.axis) + s.predicates.iter().map(cost).sum::<u64>()
+                    })
+                    .sum::<u64>()
+        }
+        QExpr::Filter { base, predicates } => {
+            1 + cost(base) + predicates.iter().map(cost).sum::<u64>()
+        }
+        QExpr::DirElem(_) => 8,
+    }
+}
+
+/// Optimize a parsed query. The input is untouched; the engine runs this
+/// once at compile time ([`crate::CompiledXQuery`] carries both forms),
+/// so a cached parse serves both knob settings without key forking.
+pub fn optimize(ast: &QExpr) -> (QExpr, OptimizerReport) {
+    let mut report = OptimizerReport::default();
+    let out = opt_expr(ast, &mut report);
+    (out, report)
+}
+
+fn opt_expr(e: &QExpr, r: &mut OptimizerReport) -> QExpr {
+    match e {
+        QExpr::Literal(_) | QExpr::Number(_) | QExpr::Var(_) | QExpr::ContextItem => e.clone(),
+        QExpr::Sequence(es) => QExpr::Sequence(es.iter().map(|e| opt_expr(e, r)).collect()),
+        QExpr::Flwor { clauses, ret } => QExpr::Flwor {
+            clauses: clauses
+                .iter()
+                .map(|c| match c {
+                    Clause::For { var, at, seq } => {
+                        Clause::For { var: var.clone(), at: at.clone(), seq: opt_expr(seq, r) }
+                    }
+                    Clause::Let { var, expr } => {
+                        Clause::Let { var: var.clone(), expr: opt_expr(expr, r) }
+                    }
+                    Clause::Where(e) => Clause::Where(opt_expr(e, r)),
+                    Clause::OrderBy { keys } => Clause::OrderBy {
+                        keys: keys
+                            .iter()
+                            .map(|k| crate::ast::OrderKeySpec {
+                                key: opt_expr(&k.key, r),
+                                descending: k.descending,
+                            })
+                            .collect(),
+                    },
+                })
+                .collect(),
+            ret: Box::new(opt_expr(ret, r)),
+        },
+        QExpr::If { cond, then, els } => QExpr::If {
+            cond: Box::new(opt_expr(cond, r)),
+            then: Box::new(opt_expr(then, r)),
+            els: Box::new(opt_expr(els, r)),
+        },
+        QExpr::Quantified { every, binds, satisfies } => QExpr::Quantified {
+            every: *every,
+            binds: binds.iter().map(|(v, e)| (v.clone(), opt_expr(e, r))).collect(),
+            satisfies: Box::new(opt_expr(satisfies, r)),
+        },
+        QExpr::Or(a, b) => QExpr::Or(Box::new(opt_expr(a, r)), Box::new(opt_expr(b, r))),
+        QExpr::And(a, b) => QExpr::And(Box::new(opt_expr(a, r)), Box::new(opt_expr(b, r))),
+        QExpr::Union(a, b) => QExpr::Union(Box::new(opt_expr(a, r)), Box::new(opt_expr(b, r))),
+        QExpr::Compare { op, lhs, rhs } => QExpr::Compare {
+            op: *op,
+            lhs: Box::new(opt_expr(lhs, r)),
+            rhs: Box::new(opt_expr(rhs, r)),
+        },
+        QExpr::Range { lo, hi } => {
+            QExpr::Range { lo: Box::new(opt_expr(lo, r)), hi: Box::new(opt_expr(hi, r)) }
+        }
+        QExpr::Arith { op, lhs, rhs } => QExpr::Arith {
+            op: *op,
+            lhs: Box::new(opt_expr(lhs, r)),
+            rhs: Box::new(opt_expr(rhs, r)),
+        },
+        QExpr::Neg(inner) => QExpr::Neg(Box::new(opt_expr(inner, r))),
+        QExpr::Call { name, args } => {
+            QExpr::Call { name: name.clone(), args: args.iter().map(|a| opt_expr(a, r)).collect() }
+        }
+        QExpr::Filter { base, predicates } => {
+            let mut preds: Vec<QExpr> = predicates.iter().map(|p| opt_expr(p, r)).collect();
+            r.reordered_predicate_runs += reorder_free_runs(&mut preds);
+            QExpr::Filter { base: Box::new(opt_expr(base, r)), predicates: preds }
+        }
+        QExpr::DirElem(d) => QExpr::DirElem(opt_dir(d, r)),
+        QExpr::Path { start, steps } => opt_path(start, steps, r),
+    }
+}
+
+fn opt_dir(d: &DirElem, r: &mut OptimizerReport) -> DirElem {
+    DirElem {
+        name: d.name.clone(),
+        attrs: d
+            .attrs
+            .iter()
+            .map(|(n, pieces)| {
+                (
+                    n.clone(),
+                    pieces
+                        .iter()
+                        .map(|p| match p {
+                            AttrPiece::Text(t) => AttrPiece::Text(t.clone()),
+                            AttrPiece::Expr(e) => AttrPiece::Expr(opt_expr(e, r)),
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+        content: d
+            .content
+            .iter()
+            .map(|c| match c {
+                Content::Text(t) => Content::Text(t.clone()),
+                Content::Expr(e) => Content::Expr(opt_expr(e, r)),
+                Content::Elem(inner) => Content::Elem(opt_dir(inner, r)),
+            })
+            .collect(),
+    }
+}
+
+fn opt_path(start: &QPathStart, steps: &[QStep], r: &mut OptimizerReport) -> QExpr {
+    let start = match start {
+        QPathStart::Root => QPathStart::Root,
+        QPathStart::Context => QPathStart::Context,
+        QPathStart::Expr(e) => QPathStart::Expr(Box::new(opt_expr(e, r))),
+    };
+    let mut steps: Vec<QStep> = steps
+        .iter()
+        .map(|s| {
+            let mut out = s.clone();
+            out.predicates = s.predicates.iter().map(|p| opt_expr(p, r)).collect();
+            out
+        })
+        .collect();
+
+    // Pass 1 — fuse `descendant-or-self::node()` + downward step pairs.
+    let mut fused: Vec<QStep> = Vec::with_capacity(steps.len());
+    let mut i = 0;
+    while i < steps.len() {
+        if i + 1 < steps.len() && is_dos_any_node(&steps[i]) {
+            let next = &steps[i + 1];
+            let downward =
+                matches!(next.axis, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf);
+            if downward && next.predicates.iter().all(is_free) {
+                let axis = if next.axis == Axis::DescendantOrSelf {
+                    Axis::DescendantOrSelf
+                } else {
+                    Axis::Descendant
+                };
+                let mut s = QStep::new(axis, next.test.clone(), next.predicates.clone());
+                s.rewritten = true;
+                r.fused_steps += 1;
+                fused.push(s);
+                i += 2;
+                continue;
+            }
+        }
+        fused.push(steps[i].clone());
+        i += 1;
+    }
+    steps = fused;
+
+    // Pass 2 — cheapest-first within position-free pure runs.
+    // Pass 3 — flag all-free steps for the batch path.
+    for step in &mut steps {
+        let runs = reorder_free_runs(&mut step.predicates);
+        if runs > 0 {
+            r.reordered_predicate_runs += runs;
+            step.rewritten = true;
+        }
+        if !step.predicates.is_empty() && step.predicates.iter().all(is_free) {
+            step.preds_position_free = true;
+            step.rewritten = true;
+            r.batch_routed_steps += 1;
+        }
+    }
+    QExpr::Path { start, steps }
+}
+
+fn is_dos_any_node(s: &QStep) -> bool {
+    s.axis == Axis::DescendantOrSelf
+        && matches!(&s.test, NodeTest::AnyNode { hierarchies: None })
+        && s.predicates.is_empty()
+}
+
+fn reorder_free_runs(preds: &mut [QExpr]) -> u32 {
+    let mut changed = 0;
+    let mut i = 0;
+    while i < preds.len() {
+        if !is_free(&preds[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < preds.len() && is_free(&preds[i]) {
+            i += 1;
+        }
+        let run = &mut preds[start..i];
+        if run.len() > 1 {
+            let costs: Vec<u64> = run.iter().map(cost).collect();
+            if costs.windows(2).any(|w| w[0] > w[1]) {
+                let mut keyed: Vec<(u64, QExpr)> =
+                    costs.into_iter().zip(run.iter().cloned()).collect();
+                keyed.sort_by_key(|(c, _)| *c);
+                for (slot, (_, pred)) in run.iter_mut().zip(keyed) {
+                    *slot = pred;
+                }
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use mhx_xpath::StepStrategy;
+
+    fn path_steps(e: &QExpr) -> &[QStep] {
+        match e {
+            QExpr::Path { steps, .. } => steps,
+            other => panic!("expected a path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classification_mirrors_xpath_rules() {
+        for (src, expected) in [
+            ("/descendant::w[xancestor::p]", PredicateClass::PositionFree),
+            ("/descendant::w[string(.) = 'a']", PredicateClass::PositionFree),
+            ("/descendant::w[2]", PredicateClass::Positional),
+            ("/descendant::w[position() = 2]", PredicateClass::Positional),
+            ("/descendant::w[last()]", PredicateClass::Positional),
+            ("/descendant::w[count(child::a)]", PredicateClass::Positional),
+            // position() read through a FLWOR clause still pins the step.
+            (
+                "/descendant::w[some $x in (position()) satisfies $x = 1]",
+                PredicateClass::Positional,
+            ),
+        ] {
+            let ast = parse_query(src).unwrap();
+            let pred = &path_steps(&ast)[0].predicates[0];
+            assert_eq!(classify_predicate(pred), expected, "classifying predicate of `{src}`");
+        }
+    }
+
+    #[test]
+    fn impure_predicates_stay_per_node() {
+        let ast = parse_query("/descendant::w[analyze-string(., 'a')/child::m]").unwrap();
+        let (opt, report) = optimize(&ast);
+        let step = &path_steps(&opt)[0];
+        assert!(!step.preds_position_free, "analyze-string predicates must stay per-node");
+        assert_eq!(report.batch_routed_steps, 0);
+    }
+
+    #[test]
+    fn fusion_and_batch_routing_applied() {
+        let ast = parse_query("//vline//w[xancestor::dmg]").unwrap();
+        let (opt, report) = optimize(&ast);
+        let steps = path_steps(&opt);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].strategy, StepStrategy::NameIndex);
+        assert!(steps[1].preds_position_free);
+        assert_eq!(report.fused_steps, 2);
+    }
+
+    #[test]
+    fn optimizer_reaches_flwor_bodies() {
+        let ast = parse_query("for $l in //line[overlapping::w] return string($l)").unwrap();
+        let (_, report) = optimize(&ast);
+        assert_eq!(report.fused_steps, 1);
+        assert_eq!(report.batch_routed_steps, 1);
+    }
+}

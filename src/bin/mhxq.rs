@@ -37,7 +37,7 @@ fn usage() -> ! {
          --xpath            evaluate QUERY as XPath instead of XQuery\n\
          --xslt-mode        XSLT-2.0 analyze-string semantics (default: paper-compat)\n\
          --space-separator  standard XQuery spacing between atomic items\n\
-         --stats            print shared plan-cache counters to stderr after the run\n\
+         --stats            print plan-cache and evaluation counters to stderr after the run\n\
          --dump             print the KyGODDAG text outline(s) and exit\n\
          --dot              print Graphviz DOT of the KyGODDAG(s) and exit\n\
          --query-file FILE  read the query from FILE instead of argv"
@@ -249,6 +249,11 @@ fn main() {
         eprintln!(
             "plan cache: {} hits ({} cross-document), {} misses, {} evictions, {} entries",
             s.hits, s.cross_doc_hits, s.misses, s.evictions, s.entries
+        );
+        let e = catalog.eval_stats();
+        eprintln!(
+            "evaluation: {} batched steps, {} rewritten steps, {} plan rewrites (optimizer)",
+            e.batched_steps, e.rewritten_steps, e.plan_rewrites
         );
     }
     if failed {

@@ -11,16 +11,19 @@
 
 use crate::engine::error::QueryLang;
 use mhx_xpath::CompiledXPath;
-use mhx_xquery::QExpr;
+use mhx_xquery::CompiledXQuery;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// A cached, compiled query plan. `Arc` so cache hits hand out a handle
-/// without cloning the plan and eviction never invalidates a running query.
+/// without cloning the plan and eviction never invalidates a running
+/// query. Both variants carry the as-written *and* the optimized plan, so
+/// one entry serves every `optimize` knob setting (the knob is evaluation
+/// state, never part of the cache key).
 #[derive(Debug, Clone)]
 pub(crate) enum CachedPlan {
     XPath(Arc<CompiledXPath>),
-    XQuery(Arc<QExpr>),
+    XQuery(Arc<CompiledXQuery>),
 }
 
 /// Plan-cache counters, cumulative since construction. Resizing the cache

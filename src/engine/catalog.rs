@@ -22,11 +22,55 @@ use crate::engine::error::{
 use crate::engine::result::QueryOutcome;
 use crate::engine::session::{Prepared, Session};
 use mhx_goddag::{Goddag, NodeId, StructIndex};
+use mhx_xpath::plan::EvalCounters;
 use mhx_xpath::{CompiledXPath, Context};
 use mhx_xquery::ast::Clause;
-use mhx_xquery::{parse_query, EvalOptions, QExpr};
+use mhx_xquery::{parse_query, CompiledXQuery, EvalOptions, QExpr};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
+
+/// Cumulative per-catalog evaluation counters (both query languages), the
+/// runtime complement of the compile-time [`CacheStats`]. Snapshot via
+/// [`Catalog::eval_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Path steps resolved set-at-a-time (one index pass for the whole
+    /// context set): predicate-free steps and optimizer-routed
+    /// position-free predicated steps.
+    pub batched_steps: u64,
+    /// Path steps evaluated from a plan the optimizer rewrote (fused,
+    /// reordered, or batch-routed). Grows only while the executing
+    /// connection's `optimize` knob is on.
+    pub rewritten_steps: u64,
+    /// Optimizer rewrites in the plans executed (compile-time counts,
+    /// summed per execution). 0-increments mean the plans were already
+    /// optimal or the knob was off.
+    pub plan_rewrites: u64,
+}
+
+#[derive(Default)]
+struct EvalTotals {
+    batched_steps: AtomicU64,
+    rewritten_steps: AtomicU64,
+    plan_rewrites: AtomicU64,
+}
+
+impl EvalTotals {
+    fn add(&self, batched: u64, rewritten: u64, plan_rewrites: u64) {
+        self.batched_steps.fetch_add(batched, Ordering::Relaxed);
+        self.rewritten_steps.fetch_add(rewritten, Ordering::Relaxed);
+        self.plan_rewrites.fetch_add(plan_rewrites, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EvalStats {
+        EvalStats {
+            batched_steps: self.batched_steps.load(Ordering::Relaxed),
+            rewritten_steps: self.rewritten_steps.load(Ordering::Relaxed),
+            plan_rewrites: self.plan_rewrites.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Default plan-cache capacity (distinct query texts kept compiled).
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
@@ -104,6 +148,7 @@ pub struct Catalog {
     docs: RwLock<BTreeMap<String, Arc<DocEntry>>>,
     cache: SharedPlanCache,
     opts: EvalOptions,
+    eval_totals: EvalTotals,
 }
 
 impl Default for Catalog {
@@ -126,6 +171,7 @@ impl Catalog {
             docs: RwLock::new(BTreeMap::new()),
             cache: SharedPlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             opts,
+            eval_totals: EvalTotals::default(),
         }
     }
 
@@ -156,6 +202,12 @@ impl Catalog {
     /// Shared plan-cache counters (cumulative across all documents).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Cumulative evaluation counters (batched / rewritten steps) across
+    /// all documents and both query languages.
+    pub fn eval_stats(&self) -> EvalStats {
+        self.eval_totals.snapshot()
     }
 
     // ------------------------------------------------------------------
@@ -339,7 +391,9 @@ impl Catalog {
             QueryLang::XQuery => {
                 let ast = parse_query(src).map_err(xquery_error)?;
                 check_static(&ast)?;
-                CachedPlan::XQuery(Arc::new(ast))
+                // Optimize once at compile time: the cached plan carries
+                // both forms and repeat executions skip the rewrite.
+                CachedPlan::XQuery(Arc::new(CompiledXQuery::from_ast(src.to_string(), ast)))
             }
         };
         self.cache.insert(lang, src, doc, plan.clone());
@@ -367,12 +421,25 @@ impl Catalog {
         match plan {
             CachedPlan::XPath(p) => {
                 let ctx = Context::new(NodeId::Root);
-                let v = p.evaluate(&g, &idx, &ctx).map_err(xpath_eval_error)?;
+                let counters = EvalCounters::default();
+                let v = p
+                    .evaluate_with(&g, &idx, &ctx, opts.optimize, &counters)
+                    .map_err(xpath_eval_error)?;
+                let rewrites = if opts.optimize { p.report().total() as u64 } else { 0 };
+                self.eval_totals.add(
+                    counters.batched_steps.get(),
+                    counters.rewritten_steps.get(),
+                    rewrites,
+                );
                 Ok(QueryOutcome::from_xpath_value(v, &g, &idx, opts))
             }
-            CachedPlan::XQuery(ast) => {
-                let out =
-                    mhx_xquery::run_parsed_with_index(&g, &idx, ast, opts).map_err(xquery_error)?;
+            CachedPlan::XQuery(q) => {
+                let (out, stats) = q.run_with_index(&g, Some(&idx), opts).map_err(xquery_error)?;
+                self.eval_totals.add(
+                    stats.batched_steps,
+                    stats.rewritten_steps,
+                    stats.plan_rewrites,
+                );
                 Ok(QueryOutcome::from_markup(out))
             }
         }

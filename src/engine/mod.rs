@@ -35,7 +35,7 @@ pub mod result;
 pub mod session;
 
 pub use cache::CacheStats;
-pub use catalog::{Catalog, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use catalog::{Catalog, EvalStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use error::{EngineError, QueryLang};
 pub use result::{QueryOutcome, QueryValue};
 pub use session::{Prepared, Session};
@@ -119,6 +119,11 @@ impl Engine {
 
     pub fn cache_stats(&self) -> CacheStats {
         self.catalog.cache_stats()
+    }
+
+    /// Cumulative evaluation counters (batched / rewritten steps).
+    pub fn eval_stats(&self) -> EvalStats {
+        self.catalog.eval_stats()
     }
 
     /// A session over the wrapped document.

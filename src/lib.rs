@@ -55,15 +55,15 @@ pub use mhx_xquery as xquery;
 pub mod engine;
 
 pub use engine::{
-    CacheStats, Catalog, Engine, EngineError, Prepared, QueryLang, QueryOutcome, QueryValue,
-    Session,
+    CacheStats, Catalog, Engine, EngineError, EvalStats, Prepared, QueryLang, QueryOutcome,
+    QueryValue, Session,
 };
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::engine::{
-        CacheStats, Catalog, Engine, EngineError, Prepared, QueryLang, QueryOutcome, QueryValue,
-        Session,
+        CacheStats, Catalog, Engine, EngineError, EvalStats, Prepared, QueryLang, QueryOutcome,
+        QueryValue, Session,
     };
     pub use mhx_goddag::{Goddag, GoddagBuilder, NodeId, StructIndex};
     pub use mhx_xml::Document;

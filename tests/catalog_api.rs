@@ -288,3 +288,75 @@ fn engine_wrapper_is_a_one_document_catalog() {
     let session = engine.session();
     assert_eq!(session.doc_id(), "main");
 }
+
+#[test]
+fn prepared_queries_respect_the_per_session_optimize_knob() {
+    let catalog = corpus(1);
+    // A predicate-heavy query the optimizer rewrites: `//w` fuses to an
+    // indexed scan and the position-free predicate batch-routes.
+    let q = catalog.prepare(QueryLang::XPath, "//w[overlapping::line]").unwrap();
+
+    let on = catalog.session("ms-0").unwrap();
+    let mut off = catalog.session("ms-0").unwrap();
+    off.options_mut().optimize = false;
+
+    // Same answer either way — the knob may never change results.
+    let expected = on.run(&q).unwrap().into_string();
+    assert_eq!(off.run(&q).unwrap().serialize(), expected);
+
+    // But the knob really selects a different plan at execution time: the
+    // optimize-on run reports rewritten steps, the optimize-off run none.
+    let after_both = catalog.eval_stats();
+    assert!(after_both.rewritten_steps > 0, "{after_both:?}");
+    off.run(&q).unwrap();
+    let after_off_again = catalog.eval_stats();
+    assert_eq!(
+        after_off_again.rewritten_steps, after_both.rewritten_steps,
+        "optimize-off execution must evaluate the as-written plan"
+    );
+
+    // One compilation serves both knob settings: the prepared handle and
+    // the cache entry are shared, never forked per knob.
+    assert_eq!(catalog.cache_stats().misses, 1);
+    assert_eq!(catalog.cache_stats().entries, 1);
+}
+
+#[test]
+fn flipping_the_knob_on_a_live_session_reresolves_behavior() {
+    let catalog = corpus(1);
+    let mut session = catalog.session("ms-0").unwrap();
+    let q = catalog.prepare(QueryLang::XQuery, "count(//w[overlapping::line])").unwrap();
+
+    let optimized = session.run(&q).unwrap().into_string();
+    let rewritten_after_on = catalog.eval_stats().rewritten_steps;
+    assert!(rewritten_after_on > 0);
+
+    // Flip the knob mid-session: the very next execution of the *same*
+    // prepared handle must use the as-written plan (no stale plan reuse).
+    session.options_mut().optimize = false;
+    assert_eq!(session.run(&q).unwrap().serialize(), optimized);
+    assert_eq!(catalog.eval_stats().rewritten_steps, rewritten_after_on);
+
+    // And back on: rewrites resume, still without recompiling.
+    session.options_mut().optimize = true;
+    assert_eq!(session.run(&q).unwrap().serialize(), optimized);
+    assert!(catalog.eval_stats().rewritten_steps > rewritten_after_on);
+    assert_eq!(catalog.cache_stats().misses, 1, "one parse served every knob flip");
+}
+
+#[test]
+fn plan_cache_does_not_collide_across_optimize_settings() {
+    // Two catalogs, one configured optimize-off by default: the same query
+    // text must behave per-catalog (plans carry both forms; the knob is
+    // evaluation state, not a cache key — so collisions are impossible).
+    let on = corpus(1);
+    let off = Catalog::with_options(EvalOptions { optimize: false, ..Default::default() });
+    off.insert("ms-0", manuscript(0));
+
+    let q = "//w[overlapping::line]";
+    let a = on.xpath("ms-0", q).unwrap().into_string();
+    let b = off.xpath("ms-0", q).unwrap().into_string();
+    assert_eq!(a, b);
+    assert!(on.eval_stats().rewritten_steps > 0);
+    assert_eq!(off.eval_stats().rewritten_steps, 0);
+}

@@ -67,6 +67,54 @@ fn engines_agree_on_figure1_paths() {
     }
 }
 
+/// Engine counters for the batch path: both languages report steps taken
+/// set-at-a-time and steps executed from optimizer-rewritten plans.
+#[test]
+fn engine_counts_batched_and_rewritten_steps() {
+    let doc = generate(&GeneratorConfig {
+        text_len: 700,
+        hierarchies: 3,
+        boundary_jitter: 0.8,
+        nested: true,
+        ..Default::default()
+    });
+    let catalog = Catalog::new();
+    catalog.insert("doc", doc.build_goddag());
+    assert_eq!(catalog.eval_stats(), EvalStats::default(), "counters start at zero");
+
+    // `//e0[xfollowing::e1]` desugars to two axis walks; the optimizer
+    // fuses them into one indexed scan and batch-routes the predicate, so
+    // the (default-on) path reports one batched, rewritten step.
+    catalog.xpath("doc", "//e0[xfollowing::e1]").unwrap();
+    let after_xpath = catalog.eval_stats();
+    assert!(after_xpath.batched_steps >= 1, "{after_xpath:?}");
+    assert!(after_xpath.rewritten_steps >= 1, "{after_xpath:?}");
+    assert!(after_xpath.plan_rewrites >= 2, "fusion + batch routing: {after_xpath:?}");
+
+    // Same path through the XQuery evaluator: counters keep growing.
+    catalog.xquery("doc", "for $n in //e0[xfollowing::e1] return name($n)").unwrap();
+    let after_xquery = catalog.eval_stats();
+    assert!(after_xquery.batched_steps > after_xpath.batched_steps, "{after_xquery:?}");
+    assert!(after_xquery.rewritten_steps > after_xpath.rewritten_steps, "{after_xquery:?}");
+
+    // Optimize off: predicate-free steps still batch, but nothing is
+    // "rewritten" — the knob really selects the as-written plan.
+    let mut session = catalog.session("doc").unwrap();
+    session.options_mut().optimize = false;
+    session.xpath("/descendant::e0/xfollowing::e1").unwrap();
+    let after_off = catalog.eval_stats();
+    assert!(after_off.batched_steps > after_xquery.batched_steps, "{after_off:?}");
+    assert_eq!(after_off.rewritten_steps, after_xquery.rewritten_steps, "{after_off:?}");
+    assert_eq!(after_off.plan_rewrites, after_xquery.plan_rewrites, "{after_off:?}");
+
+    // A positional predicate pins its step to the per-node path: the
+    // rewritten counter must not move for a purely positional step.
+    let before = catalog.eval_stats();
+    catalog.xpath("doc", "/descendant::e0[position() = 2]").unwrap();
+    let after_positional = catalog.eval_stats();
+    assert_eq!(after_positional.rewritten_steps, before.rewritten_steps, "{after_positional:?}");
+}
+
 #[test]
 fn xpath_functions_match_xquery_functions() {
     let g = multihier_xquery::corpus::figure1::goddag();

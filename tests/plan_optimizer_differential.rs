@@ -1,0 +1,271 @@
+//! Differential property suite for the plan-level optimizer: on random
+//! GODDAGs, random paths with mixed positional / position-free predicates
+//! must produce **identical node sets (document order included)** with the
+//! optimizer on and off, through both the XPath and the XQuery entry
+//! points. The as-written plan is the reference oracle; every rewrite
+//! (predicate reordering, `//x` fusion, set-at-a-time batch routing) has
+//! to be invisible in the results.
+//!
+//! The second half pins positional semantics with hand-computed answers:
+//! the optimizer must never reorder across a positional predicate, and a
+//! positional predicate applied *before* a structural one is a different
+//! query than the reverse order.
+
+use multihier_xquery::corpus::{generate, GeneratorConfig};
+use multihier_xquery::goddag::{Goddag, NodeId, StructIndex};
+use multihier_xquery::prelude::*;
+use multihier_xquery::xpath::plan::EvalCounters;
+use multihier_xquery::xpath::{CompiledXPath, Context, Value};
+use multihier_xquery::xquery::{parse_query, run_parsed_with};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        0u32..500,
+        (60usize..240),
+        (1usize..4),
+        (5usize..25),
+        (0usize..=10),
+        prop_oneof![Just(true), Just(false)],
+    )
+        .prop_map(|(seed, text_len, hierarchies, avg_element_len, jitter, nested)| {
+            GeneratorConfig {
+                seed: seed as u64,
+                text_len,
+                hierarchies,
+                avg_element_len,
+                boundary_jitter: jitter as f64 / 10.0,
+                nested,
+            }
+        })
+}
+
+/// Predicates spanning every optimizer class: positional (numeric,
+/// `position()`, `last()`), position-free structural (extended-axis
+/// subqueries, attribute and child tests), and position-free value tests.
+fn arb_predicate() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        // positional
+        Just("1"),
+        Just("2"),
+        Just("position() = 2"),
+        Just("position() < last()"),
+        Just("last()"),
+        Just("count(child::node()) + 1"),
+        // position-free, cheap
+        Just("@n"),
+        Just("child::s0"),
+        Just("string-length(string(.)) > 4"),
+        Just("contains(string(.), 'a')"),
+        // position-free, extended-axis (expensive: reorder targets)
+        Just("xancestor::e0"),
+        Just("xfollowing::e1"),
+        Just("xdescendant::e1"),
+        Just("overlapping::e0"),
+        Just("xancestor::e0[1]"),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = String> {
+    let axis = prop_oneof![
+        Just("descendant"),
+        Just("descendant-or-self"),
+        Just("child"),
+        Just("xfollowing"),
+        Just("xpreceding"),
+        Just("xdescendant"),
+        Just("xancestor"),
+        Just("overlapping"),
+        Just("following"),
+        Just("ancestor"),
+    ];
+    let test = prop_oneof![
+        Just("e0".to_string()),
+        Just("e1".to_string()),
+        Just("s0".to_string()),
+        Just("*".to_string()),
+        Just("node()".to_string()),
+        Just("leaf()".to_string()),
+    ];
+    let preds = proptest::collection::vec(arb_predicate(), 0..3);
+    (axis, test, preds).prop_map(|(a, t, ps)| {
+        let preds: String = ps.iter().map(|p| format!("[{p}]")).collect();
+        format!("{a}::{t}{preds}")
+    })
+}
+
+/// Paths mixing explicit steps with `//` abbreviations (the fusion
+/// target); always absolute so both engines start from the root.
+fn arb_path() -> impl Strategy<Value = String> {
+    let joiner = prop_oneof![Just("/"), Just("//")];
+    (proptest::collection::vec(arb_step(), 1..4), proptest::collection::vec(joiner, 0..3)).prop_map(
+        |(steps, joiners)| {
+            let mut out = String::new();
+            for (i, s) in steps.iter().enumerate() {
+                let sep = if i == 0 { "/" } else { *joiners.get(i - 1).unwrap_or(&"/") };
+                out.push_str(sep);
+                out.push_str(s);
+            }
+            out
+        },
+    )
+}
+
+fn xpath_nodes(
+    g: &Goddag,
+    idx: &StructIndex,
+    compiled: &CompiledXPath,
+    optimize: bool,
+) -> Vec<NodeId> {
+    let v = compiled
+        .evaluate_with(g, idx, &Context::new(NodeId::Root), optimize, &EvalCounters::default())
+        .unwrap();
+    match v {
+        Value::Nodes(ns) => ns,
+        other => panic!("path should yield a node-set, got {other:?}"),
+    }
+}
+
+fn xquery_trace(g: &Goddag, path: &str, optimize: bool) -> String {
+    let q = format!("for $n in {path} return concat(name($n), ':', string($n), '\u{1}')");
+    let ast = parse_query(&q).unwrap();
+    let opts = EvalOptions { optimize, ..Default::default() };
+    run_parsed_with(g, &ast, &opts).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Optimized == unoptimized node sets (order included) for random
+    /// predicate-heavy paths, through both engines.
+    #[test]
+    fn optimizer_is_invisible_in_results(cfg in arb_config(), path in arb_path()) {
+        let g = generate(&cfg).build_goddag();
+        let idx = StructIndex::build(&g);
+        let compiled = CompiledXPath::compile(&path).unwrap();
+
+        let base = xpath_nodes(&g, &idx, &compiled, false);
+        let opt = xpath_nodes(&g, &idx, &compiled, true);
+        prop_assert_eq!(&base, &opt, "xpath optimized vs as-written on `{}`", path);
+        // Results must be in document order with no duplicates.
+        for w in opt.windows(2) {
+            prop_assert_eq!(g.cmp_order(w[0], w[1]), std::cmp::Ordering::Less);
+        }
+
+        let q_base = xquery_trace(&g, &path, false);
+        let q_opt = xquery_trace(&g, &path, true);
+        prop_assert_eq!(&q_base, &q_opt, "xquery optimized vs as-written on `{}`", path);
+    }
+
+    /// The two engines also agree with each other under the optimizer —
+    /// the rewrite layers never diverge between the XPath and XQuery
+    /// wirings.
+    #[test]
+    fn engines_agree_under_optimizer(cfg in arb_config(), path in arb_path()) {
+        let g = generate(&cfg).build_goddag();
+        let idx = StructIndex::build(&g);
+        let compiled = CompiledXPath::compile(&path).unwrap();
+        let xp: Vec<String> = xpath_nodes(&g, &idx, &compiled, true)
+            .iter()
+            .map(|&n| format!("{}:{}", g.name(n).unwrap_or(""), g.string_value(n)))
+            .collect();
+        let xq: Vec<String> = xquery_trace(&g, &path, true)
+            .split('\u{1}')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        prop_assert_eq!(xp, xq, "engines disagree under the optimizer on `{}`", path);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Positional-semantics regression table
+// ----------------------------------------------------------------------
+
+/// Pages + words over the text `aaa bbb ccc`, with the page break placed
+/// *inside* the second word: `bbb` straddles the boundary, so it has no
+/// `xancestor::p` while `aaa` and `ccc` do.
+fn paged() -> Goddag {
+    GoddagBuilder::new()
+        .hierarchy("pages", "<r><p>aaa bb</p><p>b ccc</p></r>")
+        .hierarchy("words", "<r><w>aaa</w> <w>bbb</w> <w>ccc</w></r>")
+        .build()
+        .unwrap()
+}
+
+/// Hand-computed answers for queries mixing positional and structural
+/// predicates. The optimizer must never reorder across a positional
+/// predicate — `w[2][xancestor::p]` (empty: `bbb` straddles the page
+/// break) and `w[xancestor::p][2]` (`ccc`) are different queries.
+#[test]
+fn positional_semantics_pinned() {
+    let g = paged();
+    let idx = StructIndex::build(&g);
+    let table: &[(&str, &[&str])] = &[
+        ("/descendant::w[position() = 2]", &["bbb"]),
+        ("/descendant::w[2]", &["bbb"]),
+        ("/descendant::w[last()]", &["ccc"]),
+        ("/descendant::w[xancestor::p]", &["aaa", "ccc"]),
+        // positional after structural: filter first, then index.
+        ("/descendant::w[xancestor::p][2]", &["ccc"]),
+        ("/descendant::w[xancestor::p][position() = 1]", &["aaa"]),
+        // structural after positional: index first, then filter — the
+        // second word straddles the page break, so nothing survives.
+        ("/descendant::w[2][xancestor::p]", &[]),
+        ("/descendant::w[last()][xancestor::p]", &["ccc"]),
+        // `//w[2]` is "second w-child of each parent", not fusable.
+        ("//w[2]", &["bbb"]),
+        // filter-expression predicates follow the same rules.
+        ("(/descendant::w)[2]", &["bbb"]),
+        ("(/descendant::w[xancestor::p])[last()]", &["ccc"]),
+    ];
+    for (src, expected) in table {
+        let compiled = CompiledXPath::compile(src).unwrap();
+        for optimize in [false, true] {
+            let got: Vec<String> = xpath_nodes(&g, &idx, &compiled, optimize)
+                .iter()
+                .map(|&n| g.string_value(n).to_string())
+                .collect();
+            assert_eq!(
+                &got.iter().map(String::as_str).collect::<Vec<_>>(),
+                expected,
+                "`{src}` with optimize={optimize}"
+            );
+        }
+        // And through the XQuery evaluator, both knob settings.
+        for optimize in [false, true] {
+            let got = xquery_trace(&g, src, optimize);
+            let words: Vec<&str> = got
+                .split('\u{1}')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.split_once(':').unwrap().1)
+                .collect();
+            assert_eq!(&words, expected, "xquery `{src}` with optimize={optimize}");
+        }
+    }
+}
+
+/// The fusion rewrite really fires on this corpus and stays invisible:
+/// `//w` (two desugared walks) equals `/descendant::w`, and the engine
+/// counters prove the optimized run used a rewritten plan.
+#[test]
+fn fusion_equivalence_and_counters() {
+    let g = paged();
+    let idx = StructIndex::build(&g);
+    let compiled = CompiledXPath::compile("//w[xancestor::p]").unwrap();
+    assert!(compiled.report().fused_steps >= 1);
+    assert!(compiled.report().batch_routed_steps >= 1);
+
+    let k = EvalCounters::default();
+    let v = compiled.evaluate_with(&g, &idx, &Context::new(NodeId::Root), true, &k).unwrap();
+    let Value::Nodes(ns) = v else { panic!() };
+    assert_eq!(ns.len(), 2);
+    assert!(k.batched_steps.get() >= 1, "fused step took the batch path");
+    assert!(k.rewritten_steps.get() >= 1);
+
+    // As-written plan: same result, nothing rewritten.
+    let k0 = EvalCounters::default();
+    let v0 = compiled.evaluate_with(&g, &idx, &Context::new(NodeId::Root), false, &k0).unwrap();
+    assert_eq!(v0, Value::Nodes(ns));
+    assert_eq!(k0.rewritten_steps.get(), 0);
+}
