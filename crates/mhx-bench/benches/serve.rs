@@ -1,0 +1,250 @@
+//! E16 — network serving: the full `mhxd` stack under concurrent load.
+//!
+//! A load generator drives real TCP clients through `Server` (accept
+//! loop → worker pool → one `Session` per connection → `Catalog`), and
+//! the snapshot (`BENCH_serve.json`) tracks three throughput ratios:
+//!
+//! * `threads8_vs_1` — 8 keep-alive clients **with think time** (a
+//!   remote client is never back-to-back on loopback) served by 8 worker
+//!   threads vs 1. The worker-per-connection design serializes whole
+//!   connections on one worker, so this measures connection-level
+//!   concurrency — the reason the pool exists — and scales even on a
+//!   single CPU, where pure CPU throughput cannot.
+//! * `keepalive_vs_fresh` — the same request stream over one reused
+//!   connection vs a fresh TCP connect (+ session/registry setup) per
+//!   request.
+//! * `prepared_vs_adhoc` — executing a prepared handle (`{"handle":0}`)
+//!   vs re-sending and re-looking-up the full query text per request.
+//!   The shared plan cache keeps ad-hoc close; the gate only requires
+//!   prepared not to fall behind.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhx_corpus::{generate, GeneratorConfig};
+use mhx_goddag::Goddag;
+use multihier_xquery::prelude::{Catalog, QueryLang};
+use multihier_xquery::server::client::Client;
+use multihier_xquery::server::{Server, ServerConfig};
+use std::hint::black_box;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Scaling workload: clients × requests, with per-request think time.
+const SCALE_CLIENTS: usize = 8;
+const SCALE_REQUESTS: usize = 25;
+const THINK: Duration = Duration::from_millis(2);
+
+/// Sequential workloads (keep-alive vs fresh, prepared vs ad-hoc).
+const SEQ_REQUESTS: usize = 200;
+
+/// Cheap query: wire + connection overheads dominate, so setup costs show.
+const CHEAP_QUERY: &str = "count(/descendant::e0)";
+/// Moderate query for the scaling and prepared workloads.
+const SERVE_QUERY: &str = "for $x in /descendant::e1[overlapping::e0] let $s := string($x) \
+     where string-length($s) > 4 return '#'";
+
+fn corpus_doc() -> Goddag {
+    generate(&GeneratorConfig {
+        seed: 0x5E21E,
+        text_len: 1_200,
+        hierarchies: 3,
+        boundary_jitter: 0.7,
+        avg_element_len: 30,
+        ..Default::default()
+    })
+    .build_goddag()
+}
+
+/// A server over a fresh catalog holding one corpus document (a shutdown
+/// catalog cannot be reused, so every measurement gets its own).
+fn boot(doc: &Goddag, workers: usize) -> Server {
+    let catalog = Arc::new(Catalog::new());
+    catalog.insert("doc", doc.clone());
+    let config = ServerConfig {
+        workers,
+        poll_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    Server::bind(catalog, "127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+fn median_secs(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Wall time for `clients` concurrent keep-alive connections, each doing
+/// `requests` queries with `THINK` of client-side work between them.
+fn timed_concurrent_pass(addr: &str, clients: usize, requests: usize) -> f64 {
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.to_string();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                barrier.wait();
+                for _ in 0..requests {
+                    let out = client.xquery("doc", SERVE_QUERY).expect("query");
+                    black_box(out.serialized.len());
+                    thread::sleep(THINK);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn scaling_pass(doc: &Goddag, workers: usize) -> f64 {
+    let server = boot(doc, workers);
+    let addr = server.addr().to_string();
+    // One warm pass compiles the plan and faults in the index.
+    timed_concurrent_pass(&addr, 2, 2);
+    let mut samples: Vec<f64> =
+        (0..3).map(|_| timed_concurrent_pass(&addr, SCALE_CLIENTS, SCALE_REQUESTS)).collect();
+    let secs = median_secs(&mut samples);
+    server.shutdown();
+    secs
+}
+
+fn serve_benches(c: &mut Criterion) {
+    let doc = corpus_doc();
+    let server = boot(&doc, 4);
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    client.xquery("doc", SERVE_QUERY).expect("warm");
+
+    let mut grp = c.benchmark_group("e16_serve");
+    grp.sample_size(10).measurement_time(Duration::from_millis(800));
+    grp.bench_function("request_keepalive", |b| {
+        b.iter(|| black_box(client.xquery("doc", SERVE_QUERY).expect("query").serialized.len()))
+    });
+    grp.bench_function("request_fresh_connection", |b| {
+        b.iter(|| {
+            let mut c = Client::connect(&addr).expect("connect");
+            black_box(c.xpath("doc", CHEAP_QUERY).expect("query").serialized.len())
+        })
+    });
+    grp.finish();
+    drop(client);
+    server.shutdown();
+}
+
+/// The snapshot: three throughput ratios over the full network stack,
+/// written to `BENCH_serve.json` at the workspace root.
+fn emit_snapshot(_c: &mut Criterion) {
+    let doc = corpus_doc();
+    let nodes = doc.all_nodes().len();
+
+    // --- worker-pool scaling ---------------------------------------
+    let t1 = scaling_pass(&doc, 1);
+    let t8 = scaling_pass(&doc, 8);
+    let scale_requests = (SCALE_CLIENTS * SCALE_REQUESTS) as f64;
+    let threads8_vs_1 = t1 / t8;
+
+    // --- keep-alive vs fresh connections ---------------------------
+    let server = boot(&doc, 4);
+    let addr = server.addr().to_string();
+    let mut keepalive_client = Client::connect(&addr).expect("connect");
+    keepalive_client.xpath("doc", CHEAP_QUERY).expect("warm");
+    let mut keepalive_samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..SEQ_REQUESTS {
+                black_box(
+                    keepalive_client.xpath("doc", CHEAP_QUERY).expect("query").serialized.len(),
+                );
+            }
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let keepalive_secs = median_secs(&mut keepalive_samples);
+    let mut fresh_samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..SEQ_REQUESTS {
+                let mut c = Client::connect(&addr).expect("connect");
+                black_box(c.xpath("doc", CHEAP_QUERY).expect("query").serialized.len());
+            }
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let fresh_secs = median_secs(&mut fresh_samples);
+    let keepalive_vs_fresh = fresh_secs / keepalive_secs;
+
+    // --- prepared vs ad-hoc ----------------------------------------
+    let handle = keepalive_client.prepare(QueryLang::XQuery, SERVE_QUERY).expect("prepare");
+    keepalive_client.execute(handle, Some("doc")).expect("warm");
+    let mut prepared_samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..SEQ_REQUESTS {
+                black_box(
+                    keepalive_client.execute(handle, None).expect("execute").serialized.len(),
+                );
+            }
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let prepared_secs = median_secs(&mut prepared_samples);
+    let mut adhoc_samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..SEQ_REQUESTS {
+                black_box(
+                    keepalive_client.xquery("doc", SERVE_QUERY).expect("query").serialized.len(),
+                );
+            }
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let adhoc_secs = median_secs(&mut adhoc_samples);
+    let prepared_vs_adhoc = adhoc_secs / prepared_secs;
+    drop(keepalive_client);
+    server.shutdown();
+
+    let rps = |secs: f64, requests: f64| requests / secs;
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"corpus_nodes\": {nodes},\n  \
+         \"scale_clients\": {SCALE_CLIENTS},\n  \"scale_requests_per_client\": {SCALE_REQUESTS},\n  \
+         \"think_time_ms\": {},\n  \"seq_requests\": {SEQ_REQUESTS},\n  \
+         \"throughput_rps\": {{\n    \"workers1\": {:.0},\n    \"workers8\": {:.0},\n    \
+         \"keepalive\": {:.0},\n    \"fresh\": {:.0},\n    \"prepared\": {:.0},\n    \
+         \"adhoc\": {:.0}\n  }},\n  \
+         \"ratios\": {{\n    \"threads8_vs_1\": {threads8_vs_1:.2},\n    \
+         \"keepalive_vs_fresh\": {keepalive_vs_fresh:.2},\n    \
+         \"prepared_vs_adhoc\": {prepared_vs_adhoc:.2}\n  }}\n}}\n",
+        THINK.as_millis(),
+        rps(t1, scale_requests),
+        rps(t8, scale_requests),
+        rps(keepalive_secs, SEQ_REQUESTS as f64),
+        rps(fresh_secs, SEQ_REQUESTS as f64),
+        rps(prepared_secs, SEQ_REQUESTS as f64),
+        rps(adhoc_secs, SEQ_REQUESTS as f64),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!(
+        "scaling: {SCALE_CLIENTS} clients × {SCALE_REQUESTS} reqs, 1 worker {t1:.3}s vs \
+         8 workers {t8:.3}s → {threads8_vs_1:.2}x"
+    );
+    println!(
+        "keep-alive {:.0} rps vs fresh-connection {:.0} rps → {keepalive_vs_fresh:.2}x",
+        rps(keepalive_secs, SEQ_REQUESTS as f64),
+        rps(fresh_secs, SEQ_REQUESTS as f64),
+    );
+    println!(
+        "prepared {:.0} rps vs ad-hoc {:.0} rps → {prepared_vs_adhoc:.2}x",
+        rps(prepared_secs, SEQ_REQUESTS as f64),
+        rps(adhoc_secs, SEQ_REQUESTS as f64),
+    );
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, serve_benches, emit_snapshot);
+criterion_main!(benches);

@@ -21,11 +21,12 @@ use mhx_bench::snapshot::{compare, override_batch_floor, parse, tracked_metrics,
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const SNAPSHOTS: [(&str, &str); 4] = [
+const SNAPSHOTS: [(&str, &str); 5] = [
     ("axes", "BENCH_axes.json"),
     ("catalog", "BENCH_catalog.json"),
     ("batch", "BENCH_batch.json"),
     ("plan", "BENCH_plan.json"),
+    ("serve", "BENCH_serve.json"),
 ];
 
 struct Args {

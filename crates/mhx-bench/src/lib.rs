@@ -13,6 +13,9 @@
 //!   cache, `BENCH_catalog.json`);
 //! * `batch` — E15 (batched vs per-node step evaluation on wide context
 //!   sets, `BENCH_batch.json`);
+//! * `serve` — E16 (the `mhxd` network stack under concurrent TCP load:
+//!   worker-pool scaling, keep-alive vs fresh connections, prepared vs
+//!   ad-hoc, `BENCH_serve.json`);
 //! * `goddag_scaling` — E10 (construction scaling);
 //! * `analyze_string` — E11 (Definition-4 machinery).
 //!

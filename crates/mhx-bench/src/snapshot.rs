@@ -14,215 +14,16 @@
 //! 700× speedup is still a vastly healthy 525×) while a real regression
 //! (index stops helping, batch slower than per-node) trips both conditions
 //! at once. Metrics with a `hard_min` (the batch acceptance floor) fail
-//! unconditionally below it. The parser is std-only on purpose: the gate
-//! must not grow dependencies the build environment lacks.
+//! unconditionally below it.
+//!
+//! The JSON layer lives in the shared std-only [`mhx_json`] crate (the
+//! `mhxd` wire format uses the same parser/writer); `parse` and [`Json`]
+//! are re-exported here so gate code and tests keep one import path.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-// ---------- minimal JSON ----------
-
-/// A parsed JSON value. Objects preserve insertion order (irrelevant for
-/// checking, handy for error messages).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(entries) => Some(entries),
-            _ => None,
-        }
-    }
-}
-
-/// Parse a JSON document. Supports exactly what the snapshots use:
-/// objects, arrays, strings with `\"`/`\\`/`\/`/`\b`/`\f`/`\n`/`\r`/`\t`/
-/// `\uXXXX` escapes, numbers, booleans, null.
-pub fn parse(src: &str) -> Result<Json, String> {
-    let bytes = src.as_bytes();
-    let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing content at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut entries = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(entries));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let Json::Str(key) = parse_value(bytes, pos)? else {
-                    return Err(format!("object key must be a string at byte {pos}"));
-                };
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                entries.push((key, parse_value(bytes, pos)?));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(entries));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
-        Some(_) => parse_number(bytes, pos),
-    }
-}
-
-fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(word.as_bytes()) {
-        *pos += word.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number run");
-    text.parse::<f64>().map(Json::Num).map_err(|_| format!("invalid number at byte {start}"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    debug_assert_eq!(bytes[*pos], b'"');
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{0008}'),
-                    Some(b'f') => out.push('\u{000C}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("truncated \\u escape")?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
-                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("invalid escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Copy the whole UTF-8 run up to the next quote/backslash.
-                let start = *pos;
-                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
-                    *pos += 1;
-                }
-                out.push_str(
-                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid UTF-8")?,
-                );
-            }
-        }
-    }
-}
+pub use mhx_json::{parse, Json};
 
 // ---------- tracked metrics ----------
 
@@ -394,6 +195,44 @@ pub fn tracked_metrics(file: &str, doc: &Json) -> Result<Vec<Metric>, String> {
             }
             if out.is_empty() {
                 return Err("BENCH_plan.json: `speedups` is empty".into());
+            }
+        }
+        "serve" => {
+            // Network-serving throughput ratios from `benches/serve.rs`.
+            // Thread scaling is the load-bearing row: a worker pool that
+            // stops scaling connection concurrency trips its hard floor.
+            // The keep-alive and prepared rows measure per-request
+            // overheads (connection setup, query-text re-transmission +
+            // cache lookup) that are real but small next to evaluation, so
+            // they gate near parity.
+            let ratios = doc
+                .get("ratios")
+                .and_then(Json::as_obj)
+                .ok_or("BENCH_serve.json: missing `ratios` object")?;
+            for (name, v) in ratios {
+                let ratio = v.as_f64().ok_or("BENCH_serve.json: non-numeric ratio")?;
+                // Every label is matched explicitly, like the plan rows: an
+                // unknown row means benches/serve.rs drifted from the gate.
+                let (healthy, hard_min) = match name.as_str() {
+                    "threads8_vs_1" => (2.0, Some(1.1)),
+                    "keepalive_vs_fresh" => (1.1, Some(0.9)),
+                    "prepared_vs_adhoc" => (1.0, Some(0.7)),
+                    other => {
+                        return Err(format!(
+                            "BENCH_serve.json: unknown ratio row `{other}` — register its \
+                             floors in tracked_metrics"
+                        ));
+                    }
+                };
+                out.push(Metric {
+                    name: format!("serve:{name}:ratio"),
+                    value: ratio,
+                    healthy,
+                    hard_min,
+                });
+            }
+            if out.is_empty() {
+                return Err("BENCH_serve.json: `ratios` is empty".into());
             }
         }
         other => return Err(format!("unknown snapshot kind `{other}`")),
@@ -583,6 +422,54 @@ mod tests {
         let fresh = tracked_metrics("plan", &parse(wobbly).unwrap()).unwrap();
         let verdicts = compare(&base, &fresh, 0.25);
         assert!(verdicts.iter().all(|v| v.passed), "{verdicts:?}");
+    }
+
+    const SERVE: &str = r#"{
+  "bench": "serve",
+  "ratios": {
+    "threads8_vs_1": 5.5,
+    "keepalive_vs_fresh": 1.6,
+    "prepared_vs_adhoc": 1.1
+  }
+}"#;
+
+    #[test]
+    fn serve_metrics_gate_thread_scaling_hard() {
+        let base = tracked_metrics("serve", &parse(SERVE).unwrap()).unwrap();
+        assert_eq!(base.len(), 3);
+        let scaling = base.iter().find(|m| m.name == "serve:threads8_vs_1:ratio").unwrap();
+        assert_eq!(scaling.hard_min, Some(1.1), "scaling must always beat one worker");
+
+        // The pool "stopped scaling": all ratios collapse to ~parity or
+        // worse — the scaling row dies on its hard floor, the others on
+        // the relative+health rule.
+        let degraded = r#"{
+  "ratios": {
+    "threads8_vs_1": 1.0,
+    "keepalive_vs_fresh": 0.5,
+    "prepared_vs_adhoc": 0.4
+  }
+}"#;
+        let fresh = tracked_metrics("serve", &parse(degraded).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(verdicts.iter().all(|v| !v.passed), "{verdicts:?}");
+
+        // A wobble above the floors passes.
+        let wobbly = r#"{
+  "ratios": {
+    "threads8_vs_1": 3.2,
+    "keepalive_vs_fresh": 1.2,
+    "prepared_vs_adhoc": 1.0
+  }
+}"#;
+        let fresh = tracked_metrics("serve", &parse(wobbly).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(verdicts.iter().all(|v| v.passed), "{verdicts:?}");
+
+        // Unregistered rows fail loudly, like the plan table.
+        let drifted = r#"{"ratios": {"threads_16_vs_1": 9.0}}"#;
+        let err = tracked_metrics("serve", &parse(drifted).unwrap()).unwrap_err();
+        assert!(err.contains("threads_16_vs_1"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! # mhx-json — minimal std-only JSON
+//!
+//! One small JSON implementation shared by the two places the workspace
+//! speaks JSON: the `mhxd` network wire format (`multihier_xquery::server`)
+//! and the `bench-check` perf gate (`mhx_bench::snapshot`). Std-only on
+//! purpose — the build environment is offline, so the gate and the server
+//! must not grow external dependencies.
+//!
+//! The parser supports exactly what those callers produce: objects,
+//! arrays, strings with the standard escapes (`\"` `\\` `\/` `\b` `\f`
+//! `\n` `\r` `\t` `\uXXXX`), numbers, booleans, null. The writer is the
+//! inverse: [`Json::write_into`] emits compact JSON with all mandatory
+//! escaping (control characters included), and round-trips through
+//! [`parse`].
+//!
+//! ```
+//! use mhx_json::{parse, Json};
+//!
+//! let doc = parse(r#"{"query": "count(/descendant::w)", "lang": "xpath"}"#).unwrap();
+//! assert_eq!(doc.get("lang").and_then(Json::as_str), Some("xpath"));
+//!
+//! let reply = Json::Obj(vec![
+//!     ("ok".into(), Json::Bool(true)),
+//!     ("serialized".into(), Json::Str("<w>þa</w>".into())),
+//! ]);
+//! assert_eq!(parse(&reply.to_string()).unwrap(), reply);
+//! ```
+
+use std::fmt;
+
+/// A parsed JSON value. Objects preserve insertion order (irrelevant for
+/// equality-by-key lookups, handy for error messages and stable output).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (first match wins); `None` on any other
+    /// variant.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, when it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Write this value as compact JSON onto `out`.
+    pub fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\":");
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// `Display` is the compact writer, so `to_string()` serializes.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Serialize a number the way JSON expects: integral values print without
+/// a fractional part, non-finite values (which JSON cannot represent)
+/// degrade to `null`.
+fn write_number(n: f64, out: &mut String) {
+    use fmt::Write;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+        write!(out, "{}", n as i64).expect("write to String");
+    } else {
+        write!(out, "{n}").expect("write to String");
+    }
+}
+
+/// Append `s` to `out` with JSON string escaping: `"` and `\` are escaped,
+/// control characters become `\n`/`\r`/`\t`/`\uXXXX`. Everything else
+/// (including non-ASCII) passes through as UTF-8.
+pub fn escape_into(s: &str, out: &mut String) {
+    use fmt::Write;
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).expect("write to String"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// [`escape_into`] returning a fresh `String` (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+/// Parse a JSON document (one top-level value, trailing content rejected).
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let Json::Str(key) = parse_value(bytes, pos)? else {
+                    return Err(format!("object key must be a string at byte {pos}"));
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                entries.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number run");
+    text.parse::<f64>().map(Json::Num).map_err(|_| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
+                        // Non-BMP characters arrive as UTF-16 surrogate
+                        // pairs (`😀`); combine a high surrogate
+                        // with the following `\uXXXX` low surrogate.
+                        let low = (0xD800..0xDC00)
+                            .contains(&code)
+                            .then(|| {
+                                if bytes.get(*pos + 5..*pos + 7) != Some(b"\\u") {
+                                    return None;
+                                }
+                                bytes
+                                    .get(*pos + 7..*pos + 11)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .filter(|l| (0xDC00..0xE000).contains(l))
+                            })
+                            .flatten();
+                        match low {
+                            Some(low) => {
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(combined).unwrap_or('\u{FFFD}'));
+                                *pos += 10;
+                            }
+                            None => {
+                                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                *pos += 4;
+                            }
+                        }
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the whole UTF-8 run up to the next quote/backslash.
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid UTF-8")?,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_all_value_shapes() {
+        let doc = parse(r#"{"a": [1, -2.5, 1e3], "b": {"c": null, "d": true}, "e": "x"}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_arr).unwrap().len(), 3);
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(1000.0));
+        assert_eq!(doc.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
+        assert_eq!(doc.get("b").and_then(|b| b.get("d")).and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("e").and_then(Json::as_str), Some("x"));
+        let esc = parse(r#"{"s": "a\"b\\c\ndéé"}"#).unwrap();
+        assert_eq!(esc.get("s").and_then(Json::as_str), Some("a\"b\\c\ndéé"));
+        // UTF-16 surrogate pairs (what ensure_ascii encoders emit for
+        // non-BMP characters) combine into the real character.
+        let emoji = parse(r#""😀!""#).unwrap();
+        assert_eq!(emoji.as_str(), Some("😀!"));
+        // Lone or mismatched surrogates degrade to U+FFFD, not an error.
+        assert_eq!(parse(r#""\ud83dx""#).unwrap().as_str(), Some("\u{FFFD}x"));
+        assert_eq!(parse(r#""\ud83dA""#).unwrap().as_str(), Some("\u{FFFD}A"));
+        assert!(parse("{").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse(r#"{"x": nope}"#).is_err());
+        assert!(parse(r#"{"x" 1}"#).is_err());
+        assert!(parse(r#"[1 2]"#).is_err());
+    }
+
+    #[test]
+    fn writer_round_trips_through_the_parser() {
+        let value = Json::Obj(vec![
+            ("query".into(), Json::Str("//w[string(.) = \"þa\"]\n\tline2\u{1}".into())),
+            ("count".into(), Json::Num(42.0)),
+            ("ratio".into(), Json::Num(2.5)),
+            ("flags".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("nested".into(), Json::Obj(vec![("empty".into(), Json::Arr(vec![]))])),
+        ]);
+        let text = value.to_string();
+        assert_eq!(parse(&text).unwrap(), value);
+        // Integral numbers print without a fractional part.
+        assert!(text.contains("\"count\":42,"), "{text}");
+        // Control characters are escaped, so the output is single-line.
+        assert!(!text.contains('\n'), "{text}");
+        assert!(text.contains("\\u0001"), "{text}");
+    }
+
+    #[test]
+    fn escaping_covers_the_mandatory_set() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(escape("\u{0002}"), "\\u0002");
+        assert_eq!(escape("déjà"), "déjà", "non-ASCII passes through");
+    }
+
+    #[test]
+    fn integer_accessor_rejects_fractions_and_negatives() {
+        assert_eq!(Json::Num(3.0).as_u64(), Some(3));
+        assert_eq!(Json::Num(3.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Str("3".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+}

@@ -8,6 +8,7 @@
 //! mhxq --doc ms=encoding.xml 'count(/descendant::leaf())'
 //! mhxq --figure1 --xslt-mode --query-file q.xq
 //! mhxq --figure1 --dump           # print the KyGODDAG outline instead
+//! mhxq --connect 127.0.0.1:7077 --stats 'count(//w)'   # query a running mhxd
 //! ```
 //!
 //! Each `--doc ID` starts a new document; subsequent `-h NAME=FILE` flags
@@ -17,19 +18,29 @@
 //! flag. Without `--doc`, hierarchies build the single document `main`.
 //! The query runs against every document through one shared plan cache:
 //! it compiles once, no matter how many manuscripts it serves.
+//!
+//! With `--connect ADDR` the query runs on a remote `mhxd` daemon instead
+//! of in-process: `--doc ID=FILE` / `-h NAME=FILE` upload documents to the
+//! server first, bare `--doc ID` selects already-registered documents (no
+//! `--doc` at all queries every document the server has), and `--stats`
+//! prints the server's cache/eval counters plus the per-connection session
+//! counters from `/stats`.
 
+use mhx_json::Json;
 use multihier_xquery::corpus::figure1;
 use multihier_xquery::goddag::{dot, Goddag, GoddagBuilder};
-use multihier_xquery::prelude::{Catalog, EvalOptions};
+use multihier_xquery::prelude::{Catalog, EvalOptions, QueryLang};
+use multihier_xquery::server::client::{Client, ClientError};
 use multihier_xquery::xquery::AnalyzeMode;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mhxq [--doc ID[=FILE]]... [-h NAME=FILE]... [--figure1] [--xpath]\n\
-         \x20           [--xslt-mode] [--space-separator] [--stats]\n\
+        "usage: mhxq [--connect ADDR] [--doc ID[=FILE]]... [-h NAME=FILE]... [--figure1]\n\
+         \x20           [--xpath] [--xslt-mode] [--space-separator] [--stats]\n\
          \x20           [--dump | --dot] (QUERY | --query-file FILE)\n\
          \n\
+         --connect ADDR     run against a remote mhxd at ADDR instead of in-process\n\
          --doc ID           start document ID; following -h flags attach to it\n\
          --doc ID=FILE      register document ID from a single XML file\n\
          -h NAME=FILE       add hierarchy NAME from XML file FILE (repeatable)\n\
@@ -87,6 +98,162 @@ impl DocSpec {
     }
 }
 
+/// `--connect` mode: run the query on a remote `mhxd` over the wire
+/// protocol. Never returns; the process exit code mirrors local mode.
+fn run_remote(
+    addr: &str,
+    docs: Vec<DocSpec>,
+    opts: &EvalOptions,
+    use_xpath: bool,
+    stats: bool,
+    query: Option<String>,
+) -> ! {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            exit(1);
+        }
+    };
+
+    // Upload documents that came with content; bare `--doc ID` selects
+    // documents already registered on the server.
+    let mut targets: Vec<String> = Vec::new();
+    for d in docs {
+        if d.prebuilt.is_some() {
+            eprintln!("--figure1 is built locally; a remote mhxd loads it with its own flag");
+            exit(2);
+        }
+        if !d.hierarchies.is_empty() {
+            let pairs: Vec<(&str, &str)> =
+                d.hierarchies.iter().map(|(n, x)| (n.as_str(), x.as_str())).collect();
+            if let Err(e) = client.put_document(&d.id, &pairs) {
+                eprintln!("uploading document `{}` failed: {e}", d.id);
+                exit(1);
+            }
+        }
+        targets.push(d.id);
+    }
+    if targets.is_empty() {
+        targets = match client.documents() {
+            Ok(ids) => ids,
+            Err(e) => {
+                eprintln!("cannot list server documents: {e}");
+                exit(1);
+            }
+        };
+        if targets.is_empty() {
+            eprintln!("the server at {addr} has no documents (upload one with --doc ID=FILE)");
+            exit(1);
+        }
+    }
+
+    let Some(query) = query else {
+        eprintln!("no query given");
+        usage();
+    };
+    let lang = if use_xpath { QueryLang::XPath } else { QueryLang::XQuery };
+    // Non-default evaluation knobs travel once; they stick to this
+    // connection's server-side session.
+    let mut patch = Vec::new();
+    if opts.analyze_mode == AnalyzeMode::Xslt {
+        patch.push(("analyze_mode".to_string(), Json::Str("xslt".into())));
+    }
+    if opts.space_separator {
+        patch.push(("space_separator".to_string(), Json::Bool(true)));
+    }
+    let mut options = (!patch.is_empty()).then_some(Json::Obj(patch));
+
+    let multi = targets.len() > 1;
+    let mut failed = false;
+    for id in &targets {
+        match client.query_with(Some(id), lang, &query, options.take().as_ref()) {
+            Ok(out) => {
+                if multi {
+                    println!("[{id}] {}", out.serialized);
+                } else {
+                    println!("{}", out.serialized);
+                }
+            }
+            // Parse/compile errors belong to the query text: report once
+            // and stop, like local mode.
+            Err(ClientError::Server { kind, message, .. })
+                if kind == "parse" || kind == "compile" =>
+            {
+                eprintln!("{message}");
+                failed = true;
+                break;
+            }
+            Err(e) => {
+                eprintln!("{}{e}", if multi { format!("[{id}] ") } else { String::new() });
+                failed = true;
+            }
+        }
+    }
+
+    if stats {
+        match client.stats() {
+            Ok(s) => print_remote_stats(&s),
+            Err(e) => {
+                eprintln!("cannot fetch server stats: {e}");
+                failed = true;
+            }
+        }
+    }
+    exit(if failed { 1 } else { 0 });
+}
+
+/// Render the `/stats` document the way local `--stats` prints its
+/// counters, plus the per-connection session rows the server tracks.
+fn print_remote_stats(s: &Json) {
+    let n = |obj: Option<&Json>, key: &str| -> u64 {
+        obj.and_then(|o| o.get(key)).and_then(Json::as_u64).unwrap_or(0)
+    };
+    let cache = s.get("cache");
+    eprintln!(
+        "plan cache: {} hits ({} cross-document), {} misses, {} evictions, {} entries",
+        n(cache, "hits"),
+        n(cache, "cross_doc_hits"),
+        n(cache, "misses"),
+        n(cache, "evictions"),
+        n(cache, "entries"),
+    );
+    let eval = s.get("eval");
+    eprintln!(
+        "evaluation: {} batched steps, {} rewritten steps, {} plan rewrites (optimizer)",
+        n(eval, "batched_steps"),
+        n(eval, "rewritten_steps"),
+        n(eval, "plan_rewrites"),
+    );
+    let server = s.get("server");
+    eprintln!(
+        "server: {} workers, {} connections accepted, {} requests, {} active connections",
+        n(server, "workers"),
+        n(server, "connections_accepted"),
+        n(server, "requests"),
+        n(server, "active_connections"),
+    );
+    let sessions = server.and_then(|o| o.get("sessions")).and_then(Json::as_arr).unwrap_or(&[]);
+    for sess in sessions {
+        let sess = Some(sess);
+        let doc = sess
+            .and_then(|o| o.get("doc"))
+            .and_then(Json::as_str)
+            .filter(|d| !d.is_empty())
+            .unwrap_or("-");
+        let peer = sess.and_then(|o| o.get("peer")).and_then(Json::as_str).unwrap_or("?");
+        eprintln!(
+            "  session {} ({peer}, doc {doc}): {} requests, {} batched steps, \
+             {} rewritten steps, {} plan rewrites",
+            n(sess, "conn"),
+            n(sess, "requests"),
+            n(sess, "batched_steps"),
+            n(sess, "rewritten_steps"),
+            n(sess, "plan_rewrites"),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut docs: Vec<DocSpec> = Vec::new();
@@ -105,9 +272,15 @@ fn main() {
         docs.last_mut().expect("just ensured non-empty")
     }
 
+    let mut connect: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--connect" => {
+                i += 1;
+                let Some(addr) = args.get(i) else { usage() };
+                connect = Some(addr.clone());
+            }
             "--doc" => {
                 i += 1;
                 let Some(spec) = args.get(i) else { usage() };
@@ -174,6 +347,14 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if let Some(addr) = connect {
+        if dump || dotout {
+            eprintln!("--dump/--dot inspect a local document; they don't work with --connect");
+            exit(2);
+        }
+        run_remote(&addr, docs, &opts, use_xpath, stats, query);
     }
 
     if docs.is_empty() {

@@ -27,8 +27,9 @@ use mhx_xpath::{CompiledXPath, Context};
 use mhx_xquery::ast::Clause;
 use mhx_xquery::{parse_query, CompiledXQuery, EvalOptions, QExpr};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
 /// Cumulative per-catalog evaluation counters (both query languages), the
 /// runtime complement of the compile-time [`CacheStats`]. Snapshot via
@@ -49,8 +50,11 @@ pub struct EvalStats {
     pub plan_rewrites: u64,
 }
 
+/// Atomic accumulator behind [`EvalStats`] snapshots. The catalog owns one
+/// for its totals; every [`Session`] owns another, so per-connection
+/// counters come for free on the same evaluation path.
 #[derive(Default)]
-struct EvalTotals {
+pub(crate) struct EvalTotals {
     batched_steps: AtomicU64,
     rewritten_steps: AtomicU64,
     plan_rewrites: AtomicU64,
@@ -63,12 +67,30 @@ impl EvalTotals {
         self.plan_rewrites.fetch_add(plan_rewrites, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> EvalStats {
+    pub(crate) fn snapshot(&self) -> EvalStats {
         EvalStats {
             batched_steps: self.batched_steps.load(Ordering::Relaxed),
             rewritten_steps: self.rewritten_steps.load(Ordering::Relaxed),
             plan_rewrites: self.plan_rewrites.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// RAII in-flight marker: increments on entry to evaluation, decrements on
+/// every exit path (including panics), so [`Catalog::drain`] can wait for
+/// a true zero.
+struct InFlight<'a>(&'a AtomicU64);
+
+impl<'a> InFlight<'a> {
+    fn enter(counter: &'a AtomicU64) -> InFlight<'a> {
+        counter.fetch_add(1, Ordering::SeqCst);
+        InFlight(counter)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -149,6 +171,8 @@ pub struct Catalog {
     cache: SharedPlanCache,
     opts: EvalOptions,
     eval_totals: EvalTotals,
+    shutting_down: AtomicBool,
+    in_flight: AtomicU64,
 }
 
 impl Default for Catalog {
@@ -172,6 +196,8 @@ impl Catalog {
             cache: SharedPlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             opts,
             eval_totals: EvalTotals::default(),
+            shutting_down: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
         }
     }
 
@@ -208,6 +234,59 @@ impl Catalog {
     /// all documents and both query languages.
     pub fn eval_stats(&self) -> EvalStats {
         self.eval_totals.snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Graceful shutdown
+    // ------------------------------------------------------------------
+
+    /// Start draining: queries already evaluating run to completion, but
+    /// every subsequent query, prepare, session-open, and
+    /// [`Catalog::add_hierarchy`] returns [`EngineError::ShuttingDown`].
+    /// Registry surgery ([`Catalog::insert`] / [`Catalog::remove`]) stays
+    /// available — those are infallible owner-side operations, and a
+    /// serving front end gates client-driven uploads itself (the `mhxd`
+    /// upload endpoint answers 503 while draining). Irreversible by
+    /// design — a draining catalog is on its way out of service.
+    ///
+    /// The flag + in-flight counter are what a serving front end's
+    /// ctrl-c/SIGTERM path needs to stop without dropping a request
+    /// mid-response: flip the flag, then [`Catalog::drain`].
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Number of evaluations currently running.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Wait until no evaluation is in flight (true) or `timeout` elapses
+    /// (false). Typically called after [`Catalog::begin_shutdown`]; without
+    /// the flag set, new arrivals can keep the counter nonzero forever.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.in_flight() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// The common refusal check: every serving entry point calls this
+    /// *after* registering in-flight state (or before doing any work at
+    /// all), so `begin_shutdown → drain` observes a consistent world.
+    fn check_open(&self) -> Result<(), EngineError> {
+        if self.is_shutting_down() {
+            return Err(EngineError::ShuttingDown);
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -287,6 +366,7 @@ impl Catalog {
     /// write lock (queries on other documents are unaffected); the index
     /// rebuilds lazily on the next query. Compiled plans stay valid.
     pub fn add_hierarchy(&self, id: &str, name: &str, xml: &str) -> Result<(), EngineError> {
+        self.check_open()?;
         let entry = self.entry(id)?;
         let doc = mhx_xml::parse(xml)?;
         let mut g = entry.g.write().unwrap_or_else(PoisonError::into_inner);
@@ -300,19 +380,22 @@ impl Catalog {
 
     /// Evaluate an XPath expression from the root of document `id`.
     pub fn xpath(&self, id: &str, src: &str) -> Result<QueryOutcome, EngineError> {
-        // Resolve the document first: an unknown id fails without
-        // compiling (or caching) anything.
+        // Refuse before compiling: a draining catalog must not pay for
+        // (or cache) new plans. Then resolve the document, so an unknown
+        // id also fails without compiling anything.
+        self.check_open()?;
         let entry = self.entry(id)?;
         let plan = self.plan_for(QueryLang::XPath, src, Some(id))?;
-        self.eval_entry(&entry, &plan, &self.opts)
+        self.eval_entry(&entry, &plan, &self.opts, None)
     }
 
     /// Run an XQuery query against document `id` with the catalog's
     /// default options.
     pub fn xquery(&self, id: &str, src: &str) -> Result<QueryOutcome, EngineError> {
+        self.check_open()?;
         let entry = self.entry(id)?;
         let plan = self.plan_for(QueryLang::XQuery, src, Some(id))?;
-        self.eval_entry(&entry, &plan, &self.opts)
+        self.eval_entry(&entry, &plan, &self.opts, None)
     }
 
     /// Language-dispatched entry point (what a network front end calls).
@@ -338,6 +421,7 @@ impl Catalog {
     /// assert_eq!(catalog.execute("ms", &q).unwrap().serialize(), "2");
     /// ```
     pub fn prepare(&self, lang: QueryLang, src: &str) -> Result<Prepared, EngineError> {
+        self.check_open()?;
         let plan = self.plan_for(lang, src, None)?;
         Ok(Prepared::new(lang, src.to_string(), plan))
     }
@@ -345,23 +429,25 @@ impl Catalog {
     /// Execute a prepared query against document `id` with the catalog's
     /// default options.
     pub fn execute(&self, id: &str, prepared: &Prepared) -> Result<QueryOutcome, EngineError> {
-        self.eval_plan(id, prepared.plan(), &self.opts)
+        self.eval_plan(id, prepared.plan(), &self.opts, None)
     }
 
     /// Execute a prepared query with explicit options (sessions route
-    /// through this).
+    /// through this, threading their own counters).
     pub(crate) fn execute_with(
         &self,
         id: &str,
         plan: &CachedPlan,
         opts: &EvalOptions,
+        session_totals: Option<&EvalTotals>,
     ) -> Result<QueryOutcome, EngineError> {
-        self.eval_plan(id, plan, opts)
+        self.eval_plan(id, plan, opts, session_totals)
     }
 
     /// Open a per-connection handle pinned to document `id`, carrying its
     /// own [`EvalOptions`] (initialized from the catalog defaults).
     pub fn session(&self, id: &str) -> Result<Session<'_>, EngineError> {
+        self.check_open()?;
         if !self.contains(id) {
             return Err(EngineError::unknown_document(id));
         }
@@ -405,9 +491,10 @@ impl Catalog {
         id: &str,
         plan: &CachedPlan,
         opts: &EvalOptions,
+        session_totals: Option<&EvalTotals>,
     ) -> Result<QueryOutcome, EngineError> {
         let entry = self.entry(id)?;
-        self.eval_entry(&entry, plan, opts)
+        self.eval_entry(&entry, plan, opts, session_totals)
     }
 
     fn eval_entry(
@@ -415,9 +502,22 @@ impl Catalog {
         entry: &DocEntry,
         plan: &CachedPlan,
         opts: &EvalOptions,
+        session_totals: Option<&EvalTotals>,
     ) -> Result<QueryOutcome, EngineError> {
+        // Register in flight *before* checking the flag: a concurrent
+        // `begin_shutdown → drain` either sees the flag refuse us, or sees
+        // our increment and waits for the full evaluation — never a query
+        // it doesn't know about.
+        let _in_flight = InFlight::enter(&self.in_flight);
+        self.check_open()?;
         let g = entry.g.read().unwrap_or_else(PoisonError::into_inner);
         let idx = entry.current_index(&g);
+        let record = |batched: u64, rewritten: u64, plan_rewrites: u64| {
+            self.eval_totals.add(batched, rewritten, plan_rewrites);
+            if let Some(totals) = session_totals {
+                totals.add(batched, rewritten, plan_rewrites);
+            }
+        };
         match plan {
             CachedPlan::XPath(p) => {
                 let ctx = Context::new(NodeId::Root);
@@ -426,20 +526,12 @@ impl Catalog {
                     .evaluate_with(&g, &idx, &ctx, opts.optimize, &counters)
                     .map_err(xpath_eval_error)?;
                 let rewrites = if opts.optimize { p.report().total() as u64 } else { 0 };
-                self.eval_totals.add(
-                    counters.batched_steps.get(),
-                    counters.rewritten_steps.get(),
-                    rewrites,
-                );
+                record(counters.batched_steps.get(), counters.rewritten_steps.get(), rewrites);
                 Ok(QueryOutcome::from_xpath_value(v, &g, &idx, opts))
             }
             CachedPlan::XQuery(q) => {
                 let (out, stats) = q.run_with_index(&g, Some(&idx), opts).map_err(xquery_error)?;
-                self.eval_totals.add(
-                    stats.batched_steps,
-                    stats.rewritten_steps,
-                    stats.plan_rewrites,
-                );
+                record(stats.batched_steps, stats.rewritten_steps, stats.plan_rewrites);
                 Ok(QueryOutcome::from_markup(out))
             }
         }
@@ -645,6 +737,82 @@ mod tests {
                 other => panic!("`{q}` should fail the static check, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_and_drains() {
+        let c = Catalog::new();
+        c.insert("ms", two_hierarchies());
+        assert!(!c.is_shutting_down());
+        assert_eq!(c.in_flight(), 0);
+        assert!(c.xpath("ms", "/descendant::w").is_ok());
+
+        c.begin_shutdown();
+        assert!(c.is_shutting_down());
+        for result in [
+            c.xpath("ms", "/descendant::w"),
+            c.xquery("ms", "count(/descendant::w)"),
+            c.prepare(QueryLang::XPath, "/descendant::w").map(|_| unreachable!()),
+            c.add_hierarchy("ms", "x", "<r>nope</r>").map(|_| unreachable!()),
+        ] {
+            assert!(matches!(result, Err(EngineError::ShuttingDown)), "{result:?}");
+        }
+        assert!(matches!(c.session("ms"), Err(EngineError::ShuttingDown)));
+        // Nothing was in flight, so the drain completes immediately.
+        assert!(c.drain(std::time::Duration::from_secs(1)));
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn shutdown_mid_traffic_never_truncates_a_result() {
+        // N threads hammer the catalog while the main thread flips the
+        // shutdown flag: every query must either complete with the full
+        // (known) answer or be refused whole — no partial results, and
+        // drain() must reach zero in flight.
+        let c = std::sync::Arc::new(Catalog::new());
+        c.insert("ms", two_hierarchies());
+        let expected = c.xquery("ms", "for $w in /descendant::w return string($w)").unwrap();
+        let expected = expected.serialize().to_string();
+
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(5));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                let barrier = std::sync::Arc::clone(&barrier);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut completed = 0u32;
+                    let mut refused = 0u32;
+                    loop {
+                        match c.xquery("ms", "for $w in /descendant::w return string($w)") {
+                            Ok(out) => {
+                                assert_eq!(out.serialize(), expected, "truncated result");
+                                completed += 1;
+                            }
+                            Err(EngineError::ShuttingDown) => {
+                                refused += 1;
+                                break;
+                            }
+                            Err(other) => panic!("unexpected error {other:?}"),
+                        }
+                    }
+                    (completed, refused)
+                })
+            })
+            .collect();
+        barrier.wait();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.begin_shutdown();
+        assert!(c.drain(std::time::Duration::from_secs(5)), "drain timed out");
+        assert_eq!(c.in_flight(), 0);
+        let mut total_completed = 0;
+        for h in handles {
+            let (completed, refused) = h.join().unwrap();
+            assert_eq!(refused, 1, "every worker ends on a clean refusal");
+            total_completed += completed;
+        }
+        assert!(total_completed > 0, "some queries completed before the drain");
     }
 
     #[test]

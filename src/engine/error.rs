@@ -64,6 +64,9 @@ pub enum EngineError {
     /// A document could not be assembled (XML syntax, CMH text mismatch,
     /// duplicate hierarchy name, …).
     Document { message: String },
+    /// The catalog is draining for shutdown: in-flight queries finish, new
+    /// ones are refused (serving front ends map this to 503).
+    ShuttingDown,
 }
 
 impl EngineError {
@@ -112,6 +115,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Document { message } => {
                 write!(f, "document error: {message}")
+            }
+            EngineError::ShuttingDown => {
+                write!(f, "catalog is shutting down (draining in-flight queries)")
             }
         }
     }

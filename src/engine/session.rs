@@ -5,7 +5,7 @@
 //! statements shared through the catalog's plan cache.
 
 use crate::engine::cache::CachedPlan;
-use crate::engine::catalog::Catalog;
+use crate::engine::catalog::{Catalog, EvalStats, EvalTotals};
 use crate::engine::error::{EngineError, QueryLang};
 use crate::engine::result::QueryOutcome;
 use mhx_xquery::EvalOptions;
@@ -70,11 +70,12 @@ pub struct Session<'c> {
     catalog: &'c Catalog,
     doc: String,
     opts: EvalOptions,
+    totals: EvalTotals,
 }
 
 impl<'c> Session<'c> {
     pub(crate) fn new(catalog: &'c Catalog, doc: String, opts: EvalOptions) -> Session<'c> {
-        Session { catalog, doc, opts }
+        Session { catalog, doc, opts, totals: EvalTotals::default() }
     }
 
     /// The pinned document id.
@@ -103,17 +104,25 @@ impl<'c> Session<'c> {
         self
     }
 
+    /// This session's own evaluation counters (the per-connection view of
+    /// [`Catalog::eval_stats`]): batched / rewritten steps from queries
+    /// run *through this session* only. Serving front ends surface these
+    /// per connection.
+    pub fn eval_stats(&self) -> EvalStats {
+        self.totals.snapshot()
+    }
+
     /// Evaluate an XPath expression against the pinned document.
     pub fn xpath(&self, src: &str) -> Result<QueryOutcome, EngineError> {
         let plan = self.catalog.plan_for(QueryLang::XPath, src, Some(&self.doc))?;
-        self.catalog.execute_with(&self.doc, &plan, &self.opts)
+        self.catalog.execute_with(&self.doc, &plan, &self.opts, Some(&self.totals))
     }
 
     /// Run an XQuery query against the pinned document with this session's
     /// options.
     pub fn xquery(&self, src: &str) -> Result<QueryOutcome, EngineError> {
         let plan = self.catalog.plan_for(QueryLang::XQuery, src, Some(&self.doc))?;
-        self.catalog.execute_with(&self.doc, &plan, &self.opts)
+        self.catalog.execute_with(&self.doc, &plan, &self.opts, Some(&self.totals))
     }
 
     /// Language-dispatched entry point.
@@ -127,7 +136,7 @@ impl<'c> Session<'c> {
     /// Execute a prepared query against the pinned document with this
     /// session's options.
     pub fn run(&self, prepared: &Prepared) -> Result<QueryOutcome, EngineError> {
-        self.catalog.execute_with(&self.doc, prepared.plan(), &self.opts)
+        self.catalog.execute_with(&self.doc, prepared.plan(), &self.opts, Some(&self.totals))
     }
 }
 
@@ -177,6 +186,29 @@ mod tests {
         let misses_before = c.cache_stats().misses;
         assert_eq!(c.execute("ms", &q).unwrap().serialize(), "1");
         assert_eq!(c.cache_stats().misses, misses_before);
+    }
+
+    #[test]
+    fn sessions_count_their_own_evaluations() {
+        let c = Catalog::new();
+        c.insert(
+            "ms",
+            GoddagBuilder::new()
+                .hierarchy("lines", "<r><line>ab</line><line>cd</line></r>")
+                .hierarchy("words", "<r><w>a</w><w>bcd</w></r>")
+                .build()
+                .unwrap(),
+        );
+        let busy = c.session("ms").unwrap();
+        let idle = c.session("ms").unwrap();
+        // Batched predicate-free steps through one session only.
+        busy.xpath("/descendant::w").unwrap();
+        busy.xquery("count(/descendant::line)").unwrap();
+        let busy_stats = busy.eval_stats();
+        assert!(busy_stats.batched_steps > 0, "{busy_stats:?}");
+        assert_eq!(idle.eval_stats(), EvalStats::default(), "idle session saw nothing");
+        // The catalog totals cover both sessions (here: just the busy one).
+        assert!(c.eval_stats().batched_steps >= busy_stats.batched_steps);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`xquery`] — the extended XQuery with `analyze-string()`;
 //! * [`corpus`] — the paper's Figure-1 manuscript corpus and synthetic
 //!   workload generators;
-//! * [`baseline`] — single-document milestone/fragmentation baselines.
+//! * [`baseline`] — single-document milestone/fragmentation baselines;
+//! * [`server`] — the `mhxd` network front end: a std-only concurrent
+//!   HTTP/1.1 server (and matching blocking client) that puts the
+//!   [`Catalog`] on the wire, one [`Session`] per connection.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use mhx_xpath as xpath;
 pub use mhx_xquery as xquery;
 
 pub mod engine;
+pub mod server;
 
 pub use engine::{
     CacheStats, Catalog, Engine, EngineError, EvalStats, Prepared, QueryLang, QueryOutcome,

@@ -1,0 +1,478 @@
+//! Per-connection request handling: one [`Session`] per connection, a
+//! per-connection prepared-statement table, and the endpoint router.
+//!
+//! Endpoints (all bodies JSON, see [`super::wire`]):
+//!
+//! | method | path               | action                                    |
+//! |--------|--------------------|-------------------------------------------|
+//! | GET    | `/healthz`         | liveness probe                            |
+//! | POST   | `/query`           | ad-hoc query `{doc?, lang?, query, options?}` |
+//! | POST   | `/prepare`         | compile `{lang?, query}` → `{handle}`     |
+//! | POST   | `/execute`         | run a prepared handle `{handle, doc?}`    |
+//! | PUT    | `/documents/{id}`  | upload `{hierarchies: [{name, xml}…]}`    |
+//! | GET    | `/documents`       | list registered document ids              |
+//! | GET    | `/stats`           | cache/eval/server + per-session counters  |
+//! | POST   | `/shutdown`        | request graceful drain                    |
+
+use crate::engine::{Catalog, EngineError, EvalStats, QueryLang, Session};
+use crate::server::http::{self, ReadError, Request};
+use crate::server::wire;
+use crate::server::{ConnStats, Shared};
+use mhx_goddag::GoddagBuilder;
+use mhx_json::Json;
+use mhx_xquery::EvalOptions;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+
+/// Cap on prepared statements per connection: compiled plans held outside
+/// the LRU cache must stay bounded, mirroring the cache's own capacity.
+const MAX_PREPARED_PER_CONN: usize = 256;
+
+/// Mutable per-connection state: the pinned session, its prepared
+/// statements, and the connection's evaluation options (survive session
+/// re-pins when the client switches documents).
+struct ConnState<'c> {
+    session: Option<Session<'c>>,
+    prepared: Vec<crate::engine::Prepared>,
+    opts: EvalOptions,
+    /// Session counters folded in from sessions this connection already
+    /// dropped (a re-pin starts a fresh `Session`, the wire totals keep
+    /// growing).
+    carried: EvalStats,
+}
+
+impl ConnState<'_> {
+    fn eval_stats(&self) -> EvalStats {
+        let live = self.session.as_ref().map(|s| s.eval_stats()).unwrap_or_default();
+        EvalStats {
+            batched_steps: self.carried.batched_steps + live.batched_steps,
+            rewritten_steps: self.carried.rewritten_steps + live.rewritten_steps,
+            plan_rewrites: self.carried.plan_rewrites + live.plan_rewrites,
+        }
+    }
+}
+
+/// Serve one accepted connection until the peer closes, an unrecoverable
+/// protocol error occurs, or the server drains for shutdown. The in-flight
+/// response is always completed before the connection closes.
+pub(crate) fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let catalog: &Catalog = &shared.catalog;
+    let conn = shared.register_conn(&stream);
+    let mut state = ConnState {
+        session: None,
+        prepared: Vec::new(),
+        opts: catalog.options().clone(),
+        carried: EvalStats::default(),
+    };
+    let mut buf = Vec::new();
+    loop {
+        let req = match http::read_request(
+            &mut stream,
+            &mut buf,
+            &|| shared.draining(),
+            shared.config.max_body,
+            shared.config.request_timeout,
+        ) {
+            Ok(req) => req,
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => break,
+            Err(ReadError::Bad(message)) => {
+                let body = wire::protocol_error_body("bad_request", &message);
+                let _ = http::write_response(&mut stream, 400, &body.to_string(), false);
+                break;
+            }
+            Err(ReadError::TooLarge) => {
+                let body = wire::protocol_error_body("too_large", "request exceeds size limits");
+                let _ = http::write_response(&mut stream, 413, &body.to_string(), false);
+                break;
+            }
+            Err(ReadError::Timeout) => {
+                let body = wire::protocol_error_body("timeout", "request did not complete");
+                let _ = http::write_response(&mut stream, 408, &body.to_string(), false);
+                break;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        conn.requests.fetch_add(1, Ordering::Relaxed);
+        let (status, body) = route(shared, catalog, &conn, &mut state, &req);
+        conn.record_eval(state.eval_stats());
+        // Keep the connection only if the client wants it AND the server
+        // is not draining; either way the current response goes out whole.
+        let keep = !req.close && !shared.draining();
+        if http::write_response(&mut stream, status, &body.to_string(), keep).is_err() {
+            break;
+        }
+        if !keep {
+            break;
+        }
+    }
+    shared.unregister_conn(conn.id);
+}
+
+fn route<'c>(
+    shared: &Shared,
+    catalog: &'c Catalog,
+    conn: &ConnStats,
+    state: &mut ConnState<'c>,
+    req: &Request,
+) -> (u16, Json) {
+    // Resolve the path first, then the method: a known path with the
+    // wrong method is always a 405, without a second hand-maintained
+    // list of routes that could drift.
+    let method = req.method.as_str();
+    let wrong_method =
+        || (405, wire::protocol_error_body("method_not_allowed", "wrong method for this path"));
+    match req.path.as_str() {
+        "/healthz" | "/" => match method {
+            "GET" => (200, Json::Obj(vec![("ok".into(), Json::Bool(true))])),
+            _ => wrong_method(),
+        },
+        "/query" => match method {
+            "POST" => query_endpoint(catalog, conn, state, req),
+            _ => wrong_method(),
+        },
+        "/prepare" => match method {
+            "POST" => prepare_endpoint(catalog, state, req),
+            _ => wrong_method(),
+        },
+        "/execute" => match method {
+            "POST" => execute_endpoint(catalog, conn, state, req),
+            _ => wrong_method(),
+        },
+        "/documents" => match method {
+            "GET" => {
+                let ids = catalog.document_ids().into_iter().map(Json::Str).collect();
+                (
+                    200,
+                    Json::Obj(vec![
+                        ("ok".into(), Json::Bool(true)),
+                        ("documents".into(), Json::Arr(ids)),
+                    ]),
+                )
+            }
+            _ => wrong_method(),
+        },
+        "/stats" => match method {
+            "GET" => (200, stats_body(shared, catalog)),
+            _ => wrong_method(),
+        },
+        "/shutdown" => match method {
+            "POST" => {
+                shared.shutdown_requested.store(true, Ordering::SeqCst);
+                (
+                    200,
+                    Json::Obj(vec![
+                        ("ok".into(), Json::Bool(true)),
+                        ("draining".into(), Json::Bool(true)),
+                    ]),
+                )
+            }
+            _ => wrong_method(),
+        },
+        path if path.strip_prefix("/documents/").is_some_and(|id| !id.is_empty()) => {
+            let id = path.strip_prefix("/documents/").expect("guard matched");
+            match method {
+                "PUT" => upload_endpoint(catalog, id, req),
+                _ => wrong_method(),
+            }
+        }
+        path => (404, wire::protocol_error_body("not_found", &format!("no route for `{path}`"))),
+    }
+}
+
+/// Parse the request body as a JSON object; protocol error otherwise.
+fn body_object(req: &Request) -> Result<Json, (u16, Json)> {
+    let text = req
+        .body_str()
+        .ok_or_else(|| (400, wire::protocol_error_body("bad_json", "body is not UTF-8")))?;
+    let json =
+        mhx_json::parse(text).map_err(|e| (400, wire::protocol_error_body("bad_json", &e)))?;
+    if json.as_obj().is_none() {
+        return Err((400, wire::protocol_error_body("bad_json", "body must be a JSON object")));
+    }
+    Ok(json)
+}
+
+fn engine_failure(e: &EngineError) -> (u16, Json) {
+    (wire::status_for(e), wire::engine_error_body(e))
+}
+
+/// Resolve the request's target document: explicit `doc` field, else the
+/// connection's current session, else the catalog's only document.
+fn target_doc(
+    catalog: &Catalog,
+    state: &ConnState<'_>,
+    body: &Json,
+) -> Result<String, (u16, Json)> {
+    if let Some(doc) = body.get("doc") {
+        return doc.as_str().map(str::to_string).ok_or_else(|| {
+            (400, wire::protocol_error_body("bad_request", "`doc` must be a string"))
+        });
+    }
+    if let Some(session) = &state.session {
+        return Ok(session.doc_id().to_string());
+    }
+    let ids = catalog.document_ids();
+    if ids.len() == 1 {
+        return Ok(ids.into_iter().next().expect("len checked"));
+    }
+    Err((
+        400,
+        wire::protocol_error_body(
+            "no_document",
+            "no `doc` given, none pinned, and the catalog has several documents",
+        ),
+    ))
+}
+
+/// Pin (or re-pin) this connection's session to `doc`, carrying the
+/// connection's evaluation options across.
+fn ensure_session<'c>(
+    catalog: &'c Catalog,
+    conn: &ConnStats,
+    state: &mut ConnState<'c>,
+    doc: &str,
+) -> Result<(), (u16, Json)> {
+    let repin = match &state.session {
+        Some(session) => session.doc_id() != doc,
+        None => true,
+    };
+    if repin {
+        if let Some(old) = state.session.take() {
+            let s = old.eval_stats();
+            state.carried.batched_steps += s.batched_steps;
+            state.carried.rewritten_steps += s.rewritten_steps;
+            state.carried.plan_rewrites += s.plan_rewrites;
+        }
+        let session =
+            catalog.session(doc).map_err(|e| engine_failure(&e))?.with_options(state.opts.clone());
+        conn.set_doc(doc);
+        state.session = Some(session);
+    }
+    Ok(())
+}
+
+/// Shared tail of `/query` and `/execute`: resolve the document, pin the
+/// session, apply per-request options, run `f` on the session.
+fn with_session<'c>(
+    catalog: &'c Catalog,
+    conn: &ConnStats,
+    state: &mut ConnState<'c>,
+    body: &Json,
+    f: impl FnOnce(&Session<'c>, &ConnState<'c>) -> Result<crate::engine::QueryOutcome, EngineError>,
+) -> (u16, Json) {
+    if let Some(options) = body.get("options") {
+        if let Err(message) = wire::apply_options(&mut state.opts, options) {
+            return (400, wire::protocol_error_body("bad_options", &message));
+        }
+        // Propagate onto an existing pinned session.
+        if let Some(session) = &mut state.session {
+            *session.options_mut() = state.opts.clone();
+        }
+    }
+    let doc = match target_doc(catalog, state, body) {
+        Ok(doc) => doc,
+        Err(err) => return err,
+    };
+    if let Err(err) = ensure_session(catalog, conn, state, &doc) {
+        return err;
+    }
+    let session = state.session.as_ref().expect("ensure_session pinned one");
+    match f(session, state) {
+        Ok(out) => (200, wire::outcome_body(&out)),
+        Err(e) => engine_failure(&e),
+    }
+}
+
+fn query_endpoint<'c>(
+    catalog: &'c Catalog,
+    conn: &ConnStats,
+    state: &mut ConnState<'c>,
+    req: &Request,
+) -> (u16, Json) {
+    let body = match body_object(req) {
+        Ok(b) => b,
+        Err(err) => return err,
+    };
+    let Some(src) = body.get("query").and_then(Json::as_str).map(str::to_string) else {
+        return (400, wire::protocol_error_body("bad_request", "missing string field `query`"));
+    };
+    let lang = match parse_lang_field(&body) {
+        Ok(lang) => lang,
+        Err(err) => return err,
+    };
+    with_session(catalog, conn, state, &body, |session, _| session.query(lang, &src))
+}
+
+fn parse_lang_field(body: &Json) -> Result<QueryLang, (u16, Json)> {
+    match body.get("lang") {
+        None => Ok(QueryLang::XQuery),
+        Some(v) => v.as_str().and_then(wire::parse_lang).ok_or_else(|| {
+            (400, wire::protocol_error_body("bad_request", "`lang` must be `xpath` or `xquery`"))
+        }),
+    }
+}
+
+fn prepare_endpoint(catalog: &Catalog, state: &mut ConnState<'_>, req: &Request) -> (u16, Json) {
+    let body = match body_object(req) {
+        Ok(b) => b,
+        Err(err) => return err,
+    };
+    let Some(src) = body.get("query").and_then(Json::as_str) else {
+        return (400, wire::protocol_error_body("bad_request", "missing string field `query`"));
+    };
+    let lang = match parse_lang_field(&body) {
+        Ok(lang) => lang,
+        Err(err) => return err,
+    };
+    if state.prepared.len() >= MAX_PREPARED_PER_CONN {
+        return (
+            400,
+            wire::protocol_error_body(
+                "too_many_prepared",
+                &format!("this connection already holds {MAX_PREPARED_PER_CONN} prepared queries"),
+            ),
+        );
+    }
+    match catalog.prepare(lang, src) {
+        Ok(prepared) => {
+            state.prepared.push(prepared);
+            let handle = state.prepared.len() - 1;
+            (
+                200,
+                Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("handle".into(), Json::Num(handle as f64)),
+                    ("lang".into(), Json::Str(lang.name().into())),
+                ]),
+            )
+        }
+        Err(e) => engine_failure(&e),
+    }
+}
+
+fn execute_endpoint<'c>(
+    catalog: &'c Catalog,
+    conn: &ConnStats,
+    state: &mut ConnState<'c>,
+    req: &Request,
+) -> (u16, Json) {
+    let body = match body_object(req) {
+        Ok(b) => b,
+        Err(err) => return err,
+    };
+    let Some(handle) = body.get("handle").and_then(Json::as_u64) else {
+        return (400, wire::protocol_error_body("bad_request", "missing integer field `handle`"));
+    };
+    if handle as usize >= state.prepared.len() {
+        return (
+            404,
+            wire::protocol_error_body(
+                "unknown_handle",
+                &format!("no prepared query with handle {handle} on this connection"),
+            ),
+        );
+    }
+    with_session(catalog, conn, state, &body, |session, state| {
+        session.run(&state.prepared[handle as usize])
+    })
+}
+
+fn upload_endpoint(catalog: &Catalog, id: &str, req: &Request) -> (u16, Json) {
+    if catalog.is_shutting_down() {
+        return engine_failure(&EngineError::ShuttingDown);
+    }
+    let body = match body_object(req) {
+        Ok(b) => b,
+        Err(err) => return err,
+    };
+    let Some(hierarchies) = body.get("hierarchies").and_then(Json::as_arr) else {
+        return (400, wire::protocol_error_body("bad_request", "missing array `hierarchies`"));
+    };
+    if hierarchies.is_empty() {
+        return (400, wire::protocol_error_body("bad_request", "`hierarchies` must be non-empty"));
+    }
+    let mut builder = GoddagBuilder::new();
+    for h in hierarchies {
+        let (Some(name), Some(xml)) =
+            (h.get("name").and_then(Json::as_str), h.get("xml").and_then(Json::as_str))
+        else {
+            return (
+                400,
+                wire::protocol_error_body(
+                    "bad_request",
+                    "each hierarchy needs string fields `name` and `xml`",
+                ),
+            );
+        };
+        builder = builder.hierarchy(name, xml);
+    }
+    match builder.build() {
+        Ok(goddag) => {
+            catalog.insert(id, goddag);
+            (
+                200,
+                Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("id".into(), Json::Str(id.into())),
+                    ("hierarchies".into(), Json::Num(hierarchies.len() as f64)),
+                ]),
+            )
+        }
+        Err(e) => engine_failure(&EngineError::from(e)),
+    }
+}
+
+fn stats_body(shared: &Shared, catalog: &Catalog) -> Json {
+    let cache = catalog.cache_stats();
+    let eval = catalog.eval_stats();
+    let sessions: Vec<Json> = shared
+        .conn_snapshot()
+        .into_iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("conn".into(), Json::Num(c.id as f64)),
+                ("peer".into(), Json::Str(c.peer)),
+                ("doc".into(), Json::Str(c.doc)),
+                ("requests".into(), Json::Num(c.requests as f64)),
+                ("batched_steps".into(), Json::Num(c.eval.batched_steps as f64)),
+                ("rewritten_steps".into(), Json::Num(c.eval.rewritten_steps as f64)),
+                ("plan_rewrites".into(), Json::Num(c.eval.plan_rewrites as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(cache.hits as f64)),
+                ("misses".into(), Json::Num(cache.misses as f64)),
+                ("evictions".into(), Json::Num(cache.evictions as f64)),
+                ("cross_doc_hits".into(), Json::Num(cache.cross_doc_hits as f64)),
+                ("entries".into(), Json::Num(cache.entries as f64)),
+            ]),
+        ),
+        (
+            "eval".into(),
+            Json::Obj(vec![
+                ("batched_steps".into(), Json::Num(eval.batched_steps as f64)),
+                ("rewritten_steps".into(), Json::Num(eval.rewritten_steps as f64)),
+                ("plan_rewrites".into(), Json::Num(eval.plan_rewrites as f64)),
+            ]),
+        ),
+        (
+            "server".into(),
+            Json::Obj(vec![
+                ("workers".into(), Json::Num(shared.config.workers as f64)),
+                (
+                    "connections_accepted".into(),
+                    Json::Num(shared.accepted.load(Ordering::Relaxed) as f64),
+                ),
+                ("requests".into(), Json::Num(shared.requests.load(Ordering::Relaxed) as f64)),
+                ("active_connections".into(), Json::Num(sessions.len() as f64)),
+                ("sessions".into(), Json::Arr(sessions)),
+            ]),
+        ),
+        ("documents".into(), Json::Num(catalog.len() as f64)),
+    ])
+}

@@ -1,0 +1,253 @@
+//! Minimal HTTP/1.1 protocol layer: request-line/header parsing,
+//! `Content-Length`-framed bodies (no chunked encoding — the wire format
+//! always knows its body size), and keep-alive handling.
+//!
+//! Reading is poll-based: the caller sets a short read timeout on the
+//! socket and passes a `stop` predicate; an **idle** connection (no byte
+//! of the next request buffered) notices a server shutdown within one
+//! poll interval, while a request that has started arriving gets the full
+//! request timeout to finish — a response in progress is never abandoned.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Cap on the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method as sent (`GET`, `POST`, `PUT`, …).
+    pub method: String,
+    /// Request target, without any `?query` suffix.
+    pub path: String,
+    pub body: Vec<u8>,
+    /// Client asked to close after this exchange (`Connection: close`, or
+    /// HTTP/1.0 without `keep-alive`).
+    pub close: bool,
+}
+
+impl Request {
+    /// The body as UTF-8, or `None` when it isn't valid UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why [`read_request`] returned without a request.
+#[derive(Debug)]
+pub(crate) enum ReadError {
+    /// Clean end: peer closed between requests, or the server began
+    /// shutting down while the connection was idle. Not an error.
+    Closed,
+    /// Malformed request — respond 400 and close.
+    Bad(String),
+    /// Head or declared body over the size cap — respond 413 and close.
+    TooLarge,
+    /// A request started arriving but didn't finish within the timeout —
+    /// respond 408 and close.
+    Timeout,
+    /// Transport failure mid-read; nothing can be sent back.
+    Io(#[allow(dead_code)] io::Error),
+}
+
+/// Read one request from `stream`, carrying leftover bytes across calls in
+/// `buf` (pipelined bytes are preserved for the next call). The stream
+/// must have a read timeout set (the poll interval); `stop` is consulted
+/// only while the connection is idle.
+pub(crate) fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    stop: &dyn Fn() -> bool,
+    max_body: usize,
+    request_timeout: Duration,
+) -> Result<Request, ReadError> {
+    let mut chunk = [0u8; 8 * 1024];
+    let mut started: Option<Instant> = if buf.is_empty() { None } else { Some(Instant::now()) };
+    loop {
+        if let Some(head_end) = find_head_end(buf) {
+            let head = std::str::from_utf8(&buf[..head_end])
+                .map_err(|_| ReadError::Bad("request head is not UTF-8".into()))?;
+            let (method, path, close, content_length) = parse_head(head)?;
+            if content_length > max_body {
+                return Err(ReadError::TooLarge);
+            }
+            let total = head_end + 4 + content_length;
+            if buf.len() >= total {
+                let body = buf[head_end + 4..total].to_vec();
+                buf.drain(..total);
+                return Ok(Request { method, path, body, close });
+            }
+        } else if buf.len() > MAX_HEAD {
+            return Err(ReadError::TooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Err(ReadError::Closed)
+                } else {
+                    Err(ReadError::Bad("connection closed mid-request".into()))
+                };
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                let t0 = *started.get_or_insert_with(Instant::now);
+                // Enforce the deadline on this path too: a client trickling
+                // a byte per poll interval must not pin a worker (and block
+                // shutdown's join) past the request timeout.
+                if t0.elapsed() > request_timeout {
+                    return Err(ReadError::Timeout);
+                }
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                match started {
+                    None if stop() => return Err(ReadError::Closed),
+                    None => continue,
+                    Some(t0) if t0.elapsed() > request_timeout => return Err(ReadError::Timeout),
+                    Some(_) => continue,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse the head into (method, path, close, content_length).
+fn parse_head(head: &str) -> Result<(String, String, bool, usize), ReadError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ReadError::Bad(format!("malformed request line `{request_line}`")));
+    };
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(ReadError::Bad(format!("unsupported protocol `{version}`")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut close = version == "HTTP/1.0";
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Bad(format!("malformed header line `{line}`")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let parsed: usize = value
+                .parse()
+                .map_err(|_| ReadError::Bad(format!("bad content-length `{value}`")))?;
+            // Conflicting duplicates are a request-smuggling vector
+            // (different parties would frame the body differently):
+            // reject, like the chunked-encoding refusal below.
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(ReadError::Bad("conflicting content-length headers".into()));
+            }
+            content_length = Some(parsed);
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // The wire format is Content-Length framed on purpose.
+            return Err(ReadError::Bad("chunked transfer encoding is not supported".into()));
+        }
+    }
+    Ok((method.to_string(), path, close, content_length.unwrap_or(0)))
+}
+
+/// Standard reason phrases for the statuses the wire format uses.
+pub(crate) fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete JSON response; `keep_alive` picks the `Connection`
+/// header (the caller already folded the client's wish and shutdown state
+/// into it).
+pub(crate) fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+         Connection: {}\r\n\r\n",
+        status_text(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    // One buffered write keeps the response a single segment in the common
+    // case — a response is never visible half-written to the peer's parser.
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    stream.write_all(&out)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_parser_extracts_framing() {
+        let (method, path, close, len) = parse_head(
+            "POST /query?trace=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\nConnection: close",
+        )
+        .unwrap();
+        assert_eq!(method, "POST");
+        assert_eq!(path, "/query", "query string is stripped");
+        assert!(close);
+        assert_eq!(len, 12);
+
+        let (_, _, close, len) = parse_head("GET /stats HTTP/1.1\r\nHost: x").unwrap();
+        assert!(!close, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(len, 0);
+
+        let (_, _, close, _) = parse_head("GET / HTTP/1.0\r\nHost: x").unwrap();
+        assert!(close, "HTTP/1.0 defaults to close");
+
+        assert!(matches!(parse_head("BROKEN"), Err(ReadError::Bad(_))));
+        assert!(matches!(parse_head("GET / HTTP/2"), Err(ReadError::Bad(_))));
+        assert!(matches!(
+            parse_head("POST / HTTP/1.1\r\nTransfer-Encoding: chunked"),
+            Err(ReadError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_head("POST / HTTP/1.1\r\nContent-Length: nope"),
+            Err(ReadError::Bad(_))
+        ));
+        // Conflicting duplicate Content-Length headers are rejected
+        // (request-smuggling vector); identical repeats are tolerated.
+        assert!(matches!(
+            parse_head("POST / HTTP/1.1\r\nContent-Length: 10\r\nContent-Length: 0"),
+            Err(ReadError::Bad(_))
+        ));
+        let (_, _, _, len) =
+            parse_head("POST / HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7").unwrap();
+        assert_eq!(len, 7);
+    }
+}

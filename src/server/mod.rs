@@ -1,0 +1,343 @@
+//! # `mhxd` — the catalog on the wire
+//!
+//! A std-only concurrent HTTP/1.1 front end for [`Catalog`]: a
+//! `TcpListener` accept loop feeds a fixed pool of worker threads; each
+//! worker owns one connection at a time and serves it request-by-request
+//! over keep-alive, holding **one [`engine::Session`](crate::engine::Session)
+//! per connection** (pinned document, per-connection [`EvalOptions`]
+//! knobs, prepared-statement handles that live as long as the
+//! connection).
+//!
+//! ```text
+//!             TcpListener (acceptor thread)
+//!                   │ mpsc queue of connections
+//!        ┌──────────┼──────────┐
+//!     worker 0   worker 1 … worker N-1        (ServerConfig::workers)
+//!        │ keep-alive loop: read → route → respond
+//!     Session ──► Catalog (&self queries, shared plan cache)
+//!     + Prepared handles, per-connection EvalOptions, eval counters
+//! ```
+//!
+//! No tokio, no hyper: the build is offline (see the `vendor/` shim
+//! convention), and `std::net` + a thread pool serve the engine's
+//! `&self`-query design directly — the catalog was made `Send + Sync`
+//! for exactly this.
+//!
+//! **Graceful shutdown.** [`Server::shutdown`] flips the drain flag,
+//! [`Catalog::begin_shutdown`]s the engine (in-flight evaluations finish,
+//! new ones get 503), wakes the acceptor, and joins every worker. Workers
+//! always finish writing the response in progress before closing — no
+//! request is dropped mid-response; idle keep-alive connections notice
+//! the drain within one poll interval.
+//!
+//! The [`client`] module is the matching blocking client (used by the
+//! integration tests, `mhxq --connect`, and the `serve` bench); [`wire`]
+//! documents the JSON wire format and the `EngineError` → status mapping.
+
+pub mod client;
+mod handler;
+mod http;
+pub mod wire;
+
+pub use http::Request;
+pub use wire::{error_kind, parse_lang, status_for, WireOutcome};
+
+use crate::engine::{Catalog, EvalStats};
+use mhx_xquery::EvalOptions;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; each serves one connection at a time, so this is
+    /// also the keep-alive connection concurrency.
+    pub workers: usize,
+    /// How often an idle connection re-checks the drain flag (the socket
+    /// read timeout).
+    pub poll_interval: Duration,
+    /// How long a started request may take to arrive completely.
+    pub request_timeout: Duration,
+    /// Maximum request body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 8,
+            poll_interval: Duration::from_millis(25),
+            request_timeout: Duration::from_secs(10),
+            max_body: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Aggregate server counters (see also the `/stats` endpoint).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub connections_accepted: u64,
+    pub requests: u64,
+    pub active_connections: usize,
+}
+
+/// Per-connection bookkeeping published to `/stats`: the request count,
+/// the pinned document, and the session's evaluation counters.
+pub(crate) struct ConnStats {
+    pub(crate) id: u64,
+    pub(crate) peer: String,
+    pub(crate) requests: AtomicU64,
+    doc: Mutex<String>,
+    batched_steps: AtomicU64,
+    rewritten_steps: AtomicU64,
+    plan_rewrites: AtomicU64,
+}
+
+impl ConnStats {
+    pub(crate) fn set_doc(&self, doc: &str) {
+        *self.doc.lock().unwrap_or_else(PoisonError::into_inner) = doc.to_string();
+    }
+
+    /// Publish the connection's current cumulative eval counters.
+    pub(crate) fn record_eval(&self, stats: EvalStats) {
+        self.batched_steps.store(stats.batched_steps, Ordering::Relaxed);
+        self.rewritten_steps.store(stats.rewritten_steps, Ordering::Relaxed);
+        self.plan_rewrites.store(stats.plan_rewrites, Ordering::Relaxed);
+    }
+}
+
+/// A `/stats`-shaped snapshot of one connection.
+pub(crate) struct ConnSnapshot {
+    pub(crate) id: u64,
+    pub(crate) peer: String,
+    pub(crate) doc: String,
+    pub(crate) requests: u64,
+    pub(crate) eval: EvalStats,
+}
+
+/// State shared by the acceptor, the workers, and the [`Server`] handle.
+pub(crate) struct Shared {
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) config: ServerConfig,
+    shutdown: AtomicBool,
+    pub(crate) shutdown_requested: AtomicBool,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    next_conn: AtomicU64,
+    conns: Mutex<BTreeMap<u64, Arc<ConnStats>>>,
+}
+
+impl Shared {
+    pub(crate) fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn register_conn(&self, stream: &TcpStream) -> Arc<ConnStats> {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+        let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+        let conn = Arc::new(ConnStats {
+            id,
+            peer,
+            requests: AtomicU64::new(0),
+            doc: Mutex::new(String::new()),
+            batched_steps: AtomicU64::new(0),
+            rewritten_steps: AtomicU64::new(0),
+            plan_rewrites: AtomicU64::new(0),
+        });
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner).insert(id, Arc::clone(&conn));
+        conn
+    }
+
+    pub(crate) fn unregister_conn(&self, id: u64) {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+    }
+
+    pub(crate) fn conn_snapshot(&self) -> Vec<ConnSnapshot> {
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(|c| ConnSnapshot {
+                id: c.id,
+                peer: c.peer.clone(),
+                doc: c.doc.lock().unwrap_or_else(PoisonError::into_inner).clone(),
+                requests: c.requests.load(Ordering::Relaxed),
+                eval: EvalStats {
+                    batched_steps: c.batched_steps.load(Ordering::Relaxed),
+                    rewritten_steps: c.rewritten_steps.load(Ordering::Relaxed),
+                    plan_rewrites: c.plan_rewrites.load(Ordering::Relaxed),
+                },
+            })
+            .collect()
+    }
+}
+
+/// The running daemon: a bound listener, its acceptor thread, and the
+/// worker pool. Dropping without [`Server::shutdown`] detaches the
+/// threads (they keep serving until the process exits) — daemons should
+/// always shut down explicitly.
+///
+/// ```
+/// use multihier_xquery::prelude::*;
+/// use multihier_xquery::server::{client::Client, Server, ServerConfig};
+/// use std::sync::Arc;
+///
+/// let catalog = Arc::new(Catalog::new());
+/// catalog.insert(
+///     "ms",
+///     GoddagBuilder::new().hierarchy("w", "<r><w>a</w><w>b</w></r>").build().unwrap(),
+/// );
+/// let server = Server::bind(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+///
+/// let mut client = Client::connect(&server.addr().to_string()).unwrap();
+/// let out = client.xpath("ms", "count(/descendant::w)").unwrap();
+/// assert_eq!(out.serialized, "2");
+///
+/// assert!(server.shutdown());
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the
+    /// acceptor plus `config.workers` worker threads.
+    pub fn bind(catalog: Arc<Catalog>, addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let poll_interval = config.poll_interval;
+        let shared = Arc::new(Shared {
+            catalog,
+            config: ServerConfig { workers, ..config },
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
+            conns: Mutex::new(BTreeMap::new()),
+        });
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("mhxd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = thread::Builder::new()
+            .name("mhxd-acceptor".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if acceptor_shared.draining() {
+                        break; // the wake-up connection (or any late one) is discarded
+                    }
+                    match stream {
+                        Ok(s) => {
+                            // Short read timeout = the drain-poll interval.
+                            let _ = s.set_read_timeout(Some(poll_interval));
+                            let _ = s.set_nodelay(true);
+                            acceptor_shared.accepted.fetch_add(1, Ordering::Relaxed);
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+                // Dropping `tx` here closes the queue: workers finish what
+                // is queued, then exit.
+            })
+            .expect("spawn acceptor thread");
+
+        Ok(Server { addr: local, shared, acceptor: Some(acceptor), workers: worker_handles })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.shared.catalog
+    }
+
+    /// Catalog-wide default options the server was started with.
+    pub fn options(&self) -> EvalOptions {
+        self.shared.catalog.options().clone()
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.shared.accepted.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            active_connections: self
+                .shared
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+        }
+    }
+
+    /// True once a client posted `/shutdown` (or [`Server::request_shutdown`]
+    /// ran). The owner of the `Server` is expected to poll this and call
+    /// [`Server::shutdown`] — a worker cannot join its own pool.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Ask the owner loop to shut down (same effect as `POST /shutdown`).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: stop accepting, drain the engine (in-flight
+    /// queries finish, every response in progress is completed), join all
+    /// threads. Returns true when the engine reached zero in-flight
+    /// queries before the internal timeout.
+    pub fn shutdown(mut self) -> bool {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.catalog.begin_shutdown();
+        // Wake the acceptor out of `accept()`; it sees the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.catalog.drain(Duration::from_secs(30))
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Holding the lock while blocked in `recv` is the queue discipline:
+        // idle workers line up on the mutex, one wakes per connection.
+        let next = {
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        match next {
+            Ok(stream) => handler::handle_connection(shared, stream),
+            Err(_) => break, // acceptor gone and queue empty
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The JSON wire format: request payloads, response payloads, and the
+//! [`EngineError`] → HTTP status mapping.
+//!
+//! Every response body is a JSON object with an `"ok"` discriminator:
+//!
+//! ```text
+//! {"ok": true,  "lang": "xpath", "kind": "nodes", "count": 2,
+//!  "serialized": "<w>a</w><w>b</w>"}
+//! {"ok": false, "error": {"kind": "parse", "lang": "xquery",
+//!  "message": "expected `return`", "at": 7}}
+//! ```
+//!
+//! The error `kind` is the engine's pipeline stage — the same typed
+//! information [`EngineError`] carries — so clients can branch without
+//! string-matching messages, and the HTTP status is derived from it
+//! ([`status_for`]). Protocol-level failures (bad JSON, unknown route,
+//! missing field) reuse the same error envelope with their own kinds.
+
+use crate::engine::{EngineError, QueryLang, QueryOutcome, QueryValue};
+use mhx_json::Json;
+use mhx_xquery::{AnalyzeMode, EvalOptions};
+
+/// Map an engine error onto the HTTP status the wire protocol uses.
+///
+/// * `Parse` / `Compile` — the request text can never succeed: **400**;
+/// * `Eval` — valid query, failed against this document: **422**;
+/// * `UnknownDocument` — the addressed resource does not exist: **404**;
+/// * `Document` — the uploaded document is malformed: **400**;
+/// * `ShuttingDown` — the catalog is draining: **503** (retry elsewhere).
+pub fn status_for(e: &EngineError) -> u16 {
+    match e {
+        EngineError::Parse { .. } | EngineError::Compile { .. } => 400,
+        EngineError::Eval { .. } => 422,
+        EngineError::UnknownDocument { .. } => 404,
+        EngineError::Document { .. } => 400,
+        EngineError::ShuttingDown => 503,
+    }
+}
+
+/// Stable wire name for an engine error's stage.
+pub fn error_kind(e: &EngineError) -> &'static str {
+    match e {
+        EngineError::Parse { .. } => "parse",
+        EngineError::Compile { .. } => "compile",
+        EngineError::Eval { .. } => "eval",
+        EngineError::UnknownDocument { .. } => "unknown_document",
+        EngineError::Document { .. } => "document",
+        EngineError::ShuttingDown => "shutting_down",
+    }
+}
+
+/// The error envelope for an engine failure.
+pub(crate) fn engine_error_body(e: &EngineError) -> Json {
+    let mut error = vec![
+        ("kind".to_string(), Json::Str(error_kind(e).into())),
+        ("message".to_string(), Json::Str(e.to_string())),
+    ];
+    if let Some(lang) = e.lang() {
+        error.push(("lang".into(), Json::Str(lang.name().into())));
+    }
+    if let EngineError::Parse { at: Some(at), .. } = e {
+        error.push(("at".into(), Json::Num(*at as f64)));
+    }
+    Json::Obj(vec![("ok".into(), Json::Bool(false)), ("error".into(), Json::Obj(error))])
+}
+
+/// The error envelope for a protocol-level failure (bad JSON, missing
+/// field, unknown route…).
+pub(crate) fn protocol_error_body(kind: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str(kind.into())),
+                ("message".into(), Json::Str(message.into())),
+            ]),
+        ),
+    ])
+}
+
+/// Serialize a [`QueryOutcome`] into the success envelope.
+pub(crate) fn outcome_body(out: &QueryOutcome) -> Json {
+    let mut entries = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("lang".to_string(), Json::Str(out.lang().name().into())),
+    ];
+    let kind = match out.value() {
+        QueryValue::Nodes(ns) => {
+            entries.push(("count".into(), Json::Num(ns.len() as f64)));
+            "nodes"
+        }
+        QueryValue::Str(_) => "string",
+        QueryValue::Num(n) => {
+            entries.push(("value".into(), Json::Num(*n)));
+            "number"
+        }
+        QueryValue::Bool(b) => {
+            entries.push(("value".into(), Json::Bool(*b)));
+            "boolean"
+        }
+        QueryValue::Markup(_) => "markup",
+    };
+    entries.insert(2, ("kind".into(), Json::Str(kind.into())));
+    entries.push(("serialized".into(), Json::Str(out.serialize().into())));
+    Json::Obj(entries)
+}
+
+/// Parse a wire language name.
+pub fn parse_lang(name: &str) -> Option<QueryLang> {
+    match name {
+        "xpath" => Some(QueryLang::XPath),
+        "xquery" => Some(QueryLang::XQuery),
+        _ => None,
+    }
+}
+
+/// Apply a request's `"options"` object onto per-connection
+/// [`EvalOptions`]. Strict: unknown keys or mistyped values are protocol
+/// errors, so typos never silently keep the defaults.
+pub(crate) fn apply_options(opts: &mut EvalOptions, json: &Json) -> Result<(), String> {
+    let entries = json.as_obj().ok_or("`options` must be an object")?;
+    for (key, value) in entries {
+        match key.as_str() {
+            "optimize" => {
+                opts.optimize = value.as_bool().ok_or("`options.optimize` must be a boolean")?;
+            }
+            "space_separator" => {
+                opts.space_separator =
+                    value.as_bool().ok_or("`options.space_separator` must be a boolean")?;
+            }
+            "analyze_mode" => {
+                opts.analyze_mode =
+                    match value.as_str().ok_or("`options.analyze_mode` must be a string")? {
+                        "paper" => AnalyzeMode::PaperCompat,
+                        "xslt" => AnalyzeMode::Xslt,
+                        other => {
+                            return Err(format!(
+                                "unknown analyze_mode `{other}` (expected `paper` or `xslt`)"
+                            ));
+                        }
+                    };
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(())
+}
+
+/// Client-side view of a query response (the success envelope `/query`
+/// and `/execute` return).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireOutcome {
+    /// `xpath` or `xquery`.
+    pub lang: String,
+    /// `nodes`, `string`, `number`, `boolean`, or `markup`.
+    pub kind: String,
+    /// The paper-style serialized form.
+    pub serialized: String,
+    /// Node count, for `nodes` outcomes.
+    pub count: Option<u64>,
+    /// The atomic value, for `number` outcomes.
+    pub num: Option<f64>,
+    /// The atomic value, for `boolean` outcomes.
+    pub boolean: Option<bool>,
+}
+
+impl WireOutcome {
+    pub(crate) fn from_json(body: &Json) -> Result<WireOutcome, String> {
+        let field = |name: &str| {
+            body.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("response missing `{name}`"))
+        };
+        Ok(WireOutcome {
+            lang: field("lang")?,
+            kind: field("kind")?,
+            serialized: field("serialized")?,
+            count: body.get("count").and_then(Json::as_u64),
+            num: body.get("value").and_then(Json::as_f64),
+            boolean: body.get("value").and_then(Json::as_bool),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn status_mapping_covers_every_stage() {
+        let cases = [
+            (
+                EngineError::Parse { lang: QueryLang::XPath, message: "x".into(), at: Some(3) },
+                400,
+                "parse",
+            ),
+            (EngineError::Compile { lang: QueryLang::XQuery, message: "x".into() }, 400, "compile"),
+            (EngineError::Eval { lang: QueryLang::XQuery, message: "x".into() }, 422, "eval"),
+            (EngineError::UnknownDocument { id: "ms".into() }, 404, "unknown_document"),
+            (EngineError::Document { message: "x".into() }, 400, "document"),
+            (EngineError::ShuttingDown, 503, "shutting_down"),
+        ];
+        for (e, status, kind) in cases {
+            assert_eq!(status_for(&e), status, "{e:?}");
+            assert_eq!(error_kind(&e), kind, "{e:?}");
+            let body = engine_error_body(&e);
+            assert_eq!(body.get("ok").and_then(Json::as_bool), Some(false));
+            let err = body.get("error").unwrap();
+            assert_eq!(err.get("kind").and_then(Json::as_str), Some(kind));
+        }
+        // The parse error's byte offset rides along.
+        let e = EngineError::Parse { lang: QueryLang::XPath, message: "x".into(), at: Some(3) };
+        let body = engine_error_body(&e);
+        assert_eq!(body.get("error").unwrap().get("at").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn outcomes_round_trip_through_the_envelope() {
+        let catalog = Catalog::new();
+        catalog.insert(
+            "ms",
+            GoddagBuilder::new().hierarchy("w", "<r><w>a</w><w>b</w></r>").build().unwrap(),
+        );
+        let nodes = catalog.xpath("ms", "/descendant::w").unwrap();
+        let body = outcome_body(&nodes);
+        let wire = WireOutcome::from_json(&body).unwrap();
+        assert_eq!(wire.kind, "nodes");
+        assert_eq!(wire.count, Some(2));
+        assert_eq!(wire.serialized, "<w>a</w><w>b</w>");
+
+        let n = catalog.xquery("ms", "count(/descendant::w)").unwrap();
+        let wire = WireOutcome::from_json(&outcome_body(&n)).unwrap();
+        assert_eq!(wire.kind, "markup");
+        assert_eq!(wire.serialized, "2");
+
+        let b = catalog.xpath("ms", "count(/descendant::w) > 1").unwrap();
+        let wire = WireOutcome::from_json(&outcome_body(&b)).unwrap();
+        assert_eq!(wire.kind, "boolean");
+        assert_eq!(wire.boolean, Some(true));
+    }
+
+    #[test]
+    fn options_apply_strictly() {
+        let mut opts = EvalOptions::default();
+        let patch = mhx_json::parse(
+            r#"{"optimize": false, "analyze_mode": "xslt", "space_separator": true}"#,
+        )
+        .unwrap();
+        apply_options(&mut opts, &patch).unwrap();
+        assert!(!opts.optimize);
+        assert!(opts.space_separator);
+        assert_eq!(opts.analyze_mode, mhx_xquery::AnalyzeMode::Xslt);
+
+        for bad in [
+            r#"{"optimise": true}"#,
+            r#"{"optimize": "yes"}"#,
+            r#"{"analyze_mode": "sgml"}"#,
+            r#"[1]"#,
+        ] {
+            let patch = mhx_json::parse(bad).unwrap();
+            assert!(apply_options(&mut opts, &patch).is_err(), "{bad}");
+        }
+    }
+}
