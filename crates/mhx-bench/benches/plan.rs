@@ -54,6 +54,21 @@ fn queries() -> Vec<(&'static str, &'static str)> {
         ("overlap_fused", "//s0[overlapping::e1]"),
         // Reordering: the cheap string test moves before the span lookup.
         ("reorder_cheap_first", "/descendant::s0[xpreceding::e1][contains(string(.), 'sin')]"),
+        // Round 2 — existential early-exit: the boolean axis predicate
+        // stops at the first witness instead of materializing xfollowing
+        // per candidate.
+        ("existential_early_exit", "//e0[xfollowing::e1]"),
+        // Round 2 — containment-chain join: two descendant name scans
+        // become one merge join over the laminar containment chains.
+        ("chain_join", "/descendant::e0/descendant::s0"),
+        // Round 2 — predicate hoisting: the context-independent count()
+        // evaluates once per step, not once per candidate.
+        ("hoisted_pred", "/descendant::e0[count(/descendant::e1) > 0]"),
+        // Round 2 — stats-driven ordering: both predicates are axis paths
+        // with equal static weight, so only the document's name counts
+        // (e0 is rarer than e1 on this corpus) decide that the
+        // written-second predicate runs first.
+        ("stats_reorder", "/descendant::s0[xdescendant::e1][xpreceding::e0]"),
         // Positional queries the optimizer must not touch — parity gates.
         ("positional_parity", "/descendant::e0[position() = 2]/xfollowing::*"),
         ("positional_last", "/descendant::e0[last()]"),

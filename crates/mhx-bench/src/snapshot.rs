@@ -177,6 +177,17 @@ pub fn tracked_metrics(file: &str, doc: &Json) -> Result<Vec<Metric>, String> {
                     "fused_scan" | "fused_ext_pred" | "wide_pred_batch" | "overlap_fused" => {
                         (2.5, Some(2.0))
                     }
+                    // Round-2 rewrites. The first-witness probe must stay
+                    // an order of magnitude ahead (the PR's ≥20x bar);
+                    // the chain join and hoist keep the ≥2x bar; the
+                    // stats-reorder row pairs two equal-static-weight axis
+                    // predicates so only name-count pricing picks the
+                    // order — routed + probed it runs well ahead, and the
+                    // floor guards that combined win.
+                    "existential_early_exit" => (25.0, Some(20.0)),
+                    "chain_join" => (2.5, Some(2.0)),
+                    "hoisted_pred" => (5.0, Some(2.0)),
+                    "stats_reorder" => (8.0, Some(4.0)),
                     "reorder_cheap_first" => (1.5, Some(1.0)),
                     "positional_parity" | "positional_last" => (1.0, Some(0.6)),
                     other => {
@@ -356,7 +367,9 @@ mod tests {
     "fused_scan": 270.0,
     "wide_pred_batch": 14.4,
     "reorder_cheap_first": 3.2,
-    "positional_parity": 1.01
+    "positional_parity": 1.01,
+    "existential_early_exit": 40.0,
+    "chain_join": 3.0
   }
 }"#;
 
@@ -385,10 +398,13 @@ mod tests {
         let batch = tracked_metrics("batch", &parse(BATCH).unwrap()).unwrap();
         assert_eq!(batch.len(), 3);
         let plan = tracked_metrics("plan", &parse(PLAN).unwrap()).unwrap();
-        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.len(), 6);
         assert_eq!(plan[0].name, "plan:fused_scan:speedup");
         assert_eq!(plan[0].hard_min, Some(2.0));
         assert_eq!(plan[3].hard_min, Some(0.6), "positional rows gate parity only");
+        assert_eq!(plan[4].name, "plan:existential_early_exit:speedup");
+        assert_eq!(plan[4].hard_min, Some(20.0), "the probe keeps a 20x acceptance floor");
+        assert_eq!(plan[5].hard_min, Some(2.0));
         assert!(tracked_metrics("nope", &parse(BATCH).unwrap()).is_err());
     }
 
@@ -403,7 +419,9 @@ mod tests {
     "fused_scan": 1.1,
     "wide_pred_batch": 0.9,
     "reorder_cheap_first": 0.8,
-    "positional_parity": 0.4
+    "positional_parity": 0.4,
+    "existential_early_exit": 5.0,
+    "chain_join": 1.2
   }
 }"#;
         let fresh = tracked_metrics("plan", &parse(degraded).unwrap()).unwrap();
@@ -416,7 +434,9 @@ mod tests {
     "fused_scan": 150.0,
     "wide_pred_batch": 9.0,
     "reorder_cheap_first": 2.0,
-    "positional_parity": 0.95
+    "positional_parity": 0.95,
+    "existential_early_exit": 32.0,
+    "chain_join": 2.6
   }
 }"#;
         let fresh = tracked_metrics("plan", &parse(wobbly).unwrap()).unwrap();

@@ -61,6 +61,68 @@ struct ChainEntry {
 
 const NO_PARENT: u32 = u32::MAX;
 
+/// Document statistics computed once at [`StructIndex::build`] time — the
+/// selectivity side-channel for the plan optimizer's cost model. Everything
+/// here falls out of structures the build pass already touches (name runs,
+/// the span array, the containment chains), so the marginal build cost is
+/// one extra counter per node.
+#[derive(Debug, Clone, Default)]
+pub struct IndexStats {
+    /// Named element entries (including the root).
+    element_count: u64,
+    /// Non-empty-span nodes (the `ordered` array length).
+    span_count: u64,
+    /// Document text length in bytes (the root span).
+    text_len: u64,
+    /// Average direct fan-out of the laminar containment chains.
+    avg_fanout: f64,
+    /// Per name: occurrence count and total span bytes.
+    names: HashMap<String, (u32, u64)>,
+}
+
+impl IndexStats {
+    /// Total named element entries (the name-map size).
+    pub fn element_count(&self) -> u64 {
+        self.element_count
+    }
+
+    /// Non-empty-span nodes — the length every span-array sweep is
+    /// proportional to.
+    pub fn span_count(&self) -> u64 {
+        self.span_count
+    }
+
+    /// Spans per text byte: how densely the hierarchies tile the document.
+    pub fn span_density(&self) -> f64 {
+        self.span_count as f64 / (self.text_len.max(1)) as f64
+    }
+
+    /// Average direct fan-out across the containment chains.
+    pub fn avg_fanout(&self) -> f64 {
+        self.avg_fanout
+    }
+
+    /// How many elements carry `name` (the name-run length). Zero for
+    /// unknown names — which makes a name-test step provably empty.
+    pub fn name_count(&self, name: &str) -> u64 {
+        self.names.get(name).map(|&(c, _)| c as u64).unwrap_or(0)
+    }
+
+    /// Fraction of named elements carrying `name` (0 for unknown names).
+    pub fn selectivity(&self, name: &str) -> f64 {
+        self.name_count(name) as f64 / (self.element_count.max(1)) as f64
+    }
+
+    /// Average span length (≈ subtree text size) of elements named `name`
+    /// — the cost driver for string-materializing predicates.
+    pub fn avg_span_len(&self, name: &str) -> f64 {
+        match self.names.get(name) {
+            Some(&(c, bytes)) if c > 0 => bytes as f64 / c as f64,
+            _ => 0.0,
+        }
+    }
+}
+
 /// Precomputed structural indexes for one [`Goddag`] snapshot.
 #[derive(Debug, Clone)]
 pub struct StructIndex {
@@ -81,6 +143,8 @@ pub struct StructIndex {
     /// Laminar containment chain per hierarchy, in span preorder
     /// (start asc, end desc, node order asc).
     chains: Vec<Vec<ChainEntry>>,
+    /// Selectivity statistics for the optimizer's cost model.
+    stats: IndexStats,
 }
 
 impl StructIndex {
@@ -89,14 +153,18 @@ impl StructIndex {
     pub fn build(g: &Goddag) -> StructIndex {
         let all = g.all_nodes();
         let mut name_map: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let mut names: HashMap<String, (u32, u64)> = HashMap::new();
         let mut ordered = Vec::with_capacity(all.len());
         for &n in &all {
+            let (s, e) = g.span(n);
             if n.is_element() {
                 if let Some(name) = g.name(n) {
                     name_map.entry(name.to_string()).or_default().push(n);
+                    let slot = names.entry(name.to_string()).or_default();
+                    slot.0 += 1;
+                    slot.1 += (e.saturating_sub(s)) as u64;
                 }
             }
-            let (s, e) = g.span(n);
             if s < e {
                 ordered.push(SpanEntry { start: s, end: e, node: n });
             }
@@ -141,6 +209,17 @@ impl StructIndex {
             chains.push(chain);
         }
 
+        let child_links: usize =
+            chains.iter().map(|c| c.iter().filter(|e| e.parent != NO_PARENT).count()).sum();
+        let chain_len: usize = chains.iter().map(Vec::len).sum();
+        let stats = IndexStats {
+            element_count: name_map.values().map(|v| v.len() as u64).sum(),
+            span_count: ordered.len() as u64,
+            text_len: g.span(NodeId::Root).1 as u64,
+            avg_fanout: child_links as f64 / chain_len.max(1) as f64,
+            names,
+        };
+
         StructIndex {
             version: g.version(),
             doc_id: g.doc_id(),
@@ -149,7 +228,14 @@ impl StructIndex {
             by_start,
             by_end,
             chains,
+            stats,
         }
+    }
+
+    /// Document statistics computed at build time (name frequencies, span
+    /// densities, chain fan-out) — the optimizer's selectivity source.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
     }
 
     /// The [`Goddag::version`] this index was built against.
@@ -228,6 +314,230 @@ impl StructIndex {
             }
             _ => axis_nodes(g, axis, n).into_iter().filter(|&m| keep(m)).collect(),
         }
+    }
+
+    /// First-witness existential probe: does `axis` from `n` contain at
+    /// least one node accepted by `keep`? Equivalent to
+    /// `!axis_nodes_filtered(g, axis, n, keep).is_empty()` but stops at the
+    /// first witness instead of materializing the axis — the evaluation
+    /// shape for boolean axis predicates (`//a[xfollowing::b]` asks
+    /// *whether* a witness exists, never *which*), where the full per-node
+    /// lookup is pure waste.
+    pub fn axis_exists(
+        &self,
+        g: &Goddag,
+        axis: Axis,
+        n: NodeId,
+        keep: impl Fn(NodeId) -> bool,
+    ) -> bool {
+        match axis {
+            Axis::XFollowing => {
+                let Some((_, b)) = self.ctx_span(g, n) else { return false };
+                let lo = self.by_start.partition_point(|e| e.start < b);
+                self.by_start[lo..].iter().any(|e| keep(e.node))
+            }
+            Axis::XPreceding => {
+                let Some((a, _)) = self.ctx_span(g, n) else { return false };
+                let hi = self.by_end.partition_point(|e| e.end <= a);
+                // Backward: witnesses cluster just before the span.
+                self.by_end[..hi].iter().rev().any(|e| keep(e.node))
+            }
+            Axis::XDescendant => {
+                let Some((a, b)) = self.ctx_span(g, n) else { return false };
+                let lo = self.by_start.partition_point(|e| e.start < a);
+                let hi = self.by_start.partition_point(|e| e.start < b);
+                self.by_start[lo..hi].iter().any(|e| {
+                    e.end <= b && e.node != n && !g.is_descendant(n, e.node) && keep(e.node)
+                })
+            }
+            Axis::XAncestor => {
+                let Some((a, b)) = self.ctx_span(g, n) else { return false };
+                let hit = |m: NodeId| m != n && !g.is_descendant(m, n) && keep(m);
+                if hit(NodeId::Root) {
+                    return true;
+                }
+                let leaf = g.leaf_at(a);
+                let (ls, le) = g.span(leaf);
+                if ls <= a && b <= le && hit(leaf) {
+                    return true;
+                }
+                for chain in &self.chains {
+                    let idx = chain.partition_point(|e| e.start <= a);
+                    if idx == 0 {
+                        continue;
+                    }
+                    let mut cur = (idx - 1) as u32;
+                    loop {
+                        let e = chain[cur as usize];
+                        if e.end >= b && hit(e.node) {
+                            return true;
+                        }
+                        if e.parent == NO_PARENT {
+                            break;
+                        }
+                        cur = e.parent;
+                    }
+                }
+                false
+            }
+            Axis::PrecedingOverlapping => {
+                let Some((a, b)) = self.ctx_span(g, n) else { return false };
+                let lo = self.by_end.partition_point(|e| e.end <= a);
+                let hi = self.by_end.partition_point(|e| e.end < b);
+                self.by_end[lo..hi].iter().any(|e| e.start < a && keep(e.node))
+            }
+            Axis::FollowingOverlapping => {
+                let Some((a, b)) = self.ctx_span(g, n) else { return false };
+                let lo = self.by_start.partition_point(|e| e.start <= a);
+                let hi = self.by_start.partition_point(|e| e.start < b);
+                self.by_start[lo..hi].iter().any(|e| e.end > b && keep(e.node))
+            }
+            Axis::Overlapping => {
+                let Some((a, b)) = self.ctx_span(g, n) else { return false };
+                let plo = self.by_end.partition_point(|e| e.end <= a);
+                let phi = self.by_end.partition_point(|e| e.end < b);
+                if self.by_end[plo..phi].iter().any(|e| e.start < a && keep(e.node)) {
+                    return true;
+                }
+                let flo = self.by_start.partition_point(|e| e.start <= a);
+                let fhi = self.by_start.partition_point(|e| e.start < b);
+                self.by_start[flo..fhi].iter().any(|e| e.end > b && keep(e.node))
+            }
+            // Standard axes: the tree walk is already output-local; just
+            // stop at the first accepted node.
+            _ => axis_nodes(g, axis, n).into_iter().any(keep),
+        }
+    }
+
+    /// Containment-chain join: elements named `inner` that are DOM
+    /// descendants of at least one element named `outer` that is itself a
+    /// DOM descendant of some context node — `descendant::outer/
+    /// descendant::inner` as one merge join over the preorder-numbered name
+    /// runs, instead of materializing the intermediate `outer` node set and
+    /// re-deriving its intervals step-at-a-time. The outer pass coalesces
+    /// nested `outer` occurrences on the fly (the name runs ascend in
+    /// preorder, so a nested occurrence lands inside the interval just
+    /// emitted), and the inner pass advances one run pointer per hierarchy
+    /// linearly instead of binary-searching per candidate. Matches
+    /// `elements_named_batch(inner, elements_named_batch(outer, ctxs))`
+    /// exactly, Definition-3 order included.
+    pub fn descendant_chain_batch(
+        &self,
+        g: &Goddag,
+        outer: &str,
+        inner: &str,
+        ctxs: &[NodeId],
+    ) -> Vec<NodeId> {
+        let inner_entries = self.elements_named(inner);
+        let outer_entries = self.elements_named(outer);
+        if inner_entries.is_empty() || outer_entries.is_empty() || ctxs.is_empty() {
+            return Vec::new();
+        }
+        // Context intervals per hierarchy (strict descendant); any root
+        // context reaches every element. Hierarchy ids are small dense
+        // indices, so flat per-hierarchy tables keep the per-entry loops
+        // free of hashing.
+        let nh = g.hierarchy_count();
+        let root_ctx = ctxs.iter().any(|n| n.is_root());
+        let mut ctx_runs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nh];
+        if !root_ctx {
+            let mut any_ctx = false;
+            for &n in ctxs {
+                if let NodeId::Elem { h, i } = n {
+                    let e = g.hierarchy(h).elem(i);
+                    if e.order < e.subtree_last {
+                        ctx_runs[h.0 as usize].push((e.order + 1, e.subtree_last));
+                        any_ctx = true;
+                    }
+                }
+            }
+            if !any_ctx {
+                return Vec::new();
+            }
+            for runs in &mut ctx_runs {
+                runs.sort_unstable();
+                merge_runs(runs);
+            }
+        }
+        // An outer entry in a hierarchy with no context interval falls out
+        // of the binary search below (empty runs ⇒ idx == 0 ⇒ skip).
+        let in_ctx = |runs: &[(u32, u32)], order: u32| -> bool {
+            let idx = runs.partition_point(|&(lo, _)| lo <= order);
+            idx > 0 && order <= runs[idx - 1].1
+        };
+        // Outer pass: descendant intervals of the in-context `outer`
+        // elements, coalesced per hierarchy as they stream by in preorder.
+        let mut outer_runs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nh];
+        let mut preordered = true;
+        let mut any_outer = false;
+        for &m in outer_entries {
+            let NodeId::Elem { h, i } = m else { continue };
+            let e = g.hierarchy(h).elem(i);
+            if !root_ctx && !in_ctx(&ctx_runs[h.0 as usize], e.order) {
+                continue;
+            }
+            if e.order + 1 > e.subtree_last {
+                continue; // no element descendants
+            }
+            let runs = &mut outer_runs[h.0 as usize];
+            any_outer = true;
+            match runs.last_mut() {
+                Some(last) if e.order + 1 < last.0 => preordered = false,
+                // A nested occurrence is absorbed by the covering interval.
+                Some(last) if e.order <= last.1 => last.1 = last.1.max(e.subtree_last),
+                _ => runs.push((e.order + 1, e.subtree_last)),
+            }
+        }
+        if !preordered {
+            // Name runs should ascend in preorder per hierarchy; if an
+            // input ever violates that, rebuild the intervals the safe way.
+            for runs in &mut outer_runs {
+                runs.clear();
+            }
+            for &m in outer_entries {
+                let NodeId::Elem { h, i } = m else { continue };
+                let e = g.hierarchy(h).elem(i);
+                if !root_ctx && !in_ctx(&ctx_runs[h.0 as usize], e.order) {
+                    continue;
+                }
+                if e.order < e.subtree_last {
+                    outer_runs[h.0 as usize].push((e.order + 1, e.subtree_last));
+                }
+            }
+            for runs in &mut outer_runs {
+                runs.sort_unstable();
+                merge_runs(runs);
+            }
+        }
+        if !any_outer {
+            return Vec::new();
+        }
+        // Inner pass: one linear merge per hierarchy — name run and
+        // interval list both ascend, so a single advancing pointer replaces
+        // a binary search per candidate. Output inherits the name run's
+        // Definition-3 order; no sort, no dedup.
+        let mut cursors: Vec<(usize, u32)> = vec![(0, 0); nh];
+        let mut out = Vec::new();
+        for &m in inner_entries {
+            let NodeId::Elem { h, i } = m else { continue };
+            let runs = &outer_runs[h.0 as usize];
+            if runs.is_empty() {
+                continue;
+            }
+            let o = g.hierarchy(h).elem(i).order;
+            let (cur, last_o) = &mut cursors[h.0 as usize];
+            if o < *last_o {
+                *cur = 0; // out-of-order input: restart the pointer
+            }
+            *last_o = o;
+            while *cur < runs.len() && runs[*cur].1 < o {
+                *cur += 1;
+            }
+            if *cur < runs.len() && runs[*cur].0 <= o {
+                out.push(m);
+            }
+        }
+        out
     }
 
     /// Evaluate `axis` for a whole context set in one pass: the union of
@@ -772,6 +1082,18 @@ impl StructIndex {
     }
 }
 
+/// Coalesce sorted, possibly overlapping/adjacent preorder runs in place.
+fn merge_runs(runs: &mut Vec<(u32, u32)>) {
+    let mut merged: Vec<(u32, u32)> = Vec::with_capacity(runs.len());
+    for &(lo, hi) in runs.iter() {
+        match merged.last_mut() {
+            Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    *runs = merged;
+}
+
 /// Sparse-table range max/min over a static `u32` array: O(n log n) build,
 /// O(1) query. Sized by the context set of one batch call, so the build is
 /// negligible next to the candidate sweep it serves.
@@ -1037,6 +1359,75 @@ mod tests {
                 assert_eq!(unsorted, idx.axis_nodes(&g, axis, n), "axis {}", axis.name());
             }
         }
+    }
+
+    #[test]
+    fn axis_exists_matches_materialized_nonemptiness() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        let names = ["w", "vline", "res", "dmg", "line", "r", "nope"];
+        for &n in &g.all_nodes() {
+            for axis in ALL_AXES {
+                // Unfiltered, name-filtered, and never-true probes.
+                assert_eq!(
+                    idx.axis_exists(&g, axis, n, |_| true),
+                    !idx.axis_nodes(&g, axis, n).is_empty(),
+                    "axis {} from {}",
+                    axis.name(),
+                    n
+                );
+                for name in names {
+                    let keep = |m: NodeId| g.name(m) == Some(name);
+                    assert_eq!(
+                        idx.axis_exists(&g, axis, n, keep),
+                        !idx.axis_nodes_filtered(&g, axis, n, keep).is_empty(),
+                        "axis {} from {} name {}",
+                        axis.name(),
+                        n,
+                        name
+                    );
+                }
+                assert!(!idx.axis_exists(&g, axis, n, |_| false));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_join_matches_sequential_scans() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        let all = g.all_nodes();
+        let names = ["r", "vline", "w", "res", "dmg", "line", "nope"];
+        for outer in names {
+            for inner in names {
+                for ctxs in [&all[..], &all[..all.len() / 2], &all[2..5], &[NodeId::Root], &[]] {
+                    let mid = idx.elements_named_batch(&g, outer, ctxs, false);
+                    let seq = idx.elements_named_batch(&g, inner, &mid, false);
+                    let joined = idx.descendant_chain_batch(&g, outer, inner, ctxs);
+                    assert_eq!(joined, seq, "{outer}//{inner} over {} ctxs", ctxs.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_the_corpus() {
+        let g = figure1();
+        let idx = StructIndex::build(&g);
+        let stats = idx.stats();
+        assert_eq!(stats.name_count("w"), 6);
+        assert_eq!(stats.name_count("line"), 2);
+        assert_eq!(stats.name_count("r"), 1);
+        assert_eq!(stats.name_count("nope"), 0);
+        assert!(stats.selectivity("w") > stats.selectivity("line"));
+        assert_eq!(stats.selectivity("nope"), 0.0);
+        // Lines are long, words are short.
+        assert!(stats.avg_span_len("line") > stats.avg_span_len("w"));
+        assert_eq!(stats.avg_span_len("nope"), 0.0);
+        assert!(stats.element_count() >= 15);
+        assert!(stats.span_count() > 0);
+        assert!(stats.span_density() > 0.0);
+        assert!(stats.avg_fanout() > 0.0);
     }
 
     #[test]

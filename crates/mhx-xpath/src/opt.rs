@@ -44,7 +44,7 @@
 
 use crate::ast::NodeTest;
 use crate::plan::{CompiledExpr, PathPlan, StartPlan, StepPlan, StepStrategy};
-use mhx_goddag::Axis;
+use mhx_goddag::{Axis, IndexStats};
 
 /// The optimizer's verdict on one predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,12 +68,27 @@ pub struct OptimizerReport {
     pub reordered_predicate_runs: u32,
     /// Predicated steps routed through the set-at-a-time batch path.
     pub batch_routed_steps: u32,
+    /// Boolean single-step extended-axis predicates annotated to answer
+    /// through a first-witness `axis_exists` probe instead of
+    /// materializing the axis.
+    pub existential_probes: u32,
+    /// Context-independent predicates annotated for once-per-step
+    /// hoisting out of the per-candidate loop.
+    pub hoisted_predicates: u32,
+    /// `descendant::a/descendant::b` pairs fused into one containment-
+    /// chain merge join.
+    pub chain_join_steps: u32,
 }
 
 impl OptimizerReport {
     /// Total rewrites applied (0 = the plan was already optimal).
     pub fn total(&self) -> u32 {
-        self.fused_steps + self.reordered_predicate_runs + self.batch_routed_steps
+        self.fused_steps
+            + self.reordered_predicate_runs
+            + self.batch_routed_steps
+            + self.existential_probes
+            + self.hoisted_predicates
+            + self.chain_join_steps
     }
 }
 
@@ -288,8 +303,44 @@ fn opt_path(p: &PathPlan, report: &mut OptimizerReport) -> PathPlan {
     }
     steps = fused;
 
+    // Pass 1b — containment-chain join: a predicate-free
+    // `descendant::a` immediately followed by `descendant::b` (both plain
+    // name tests — the shape `//a//b` fusion emits) collapses into one
+    // step answered by `StructIndex::descendant_chain_batch`, a single
+    // merge join over the laminar containment chains. The second step's
+    // predicates must all be position-free: the join produces the
+    // deduplicated union, so only set-filters survive it.
+    let mut chained: Vec<StepPlan> = Vec::with_capacity(steps.len());
+    let mut i = 0;
+    while i < steps.len() {
+        if i + 1 < steps.len() {
+            let (a, b) = (&steps[i], &steps[i + 1]);
+            if is_plain_descendant_name(a)
+                && a.predicates.is_empty()
+                && a.chain_outer.is_none()
+                && is_plain_descendant_name(b)
+                && b.chain_outer.is_none()
+                && b.predicates.iter().all(is_position_free)
+            {
+                let NodeTest::Name { name: outer_name, .. } = &a.test else { unreachable!() };
+                let mut s = b.clone();
+                s.chain_outer = Some(outer_name.clone());
+                s.rewritten = true;
+                report.chain_join_steps += 1;
+                chained.push(s);
+                i += 2;
+                continue;
+            }
+        }
+        chained.push(steps[i].clone());
+        i += 1;
+    }
+    steps = chained;
+
     // Pass 2 — cheapest-first within position-free predicate runs.
     // Pass 3 — flag all-position-free steps for the batch path.
+    // Pass 4 — per-predicate probe/hoist annotations on batch-routed
+    // steps (the only path that consults them).
     for step in &mut steps {
         let runs = reorder_position_free_runs(&mut step.predicates);
         if runs > 0 {
@@ -301,8 +352,82 @@ fn opt_path(p: &PathPlan, report: &mut OptimizerReport) -> PathPlan {
             step.rewritten = true;
             report.batch_routed_steps += 1;
         }
+        if step.preds_position_free || step.chain_outer.is_some() {
+            step.pred_probes = step.predicates.iter().map(probe_of).collect();
+            step.pred_hoistable = step
+                .predicates
+                .iter()
+                .map(|p| {
+                    is_context_independent(p) && !matches!(static_type(p), Ty::Num | Ty::Unknown)
+                })
+                .collect();
+            report.existential_probes +=
+                step.pred_probes.iter().filter(|p| p.is_some()).count() as u32;
+            report.hoisted_predicates += step.pred_hoistable.iter().filter(|&&h| h).count() as u32;
+        }
     }
     PathPlan { start, steps }
+}
+
+/// Is this step a plain `descendant::name` scan — `Descendant` axis, bare
+/// name test with no hierarchy filter? (The exact shape
+/// `descendant_chain_batch` joins; `descendant-or-self` would also admit
+/// the context node itself, which the chain join does not.)
+fn is_plain_descendant_name(s: &StepPlan) -> bool {
+    s.axis == Axis::Descendant
+        && matches!(&s.test, NodeTest::Name { hierarchies: None, .. })
+        && s.strategy == StepStrategy::NameIndex
+}
+
+/// The existential-probe shape: a relative single-step extended-axis path
+/// with no predicates of its own — `[xfollowing::e1]`, `[overlapping::p]`.
+/// Its effective boolean value is "does the axis hold a matching node",
+/// which `StructIndex::axis_exists` answers from the first witness. Only
+/// the seven extended (span-indexed) axes are probed: the tree-walk axes
+/// are already output-local, and materializing them is cheap.
+fn probe_of(pred: &CompiledExpr) -> Option<(Axis, NodeTest)> {
+    let CompiledExpr::Path(p) = pred else { return None };
+    if !matches!(p.start, StartPlan::Context) {
+        return None;
+    }
+    let [step] = p.steps.as_slice() else { return None };
+    if !step.predicates.is_empty() || step.strategy != StepStrategy::IndexedExtended {
+        return None;
+    }
+    Some((step.axis, step.test.clone()))
+}
+
+/// Can the expression's value depend on the evaluation context (node,
+/// position, size)? `false` means it is safe to evaluate once per step
+/// instead of once per candidate: literals, variables (bound outside the
+/// predicate), and absolute paths qualify; anything touching the focus —
+/// `position()`/`last()`, relative paths, zero-argument context functions
+/// like `string()` or `name()` — does not.
+pub fn is_context_independent(e: &CompiledExpr) -> bool {
+    match e {
+        CompiledExpr::Literal(_) | CompiledExpr::Number(_) | CompiledExpr::Var(_) => true,
+        CompiledExpr::Neg(inner) => is_context_independent(inner),
+        CompiledExpr::Binary { lhs, rhs, .. } => {
+            is_context_independent(lhs) && is_context_independent(rhs)
+        }
+        CompiledExpr::Call { name, args } => {
+            if matches!(name.as_str(), "position" | "last") {
+                return false;
+            }
+            // Zero-argument functions default to the context node
+            // (`string()`, `name()`, `number()`, …) — except the literal
+            // constants.
+            if args.is_empty() && !matches!(name.as_str(), "true" | "false") {
+                return false;
+            }
+            args.iter().all(is_context_independent)
+        }
+        CompiledExpr::Path(p) => match &p.start {
+            StartPlan::Root => true,
+            StartPlan::Filter { expr, .. } => is_context_independent(expr),
+            StartPlan::Context => false,
+        },
+    }
 }
 
 fn is_dos_any_node(s: &StepPlan) -> bool {
@@ -340,6 +465,115 @@ fn reorder_position_free_runs(preds: &mut [CompiledExpr]) -> u32 {
         }
     }
     changed
+}
+
+/// Evaluation order for an all-position-free predicate list, decided at
+/// **evaluation** time from the current document's [`IndexStats`]: a
+/// stable sort of the written indices, cheapest first by
+/// [`stats_predicate_cost`]. Compiled plans are document-independent and
+/// cached across documents, so the statistics-guided decision cannot be
+/// baked into the plan — the evaluator asks per document instead.
+/// Position-free filters commute, so any order is semantics-preserving.
+pub fn stats_order(preds: &[CompiledExpr], stats: &IndexStats) -> Vec<usize> {
+    if preds.len() < 2 {
+        return (0..preds.len()).collect();
+    }
+    let mut order: Vec<usize> = (0..preds.len()).collect();
+    let costs: Vec<u64> = preds.iter().map(|p| stats_predicate_cost(p, stats)).collect();
+    order.sort_by_key(|&i| costs[i]);
+    order
+}
+
+/// [`predicate_cost`] with the fixed step weights replaced by the index's
+/// real per-name frequencies: a `descendant::x` or extended-axis
+/// subquery costs what `x` actually occurs in this document, so a filter
+/// on a rare name runs before a filter on a ubiquitous one even though
+/// the fixed table prices them identically.
+pub fn stats_predicate_cost(e: &CompiledExpr, stats: &IndexStats) -> u64 {
+    match e {
+        CompiledExpr::Literal(_) | CompiledExpr::Number(_) | CompiledExpr::Var(_) => 1,
+        CompiledExpr::Neg(inner) => 1 + stats_predicate_cost(inner, stats),
+        CompiledExpr::Binary { lhs, rhs, .. } => {
+            1 + stats_predicate_cost(lhs, stats) + stats_predicate_cost(rhs, stats)
+        }
+        CompiledExpr::Call { name, args } => {
+            let base = match name.as_str() {
+                "matches" | "replace" | "tokenize" => 16,
+                _ => 2,
+            };
+            base + args.iter().map(|a| stats_predicate_cost(a, stats)).sum::<u64>()
+        }
+        CompiledExpr::Path(p) => {
+            let start = match &p.start {
+                StartPlan::Filter { expr, predicates } => {
+                    stats_predicate_cost(expr, stats)
+                        + predicates.iter().map(|q| stats_predicate_cost(q, stats)).sum::<u64>()
+                }
+                StartPlan::Root | StartPlan::Context => 0,
+            };
+            start
+                + p.steps
+                    .iter()
+                    .map(|s| {
+                        stats_step_cost(s, stats)
+                            + s.predicates
+                                .iter()
+                                .map(|q| stats_predicate_cost(q, stats))
+                                .sum::<u64>()
+                    })
+                    .sum::<u64>()
+        }
+    }
+}
+
+/// Per-step stats cost: named scans price at the document's actual name
+/// frequency; near-free local walks (self/attribute/parent/…) keep their
+/// fixed weight — their cost does not scale with the name's frequency.
+fn stats_step_cost(s: &StepPlan, stats: &IndexStats) -> u64 {
+    let fixed = step_cost(s.strategy, s.axis);
+    if fixed <= 8 {
+        return fixed;
+    }
+    match &s.test {
+        NodeTest::Name { name, .. } => 2 + stats.name_count(name),
+        _ => fixed,
+    }
+}
+
+/// A one-line human summary of a compiled expression, for `--explain`
+/// output. Lossy by design: enough to recognize the predicate, not to
+/// re-parse it.
+pub fn expr_summary(e: &CompiledExpr) -> String {
+    match e {
+        CompiledExpr::Literal(s) => format!("'{s}'"),
+        CompiledExpr::Number(n) => format!("{n}"),
+        CompiledExpr::Var(v) => format!("${v}"),
+        CompiledExpr::Neg(inner) => format!("-{}", expr_summary(inner)),
+        CompiledExpr::Binary { op, lhs, rhs } => {
+            format!("{} {op:?} {}", expr_summary(lhs), expr_summary(rhs))
+        }
+        CompiledExpr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(expr_summary).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        CompiledExpr::Path(p) => {
+            let mut out = match &p.start {
+                StartPlan::Root => "/".to_string(),
+                StartPlan::Context => String::new(),
+                StartPlan::Filter { expr, .. } => format!("({})", expr_summary(expr)),
+            };
+            for (i, s) in p.steps.iter().enumerate() {
+                if i > 0 || matches!(p.start, StartPlan::Filter { .. }) {
+                    out.push('/');
+                }
+                out.push_str(&format!("{}::{}", s.axis.name(), s.test));
+                for q in &s.predicates {
+                    out.push_str(&format!("[{}]", expr_summary(q)));
+                }
+            }
+            out
+        }
+    }
 }
 
 #[cfg(test)]
@@ -407,13 +641,15 @@ mod tests {
     fn fusion_collapses_slashslash_chains() {
         let (opt, report) = optimize(&compile_src("//vline//w[xancestor::p]"));
         let path = first_path(&opt);
-        assert_eq!(path.steps.len(), 2, "4 desugared steps fused to 2: {path:?}");
+        // 4 desugared walks fuse to 2 indexed scans, then the scan pair
+        // collapses into one containment-chain merge join.
+        assert_eq!(path.steps.len(), 1, "fused chain joined to one step: {path:?}");
         assert_eq!(path.steps[0].axis, Axis::Descendant);
         assert_eq!(path.steps[0].strategy, StepStrategy::NameIndex);
-        assert_eq!(path.steps[1].axis, Axis::Descendant);
-        assert_eq!(path.steps[1].strategy, StepStrategy::NameIndex);
+        assert_eq!(path.steps[0].chain_outer.as_deref(), Some("vline"));
         assert_eq!(report.fused_steps, 2);
-        assert!(path.steps[1].preds_position_free, "position-free predicate batch-routed");
+        assert_eq!(report.chain_join_steps, 1);
+        assert!(path.steps[0].preds_position_free, "position-free predicate batch-routed");
     }
 
     #[test]
@@ -430,5 +666,149 @@ mod tests {
     fn already_optimal_plans_report_zero() {
         let (_, report) = optimize(&compile_src("/descendant::w[1]/child::a"));
         assert_eq!(report.total(), 0);
+    }
+
+    #[test]
+    fn chain_join_fuses_descendant_pairs() {
+        // `//a//b` fusion output is exactly the chain-join shape.
+        let (opt, report) = optimize(&compile_src("//a//b[xancestor::p]"));
+        let path = first_path(&opt);
+        assert_eq!(path.steps.len(), 1, "fused pair collapsed to one join step: {path:?}");
+        assert_eq!(path.steps[0].chain_outer.as_deref(), Some("a"));
+        assert_eq!(report.chain_join_steps, 1);
+        assert!(path.steps[0].rewritten);
+
+        // The explicit form joins too.
+        let (opt2, r2) = optimize(&compile_src("/descendant::a/descendant::b"));
+        assert_eq!(first_path(&opt2).steps.len(), 1);
+        assert_eq!(r2.chain_join_steps, 1);
+
+        // Blocked: a predicate on the outer step (the join has nowhere to
+        // apply it), a positional predicate on the inner step, or a
+        // hierarchy-filtered test.
+        for src in [
+            "/descendant::a[@n]/descendant::b",
+            "/descendant::a/descendant::b[2]",
+            "/descendant::a(\"h\")/descendant::b",
+        ] {
+            let (opt, r) = optimize(&compile_src(src));
+            assert_eq!(first_path(&opt).steps.len(), 2, "`{src}` must not chain-join");
+            assert_eq!(r.chain_join_steps, 0, "`{src}` must not chain-join");
+        }
+    }
+
+    #[test]
+    fn existential_probes_annotated_for_boolean_axis_predicates() {
+        let (opt, report) = optimize(&compile_src("/descendant::w[xfollowing::e1][child::a]"));
+        let step = &first_path(&opt).steps[0];
+        assert!(step.preds_position_free);
+        assert_eq!(report.existential_probes, 1);
+        // After the cheapest-first reorder the extended-axis predicate
+        // sits second; only it probes.
+        let probes: Vec<bool> = step.pred_probes.iter().map(Option::is_some).collect();
+        assert_eq!(probes, vec![false, true]);
+
+        // Positional context: no batch routing, so no annotations at all.
+        let (opt2, r2) = optimize(&compile_src("/descendant::w[xfollowing::e1][2]"));
+        assert!(first_path(&opt2).steps[0].pred_probes.is_empty());
+        assert_eq!(r2.existential_probes, 0);
+
+        // A numeric-typed predicate is the position shorthand — never
+        // probed, never batch-routed.
+        let (opt3, r3) = optimize(&compile_src("/descendant::w[count(xfollowing::e1)]"));
+        assert!(first_path(&opt3).steps[0].pred_probes.is_empty());
+        assert_eq!(r3.existential_probes, 0);
+
+        // A nested predicate inside the axis step blocks the probe (the
+        // probe cannot apply it) but not the batch route.
+        let (opt4, r4) = optimize(&compile_src("/descendant::w[xfollowing::e1[1]]"));
+        let s4 = &first_path(&opt4).steps[0];
+        assert!(s4.preds_position_free);
+        assert!(s4.pred_probes.iter().all(Option::is_none));
+        assert_eq!(r4.existential_probes, 0);
+    }
+
+    #[test]
+    fn hoistable_predicates_detected() {
+        let (opt, report) =
+            optimize(&compile_src("/descendant::w[count(/descendant::e1) > 0][child::a]"));
+        let step = &first_path(&opt).steps[0];
+        assert_eq!(report.hoisted_predicates, 1);
+        // Exactly one predicate is context-independent, whichever slot the
+        // reorder put it in.
+        assert_eq!(step.pred_hoistable.iter().filter(|&&h| h).count(), 1);
+        let hoisted_at = step.pred_hoistable.iter().position(|&h| h).unwrap();
+        assert!(is_context_independent(&step.predicates[hoisted_at]));
+        assert!(!is_context_independent(&step.predicates[1 - hoisted_at]));
+
+        // Context-dependent lookalikes never hoist: relative paths,
+        // zero-argument context functions, focus readers.
+        for src in [
+            "/descendant::w[contains(string(.), 'a')]",
+            "/descendant::w[string-length() > 1]",
+            "/descendant::w[child::a]",
+        ] {
+            let (opt, r) = optimize(&compile_src(src));
+            let s = &first_path(&opt).steps[0];
+            assert_eq!(r.hoisted_predicates, 0, "`{src}` must not hoist");
+            assert!(s.pred_hoistable.iter().all(|&h| !h), "`{src}` must not hoist");
+        }
+    }
+
+    /// The satellite fix for `reorder_cheap_first`: the fixed weight table
+    /// prices every extended-axis subquery identically (and always above a
+    /// string test), so it cannot know which name is actually rare. With
+    /// `IndexStats` the evaluator's `stats_order` picks the genuinely
+    /// rarer name first — including the case the fixed table gets wrong.
+    #[test]
+    fn stats_order_picks_the_rarer_name_first() {
+        use mhx_goddag::{GoddagBuilder, StructIndex};
+        // `w` covers every character; `rare` occurs once.
+        let g = GoddagBuilder::new()
+            .hierarchy(
+                "words",
+                "<r><w>a</w><w>b</w><w>c</w><w>d</w><w>e</w><w>f</w><w>g</w><w>h</w></r>",
+            )
+            .hierarchy("marks", "<r><rare>a</rare>bcdefgh</r>")
+            .build()
+            .unwrap();
+        let idx = StructIndex::build(&g);
+        assert!(idx.stats().name_count("w") > idx.stats().name_count("rare"));
+
+        // Two extended-axis predicates: same fixed weight, so the static
+        // reorder keeps the written (common-name-first) order…
+        let (opt, _) = optimize(&compile_src("/descendant::r[xdescendant::w][xdescendant::rare]"));
+        let step = &first_path(&opt).steps[0];
+        assert!(format!("{:?}", step.predicates[0]).contains("\"w\""));
+        // …but the per-document statistics invert it.
+        assert_eq!(stats_order(&step.predicates, idx.stats()), vec![1, 0]);
+
+        // The case the fixed table actively gets wrong: it prices the
+        // string test far below any extended-axis subquery, but a probe on
+        // a once-per-document name is cheaper than materializing every
+        // candidate's string value.
+        let (opt2, _) =
+            optimize(&compile_src("/descendant::r[contains(string(.), 'zz')][xdescendant::rare]"));
+        let step2 = &first_path(&opt2).steps[0];
+        assert!(
+            matches!(&step2.predicates[0], CompiledExpr::Call { name, .. } if name == "contains"),
+            "static order keeps the string test first: {:?}",
+            step2.predicates
+        );
+        assert_eq!(stats_order(&step2.predicates, idx.stats()), vec![1, 0]);
+
+        // And when the frequencies flip, so does the verdict: on a
+        // document where `w` is the rare one, `w` goes first again.
+        let g2 = GoddagBuilder::new()
+            .hierarchy("words", "<r><w>a</w>bcdefgh</r>")
+            .hierarchy(
+                "marks",
+                "<r><rare>a</rare><rare>b</rare><rare>c</rare><rare>d</rare>\
+                 <rare>e</rare><rare>f</rare><rare>g</rare><rare>h</rare></r>",
+            )
+            .build()
+            .unwrap();
+        let idx2 = StructIndex::build(&g2);
+        assert_eq!(stats_order(&step.predicates, idx2.stats()), vec![0, 1]);
     }
 }

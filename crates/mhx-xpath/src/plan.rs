@@ -48,6 +48,15 @@ pub struct EvalCounters {
     /// Steps evaluated from a plan the optimizer rewrote (fused, reordered
     /// or batch-routed).
     pub rewritten_steps: Cell<u64>,
+    /// Steps that answered at least one boolean axis predicate through a
+    /// first-witness existential probe instead of materializing the axis.
+    pub early_exit_steps: Cell<u64>,
+    /// Context-independent predicates evaluated once per step instead of
+    /// once per candidate.
+    pub hoisted_preds: Cell<u64>,
+    /// `descendant::a/descendant::b` pairs answered as one containment-
+    /// chain merge join.
+    pub chain_joins: Cell<u64>,
 }
 
 impl EvalCounters {
@@ -58,6 +67,10 @@ impl EvalCounters {
         if step.rewritten {
             self.rewritten_steps.set(self.rewritten_steps.get() + 1);
         }
+    }
+
+    fn bump(&self, cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
     }
 }
 
@@ -270,12 +283,38 @@ pub struct StepPlan {
     /// Set by the optimizer on any step it changed (fused, reordered, or
     /// batch-routed) — drives the `rewritten_steps` engine counter.
     pub rewritten: bool,
+    /// Per-predicate existential-probe annotation (parallel to
+    /// `predicates` in their stored, post-reorder order): a
+    /// boolean single-step extended-axis predicate answers through
+    /// [`StructIndex::axis_exists`] — first witness, no materialization.
+    /// Only the optimizer fills this in; as-written plans leave it empty.
+    pub pred_probes: Vec<Option<(Axis, NodeTest)>>,
+    /// Per-predicate hoist annotation (parallel to `predicates`):
+    /// context-independent predicates are evaluated once per step instead
+    /// of once per candidate. Optimizer-only, like `pred_probes`.
+    pub pred_hoistable: Vec<bool>,
+    /// Set by the optimizer when this step absorbed a preceding
+    /// predicate-free `descendant::<name>` step: the pair evaluates as one
+    /// containment-chain merge join
+    /// ([`StructIndex::descendant_chain_batch`]) with the stored name as
+    /// the outer chain.
+    pub chain_outer: Option<String>,
 }
 
 impl StepPlan {
     pub fn new(axis: Axis, test: NodeTest, predicates: Vec<CompiledExpr>) -> StepPlan {
         let strategy = choose_strategy(axis, &test);
-        StepPlan { axis, test, strategy, predicates, preds_position_free: false, rewritten: false }
+        StepPlan {
+            axis,
+            test,
+            strategy,
+            predicates,
+            preds_position_free: false,
+            rewritten: false,
+            pred_probes: Vec::new(),
+            pred_hoistable: Vec::new(),
+            chain_outer: None,
+        }
     }
 }
 
@@ -392,6 +431,95 @@ impl CompiledXPath {
     /// optimized plan (the default knob setting).
     pub fn evaluate(&self, g: &Goddag, idx: &StructIndex, ctx: &Context) -> Result<Value> {
         self.evaluate_with(g, idx, ctx, true, &EvalCounters::default())
+    }
+
+    /// Render the optimized plan against one document: chosen rewrites,
+    /// per-step strategies and annotations, and estimated (from
+    /// [`mhx_goddag::IndexStats`]) vs. **actual** cardinalities — the plan
+    /// is evaluated step by step from the root context to measure them.
+    pub fn explain(&self, g: &Goddag, idx: &StructIndex) -> Result<String> {
+        let r = &self.report;
+        let mut out = format!(
+            "query: {}\nrewrites: {} fused, {} predicate runs reordered, {} batch-routed, \
+             {} existential probes, {} hoisted predicates, {} chain joins\n",
+            self.src,
+            r.fused_steps,
+            r.reordered_predicate_runs,
+            r.batch_routed_steps,
+            r.existential_probes,
+            r.hoisted_predicates,
+            r.chain_join_steps,
+        );
+        let CompiledExpr::Path(p) = &self.optimized else {
+            out.push_str("plan: non-path expression (per-step cardinalities not applicable)\n");
+            return Ok(out);
+        };
+        let ctx = Context::new(NodeId::Root);
+        let k = EvalCounters::default();
+        let mut current: Vec<NodeId> = match &p.start {
+            StartPlan::Root => {
+                out.push_str("start: / (1 node)\n");
+                vec![NodeId::Root]
+            }
+            StartPlan::Context => {
+                out.push_str("start: context (1 node)\n");
+                vec![ctx.node]
+            }
+            StartPlan::Filter { expr, predicates } => {
+                let v = eval_expr(g, idx, expr, &ctx, &k)?;
+                let Value::Nodes(mut ns) = v else {
+                    out.push_str("start: filter expression (non-node value)\n");
+                    return Ok(out);
+                };
+                for pred in predicates {
+                    ns = apply_predicate(g, idx, &ns, pred, &ctx, false, &k)?;
+                }
+                out.push_str(&format!("start: filter expression ({} nodes)\n", ns.len()));
+                ns
+            }
+        };
+        let stats = idx.stats();
+        for (i, step) in p.steps.iter().enumerate() {
+            let estimate = match &step.test {
+                NodeTest::Name { name, .. } => format!("{}", stats.name_count(name)),
+                NodeTest::AnyElement { .. } => format!("{}", stats.element_count()),
+                _ => "?".into(),
+            };
+            current = eval_step(g, idx, &current, step, &ctx, &k)?;
+            let chain = match &step.chain_outer {
+                Some(outer) => format!(" chain-join(outer descendant::{outer})"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "step {}: {}::{}{} [{:?}{}] est {} actual {}\n",
+                i + 1,
+                step.axis.name(),
+                step.test,
+                chain,
+                step.strategy,
+                if step.preds_position_free { ", batch" } else { "" },
+                estimate,
+                current.len(),
+            ));
+            for (pi, pred) in step.predicates.iter().enumerate() {
+                let how = if step.pred_probes.get(pi).is_some_and(Option::is_some) {
+                    "existential probe"
+                } else if step.pred_hoistable.get(pi).copied().unwrap_or(false) {
+                    "hoisted (evaluated once)"
+                } else if step.preds_position_free {
+                    "position-free filter"
+                } else {
+                    "per-candidate"
+                };
+                out.push_str(&format!(
+                    "  predicate {}: {} — {}\n",
+                    pi + 1,
+                    crate::opt::expr_summary(pred),
+                    how
+                ));
+            }
+        }
+        Ok(out)
     }
 
     /// [`CompiledXPath::evaluate`] with an explicit plan choice and step
@@ -541,6 +669,17 @@ fn eval_step(
     outer: &Context,
     k: &EvalCounters,
 ) -> Result<Vec<NodeId>> {
+    // Containment-chain join: this step absorbed a predicate-free
+    // `descendant::<outer>` step, so the pair resolves as one merge join
+    // over the laminar containment chains instead of two sequential
+    // descendant scans. Any surviving predicates are position-free by the
+    // fusion rule and filter the joined set once.
+    if let (Some(outer_name), NodeTest::Name { name, .. }) = (&step.chain_outer, &step.test) {
+        k.count_step(step, true);
+        k.bump(&k.chain_joins);
+        let candidates = idx.descendant_chain_batch(g, outer_name, name, input);
+        return apply_free_predicates(g, idx, candidates, step, outer, k);
+    }
     // Predicate-free steps take the whole context set through the index in
     // one pass.
     if step.predicates.is_empty() {
@@ -552,13 +691,8 @@ fn eval_step(
     // node and unioning (set filters commute with union).
     if step.preds_position_free {
         k.count_step(step, true);
-        let mut candidates =
-            resolve_step_batch(g, idx, step.strategy, step.axis, &step.test, input);
-        for pred in &step.predicates {
-            candidates =
-                apply_predicate(g, idx, &candidates, pred, outer, step.axis.is_reverse(), k)?;
-        }
-        return Ok(candidates);
+        let candidates = resolve_step_batch(g, idx, step.strategy, step.axis, &step.test, input);
+        return apply_free_predicates(g, idx, candidates, step, outer, k);
     }
     // Positional steps stay per-node: `position()` is assigned within each
     // context node's candidate list.
@@ -575,6 +709,66 @@ fn eval_step(
     g.sort_nodes(&mut out);
     out.dedup();
     Ok(out)
+}
+
+/// Apply an all-position-free predicate list to a batched candidate union,
+/// honouring the optimizer's annotations:
+///
+/// * the predicates run in [`crate::opt::stats_order`] — the index's real
+///   name frequencies decide which filter goes first, not the fixed weight
+///   table (position-free filters commute, so any order is correct);
+/// * a hoistable (context-independent) predicate is evaluated **once**;
+///   `false` empties the step, `true` is a no-op filter;
+/// * a probe-annotated predicate calls [`StructIndex::axis_exists`] per
+///   candidate — first-witness early exit, no axis materialization;
+/// * everything else falls back to [`apply_predicate`].
+///
+/// Only optimizer-routed steps reach this path, so the annotation arrays
+/// (when non-empty) are parallel to `step.predicates` in written order.
+fn apply_free_predicates(
+    g: &Goddag,
+    idx: &StructIndex,
+    mut candidates: Vec<NodeId>,
+    step: &StepPlan,
+    outer: &Context,
+    k: &EvalCounters,
+) -> Result<Vec<NodeId>> {
+    if step.predicates.is_empty() {
+        return Ok(candidates);
+    }
+    let mut used_probe = false;
+    for pi in crate::opt::stats_order(&step.predicates, idx.stats()) {
+        if candidates.is_empty() {
+            break;
+        }
+        let pred = &step.predicates[pi];
+        if step.pred_hoistable.get(pi).copied().unwrap_or(false) {
+            let v = eval_expr(g, idx, pred, outer, k)?;
+            // Hoisted predicates are statically never numeric; keep the
+            // positional shorthand safe anyway by falling through to the
+            // per-candidate rule if a number shows up at runtime.
+            if !matches!(v, Value::Num(_)) {
+                k.bump(&k.hoisted_preds);
+                if !v.to_bool() {
+                    candidates.clear();
+                    break;
+                }
+                continue;
+            }
+        }
+        if let Some(Some((axis, test))) = step.pred_probes.get(pi) {
+            let axis = *axis;
+            candidates
+                .retain(|&m| idx.axis_exists(g, axis, m, |w| node_test_matches(g, axis, w, test)));
+            used_probe = true;
+            continue;
+        }
+        candidates = apply_predicate(g, idx, &candidates, pred, outer, step.axis.is_reverse(), k)?;
+    }
+    if used_probe {
+        k.bump(&k.early_exit_steps);
+    }
+    Ok(candidates)
 }
 
 /// Compiled twin of [`crate::eval::apply_predicate`].

@@ -72,12 +72,36 @@ pub struct QStep {
     /// Set by the optimizer on any step it changed — drives the
     /// `rewritten_steps` engine counter.
     pub rewritten: bool,
+    /// Per-predicate existential-probe annotation (parallel to
+    /// `predicates`): a boolean single-step extended-axis predicate
+    /// answers through `StructIndex::axis_exists` — first witness, no
+    /// materialization. Optimizer-only; as-written plans leave it empty.
+    pub pred_probes: Vec<Option<(Axis, NodeTest)>>,
+    /// Per-predicate hoist annotation (parallel to `predicates`):
+    /// context-independent pure predicates are evaluated once per step
+    /// instead of once per candidate. Optimizer-only.
+    pub pred_hoistable: Vec<bool>,
+    /// Set by the optimizer when this step absorbed a preceding
+    /// predicate-free `descendant::<name>` step: the pair evaluates as
+    /// one containment-chain merge join with the stored name as the
+    /// outer chain.
+    pub chain_outer: Option<String>,
 }
 
 impl QStep {
     pub fn new(axis: Axis, test: NodeTest, predicates: Vec<QExpr>) -> QStep {
         let strategy = choose_strategy(axis, &test);
-        QStep { axis, test, predicates, strategy, preds_position_free: false, rewritten: false }
+        QStep {
+            axis,
+            test,
+            predicates,
+            strategy,
+            preds_position_free: false,
+            rewritten: false,
+            pred_probes: Vec::new(),
+            pred_hoistable: Vec::new(),
+            chain_outer: None,
+        }
     }
 }
 

@@ -52,6 +52,15 @@ pub struct EvalStats {
     /// Rewrites the optimizer applied to this query's plan (0 when the
     /// `optimize` knob is off or the plan was already optimal).
     pub plan_rewrites: u64,
+    /// Steps that answered at least one boolean axis predicate through a
+    /// first-witness existential probe instead of materializing the axis.
+    pub early_exit_steps: u64,
+    /// Context-independent predicates evaluated once per step instead of
+    /// once per candidate.
+    pub hoisted_preds: u64,
+    /// `descendant::a/descendant::b` pairs answered as one containment-
+    /// chain merge join.
+    pub chain_joins: u64,
 }
 
 /// Variable bindings + focus (context item, position, size).
@@ -76,7 +85,9 @@ impl Env {
 enum IndexState<'g> {
     None,
     Borrowed(&'g StructIndex),
-    Owned(StructIndex),
+    // Boxed: a StructIndex is hundreds of bytes, the other variants one
+    // pointer.
+    Owned(Box<StructIndex>),
 }
 
 impl IndexState<'_> {
@@ -134,7 +145,7 @@ impl<'g> Evaluator<'g> {
     fn ensure_index(&mut self) {
         let fresh = self.index.get().map(|i| i.is_current(self.g.as_ref())).unwrap_or(false);
         if !fresh {
-            self.index = IndexState::Owned(StructIndex::build(self.g.as_ref()));
+            self.index = IndexState::Owned(Box::new(StructIndex::build(self.g.as_ref())));
         }
     }
 
@@ -594,6 +605,46 @@ impl<'g> Evaluator<'g> {
     }
 
     fn eval_step(&mut self, input: &[Item], step: &QStep, env: &Env) -> Result<Sequence> {
+        // Containment-chain join: this step absorbed a predicate-free
+        // `descendant::<outer>` step. Over pure KyGODDAG input the pair
+        // resolves as one merge join over the laminar containment chains;
+        // anything else (constructed nodes in the context) falls back to
+        // the equivalent two-step form.
+        if let Some(outer_name) = &step.chain_outer {
+            if input.iter().all(|i| matches!(i, Item::Node(_))) {
+                let ctxs: Vec<NodeId> = input
+                    .iter()
+                    .map(|i| match i {
+                        Item::Node(n) => *n,
+                        _ => unreachable!("guard above admits only goddag nodes"),
+                    })
+                    .collect();
+                let NodeTest::Name { name, .. } = &step.test else {
+                    unreachable!("chain joins are only planned for plain name tests");
+                };
+                self.stats.batched_steps += 1;
+                self.stats.rewritten_steps += 1;
+                self.stats.chain_joins += 1;
+                self.ensure_index();
+                let g = self.g.as_ref();
+                let idx = self.index.get().expect("ensure_index populated the slot");
+                let items: Sequence = idx
+                    .descendant_chain_batch(g, outer_name, name, &ctxs)
+                    .into_iter()
+                    .map(Item::Node)
+                    .collect();
+                return self.apply_free_predicates(items, step, env);
+            }
+            let outer_step = QStep::new(
+                Axis::Descendant,
+                NodeTest::Name { name: outer_name.clone(), hierarchies: None },
+                Vec::new(),
+            );
+            let mut inner = step.clone();
+            inner.chain_outer = None;
+            let mid = self.eval_step(input, &outer_step, env)?;
+            return self.eval_step(&mid, &inner, env);
+        }
         // Batched fast path: a pure KyGODDAG node set and either no
         // predicates or only optimizer-certified position-free *pure*
         // predicates. Predicate-free: nothing evaluates per candidate, so
@@ -614,12 +665,9 @@ impl<'g> Evaluator<'g> {
             if step.rewritten {
                 self.stats.rewritten_steps += 1;
             }
-            let mut items: Sequence =
+            let items: Sequence =
                 self.step_candidates_batch(step, &ctxs).into_iter().map(Item::Node).collect();
-            for p in &step.predicates {
-                items = self.apply_predicate(items, p, env, step.axis.is_reverse())?;
-            }
-            return Ok(items);
+            return self.apply_free_predicates(items, step, env);
         }
         if step.rewritten {
             self.stats.rewritten_steps += 1;
@@ -670,6 +718,74 @@ impl<'g> Evaluator<'g> {
             }
         }
         Ok(out)
+    }
+
+    /// Apply an all-free (position-free, pure) predicate list to a batched
+    /// candidate set, honouring the optimizer's annotations — the XQuery
+    /// twin of `mhx_xpath::plan`'s free-predicate path:
+    ///
+    /// * predicates run in [`crate::opt::stats_order`] (per-document name
+    ///   frequencies, not the fixed weight table);
+    /// * hoistable (context-independent) predicates evaluate **once**;
+    /// * probe-annotated predicates answer per candidate through
+    ///   `StructIndex::axis_exists` — first witness, no materialization;
+    /// * everything else falls back to [`Evaluator::apply_predicate`].
+    ///
+    /// Free predicates are pure (no `analyze-string()`), so the index
+    /// stays current across the whole list.
+    fn apply_free_predicates(
+        &mut self,
+        mut items: Sequence,
+        step: &QStep,
+        env: &Env,
+    ) -> Result<Sequence> {
+        if step.predicates.is_empty() {
+            return Ok(items);
+        }
+        self.ensure_index();
+        let order = {
+            let idx = self.index.get().expect("ensure_index populated the slot");
+            crate::opt::stats_order(&step.predicates, idx.stats())
+        };
+        let mut used_probe = false;
+        for pi in order {
+            if items.is_empty() {
+                break;
+            }
+            let pred = &step.predicates[pi];
+            if step.pred_hoistable.get(pi).copied().unwrap_or(false) {
+                let v = self.eval(pred, env)?;
+                // Hoisted predicates are statically never numeric; keep
+                // the positional shorthand safe anyway by falling through
+                // to the per-candidate rule if a number shows up.
+                if !matches!(v.as_slice(), [Item::Num(_)]) {
+                    self.stats.hoisted_preds += 1;
+                    if !self.ebv(&v)? {
+                        items.clear();
+                        break;
+                    }
+                    continue;
+                }
+            }
+            if let Some(Some((axis, test))) = step.pred_probes.get(pi) {
+                let axis = *axis;
+                let g = self.g.as_ref();
+                let idx = self.index.get().expect("ensure_index populated the slot");
+                items.retain(|it| match it {
+                    Item::Node(n) => idx.axis_exists(g, axis, *n, |w| {
+                        mhx_xpath::node_test_matches(g, axis, w, test)
+                    }),
+                    _ => unreachable!("the batched paths only carry goddag nodes"),
+                });
+                used_probe = true;
+                continue;
+            }
+            items = self.apply_predicate(items, pred, env, step.axis.is_reverse())?;
+        }
+        if used_probe {
+            self.stats.early_exit_steps += 1;
+        }
+        Ok(items)
     }
 
     /// Standard axes over constructed nodes (output arena). Extended axes

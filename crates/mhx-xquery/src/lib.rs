@@ -173,6 +173,13 @@ impl CompiledXQuery {
         &self.report
     }
 
+    /// Render the optimized plan: chosen rewrites, per-step strategies
+    /// and annotations, and cardinality estimates from `stats` (pass a
+    /// document's [`mhx_goddag::IndexStats`] for real numbers).
+    pub fn explain(&self, stats: Option<&mhx_goddag::IndexStats>) -> String {
+        opt::explain(&self.optimized, &self.report, &self.src, stats)
+    }
+
     /// Run against a goddag (optionally sharing a pre-built index),
     /// selecting the plan by `opts.optimize`, and return the serialized
     /// result with the evaluation's step counters.

@@ -18,9 +18,9 @@
 //! exactly as written.
 
 use crate::ast::{AttrPiece, Clause, Comp, Content, DirElem, QExpr, QPathStart, QStep};
-use mhx_goddag::Axis;
+use mhx_goddag::{Axis, IndexStats};
 use mhx_xpath::opt::step_cost;
-use mhx_xpath::{NodeTest, PredicateClass};
+use mhx_xpath::{NodeTest, PredicateClass, StepStrategy};
 
 pub use mhx_xpath::OptimizerReport;
 
@@ -351,8 +351,43 @@ fn opt_path(start: &QPathStart, steps: &[QStep], r: &mut OptimizerReport) -> QEx
     }
     steps = fused;
 
+    // Pass 1b — containment-chain join, mirroring `mhx_xpath::opt`: a
+    // predicate-free `descendant::a` followed by `descendant::b` (plain
+    // name tests) collapses into one merge join over the laminar
+    // containment chains. The inner step's predicates must all be free
+    // (position-free *and* pure) — the join hands the evaluator the
+    // deduplicated union.
+    let mut chained: Vec<QStep> = Vec::with_capacity(steps.len());
+    let mut i = 0;
+    while i < steps.len() {
+        if i + 1 < steps.len() {
+            let (a, b) = (&steps[i], &steps[i + 1]);
+            if is_plain_descendant_name(a)
+                && a.predicates.is_empty()
+                && a.chain_outer.is_none()
+                && is_plain_descendant_name(b)
+                && b.chain_outer.is_none()
+                && b.predicates.iter().all(is_free)
+            {
+                let NodeTest::Name { name: outer_name, .. } = &a.test else { unreachable!() };
+                let mut s = b.clone();
+                s.chain_outer = Some(outer_name.clone());
+                s.rewritten = true;
+                r.chain_join_steps += 1;
+                chained.push(s);
+                i += 2;
+                continue;
+            }
+        }
+        chained.push(steps[i].clone());
+        i += 1;
+    }
+    steps = chained;
+
     // Pass 2 — cheapest-first within position-free pure runs.
     // Pass 3 — flag all-free steps for the batch path.
+    // Pass 4 — probe/hoist annotations on the steps the batch path
+    // evaluates (the only consumer of the annotations).
     for step in &mut steps {
         let runs = reorder_free_runs(&mut step.predicates);
         if runs > 0 {
@@ -364,6 +399,20 @@ fn opt_path(start: &QPathStart, steps: &[QStep], r: &mut OptimizerReport) -> QEx
             step.rewritten = true;
             r.batch_routed_steps += 1;
         }
+        if step.preds_position_free || step.chain_outer.is_some() {
+            step.pred_probes = step.predicates.iter().map(probe_of).collect();
+            step.pred_hoistable = step
+                .predicates
+                .iter()
+                .map(|p| {
+                    is_context_independent(p)
+                        && !matches!(static_type(p), Ty::Num | Ty::Unknown)
+                        && !p.uses_analyze_string()
+                })
+                .collect();
+            r.existential_probes += step.pred_probes.iter().filter(|p| p.is_some()).count() as u32;
+            r.hoisted_predicates += step.pred_hoistable.iter().filter(|&&h| h).count() as u32;
+        }
     }
     QExpr::Path { start, steps }
 }
@@ -372,6 +421,337 @@ fn is_dos_any_node(s: &QStep) -> bool {
     s.axis == Axis::DescendantOrSelf
         && matches!(&s.test, NodeTest::AnyNode { hierarchies: None })
         && s.predicates.is_empty()
+}
+
+/// Plain `descendant::name` — the chain-join shape (same rule as the
+/// XPath optimizer).
+fn is_plain_descendant_name(s: &QStep) -> bool {
+    s.axis == Axis::Descendant
+        && matches!(&s.test, NodeTest::Name { hierarchies: None, .. })
+        && s.strategy == StepStrategy::NameIndex
+}
+
+/// The existential-probe shape: a relative single-step extended-axis path
+/// with no predicates of its own. Same rule as `mhx_xpath::opt::probe_of`.
+fn probe_of(pred: &QExpr) -> Option<(Axis, NodeTest)> {
+    let QExpr::Path { start: QPathStart::Context, steps } = pred else { return None };
+    let [step] = steps.as_slice() else { return None };
+    if !step.predicates.is_empty() || step.strategy != StepStrategy::IndexedExtended {
+        return None;
+    }
+    Some((step.axis, step.test.clone()))
+}
+
+/// Can the expression's value depend on the focus (context item, position,
+/// size)? `false` ⇒ safe to evaluate once per step. Mirrors
+/// `mhx_xpath::opt::is_context_independent`, extended over the XQuery
+/// forms; direct constructors conservatively stay per-candidate.
+pub fn is_context_independent(e: &QExpr) -> bool {
+    match e {
+        QExpr::Literal(_) | QExpr::Number(_) | QExpr::Var(_) => true,
+        QExpr::ContextItem | QExpr::DirElem(_) => false,
+        QExpr::Sequence(es) => es.iter().all(is_context_independent),
+        QExpr::Flwor { clauses, ret } => {
+            clauses.iter().all(|c| match c {
+                Clause::For { seq, .. } => is_context_independent(seq),
+                Clause::Let { expr, .. } => is_context_independent(expr),
+                Clause::Where(e) => is_context_independent(e),
+                Clause::OrderBy { keys } => keys.iter().all(|k| is_context_independent(&k.key)),
+            }) && is_context_independent(ret)
+        }
+        QExpr::If { cond, then, els } => {
+            is_context_independent(cond)
+                && is_context_independent(then)
+                && is_context_independent(els)
+        }
+        QExpr::Quantified { binds, satisfies, .. } => {
+            binds.iter().all(|(_, e)| is_context_independent(e))
+                && is_context_independent(satisfies)
+        }
+        QExpr::Or(a, b) | QExpr::And(a, b) | QExpr::Union(a, b) => {
+            is_context_independent(a) && is_context_independent(b)
+        }
+        QExpr::Compare { lhs, rhs, .. } | QExpr::Arith { lhs, rhs, .. } => {
+            is_context_independent(lhs) && is_context_independent(rhs)
+        }
+        QExpr::Range { lo, hi } => is_context_independent(lo) && is_context_independent(hi),
+        QExpr::Neg(inner) => is_context_independent(inner),
+        QExpr::Call { name, args } => {
+            if matches!(name.as_str(), "position" | "last") {
+                return false;
+            }
+            // Zero-argument functions default to the context item.
+            if args.is_empty() && !matches!(name.as_str(), "true" | "false") {
+                return false;
+            }
+            args.iter().all(is_context_independent)
+        }
+        QExpr::Path { start, .. } => match start {
+            QPathStart::Root => true,
+            QPathStart::Expr(e) => is_context_independent(e),
+            QPathStart::Context => false,
+        },
+        QExpr::Filter { base, .. } => is_context_independent(base),
+    }
+}
+
+/// Evaluation order for an all-free predicate list, decided per document
+/// from the index statistics — the XQuery twin of
+/// `mhx_xpath::opt::stats_order`.
+pub fn stats_order(preds: &[QExpr], stats: &IndexStats) -> Vec<usize> {
+    if preds.len() < 2 {
+        return (0..preds.len()).collect();
+    }
+    let mut order: Vec<usize> = (0..preds.len()).collect();
+    let costs: Vec<u64> = preds.iter().map(|p| stats_cost(p, stats)).collect();
+    order.sort_by_key(|&i| costs[i]);
+    order
+}
+
+/// [`cost`] with named-scan steps priced at the document's actual name
+/// frequency.
+fn stats_cost(e: &QExpr, stats: &IndexStats) -> u64 {
+    match e {
+        QExpr::Path { start, steps } => {
+            let start_cost = match start {
+                QPathStart::Expr(e) => stats_cost(e, stats),
+                QPathStart::Root | QPathStart::Context => 0,
+            };
+            start_cost
+                + steps
+                    .iter()
+                    .map(|s| {
+                        let fixed = step_cost(s.strategy, s.axis);
+                        let step = match &s.test {
+                            NodeTest::Name { name, .. } if fixed > 8 => 2 + stats.name_count(name),
+                            _ => fixed,
+                        };
+                        step + s.predicates.iter().map(|q| stats_cost(q, stats)).sum::<u64>()
+                    })
+                    .sum::<u64>()
+        }
+        QExpr::Sequence(es) => 1 + es.iter().map(|x| stats_cost(x, stats)).sum::<u64>(),
+        QExpr::Or(a, b) | QExpr::And(a, b) | QExpr::Union(a, b) => {
+            1 + stats_cost(a, stats) + stats_cost(b, stats)
+        }
+        QExpr::Compare { lhs, rhs, .. } | QExpr::Arith { lhs, rhs, .. } => {
+            1 + stats_cost(lhs, stats) + stats_cost(rhs, stats)
+        }
+        QExpr::Range { lo, hi } => 1 + stats_cost(lo, stats) + stats_cost(hi, stats),
+        QExpr::Neg(inner) => 1 + stats_cost(inner, stats),
+        QExpr::Call { name, args } => {
+            let base = match name.as_str() {
+                "matches" | "replace" | "tokenize" | "analyze-string" => 16,
+                _ => 2,
+            };
+            base + args.iter().map(|a| stats_cost(a, stats)).sum::<u64>()
+        }
+        QExpr::Filter { base, predicates } => {
+            1 + stats_cost(base, stats)
+                + predicates.iter().map(|q| stats_cost(q, stats)).sum::<u64>()
+        }
+        // The remaining forms have no name-frequency component; reuse the
+        // fixed weights.
+        _ => cost(e),
+    }
+}
+
+/// A one-line human summary of a query sub-expression, for `--explain`
+/// output. Lossy by design: enough to recognize the predicate, not to
+/// re-parse it.
+pub fn qexpr_summary(e: &QExpr) -> String {
+    match e {
+        QExpr::Literal(s) => format!("'{s}'"),
+        QExpr::Number(n) => format!("{n}"),
+        QExpr::Var(v) => format!("${v}"),
+        QExpr::ContextItem => ".".to_string(),
+        QExpr::Neg(inner) => format!("-{}", qexpr_summary(inner)),
+        QExpr::Or(a, b) => format!("{} or {}", qexpr_summary(a), qexpr_summary(b)),
+        QExpr::And(a, b) => format!("{} and {}", qexpr_summary(a), qexpr_summary(b)),
+        QExpr::Union(a, b) => format!("{} | {}", qexpr_summary(a), qexpr_summary(b)),
+        QExpr::Compare { op, lhs, rhs } => {
+            format!("{} {op:?} {}", qexpr_summary(lhs), qexpr_summary(rhs))
+        }
+        QExpr::Arith { op, lhs, rhs } => {
+            format!("{} {op:?} {}", qexpr_summary(lhs), qexpr_summary(rhs))
+        }
+        QExpr::Range { lo, hi } => format!("{} to {}", qexpr_summary(lo), qexpr_summary(hi)),
+        QExpr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(qexpr_summary).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        QExpr::Path { start, steps } => {
+            let mut out = match start {
+                QPathStart::Root => "/".to_string(),
+                QPathStart::Context => String::new(),
+                QPathStart::Expr(e) => format!("({})", qexpr_summary(e)),
+            };
+            for (i, s) in steps.iter().enumerate() {
+                if i > 0 || matches!(start, QPathStart::Expr(_)) {
+                    out.push('/');
+                }
+                out.push_str(&format!("{}::{}", s.axis.name(), s.test));
+                for q in &s.predicates {
+                    out.push_str(&format!("[{}]", qexpr_summary(q)));
+                }
+            }
+            out
+        }
+        QExpr::Filter { base, predicates } => {
+            let mut out = format!("({})", qexpr_summary(base));
+            for q in predicates {
+                out.push_str(&format!("[{}]", qexpr_summary(q)));
+            }
+            out
+        }
+        QExpr::Sequence(es) => {
+            let parts: Vec<String> = es.iter().map(qexpr_summary).collect();
+            format!("({})", parts.join(", "))
+        }
+        QExpr::If { .. } => "if(…)".to_string(),
+        QExpr::Flwor { .. } => "flwor(…)".to_string(),
+        QExpr::Quantified { every, .. } => {
+            if *every {
+                "every(…)".to_string()
+            } else {
+                "some(…)".to_string()
+            }
+        }
+        QExpr::DirElem(d) => format!("<{}>…</{}>", d.name, d.name),
+    }
+}
+
+/// Render the optimizer's plan for a query: the rewrite summary, then
+/// every path in the optimized AST with per-step strategies, annotations
+/// and cardinality estimates from the document's [`IndexStats`]. XQuery
+/// plans are not pre-evaluated (predicates may bind variables or mutate
+/// the goddag), so unlike the XPath explain this reports estimates only.
+pub fn explain(
+    optimized: &QExpr,
+    report: &OptimizerReport,
+    src: &str,
+    stats: Option<&IndexStats>,
+) -> String {
+    let mut out = format!(
+        "query: {}\nrewrites: {} fused, {} predicate runs reordered, {} batch-routed, \
+         {} existential probes, {} hoisted predicates, {} chain joins\n",
+        src,
+        report.fused_steps,
+        report.reordered_predicate_runs,
+        report.batch_routed_steps,
+        report.existential_probes,
+        report.hoisted_predicates,
+        report.chain_join_steps,
+    );
+    let mut paths: Vec<(&QPathStart, &[QStep])> = Vec::new();
+    collect_paths(optimized, &mut paths);
+    if paths.is_empty() {
+        out.push_str("plan: no path expressions (per-step cardinalities not applicable)\n");
+        return out;
+    }
+    for (pi, (start, steps)) in paths.iter().enumerate() {
+        let start_desc = match start {
+            QPathStart::Root => "/".to_string(),
+            QPathStart::Context => "context".to_string(),
+            QPathStart::Expr(e) => format!("({})", qexpr_summary(e)),
+        };
+        out.push_str(&format!("path {}: start {}\n", pi + 1, start_desc));
+        for (i, step) in steps.iter().enumerate() {
+            let estimate = match (&step.test, stats) {
+                (NodeTest::Name { name, .. }, Some(s)) => format!("{}", s.name_count(name)),
+                (NodeTest::AnyElement { .. }, Some(s)) => format!("{}", s.element_count()),
+                _ => "?".into(),
+            };
+            let chain = match &step.chain_outer {
+                Some(outer) => format!(" chain-join(outer descendant::{outer})"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  step {}: {}::{}{} [{:?}{}] est {}\n",
+                i + 1,
+                step.axis.name(),
+                step.test,
+                chain,
+                step.strategy,
+                if step.preds_position_free { ", batch" } else { "" },
+                estimate,
+            ));
+            for (qi, pred) in step.predicates.iter().enumerate() {
+                let how = if step.pred_probes.get(qi).is_some_and(Option::is_some) {
+                    "existential probe"
+                } else if step.pred_hoistable.get(qi).copied().unwrap_or(false) {
+                    "hoisted (evaluated once)"
+                } else if step.preds_position_free {
+                    "position-free filter"
+                } else {
+                    "per-candidate"
+                };
+                out.push_str(&format!(
+                    "    predicate {}: {} — {}\n",
+                    qi + 1,
+                    qexpr_summary(pred),
+                    how
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Collect every path expression in the tree except those nested inside
+/// step or filter predicates — predicates render inline under their step.
+fn collect_paths<'a>(e: &'a QExpr, out: &mut Vec<(&'a QPathStart, &'a [QStep])>) {
+    match e {
+        QExpr::Path { start, steps } => {
+            if let QPathStart::Expr(inner) = start {
+                collect_paths(inner, out);
+            }
+            out.push((start, steps));
+        }
+        QExpr::Sequence(es) => es.iter().for_each(|x| collect_paths(x, out)),
+        QExpr::Flwor { clauses, ret } => {
+            for c in clauses {
+                match c {
+                    Clause::For { seq, .. } => collect_paths(seq, out),
+                    Clause::Let { expr, .. } => collect_paths(expr, out),
+                    Clause::Where(w) => collect_paths(w, out),
+                    Clause::OrderBy { keys } => {
+                        keys.iter().for_each(|k| collect_paths(&k.key, out))
+                    }
+                }
+            }
+            collect_paths(ret, out);
+        }
+        QExpr::If { cond, then, els } => {
+            collect_paths(cond, out);
+            collect_paths(then, out);
+            collect_paths(els, out);
+        }
+        QExpr::Quantified { binds, satisfies, .. } => {
+            binds.iter().for_each(|(_, b)| collect_paths(b, out));
+            collect_paths(satisfies, out);
+        }
+        QExpr::Or(a, b) | QExpr::And(a, b) | QExpr::Union(a, b) => {
+            collect_paths(a, out);
+            collect_paths(b, out);
+        }
+        QExpr::Compare { lhs, rhs, .. } | QExpr::Arith { lhs, rhs, .. } => {
+            collect_paths(lhs, out);
+            collect_paths(rhs, out);
+        }
+        QExpr::Range { lo, hi } => {
+            collect_paths(lo, out);
+            collect_paths(hi, out);
+        }
+        QExpr::Neg(inner) => collect_paths(inner, out),
+        QExpr::Call { args, .. } => args.iter().for_each(|a| collect_paths(a, out)),
+        QExpr::Filter { base, .. } => collect_paths(base, out),
+        QExpr::DirElem(_)
+        | QExpr::Literal(_)
+        | QExpr::Number(_)
+        | QExpr::Var(_)
+        | QExpr::ContextItem => {}
+    }
 }
 
 fn reorder_free_runs(preds: &mut [QExpr]) -> u32 {
@@ -451,10 +831,39 @@ mod tests {
         let ast = parse_query("//vline//w[xancestor::dmg]").unwrap();
         let (opt, report) = optimize(&ast);
         let steps = path_steps(&opt);
-        assert_eq!(steps.len(), 2);
+        // Fused to two indexed scans, then chain-joined into one step —
+        // the same cascade as the XPath optimizer.
+        assert_eq!(steps.len(), 1);
         assert_eq!(steps[0].strategy, StepStrategy::NameIndex);
-        assert!(steps[1].preds_position_free);
+        assert_eq!(steps[0].chain_outer.as_deref(), Some("vline"));
+        assert!(steps[0].preds_position_free);
         assert_eq!(report.fused_steps, 2);
+        assert_eq!(report.chain_join_steps, 1);
+        // The boolean extended-axis predicate is probe-annotated.
+        assert_eq!(report.existential_probes, 1);
+        assert!(steps[0].pred_probes[0].is_some());
+    }
+
+    #[test]
+    fn hoist_and_probe_mirror_the_xpath_rules() {
+        // Context-independent boolean predicate: hoisted.
+        let ast = parse_query("/descendant::w[count(/descendant::e1) > 0]").unwrap();
+        let (opt, report) = optimize(&ast);
+        assert_eq!(report.hoisted_predicates, 1);
+        assert!(path_steps(&opt)[0].pred_hoistable[0]);
+
+        // Impure lookalike: analyze-string() keeps it per-candidate even
+        // though it is an absolute path underneath.
+        let ast2 = parse_query("/descendant::w[analyze-string(., 'a')/child::m]").unwrap();
+        let (opt2, r2) = optimize(&ast2);
+        assert_eq!(r2.hoisted_predicates, 0);
+        assert!(path_steps(&opt2)[0].pred_hoistable.is_empty());
+
+        // Positional context: no annotations at all.
+        let ast3 = parse_query("/descendant::w[xfollowing::e1][2]").unwrap();
+        let (opt3, r3) = optimize(&ast3);
+        assert_eq!(r3.existential_probes, 0);
+        assert!(path_steps(&opt3)[0].pred_probes.is_empty());
     }
 
     #[test]

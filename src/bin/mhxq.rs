@@ -37,7 +37,7 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: mhxq [--connect ADDR] [--doc ID[=FILE]]... [-h NAME=FILE]... [--figure1]\n\
-         \x20           [--xpath] [--xslt-mode] [--space-separator] [--stats]\n\
+         \x20           [--xpath] [--xslt-mode] [--space-separator] [--stats] [--explain]\n\
          \x20           [--dump | --dot] (QUERY | --query-file FILE)\n\
          \n\
          --connect ADDR     run against a remote mhxd at ADDR instead of in-process\n\
@@ -49,6 +49,8 @@ fn usage() -> ! {
          --xslt-mode        XSLT-2.0 analyze-string semantics (default: paper-compat)\n\
          --space-separator  standard XQuery spacing between atomic items\n\
          --stats            print plan-cache and evaluation counters to stderr after the run\n\
+         --explain          print the optimized plan (rewrites, estimated vs actual\n\
+         \x20                   cardinalities) instead of evaluating the query\n\
          --dump             print the KyGODDAG text outline(s) and exit\n\
          --dot              print Graphviz DOT of the KyGODDAG(s) and exit\n\
          --query-file FILE  read the query from FILE instead of argv"
@@ -106,6 +108,7 @@ fn run_remote(
     opts: &EvalOptions,
     use_xpath: bool,
     stats: bool,
+    explain: bool,
     query: Option<String>,
 ) -> ! {
     let mut client = match Client::connect(addr) {
@@ -167,6 +170,28 @@ fn run_remote(
     let multi = targets.len() > 1;
     let mut failed = false;
     for id in &targets {
+        if explain {
+            match client.explain(Some(id), lang, &query) {
+                Ok(text) => {
+                    if multi {
+                        println!("=== {id} ===");
+                    }
+                    print!("{text}");
+                }
+                Err(ClientError::Server { kind, message, .. })
+                    if kind == "parse" || kind == "compile" =>
+                {
+                    eprintln!("{message}");
+                    failed = true;
+                    break;
+                }
+                Err(e) => {
+                    eprintln!("{}{e}", if multi { format!("[{id}] ") } else { String::new() });
+                    failed = true;
+                }
+            }
+            continue;
+        }
         match client.query_with(Some(id), lang, &query, options.take().as_ref()) {
             Ok(out) => {
                 if multi {
@@ -225,6 +250,12 @@ fn print_remote_stats(s: &Json) {
         n(eval, "rewritten_steps"),
         n(eval, "plan_rewrites"),
     );
+    eprintln!(
+        "rewrites applied: {} existential early-exits, {} hoisted predicates, {} chain joins",
+        n(eval, "early_exit_steps"),
+        n(eval, "hoisted_preds"),
+        n(eval, "chain_joins"),
+    );
     let server = s.get("server");
     eprintln!(
         "server: {} workers, {} connections accepted, {} requests, {} active connections",
@@ -244,12 +275,15 @@ fn print_remote_stats(s: &Json) {
         let peer = sess.and_then(|o| o.get("peer")).and_then(Json::as_str).unwrap_or("?");
         eprintln!(
             "  session {} ({peer}, doc {doc}): {} requests, {} batched steps, \
-             {} rewritten steps, {} plan rewrites",
+             {} rewritten steps, {} plan rewrites, {} early-exits, {} hoisted, {} chain joins",
             n(sess, "conn"),
             n(sess, "requests"),
             n(sess, "batched_steps"),
             n(sess, "rewritten_steps"),
             n(sess, "plan_rewrites"),
+            n(sess, "early_exit_steps"),
+            n(sess, "hoisted_preds"),
+            n(sess, "chain_joins"),
         );
     }
 }
@@ -260,6 +294,7 @@ fn main() {
     let mut opts = EvalOptions::default();
     let mut use_xpath = false;
     let mut stats = false;
+    let mut explain = false;
     let mut dump = false;
     let mut dotout = false;
     let mut query: Option<String> = None;
@@ -332,6 +367,7 @@ fn main() {
             "--xslt-mode" => opts.analyze_mode = AnalyzeMode::Xslt,
             "--space-separator" => opts.space_separator = true,
             "--stats" => stats = true,
+            "--explain" => explain = true,
             "--dump" => dump = true,
             "--dot" => dotout = true,
             "--query-file" => {
@@ -354,7 +390,7 @@ fn main() {
             eprintln!("--dump/--dot inspect a local document; they don't work with --connect");
             exit(2);
         }
-        run_remote(&addr, docs, &opts, use_xpath, stats, query);
+        run_remote(&addr, docs, &opts, use_xpath, stats, explain, query);
     }
 
     if docs.is_empty() {
@@ -399,8 +435,29 @@ fn main() {
         usage();
     };
 
+    let lang = if use_xpath { QueryLang::XPath } else { QueryLang::XQuery };
     let mut failed = false;
     for id in &order {
+        if explain {
+            match catalog.explain(id, lang, &query) {
+                Ok(text) => {
+                    if multi {
+                        println!("=== {id} ===");
+                    }
+                    print!("{text}");
+                }
+                Err(e) if e.is_static() => {
+                    eprintln!("{e}");
+                    failed = true;
+                    break;
+                }
+                Err(e) => {
+                    eprintln!("{}{e}", if multi { format!("[{id}] ") } else { String::new() });
+                    failed = true;
+                }
+            }
+            continue;
+        }
         let outcome =
             if use_xpath { catalog.xpath(id, &query) } else { catalog.xquery(id, &query) };
         match outcome {
@@ -435,6 +492,10 @@ fn main() {
         eprintln!(
             "evaluation: {} batched steps, {} rewritten steps, {} plan rewrites (optimizer)",
             e.batched_steps, e.rewritten_steps, e.plan_rewrites
+        );
+        eprintln!(
+            "rewrites applied: {} existential early-exits, {} hoisted predicates, {} chain joins",
+            e.early_exit_steps, e.hoisted_preds, e.chain_joins
         );
     }
     if failed {

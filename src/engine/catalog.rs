@@ -48,6 +48,16 @@ pub struct EvalStats {
     /// summed per execution). 0-increments mean the plans were already
     /// optimal or the knob was off.
     pub plan_rewrites: u64,
+    /// Predicated steps where at least one predicate resolved through an
+    /// existential first-witness probe (`StructIndex::axis_exists`)
+    /// instead of materializing the axis.
+    pub early_exit_steps: u64,
+    /// Context-independent predicates the evaluator hoisted: computed
+    /// once per step instead of once per candidate.
+    pub hoisted_preds: u64,
+    /// `descendant::a/descendant::b` pairs evaluated as one containment
+    /// -chain merge join over the structural index.
+    pub chain_joins: u64,
 }
 
 /// Atomic accumulator behind [`EvalStats`] snapshots. The catalog owns one
@@ -58,13 +68,19 @@ pub(crate) struct EvalTotals {
     batched_steps: AtomicU64,
     rewritten_steps: AtomicU64,
     plan_rewrites: AtomicU64,
+    early_exit_steps: AtomicU64,
+    hoisted_preds: AtomicU64,
+    chain_joins: AtomicU64,
 }
 
 impl EvalTotals {
-    fn add(&self, batched: u64, rewritten: u64, plan_rewrites: u64) {
-        self.batched_steps.fetch_add(batched, Ordering::Relaxed);
-        self.rewritten_steps.fetch_add(rewritten, Ordering::Relaxed);
-        self.plan_rewrites.fetch_add(plan_rewrites, Ordering::Relaxed);
+    fn add(&self, delta: EvalStats) {
+        self.batched_steps.fetch_add(delta.batched_steps, Ordering::Relaxed);
+        self.rewritten_steps.fetch_add(delta.rewritten_steps, Ordering::Relaxed);
+        self.plan_rewrites.fetch_add(delta.plan_rewrites, Ordering::Relaxed);
+        self.early_exit_steps.fetch_add(delta.early_exit_steps, Ordering::Relaxed);
+        self.hoisted_preds.fetch_add(delta.hoisted_preds, Ordering::Relaxed);
+        self.chain_joins.fetch_add(delta.chain_joins, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> EvalStats {
@@ -72,6 +88,9 @@ impl EvalTotals {
             batched_steps: self.batched_steps.load(Ordering::Relaxed),
             rewritten_steps: self.rewritten_steps.load(Ordering::Relaxed),
             plan_rewrites: self.plan_rewrites.load(Ordering::Relaxed),
+            early_exit_steps: self.early_exit_steps.load(Ordering::Relaxed),
+            hoisted_preds: self.hoisted_preds.load(Ordering::Relaxed),
+            chain_joins: self.chain_joins.load(Ordering::Relaxed),
         }
     }
 }
@@ -406,6 +425,24 @@ impl Catalog {
         }
     }
 
+    /// Render the optimized plan for `src` against document `id`: chosen
+    /// rewrites, per-step strategies and annotations, and estimated
+    /// cardinalities from the document's index statistics (XPath plans
+    /// also report actual per-step cardinalities — the plan is evaluated
+    /// incrementally to measure them). Compiles through the shared cache,
+    /// so explaining a query warms the same plan later queries reuse.
+    pub fn explain(&self, id: &str, lang: QueryLang, src: &str) -> Result<String, EngineError> {
+        self.check_open()?;
+        let entry = self.entry(id)?;
+        let plan = self.plan_for(lang, src, Some(id))?;
+        let g = entry.g.read().unwrap_or_else(PoisonError::into_inner);
+        let idx = entry.current_index(&g);
+        match &plan {
+            CachedPlan::XPath(p) => p.explain(&g, &idx).map_err(xpath_eval_error),
+            CachedPlan::XQuery(q) => Ok(q.explain(Some(idx.stats()))),
+        }
+    }
+
     /// Compile a query once (through the shared cache) into a reusable
     /// handle, without touching any document.
     ///
@@ -512,10 +549,10 @@ impl Catalog {
         self.check_open()?;
         let g = entry.g.read().unwrap_or_else(PoisonError::into_inner);
         let idx = entry.current_index(&g);
-        let record = |batched: u64, rewritten: u64, plan_rewrites: u64| {
-            self.eval_totals.add(batched, rewritten, plan_rewrites);
+        let record = |delta: EvalStats| {
+            self.eval_totals.add(delta);
             if let Some(totals) = session_totals {
-                totals.add(batched, rewritten, plan_rewrites);
+                totals.add(delta);
             }
         };
         match plan {
@@ -526,12 +563,26 @@ impl Catalog {
                     .evaluate_with(&g, &idx, &ctx, opts.optimize, &counters)
                     .map_err(xpath_eval_error)?;
                 let rewrites = if opts.optimize { p.report().total() as u64 } else { 0 };
-                record(counters.batched_steps.get(), counters.rewritten_steps.get(), rewrites);
+                record(EvalStats {
+                    batched_steps: counters.batched_steps.get(),
+                    rewritten_steps: counters.rewritten_steps.get(),
+                    plan_rewrites: rewrites,
+                    early_exit_steps: counters.early_exit_steps.get(),
+                    hoisted_preds: counters.hoisted_preds.get(),
+                    chain_joins: counters.chain_joins.get(),
+                });
                 Ok(QueryOutcome::from_xpath_value(v, &g, &idx, opts))
             }
             CachedPlan::XQuery(q) => {
                 let (out, stats) = q.run_with_index(&g, Some(&idx), opts).map_err(xquery_error)?;
-                record(stats.batched_steps, stats.rewritten_steps, stats.plan_rewrites);
+                record(EvalStats {
+                    batched_steps: stats.batched_steps,
+                    rewritten_steps: stats.rewritten_steps,
+                    plan_rewrites: stats.plan_rewrites,
+                    early_exit_steps: stats.early_exit_steps,
+                    hoisted_preds: stats.hoisted_preds,
+                    chain_joins: stats.chain_joins,
+                });
                 Ok(QueryOutcome::from_markup(out))
             }
         }

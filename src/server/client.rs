@@ -177,6 +177,29 @@ impl Client {
         WireOutcome::from_json(&json).map_err(ClientError::Protocol)
     }
 
+    /// Ask the server to render the optimized plan for `src` against
+    /// `doc` (or the pinned/only document) instead of evaluating it.
+    pub fn explain(
+        &mut self,
+        doc: Option<&str>,
+        lang: QueryLang,
+        src: &str,
+    ) -> Result<String, ClientError> {
+        let mut body = vec![
+            ("lang".to_string(), Json::Str(lang.name().into())),
+            ("query".to_string(), Json::Str(src.into())),
+            ("explain".to_string(), Json::Bool(true)),
+        ];
+        if let Some(doc) = doc {
+            body.push(("doc".into(), Json::Str(doc.into())));
+        }
+        let json = self.call("POST", "/query", Some(&Json::Obj(body)))?;
+        json.get("explain")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("explain response missing `explain`".into()))
+    }
+
     /// Shorthand for an XPath query.
     pub fn xpath(&mut self, doc: &str, src: &str) -> Result<WireOutcome, ClientError> {
         self.query(doc, QueryLang::XPath, src)

@@ -48,6 +48,9 @@ impl ConnState<'_> {
             batched_steps: self.carried.batched_steps + live.batched_steps,
             rewritten_steps: self.carried.rewritten_steps + live.rewritten_steps,
             plan_rewrites: self.carried.plan_rewrites + live.plan_rewrites,
+            early_exit_steps: self.carried.early_exit_steps + live.early_exit_steps,
+            hoisted_preds: self.carried.hoisted_preds + live.hoisted_preds,
+            chain_joins: self.carried.chain_joins + live.chain_joins,
         }
     }
 }
@@ -242,6 +245,9 @@ fn ensure_session<'c>(
             state.carried.batched_steps += s.batched_steps;
             state.carried.rewritten_steps += s.rewritten_steps;
             state.carried.plan_rewrites += s.plan_rewrites;
+            state.carried.early_exit_steps += s.early_exit_steps;
+            state.carried.hoisted_preds += s.hoisted_preds;
+            state.carried.chain_joins += s.chain_joins;
         }
         let session =
             catalog.session(doc).map_err(|e| engine_failure(&e))?.with_options(state.opts.clone());
@@ -260,14 +266,8 @@ fn with_session<'c>(
     body: &Json,
     f: impl FnOnce(&Session<'c>, &ConnState<'c>) -> Result<crate::engine::QueryOutcome, EngineError>,
 ) -> (u16, Json) {
-    if let Some(options) = body.get("options") {
-        if let Err(message) = wire::apply_options(&mut state.opts, options) {
-            return (400, wire::protocol_error_body("bad_options", &message));
-        }
-        // Propagate onto an existing pinned session.
-        if let Some(session) = &mut state.session {
-            *session.options_mut() = state.opts.clone();
-        }
+    if let Err(err) = apply_request_options(state, body) {
+        return err;
     }
     let doc = match target_doc(catalog, state, body) {
         Ok(doc) => doc,
@@ -281,6 +281,21 @@ fn with_session<'c>(
         Ok(out) => (200, wire::outcome_body(&out)),
         Err(e) => engine_failure(&e),
     }
+}
+
+/// Apply a request's `"options"` patch onto the connection (and any
+/// pinned session).
+fn apply_request_options(state: &mut ConnState<'_>, body: &Json) -> Result<(), (u16, Json)> {
+    if let Some(options) = body.get("options") {
+        if let Err(message) = wire::apply_options(&mut state.opts, options) {
+            return Err((400, wire::protocol_error_body("bad_options", &message)));
+        }
+        // Propagate onto an existing pinned session.
+        if let Some(session) = &mut state.session {
+            *session.options_mut() = state.opts.clone();
+        }
+    }
+    Ok(())
 }
 
 fn query_endpoint<'c>(
@@ -300,6 +315,37 @@ fn query_endpoint<'c>(
         Ok(lang) => lang,
         Err(err) => return err,
     };
+    let explain = match body.get("explain") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => {
+                return (
+                    400,
+                    wire::protocol_error_body("bad_request", "`explain` must be a boolean"),
+                );
+            }
+        },
+    };
+    if explain {
+        // Same resolution flow as a real query (options patch, doc
+        // defaulting, session pin) so explain-then-query behaves
+        // identically — but the plan is rendered, not evaluated.
+        if let Err(err) = apply_request_options(state, &body) {
+            return err;
+        }
+        let doc = match target_doc(catalog, state, &body) {
+            Ok(doc) => doc,
+            Err(err) => return err,
+        };
+        if let Err(err) = ensure_session(catalog, conn, state, &doc) {
+            return err;
+        }
+        return match catalog.explain(&doc, lang, &src) {
+            Ok(text) => (200, wire::explain_body(lang, &text)),
+            Err(e) => engine_failure(&e),
+        };
+    }
     with_session(catalog, conn, state, &body, |session, _| session.query(lang, &src))
 }
 
@@ -437,6 +483,9 @@ fn stats_body(shared: &Shared, catalog: &Catalog) -> Json {
                 ("batched_steps".into(), Json::Num(c.eval.batched_steps as f64)),
                 ("rewritten_steps".into(), Json::Num(c.eval.rewritten_steps as f64)),
                 ("plan_rewrites".into(), Json::Num(c.eval.plan_rewrites as f64)),
+                ("early_exit_steps".into(), Json::Num(c.eval.early_exit_steps as f64)),
+                ("hoisted_preds".into(), Json::Num(c.eval.hoisted_preds as f64)),
+                ("chain_joins".into(), Json::Num(c.eval.chain_joins as f64)),
             ])
         })
         .collect();
@@ -458,6 +507,9 @@ fn stats_body(shared: &Shared, catalog: &Catalog) -> Json {
                 ("batched_steps".into(), Json::Num(eval.batched_steps as f64)),
                 ("rewritten_steps".into(), Json::Num(eval.rewritten_steps as f64)),
                 ("plan_rewrites".into(), Json::Num(eval.plan_rewrites as f64)),
+                ("early_exit_steps".into(), Json::Num(eval.early_exit_steps as f64)),
+                ("hoisted_preds".into(), Json::Num(eval.hoisted_preds as f64)),
+                ("chain_joins".into(), Json::Num(eval.chain_joins as f64)),
             ]),
         ),
         (

@@ -97,6 +97,9 @@ pub(crate) struct ConnStats {
     batched_steps: AtomicU64,
     rewritten_steps: AtomicU64,
     plan_rewrites: AtomicU64,
+    early_exit_steps: AtomicU64,
+    hoisted_preds: AtomicU64,
+    chain_joins: AtomicU64,
 }
 
 impl ConnStats {
@@ -109,6 +112,9 @@ impl ConnStats {
         self.batched_steps.store(stats.batched_steps, Ordering::Relaxed);
         self.rewritten_steps.store(stats.rewritten_steps, Ordering::Relaxed);
         self.plan_rewrites.store(stats.plan_rewrites, Ordering::Relaxed);
+        self.early_exit_steps.store(stats.early_exit_steps, Ordering::Relaxed);
+        self.hoisted_preds.store(stats.hoisted_preds, Ordering::Relaxed);
+        self.chain_joins.store(stats.chain_joins, Ordering::Relaxed);
     }
 }
 
@@ -149,6 +155,9 @@ impl Shared {
             batched_steps: AtomicU64::new(0),
             rewritten_steps: AtomicU64::new(0),
             plan_rewrites: AtomicU64::new(0),
+            early_exit_steps: AtomicU64::new(0),
+            hoisted_preds: AtomicU64::new(0),
+            chain_joins: AtomicU64::new(0),
         });
         self.conns.lock().unwrap_or_else(PoisonError::into_inner).insert(id, Arc::clone(&conn));
         conn
@@ -172,6 +181,9 @@ impl Shared {
                     batched_steps: c.batched_steps.load(Ordering::Relaxed),
                     rewritten_steps: c.rewritten_steps.load(Ordering::Relaxed),
                     plan_rewrites: c.plan_rewrites.load(Ordering::Relaxed),
+                    early_exit_steps: c.early_exit_steps.load(Ordering::Relaxed),
+                    hoisted_preds: c.hoisted_preds.load(Ordering::Relaxed),
+                    chain_joins: c.chain_joins.load(Ordering::Relaxed),
                 },
             })
             .collect()

@@ -106,6 +106,17 @@ pub(crate) fn outcome_body(out: &QueryOutcome) -> Json {
     Json::Obj(entries)
 }
 
+/// The success envelope for a `/query` request with `"explain": true`:
+/// the rendered plan instead of a result.
+pub(crate) fn explain_body(lang: QueryLang, text: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("lang".into(), Json::Str(lang.name().into())),
+        ("kind".into(), Json::Str("explain".into())),
+        ("explain".into(), Json::Str(text.into())),
+    ])
+}
+
 /// Parse a wire language name.
 pub fn parse_lang(name: &str) -> Option<QueryLang> {
     match name {

@@ -111,6 +111,37 @@ fn arb_path() -> impl Strategy<Value = String> {
     )
 }
 
+/// Boolean single-step extended-axis predicates — the existential
+/// early-exit (first-witness probe) targets.
+fn arb_boolean_axis_predicate() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("xancestor::e0"),
+        Just("xfollowing::e1"),
+        Just("xpreceding::e0"),
+        Just("xdescendant::e1"),
+        Just("overlapping::e0"),
+        Just("preceding-overlapping::e1"),
+        Just("following-overlapping::e0"),
+        // Near-misses the optimizer must leave alone, mixed in so the
+        // annotated and unannotated paths interleave on one step.
+        Just("count(xfollowing::e1)"),
+        Just("xancestor::e0[1]"),
+        Just("2"),
+    ]
+}
+
+/// `//a//b`-shaped chains (the chain-join target) with predicate lists
+/// biased toward boolean axis predicates on the inner step.
+fn arb_chain_path() -> impl Strategy<Value = String> {
+    let name = prop_oneof![Just("e0"), Just("e1"), Just("s0")];
+    (name.clone(), name, proptest::collection::vec(arb_boolean_axis_predicate(), 0..3)).prop_map(
+        |(a, b, ps)| {
+            let preds: String = ps.iter().map(|p| format!("[{p}]")).collect();
+            format!("//{a}//{b}{preds}")
+        },
+    )
+}
+
 fn xpath_nodes(
     g: &Goddag,
     idx: &StructIndex,
@@ -175,6 +206,28 @@ proptest! {
             .map(str::to_string)
             .collect();
         prop_assert_eq!(xp, xq, "engines disagree under the optimizer on `{}`", path);
+    }
+
+    /// Round-2 rewrites (containment-chain joins, existential probes,
+    /// hoisting) stay invisible on paths built to trigger them: `//a//b`
+    /// chains carrying boolean-axis predicate lists, through both
+    /// engines, against the as-written oracle.
+    #[test]
+    fn chain_joins_and_probes_are_invisible(cfg in arb_config(), path in arb_chain_path()) {
+        let g = generate(&cfg).build_goddag();
+        let idx = StructIndex::build(&g);
+        let compiled = CompiledXPath::compile(&path).unwrap();
+
+        let base = xpath_nodes(&g, &idx, &compiled, false);
+        let opt = xpath_nodes(&g, &idx, &compiled, true);
+        prop_assert_eq!(&base, &opt, "xpath optimized vs as-written on `{}`", path);
+        for w in opt.windows(2) {
+            prop_assert_eq!(g.cmp_order(w[0], w[1]), std::cmp::Ordering::Less);
+        }
+
+        let q_base = xquery_trace(&g, &path, false);
+        let q_opt = xquery_trace(&g, &path, true);
+        prop_assert_eq!(&q_base, &q_opt, "xquery optimized vs as-written on `{}`", path);
     }
 }
 
@@ -268,4 +321,87 @@ fn fusion_equivalence_and_counters() {
     let v0 = compiled.evaluate_with(&g, &idx, &Context::new(NodeId::Root), false, &k0).unwrap();
     assert_eq!(v0, Value::Nodes(ns));
     assert_eq!(k0.rewritten_steps.get(), 0);
+}
+
+/// A single-hierarchy corpus where `p` really contains `w` in the tree —
+/// `//p//w` has non-trivial answers, unlike the cross-hierarchy [`paged`].
+fn nested() -> Goddag {
+    GoddagBuilder::new()
+        .hierarchy("doc", "<r><p><w>aaa</w> <w>bbb</w></p> <w>ccc</w></r>")
+        .build()
+        .unwrap()
+}
+
+/// Existential early-exit must NOT fire where it would change semantics:
+/// a numeric-typed predicate (`count(...)` is a position shorthand) and a
+/// positional predicate pin the step to the per-candidate path, and the
+/// runtime counter stays at zero. The boolean-axis control fires.
+#[test]
+fn early_exit_fires_only_on_boolean_axis_predicates() {
+    let g = paged();
+    let idx = StructIndex::build(&g);
+
+    for src in [
+        // count(...) is numeric: [count(xfollowing::p)] means position().
+        "/descendant::w[count(xfollowing::p)]",
+        // positional context: the probe annotation must not cross [2].
+        "/descendant::w[2][xancestor::p]",
+    ] {
+        let compiled = CompiledXPath::compile(src).unwrap();
+        assert_eq!(compiled.report().existential_probes, 0, "`{src}` must not be annotated");
+        let k = EvalCounters::default();
+        compiled.evaluate_with(&g, &idx, &Context::new(NodeId::Root), true, &k).unwrap();
+        assert_eq!(k.early_exit_steps.get(), 0, "`{src}` must not probe");
+    }
+
+    let compiled = CompiledXPath::compile("/descendant::w[xancestor::p]").unwrap();
+    assert!(compiled.report().existential_probes >= 1);
+    let k = EvalCounters::default();
+    let v = compiled.evaluate_with(&g, &idx, &Context::new(NodeId::Root), true, &k).unwrap();
+    let Value::Nodes(ns) = v else { panic!() };
+    assert_eq!(ns.len(), 2);
+    assert!(k.early_exit_steps.get() >= 1, "the boolean-axis control must probe");
+
+    // Knob off: same nodes, no probes counted.
+    let k0 = EvalCounters::default();
+    let v0 = compiled.evaluate_with(&g, &idx, &Context::new(NodeId::Root), false, &k0).unwrap();
+    assert_eq!(v0, Value::Nodes(ns));
+    assert_eq!(k0.early_exit_steps.get(), 0);
+}
+
+/// The chain-join and hoist rewrites fire on corpora built for them, stay
+/// invisible in the results, and surface in the runtime counters.
+#[test]
+fn chain_join_and_hoist_counters() {
+    let g = nested();
+    let idx = StructIndex::build(&g);
+
+    let chain = CompiledXPath::compile("//p//w").unwrap();
+    assert_eq!(chain.report().chain_join_steps, 1);
+    let k = EvalCounters::default();
+    let v = chain.evaluate_with(&g, &idx, &Context::new(NodeId::Root), true, &k).unwrap();
+    let Value::Nodes(ns) = v else { panic!() };
+    assert_eq!(ns.len(), 2, "aaa and bbb sit under p; ccc does not");
+    assert!(k.chain_joins.get() >= 1);
+    let k0 = EvalCounters::default();
+    let v0 = chain.evaluate_with(&g, &idx, &Context::new(NodeId::Root), false, &k0).unwrap();
+    assert_eq!(v0, Value::Nodes(ns));
+    assert_eq!(k0.chain_joins.get(), 0);
+
+    let hoist = CompiledXPath::compile("/descendant::w[count(/descendant::p) > 0]").unwrap();
+    assert!(hoist.report().hoisted_predicates >= 1);
+    let k = EvalCounters::default();
+    let v = hoist.evaluate_with(&g, &idx, &Context::new(NodeId::Root), true, &k).unwrap();
+    let Value::Nodes(ns) = v else { panic!() };
+    assert_eq!(ns.len(), 3, "the hoisted predicate is true for every w");
+    assert!(k.hoisted_preds.get() >= 1);
+    let k0 = EvalCounters::default();
+    let v0 = hoist.evaluate_with(&g, &idx, &Context::new(NodeId::Root), false, &k0).unwrap();
+    assert_eq!(v0, Value::Nodes(ns));
+    assert_eq!(k0.hoisted_preds.get(), 0);
+
+    // Same queries through the XQuery engine, both knob settings.
+    for src in ["//p//w", "/descendant::w[count(/descendant::p) > 0]"] {
+        assert_eq!(xquery_trace(&g, src, true), xquery_trace(&g, src, false), "`{src}`");
+    }
 }

@@ -258,6 +258,46 @@ fn keepalive_reuses_one_connection_and_sessions_show_in_stats() {
 }
 
 #[test]
+fn explain_renders_plans_over_the_wire_and_probe_counters_surface() {
+    let server = boot(2);
+    let mut client = connect(&server);
+
+    // `explain: true` returns the rendered plan instead of a result.
+    let text = client.explain(Some("ms-a"), QueryLang::XPath, "//w[xfollowing::line]").unwrap();
+    assert!(text.contains("existential probe"), "{text}");
+    assert!(text.contains("est "), "{text}");
+    assert!(text.contains("actual "), "{text}");
+    let text = client.explain(Some("ms-a"), QueryLang::XQuery, "//w[xfollowing::line]").unwrap();
+    assert!(text.contains("existential probe"), "{text}");
+
+    // A mistyped `explain` is a protocol error, not a silent query.
+    let body = Json::Obj(vec![
+        ("query".into(), Json::Str("//w".into())),
+        ("explain".into(), Json::Str("yes".into())),
+    ]);
+    let (status, _) = client.request("POST", "/query", Some(&body)).unwrap();
+    assert_eq!(status, 400);
+
+    // Running the probed query bumps the new counters in /stats, both in
+    // the engine totals and the per-session row.
+    client.xpath("ms-a", "/descendant::w[xfollowing::line]").unwrap();
+    let stats = client.stats().unwrap();
+    let eval = stats.get("eval").expect("eval object");
+    assert!(eval.get("early_exit_steps").and_then(Json::as_u64).unwrap() >= 1, "{eval:?}");
+    let sessions = stats
+        .get("server")
+        .and_then(|s| s.get("sessions"))
+        .and_then(Json::as_arr)
+        .expect("sessions list");
+    let row = sessions
+        .iter()
+        .find(|s| s.get("doc").and_then(Json::as_str) == Some("ms-a"))
+        .expect("session row");
+    assert!(row.get("early_exit_steps").and_then(Json::as_u64).unwrap() >= 1, "{row:?}");
+    assert!(server.shutdown());
+}
+
+#[test]
 fn documents_can_be_uploaded_listed_and_queried() {
     let server = boot(2);
     let mut client = connect(&server);
