@@ -6,71 +6,85 @@
 //!
 //! ```text
 //! bench-check --baseline <dir> [--fresh <dir>] [--tolerance 0.25]
-//!             [--min-batch-speedup <x>]
+//!             [--min-batch-speedup <x>] [--min-shard-ratio <x>]
+//! bench-check --list
 //! ```
 //!
 //! `--baseline` points at copies of the committed `BENCH_*.json` saved
 //! *before* the bench run (the benches overwrite the files in place);
 //! `--fresh` (default `.`) at the just-emitted ones. `--min-batch-speedup`
-//! raises the unconditional floor on every batch metric above its built-in
-//! value (2x for the structurally superior steps, no-regression parity for
-//! the rest) — CI also passes an impossibly high value here to prove the
-//! gate can fail.
+//! and `--min-shard-ratio` raise the unconditional floors on the batch
+//! and shard metrics above their built-in values — CI also passes
+//! impossibly high values here to prove the gate can fail.
+//!
+//! `--list` prints the tracked snapshot table, one `stem file` pair per
+//! line, and exits. This is the **single source of truth** for CI: the
+//! workflow derives its baseline-save, bench-run, and artifact steps
+//! from this list, so registering a new snapshot here is the only step
+//! needed to put it under the gate.
 
-use mhx_bench::snapshot::{compare, override_batch_floor, parse, tracked_metrics, Metric};
+use mhx_bench::snapshot::{
+    compare, override_batch_floor, override_shard_floor, parse, tracked_metrics, Metric,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const SNAPSHOTS: [(&str, &str); 5] = [
+const SNAPSHOTS: [(&str, &str); 6] = [
     ("axes", "BENCH_axes.json"),
     ("catalog", "BENCH_catalog.json"),
     ("batch", "BENCH_batch.json"),
     ("plan", "BENCH_plan.json"),
     ("serve", "BENCH_serve.json"),
+    ("shard", "BENCH_shard.json"),
 ];
 
 struct Args {
-    baseline: PathBuf,
+    list: bool,
+    baseline: Option<PathBuf>,
     fresh: PathBuf,
     tolerance: f64,
     min_batch_speedup: Option<f64>,
+    min_shard_ratio: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let mut list = false;
     let mut baseline = None;
     let mut fresh = PathBuf::from(".");
     let mut tolerance = 0.25;
     let mut min_batch_speedup = None;
+    let mut min_shard_ratio = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} requires a value"));
+        let number = |name: &str, v: String| {
+            v.parse::<f64>().map_err(|_| format!("{name} must be a number"))
+        };
         match flag.as_str() {
+            "--list" => list = true,
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
             "--fresh" => fresh = PathBuf::from(value("--fresh")?),
-            "--tolerance" => {
-                tolerance = value("--tolerance")?
-                    .parse()
-                    .map_err(|_| "--tolerance must be a number".to_string())?;
-            }
+            "--tolerance" => tolerance = number("--tolerance", value("--tolerance")?)?,
             "--min-batch-speedup" => {
-                min_batch_speedup = Some(
-                    value("--min-batch-speedup")?
-                        .parse()
-                        .map_err(|_| "--min-batch-speedup must be a number".to_string())?,
-                );
+                min_batch_speedup =
+                    Some(number("--min-batch-speedup", value("--min-batch-speedup")?)?);
+            }
+            "--min-shard-ratio" => {
+                min_shard_ratio = Some(number("--min-shard-ratio", value("--min-shard-ratio")?)?);
             }
             "--help" | "-h" => {
                 println!(
                     "bench-check --baseline <dir> [--fresh <dir>] [--tolerance 0.25] \
-                     [--min-batch-speedup <x>]"
+                     [--min-batch-speedup <x>] [--min-shard-ratio <x>]\n\
+                     bench-check --list    print the tracked `stem file` snapshot table \
+                     (CI's single source of truth) and exit"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    let baseline = baseline.ok_or("--baseline <dir> is required")?;
-    Ok(Args { baseline, fresh, tolerance, min_batch_speedup })
+    Ok(Args { list, baseline, fresh, tolerance, min_batch_speedup, min_shard_ratio })
 }
 
 fn load_metrics(dir: &Path, stem: &str, file: &str) -> Result<Vec<Metric>, String> {
@@ -89,10 +103,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.list {
+        for (stem, file) in SNAPSHOTS {
+            println!("{stem} {file}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(baseline) = args.baseline else {
+        eprintln!("bench-check: --baseline <dir> is required (or --list)");
+        return ExitCode::from(2);
+    };
     let mut failures = 0usize;
     let mut total = 0usize;
     for (stem, file) in SNAPSHOTS {
-        let base = match load_metrics(&args.baseline, stem, file) {
+        let base = match load_metrics(&baseline, stem, file) {
             Ok(m) => m,
             Err(e) => {
                 eprintln!("bench-check: baseline {e}");
@@ -108,6 +132,9 @@ fn main() -> ExitCode {
         };
         if let Some(min) = args.min_batch_speedup {
             override_batch_floor(&mut new, min);
+        }
+        if let Some(min) = args.min_shard_ratio {
+            override_shard_floor(&mut new, min);
         }
         println!("== {file}");
         for verdict in compare(&base, &new, args.tolerance) {

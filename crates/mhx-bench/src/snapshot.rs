@@ -246,6 +246,44 @@ pub fn tracked_metrics(file: &str, doc: &Json) -> Result<Vec<Metric>, String> {
                 return Err("BENCH_serve.json: `ratios` is empty".into());
             }
         }
+        "shard" => {
+            // Shard-router throughput ratios from `benches/shard.rs`.
+            // Aggregate scaling is the load-bearing row: its hard floor
+            // sits above 1.0 — if routing onto two shards is not faster
+            // than one node of the same size, the router is pure
+            // overhead and the PR's acceptance bar is broken. The
+            // routed-hop row prices the extra TCP leg; it gates only
+            // against the hop becoming pathological.
+            let ratios = doc
+                .get("ratios")
+                .and_then(Json::as_obj)
+                .ok_or("BENCH_shard.json: missing `ratios` object")?;
+            for (name, v) in ratios {
+                let ratio = v.as_f64().ok_or("BENCH_shard.json: non-numeric ratio")?;
+                // Every label is matched explicitly, like the plan and
+                // serve rows: an unknown row means benches/shard.rs
+                // drifted from the gate.
+                let (healthy, hard_min) = match name.as_str() {
+                    "shard2_vs_single" => (1.5, Some(1.1)),
+                    "routed_vs_direct" => (0.5, Some(0.3)),
+                    other => {
+                        return Err(format!(
+                            "BENCH_shard.json: unknown ratio row `{other}` — register its \
+                             floors in tracked_metrics"
+                        ));
+                    }
+                };
+                out.push(Metric {
+                    name: format!("shard:{name}:ratio"),
+                    value: ratio,
+                    healthy,
+                    hard_min,
+                });
+            }
+            if out.is_empty() {
+                return Err("BENCH_shard.json: `ratios` is empty".into());
+            }
+        }
         other => return Err(format!("unknown snapshot kind `{other}`")),
     }
     Ok(out)
@@ -324,14 +362,28 @@ fn judge(base: &Metric, fresh: &Metric, tolerance: f64) -> Verdict {
     Verdict { name: base.name.clone(), baseline: base.value, fresh: fresh.value, passed, detail }
 }
 
-/// Apply a hard-minimum override to every batch metric (the
-/// `--min-batch-speedup` flag; also how CI proves the gate can fail).
-pub fn override_batch_floor(metrics: &mut [Metric], min: f64) {
+/// Raise the hard minimum on every metric whose name starts with
+/// `prefix` (never lowers a built-in floor). This is how the CLI floor
+/// flags work — and how CI proves the gate can fail, by passing an
+/// impossibly high floor and requiring a nonzero exit.
+pub fn override_floor(metrics: &mut [Metric], prefix: &str, min: f64) {
     for m in metrics {
-        if m.name.starts_with("batch:") {
+        if m.name.starts_with(prefix) {
             m.hard_min = Some(m.hard_min.map_or(min, |h| h.max(min)));
         }
     }
+}
+
+/// Apply a hard-minimum override to every batch metric (the
+/// `--min-batch-speedup` flag).
+pub fn override_batch_floor(metrics: &mut [Metric], min: f64) {
+    override_floor(metrics, "batch:", min);
+}
+
+/// Apply a hard-minimum override to every shard metric (the
+/// `--min-shard-ratio` flag).
+pub fn override_shard_floor(metrics: &mut [Metric], min: f64) {
+    override_floor(metrics, "shard:", min);
 }
 
 #[cfg(test)]
@@ -490,6 +542,68 @@ mod tests {
         let drifted = r#"{"ratios": {"threads_16_vs_1": 9.0}}"#;
         let err = tracked_metrics("serve", &parse(drifted).unwrap()).unwrap_err();
         assert!(err.contains("threads_16_vs_1"), "{err}");
+    }
+
+    const SHARD: &str = r#"{
+  "bench": "shard",
+  "ratios": {
+    "shard2_vs_single": 1.9,
+    "routed_vs_direct": 0.8
+  }
+}"#;
+
+    #[test]
+    fn shard_metrics_gate_aggregate_scaling_hard() {
+        let base = tracked_metrics("shard", &parse(SHARD).unwrap()).unwrap();
+        assert_eq!(base.len(), 2);
+        let scaling = base.iter().find(|m| m.name == "shard:shard2_vs_single:ratio").unwrap();
+        assert_eq!(scaling.hard_min, Some(1.1), "two shards must always beat one node");
+
+        // The cluster "stopped scaling": routing two shards is no faster
+        // than one node (hard floor) and the routed hop turned
+        // pathological (relative + health rule).
+        let degraded = r#"{
+  "ratios": {
+    "shard2_vs_single": 0.95,
+    "routed_vs_direct": 0.2
+  }
+}"#;
+        let fresh = tracked_metrics("shard", &parse(degraded).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(verdicts.iter().all(|v| !v.passed), "{verdicts:?}");
+
+        // A wobble above the floors passes.
+        let wobbly = r#"{
+  "ratios": {
+    "shard2_vs_single": 1.6,
+    "routed_vs_direct": 0.65
+  }
+}"#;
+        let fresh = tracked_metrics("shard", &parse(wobbly).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(verdicts.iter().all(|v| v.passed), "{verdicts:?}");
+
+        // Unregistered rows fail loudly, like the plan and serve tables.
+        let drifted = r#"{"ratios": {"shard4_vs_single": 3.5}}"#;
+        let err = tracked_metrics("shard", &parse(drifted).unwrap()).unwrap_err();
+        assert!(err.contains("shard4_vs_single"), "{err}");
+        let empty = tracked_metrics("shard", &parse(r#"{"ratios": {}}"#).unwrap()).unwrap_err();
+        assert!(empty.contains("empty"), "{empty}");
+    }
+
+    #[test]
+    fn shard_floor_override_raises_hard_min() {
+        let mut metrics = tracked_metrics("shard", &parse(SHARD).unwrap()).unwrap();
+        override_shard_floor(&mut metrics, 1_000_000.0);
+        let verdicts = compare(&metrics.clone(), &metrics, 0.25);
+        // Every shard metric is now below the impossible floor — the CI
+        // self-test that proves the shard gate can fail.
+        assert!(verdicts.iter().all(|v| !v.passed), "{verdicts:?}");
+        // The override never lowers a built-in floor.
+        let mut metrics = tracked_metrics("shard", &parse(SHARD).unwrap()).unwrap();
+        override_shard_floor(&mut metrics, 0.01);
+        let scaling = metrics.iter().find(|m| m.name.contains("shard2")).unwrap();
+        assert_eq!(scaling.hard_min, Some(1.1));
     }
 
     #[test]

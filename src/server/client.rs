@@ -40,6 +40,24 @@ impl fmt::Display for ClientError {
     }
 }
 
+impl ClientError {
+    /// True for failures a replica-aware caller (the `mhxr` shard router,
+    /// or any client holding several backend addresses) should retry
+    /// against another backend: transport and framing failures, and the
+    /// server's typed `503`/`shutting_down` drain signal. Queries are
+    /// read-only and uploads idempotent (documents are immutable after
+    /// upload), so re-sending is always safe. Engine errors (4xx/422)
+    /// are deterministic — the same request fails the same way on every
+    /// replica — and the router's own `502`/`bad_gateway` means every
+    /// replica was already tried; neither is retryable.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) | ClientError::Protocol(_) => true,
+            ClientError::Server { status, kind, .. } => *status == 503 && kind == "shutting_down",
+        }
+    }
+}
+
 impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {

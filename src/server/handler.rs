@@ -26,7 +26,8 @@ use std::sync::atomic::Ordering;
 
 /// Cap on prepared statements per connection: compiled plans held outside
 /// the LRU cache must stay bounded, mirroring the cache's own capacity.
-const MAX_PREPARED_PER_CONN: usize = 256;
+/// The router enforces the same cap on its own handle table.
+pub(crate) const MAX_PREPARED_PER_CONN: usize = 256;
 
 /// Mutable per-connection state: the pinned session, its prepared
 /// statements, and the connection's evaluation options (survive session
@@ -183,7 +184,8 @@ fn route<'c>(
 }
 
 /// Parse the request body as a JSON object; protocol error otherwise.
-fn body_object(req: &Request) -> Result<Json, (u16, Json)> {
+/// Shared with the router, whose endpoints frame bodies identically.
+pub(crate) fn body_object(req: &Request) -> Result<Json, (u16, Json)> {
     let text = req
         .body_str()
         .ok_or_else(|| (400, wire::protocol_error_body("bad_json", "body is not UTF-8")))?;

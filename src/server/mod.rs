@@ -33,24 +33,32 @@
 //! The [`client`] module is the matching blocking client (used by the
 //! integration tests, `mhxq --connect`, and the `serve` bench); [`wire`]
 //! documents the JSON wire format and the `EngineError` → status mapping.
+//! Scaling past one node is the [`router`] module (the `mhxr` binary): a
+//! [`pool::BackendPool`] consistent-hashes document ids across several
+//! `mhxd` backends and the [`Router`] speaks this same wire protocol in
+//! front of them, with replication and drain-aware failover.
 
+mod accept;
 pub mod client;
 mod handler;
 mod http;
+pub mod pool;
+pub mod router;
 pub mod wire;
 
 pub use http::Request;
+pub use pool::{BackendHealth, BackendPool};
+pub use router::{Router, RouterConfig};
 pub use wire::{error_kind, parse_lang, status_for, WireOutcome};
 
 use crate::engine::{Catalog, EvalStats};
+use accept::AcceptPool;
 use mhx_xquery::EvalOptions;
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::thread;
 use std::time::Duration;
 
 /// Tuning knobs for [`Server::bind`].
@@ -216,8 +224,7 @@ impl Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<thread::JoinHandle<()>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    pool: AcceptPool,
 }
 
 impl Server {
@@ -239,46 +246,19 @@ impl Server {
             conns: Mutex::new(BTreeMap::new()),
         });
 
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
-        let rx = Arc::new(Mutex::new(rx));
-        let worker_handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                thread::Builder::new()
-                    .name(format!("mhxd-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
-                    .expect("spawn worker thread")
+        let draining: Arc<dyn Fn() -> bool + Send + Sync> = {
+            let shared = Arc::clone(&shared);
+            Arc::new(move || shared.draining())
+        };
+        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = {
+            let shared = Arc::clone(&shared);
+            Arc::new(move |stream| {
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                handler::handle_connection(&shared, stream);
             })
-            .collect();
-
-        let acceptor_shared = Arc::clone(&shared);
-        let acceptor = thread::Builder::new()
-            .name("mhxd-acceptor".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if acceptor_shared.draining() {
-                        break; // the wake-up connection (or any late one) is discarded
-                    }
-                    match stream {
-                        Ok(s) => {
-                            // Short read timeout = the drain-poll interval.
-                            let _ = s.set_read_timeout(Some(poll_interval));
-                            let _ = s.set_nodelay(true);
-                            acceptor_shared.accepted.fetch_add(1, Ordering::Relaxed);
-                            if tx.send(s).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => thread::sleep(Duration::from_millis(5)),
-                    }
-                }
-                // Dropping `tx` here closes the queue: workers finish what
-                // is queued, then exit.
-            })
-            .expect("spawn acceptor thread");
-
-        Ok(Server { addr: local, shared, acceptor: Some(acceptor), workers: worker_handles })
+        };
+        let pool = AcceptPool::start(listener, "mhxd", workers, poll_interval, draining, handler);
+        Ok(Server { addr: local, shared, pool })
     }
 
     /// The bound address (with the real port when bound to port 0).
@@ -329,27 +309,7 @@ impl Server {
         self.shared.catalog.begin_shutdown();
         // Wake the acceptor out of `accept()`; it sees the flag and exits.
         let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.pool.join();
         self.shared.catalog.drain(Duration::from_secs(30))
-    }
-}
-
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
-    loop {
-        // Holding the lock while blocked in `recv` is the queue discipline:
-        // idle workers line up on the mutex, one wakes per connection.
-        let next = {
-            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
-            rx.recv()
-        };
-        match next {
-            Ok(stream) => handler::handle_connection(shared, stream),
-            Err(_) => break, // acceptor gone and queue empty
-        }
     }
 }

@@ -1,0 +1,984 @@
+//! # `mhxr` — the shard router
+//!
+//! One JSON/HTTP front end over N `mhxd` backends, speaking the *same*
+//! wire protocol clients already use — a client cannot tell a router
+//! from a single node except for the extra `/stats` sections.
+//!
+//! ```text
+//!                clients (keep-alive, wire protocol)
+//!                          │
+//!                    Router (mhxr)
+//!          consistent hash on document id (BackendPool)
+//!            │                │                │
+//!         mhxd shard 0     mhxd shard 1     mhxd shard 2
+//! ```
+//!
+//! * **Routing** — `/query` and `/execute` resolve their target document
+//!   and go to its replica set ([`BackendPool::read_order`], round-robin
+//!   across replicas). `PUT /documents/{id}` walks the ring and uploads
+//!   to `--replicas K` distinct shards. Documents are immutable after
+//!   upload, so replication is re-upload + deterministic placement — no
+//!   consensus, and two routers over the same `--shard` list agree.
+//! * **Scatter/gather** — `GET /documents` unions all shards' listings;
+//!   `GET /stats` nests every shard's stats under `shards` plus a
+//!   `router` section (backend health, failover counters).
+//! * **Failover** — a connection error or the typed `503`/
+//!   `shutting_down` drain signal from one shard retries the next
+//!   replica; only when every replica failed does the client see an
+//!   error, and it is the distinct `502`/`bad_gateway` kind. Any other
+//!   response (including 4xx — deterministic on every replica) passes
+//!   through verbatim.
+//! * **Prepared statements** — the router keeps a per-client-connection
+//!   handle table (`ConnCore`): `/prepare` validates eagerly on one
+//!   backend, `/execute` lazily re-prepares the statement on whichever
+//!   backend the read lands on, so handles transparently survive
+//!   failover.
+//!
+//! The router's own connection to each backend is one [`Client`] per
+//! router-side client connection (lazily opened), so backend sessions
+//! map 1:1 to client sessions and per-connection server state behaves
+//! as if the client were talking to the shard directly.
+
+use crate::server::accept::AcceptPool;
+use crate::server::client::{Client, ClientError};
+use crate::server::handler::{body_object, MAX_PREPARED_PER_CONN};
+use crate::server::http::{self, ReadError, Request};
+use crate::server::pool::BackendPool;
+use crate::server::wire;
+use mhx_json::Json;
+use std::collections::BTreeSet;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs for [`Router::bind`] (mirrors
+/// [`ServerConfig`](crate::server::ServerConfig)).
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Worker threads; each serves one client connection at a time, so
+    /// this is also the keep-alive connection concurrency.
+    pub workers: usize,
+    /// How often an idle connection re-checks the drain flag.
+    pub poll_interval: Duration,
+    /// How long a started request may take to arrive completely.
+    pub request_timeout: Duration,
+    /// Maximum request body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            workers: 8,
+            poll_interval: Duration::from_millis(25),
+            request_timeout: Duration::from_secs(10),
+            max_body: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// State shared by the router's workers and the [`Router`] handle.
+pub(crate) struct RouterShared {
+    pool: Arc<BackendPool>,
+    config: RouterConfig,
+    shutdown: AtomicBool,
+    shutdown_requested: AtomicBool,
+    accepted: AtomicU64,
+    requests: AtomicU64,
+    failovers: AtomicU64,
+    re_prepares: AtomicU64,
+}
+
+impl RouterShared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The running router: a bound listener, its acceptor thread, and the
+/// worker pool. Like [`Server`](crate::server::Server), dropping without
+/// [`Router::shutdown`] detaches the threads.
+///
+/// ```
+/// use multihier_xquery::prelude::*;
+/// use multihier_xquery::server::{client::Client, BackendPool, Router, RouterConfig};
+/// use multihier_xquery::server::{Server, ServerConfig};
+/// use std::sync::Arc;
+///
+/// // One real shard…
+/// let catalog = Arc::new(Catalog::new());
+/// catalog.insert(
+///     "ms",
+///     GoddagBuilder::new().hierarchy("w", "<r><w>a</w><w>b</w></r>").build().unwrap(),
+/// );
+/// let shard = Server::bind(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+///
+/// // …fronted by a router speaking the identical wire protocol.
+/// let pool = Arc::new(BackendPool::new(vec![shard.addr().to_string()], 1));
+/// let router = Router::bind(pool, "127.0.0.1:0", RouterConfig::default()).unwrap();
+///
+/// let mut client = Client::connect(&router.addr().to_string()).unwrap();
+/// let out = client.xpath("ms", "count(/descendant::w)").unwrap();
+/// assert_eq!(out.serialized, "2");
+///
+/// router.shutdown();
+/// shard.shutdown();
+/// ```
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    pool: AcceptPool,
+}
+
+impl Router {
+    /// Bind `addr` (port 0 for ephemeral) and start routing onto
+    /// `backends`.
+    pub fn bind(
+        backends: Arc<BackendPool>,
+        addr: &str,
+        config: RouterConfig,
+    ) -> io::Result<Router> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let poll_interval = config.poll_interval;
+        let shared = Arc::new(RouterShared {
+            pool: backends,
+            config: RouterConfig { workers, ..config },
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            re_prepares: AtomicU64::new(0),
+        });
+        let draining: Arc<dyn Fn() -> bool + Send + Sync> = {
+            let shared = Arc::clone(&shared);
+            Arc::new(move || shared.draining())
+        };
+        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = {
+            let shared = Arc::clone(&shared);
+            Arc::new(move |stream| {
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                handle_connection(&shared, stream);
+            })
+        };
+        let pool = AcceptPool::start(listener, "mhxr", workers, poll_interval, draining, handler);
+        Ok(Router { addr: local, shared, pool })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The routing pool (placement + backend health).
+    pub fn backends(&self) -> &Arc<BackendPool> {
+        &self.shared.pool
+    }
+
+    /// True once a client posted `/shutdown` (or
+    /// [`Router::request_shutdown`] ran); the owner loop polls this.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Ask the owner loop to shut down (same effect as `POST /shutdown`).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown of the *router only*: stop accepting, complete
+    /// every response in progress, join all threads. The backends keep
+    /// running — draining them is their owners' job.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of `accept()`; it sees the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        self.pool.join();
+    }
+}
+
+/// How one backend attempt ended.
+enum Attempt {
+    /// A complete HTTP exchange that is not the drain signal — pass it
+    /// through (4xx included: deterministic on every replica).
+    Done(u16, Json),
+    /// Connection error, garbled response, or the typed drain signal:
+    /// try the next replica. Carries the reason for the 502 message.
+    Failover(String),
+}
+
+/// Per-client-connection router state: one lazily-opened backend
+/// [`Client`] per shard (so backend sessions map 1:1 to client
+/// sessions) and the prepared-statement table that survives failover.
+pub(crate) struct ConnCore {
+    pool: Arc<BackendPool>,
+    conns: Vec<Option<Client>>,
+    prepared: Vec<PreparedEntry>,
+    pub(crate) failovers: u64,
+    pub(crate) re_prepares: u64,
+}
+
+/// One router-level prepared statement.
+struct PreparedEntry {
+    /// The original `/prepare` body — replayed verbatim when a failover
+    /// lands the execute on a backend that has not compiled it yet.
+    request: Json,
+    /// Backend-local handle per backend, index-aligned with the pool;
+    /// cleared whenever that backend's connection is rebuilt (a fresh
+    /// connection is a fresh server session, so old handles are gone).
+    per_backend: Vec<Option<u64>>,
+}
+
+enum EnsureError {
+    /// This backend cannot compile right now — try the next replica.
+    Failover(String),
+    /// The statement itself is bad (deterministic compile error) —
+    /// surface the backend's response verbatim.
+    Surface(u16, Json),
+}
+
+impl ConnCore {
+    pub(crate) fn new(pool: Arc<BackendPool>) -> ConnCore {
+        let n = pool.len();
+        ConnCore {
+            pool,
+            conns: (0..n).map(|_| None).collect(),
+            prepared: Vec::new(),
+            failovers: 0,
+            re_prepares: 0,
+        }
+    }
+
+    /// The lazily-opened connection to backend `i`.
+    fn conn(&mut self, i: usize) -> Result<&mut Client, ClientError> {
+        if self.conns[i].is_none() {
+            let client = Client::connect(self.pool.addr(i))?;
+            // A fresh connection is a fresh server session: any handle
+            // prepared over a previous connection to this backend is gone.
+            for p in &mut self.prepared {
+                p.per_backend[i] = None;
+            }
+            self.conns[i] = Some(client);
+        }
+        Ok(self.conns[i].as_mut().expect("just ensured"))
+    }
+
+    fn drop_conn(&mut self, i: usize) {
+        self.conns[i] = None;
+        for p in &mut self.prepared {
+            p.per_backend[i] = None;
+        }
+    }
+
+    /// One uninterpreted request to backend `i`. `Err` means the
+    /// connection is unusable (and has been dropped); `Ok` is a complete
+    /// exchange, which may still be the backend's drain signal.
+    fn forward(
+        &mut self,
+        i: usize,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Json), ClientError> {
+        let res = match self.conn(i) {
+            Ok(client) => client.request(method, path, body),
+            Err(e) => Err(e),
+        };
+        if res.is_err() {
+            self.drop_conn(i);
+        }
+        res
+    }
+
+    /// [`ConnCore::forward`] plus health classification: transport
+    /// failures and the drain signal become [`Attempt::Failover`] and
+    /// demote the backend; everything else marks it up and passes
+    /// through.
+    fn attempt(&mut self, i: usize, method: &str, path: &str, body: Option<&Json>) -> Attempt {
+        match self.forward(i, method, path, body) {
+            Ok((status, json)) if wire::is_drain_envelope(status, &json) => {
+                self.pool.mark_draining(i);
+                Attempt::Failover(format!("{} is draining", self.pool.addr(i)))
+            }
+            Ok((status, json)) => {
+                self.pool.mark_up(i);
+                Attempt::Done(status, json)
+            }
+            Err(e) => {
+                self.pool.mark_down(i);
+                Attempt::Failover(format!("{}: {e}", self.pool.addr(i)))
+            }
+        }
+    }
+
+    /// Try `order` until one backend completes the exchange; exhausting
+    /// it is the router's own `502`/`bad_gateway`. Returns the winning
+    /// backend index alongside the response.
+    fn try_replicas(
+        &mut self,
+        order: &[usize],
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> (u16, Json, Option<usize>) {
+        let mut tried = Vec::new();
+        for (k, &i) in order.iter().enumerate() {
+            if k > 0 {
+                self.failovers += 1;
+            }
+            match self.attempt(i, method, path, body) {
+                Attempt::Done(status, json) => return (status, json, Some(i)),
+                Attempt::Failover(why) => tried.push(why),
+            }
+        }
+        let body =
+            wire::bad_gateway_body(&format!("all replicas unavailable ({})", tried.join("; ")));
+        (502, body, None)
+    }
+
+    /// Resolve the target document like a single node does: explicit
+    /// `doc` field, else the fleet's only document.
+    fn resolve_doc(&mut self, body: &Json) -> Result<String, (u16, Json)> {
+        if let Some(doc) = body.get("doc") {
+            return doc.as_str().map(str::to_string).ok_or_else(|| {
+                (400, wire::protocol_error_body("bad_request", "`doc` must be a string"))
+            });
+        }
+        let union = self.documents_union()?;
+        if union.len() == 1 {
+            return Ok(union.into_iter().next().expect("len checked"));
+        }
+        Err((
+            400,
+            wire::protocol_error_body(
+                "no_document",
+                "no `doc` given and the fleet does not hold exactly one document",
+            ),
+        ))
+    }
+
+    pub(crate) fn query(&mut self, body: &Json) -> (u16, Json) {
+        let doc = match self.resolve_doc(body) {
+            Ok(doc) => doc,
+            Err(err) => return err,
+        };
+        let order = self.pool.read_order(&doc);
+        let fwd = with_field(body, "doc", Json::Str(doc));
+        let (status, json, _) = self.try_replicas(&order, "POST", "/query", Some(&fwd));
+        (status, json)
+    }
+
+    pub(crate) fn prepare(&mut self, body: &Json) -> (u16, Json) {
+        if self.prepared.len() >= MAX_PREPARED_PER_CONN {
+            return (
+                400,
+                wire::protocol_error_body(
+                    "too_many_prepared",
+                    &format!(
+                        "this connection already holds {MAX_PREPARED_PER_CONN} prepared queries"
+                    ),
+                ),
+            );
+        }
+        // Eager validation on one backend: compile errors surface now,
+        // exactly as on a single node.
+        let order = self.pool.any_order();
+        let (status, json, winner) = self.try_replicas(&order, "POST", "/prepare", Some(body));
+        let Some(i) = winner else { return (status, json) };
+        if !(200..300).contains(&status) {
+            return (status, json);
+        }
+        let Some(backend_handle) = json.get("handle").and_then(Json::as_u64) else {
+            return (502, wire::bad_gateway_body("shard returned a malformed /prepare response"));
+        };
+        let mut per_backend = vec![None; self.pool.len()];
+        per_backend[i] = Some(backend_handle);
+        self.prepared.push(PreparedEntry { request: body.clone(), per_backend });
+        let handle = self.prepared.len() - 1;
+        // Same envelope as a single node, in the router's handle space.
+        let lang = json.get("lang").cloned().unwrap_or_else(|| Json::Str("xquery".into()));
+        (
+            200,
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("handle".into(), Json::Num(handle as f64)),
+                ("lang".into(), lang),
+            ]),
+        )
+    }
+
+    /// Make sure backend `i`'s current connection has prepared statement
+    /// `entry`, compiling it there if needed.
+    fn ensure_prepared(&mut self, i: usize, entry: usize) -> Result<u64, EnsureError> {
+        if let Some(h) = self.prepared[entry].per_backend[i] {
+            return Ok(h);
+        }
+        let req = self.prepared[entry].request.clone();
+        match self.attempt(i, "POST", "/prepare", Some(&req)) {
+            Attempt::Done(status, json) if (200..300).contains(&status) => {
+                match json.get("handle").and_then(Json::as_u64) {
+                    Some(h) => {
+                        self.prepared[entry].per_backend[i] = Some(h);
+                        self.re_prepares += 1;
+                        Ok(h)
+                    }
+                    None => Err(EnsureError::Failover(format!(
+                        "{}: malformed /prepare response",
+                        self.pool.addr(i)
+                    ))),
+                }
+            }
+            Attempt::Done(status, json) => Err(EnsureError::Surface(status, json)),
+            Attempt::Failover(why) => Err(EnsureError::Failover(why)),
+        }
+    }
+
+    pub(crate) fn execute(&mut self, body: &Json) -> (u16, Json) {
+        let Some(handle) = body.get("handle").and_then(Json::as_u64) else {
+            return (
+                400,
+                wire::protocol_error_body("bad_request", "missing integer field `handle`"),
+            );
+        };
+        if handle as usize >= self.prepared.len() {
+            return (
+                404,
+                wire::protocol_error_body(
+                    "unknown_handle",
+                    &format!("no prepared query with handle {handle} on this connection"),
+                ),
+            );
+        }
+        let doc = match self.resolve_doc(body) {
+            Ok(doc) => doc,
+            Err(err) => return err,
+        };
+        let order = self.pool.read_order(&doc);
+        let mut tried = Vec::new();
+        for (k, &i) in order.iter().enumerate() {
+            if k > 0 {
+                self.failovers += 1;
+            }
+            let backend_handle = match self.ensure_prepared(i, handle as usize) {
+                Ok(h) => h,
+                Err(EnsureError::Failover(why)) => {
+                    tried.push(why);
+                    continue;
+                }
+                Err(EnsureError::Surface(status, json)) => return (status, json),
+            };
+            let fwd = with_field(
+                &with_field(body, "doc", Json::Str(doc.clone())),
+                "handle",
+                Json::Num(backend_handle as f64),
+            );
+            match self.attempt(i, "POST", "/execute", Some(&fwd)) {
+                Attempt::Done(status, json) => return (status, json),
+                Attempt::Failover(why) => tried.push(why),
+            }
+        }
+        let body =
+            wire::bad_gateway_body(&format!("all replicas unavailable ({})", tried.join("; ")));
+        (502, body)
+    }
+
+    /// Upload `id` to its replica set, walking the ring past dead
+    /// backends so the document still lands `replicas` times when a
+    /// preferred shard is down.
+    pub(crate) fn upload(&mut self, id: &str, body: &Json) -> (u16, Json) {
+        let want = self.pool.replicas();
+        let order = self.pool.ring_order(id);
+        let mut placed = Vec::new();
+        let mut tried = Vec::new();
+        for &i in &order {
+            if placed.len() == want {
+                break;
+            }
+            match self.attempt(i, "PUT", &format!("/documents/{id}"), Some(body)) {
+                Attempt::Done(status, _) if (200..300).contains(&status) => placed.push(i),
+                // A deterministic rejection (malformed hierarchy, bad id)
+                // would fail identically on every shard: surface it. Any
+                // shard that already accepted keeps the document — uploads
+                // of a fixed id are idempotent, so a client retry heals.
+                Attempt::Done(status, json) => return (status, json),
+                Attempt::Failover(why) => tried.push(why),
+            }
+        }
+        self.failovers += tried.len() as u64;
+        if placed.is_empty() {
+            let body =
+                wire::bad_gateway_body(&format!("no shard accepted `{id}` ({})", tried.join("; ")));
+            return (502, body);
+        }
+        self.pool.record_placement(id, placed.clone());
+        let shards: Vec<Json> =
+            placed.iter().map(|&i| Json::Str(self.pool.addr(i).into())).collect();
+        (
+            200,
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("id".into(), Json::Str(id.into())),
+                ("replicas".into(), Json::Num(placed.len() as f64)),
+                ("shards".into(), Json::Arr(shards)),
+            ]),
+        )
+    }
+
+    /// Scatter `GET /documents` to every backend and union the ids.
+    /// Succeeds while at least one shard answers (a dead shard's
+    /// documents are on their replicas anyway when `--replicas` > 1).
+    fn documents_union(&mut self) -> Result<BTreeSet<String>, (u16, Json)> {
+        let mut union = BTreeSet::new();
+        let mut any_ok = false;
+        let mut errors = Vec::new();
+        for i in 0..self.pool.len() {
+            match self.attempt(i, "GET", "/documents", None) {
+                Attempt::Done(status, json) if (200..300).contains(&status) => {
+                    match json.get("documents").and_then(Json::as_arr) {
+                        Some(ids) => {
+                            union.extend(ids.iter().filter_map(|v| v.as_str().map(str::to_string)));
+                            any_ok = true;
+                        }
+                        None => errors.push(format!("{}: malformed /documents", self.pool.addr(i))),
+                    }
+                }
+                Attempt::Done(status, _) => {
+                    errors.push(format!("{}: status {status}", self.pool.addr(i)));
+                }
+                Attempt::Failover(why) => errors.push(why),
+            }
+        }
+        if any_ok {
+            Ok(union)
+        } else {
+            let body = wire::bad_gateway_body(&format!(
+                "no shard answered /documents ({})",
+                errors.join("; ")
+            ));
+            Err((502, body))
+        }
+    }
+
+    pub(crate) fn documents(&mut self) -> (u16, Json) {
+        match self.documents_union() {
+            Ok(union) => (
+                200,
+                Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("documents".into(), Json::Arr(union.into_iter().map(Json::Str).collect())),
+                ]),
+            ),
+            Err(err) => err,
+        }
+    }
+
+    /// Scatter `GET /stats`, gather per-shard stats plus the router's own
+    /// health/counter section and cross-shard totals.
+    fn stats(&mut self, shared: &RouterShared) -> (u16, Json) {
+        let mut shards = Vec::new();
+        let mut shard_requests = 0u64;
+        let mut shard_documents = 0u64;
+        for i in 0..self.pool.len() {
+            let addr = self.pool.addr(i).to_string();
+            match self.attempt(i, "GET", "/stats", None) {
+                Attempt::Done(status, json) if (200..300).contains(&status) => {
+                    shard_requests += json
+                        .get("server")
+                        .and_then(|s| s.get("requests"))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0);
+                    shard_documents += json.get("documents").and_then(Json::as_u64).unwrap_or(0);
+                    shards.push(Json::Obj(vec![
+                        ("addr".into(), Json::Str(addr)),
+                        ("stats".into(), json),
+                    ]));
+                }
+                _ => shards.push(Json::Obj(vec![
+                    ("addr".into(), Json::Str(addr)),
+                    ("error".into(), Json::Str("unreachable or draining".into())),
+                ])),
+            }
+        }
+        let backends: Vec<Json> = self
+            .pool
+            .health_snapshot()
+            .into_iter()
+            .map(|h| {
+                Json::Obj(vec![
+                    ("addr".into(), Json::Str(h.addr)),
+                    ("healthy".into(), Json::Bool(h.healthy)),
+                    ("draining".into(), Json::Bool(h.draining)),
+                    ("failures".into(), Json::Num(h.failures as f64)),
+                    ("successes".into(), Json::Num(h.successes as f64)),
+                ])
+            })
+            .collect();
+        (
+            200,
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                (
+                    "router".into(),
+                    Json::Obj(vec![
+                        ("workers".into(), Json::Num(shared.config.workers as f64)),
+                        ("replicas".into(), Json::Num(self.pool.replicas() as f64)),
+                        (
+                            "connections_accepted".into(),
+                            Json::Num(shared.accepted.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
+                            "requests".into(),
+                            Json::Num(shared.requests.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
+                            "failovers".into(),
+                            Json::Num(shared.failovers.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
+                            "re_prepares".into(),
+                            Json::Num(shared.re_prepares.load(Ordering::Relaxed) as f64),
+                        ),
+                        ("backends".into(), Json::Arr(backends)),
+                    ]),
+                ),
+                (
+                    "totals".into(),
+                    Json::Obj(vec![
+                        ("shard_requests".into(), Json::Num(shard_requests as f64)),
+                        ("shard_documents".into(), Json::Num(shard_documents as f64)),
+                    ]),
+                ),
+                ("shards".into(), Json::Arr(shards)),
+            ]),
+        )
+    }
+}
+
+/// Clone `body` with `field` set to `value` (replacing any existing
+/// entry) — the router rewrites `doc` and `handle` before forwarding.
+fn with_field(body: &Json, field: &str, value: Json) -> Json {
+    let mut entries: Vec<(String, Json)> = body
+        .as_obj()
+        .map(|o| o.iter().filter(|(k, _)| k != field).cloned().collect())
+        .unwrap_or_default();
+    entries.push((field.to_string(), value));
+    Json::Obj(entries)
+}
+
+/// Serve one accepted client connection until the peer closes, a
+/// protocol error occurs, or the router drains. Mirrors the single-node
+/// handler: the in-flight response is always completed before close.
+fn handle_connection(shared: &RouterShared, mut stream: TcpStream) {
+    let mut core = ConnCore::new(Arc::clone(&shared.pool));
+    let mut buf = Vec::new();
+    loop {
+        let req = match http::read_request(
+            &mut stream,
+            &mut buf,
+            &|| shared.draining(),
+            shared.config.max_body,
+            shared.config.request_timeout,
+        ) {
+            Ok(req) => req,
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => break,
+            Err(ReadError::Bad(message)) => {
+                let body = wire::protocol_error_body("bad_request", &message);
+                let _ = http::write_response(&mut stream, 400, &body.to_string(), false);
+                break;
+            }
+            Err(ReadError::TooLarge) => {
+                let body = wire::protocol_error_body("too_large", "request exceeds size limits");
+                let _ = http::write_response(&mut stream, 413, &body.to_string(), false);
+                break;
+            }
+            Err(ReadError::Timeout) => {
+                let body = wire::protocol_error_body("timeout", "request did not complete");
+                let _ = http::write_response(&mut stream, 408, &body.to_string(), false);
+                break;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (failovers, re_prepares) = (core.failovers, core.re_prepares);
+        let (status, body) = route(shared, &mut core, &req);
+        shared.failovers.fetch_add(core.failovers - failovers, Ordering::Relaxed);
+        shared.re_prepares.fetch_add(core.re_prepares - re_prepares, Ordering::Relaxed);
+        let keep = !req.close && !shared.draining();
+        if http::write_response(&mut stream, status, &body.to_string(), keep).is_err() {
+            break;
+        }
+        if !keep {
+            break;
+        }
+    }
+}
+
+fn route(shared: &RouterShared, core: &mut ConnCore, req: &Request) -> (u16, Json) {
+    // Path first, then method — same 405 discipline as the single-node
+    // handler.
+    let method = req.method.as_str();
+    let wrong_method =
+        || (405, wire::protocol_error_body("method_not_allowed", "wrong method for this path"));
+    let with_body = |f: &mut dyn FnMut(&Json) -> (u16, Json)| match body_object(req) {
+        Ok(body) => f(&body),
+        Err(err) => err,
+    };
+    match req.path.as_str() {
+        "/healthz" | "/" => match method {
+            "GET" => (200, Json::Obj(vec![("ok".into(), Json::Bool(true))])),
+            _ => wrong_method(),
+        },
+        "/query" => match method {
+            "POST" => with_body(&mut |body| core.query(body)),
+            _ => wrong_method(),
+        },
+        "/prepare" => match method {
+            "POST" => with_body(&mut |body| core.prepare(body)),
+            _ => wrong_method(),
+        },
+        "/execute" => match method {
+            "POST" => with_body(&mut |body| core.execute(body)),
+            _ => wrong_method(),
+        },
+        "/documents" => match method {
+            "GET" => core.documents(),
+            _ => wrong_method(),
+        },
+        "/stats" => match method {
+            "GET" => core.stats(shared),
+            _ => wrong_method(),
+        },
+        "/shutdown" => match method {
+            "POST" => {
+                shared.shutdown_requested.store(true, Ordering::SeqCst);
+                (
+                    200,
+                    Json::Obj(vec![
+                        ("ok".into(), Json::Bool(true)),
+                        ("draining".into(), Json::Bool(true)),
+                    ]),
+                )
+            }
+            _ => wrong_method(),
+        },
+        path if path.strip_prefix("/documents/").is_some_and(|id| !id.is_empty()) => {
+            let id = path.strip_prefix("/documents/").expect("guard matched");
+            match method {
+                "PUT" => with_body(&mut |body| core.upload(id, body)),
+                _ => wrong_method(),
+            }
+        }
+        path => (404, wire::protocol_error_body("not_found", &format!("no route for `{path}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Catalog;
+    use crate::server::{Server, ServerConfig};
+    use mhx_goddag::GoddagBuilder;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicUsize;
+
+    const DRAIN_BODY: &str =
+        r#"{"ok":false,"error":{"kind":"shutting_down","message":"draining"}}"#;
+    const NOT_FOUND_BODY: &str =
+        r#"{"ok":false,"error":{"kind":"unknown_document","message":"no document `ms`"}}"#;
+
+    /// A canned-response backend: answers every request on every
+    /// connection with `status` + `body`, counting requests served.
+    fn mock_backend(status: u16, body: &'static str) -> (String, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let shared_hits = Arc::clone(&hits);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { continue };
+                let hits = Arc::clone(&shared_hits);
+                std::thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    let mut chunk = [0u8; 4096];
+                    loop {
+                        // Read one Content-Length-framed request.
+                        let end = loop {
+                            if let Some(he) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                                let head = String::from_utf8_lossy(&buf[..he]).to_string();
+                                let len = head
+                                    .lines()
+                                    .filter_map(|l| {
+                                        l.to_ascii_lowercase()
+                                            .strip_prefix("content-length:")
+                                            .and_then(|v| v.trim().parse::<usize>().ok())
+                                    })
+                                    .next()
+                                    .unwrap_or(0);
+                                if buf.len() >= he + 4 + len {
+                                    break he + 4 + len;
+                                }
+                            }
+                            match s.read(&mut chunk) {
+                                Ok(0) => return,
+                                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                                Err(_) => return,
+                            }
+                        };
+                        buf.drain(..end);
+                        hits.fetch_add(1, Ordering::SeqCst);
+                        let resp = format!(
+                            "HTTP/1.1 {status} X\r\nContent-Type: application/json\r\n\
+                             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                            body.len()
+                        );
+                        if s.write_all(resp.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, hits)
+    }
+
+    fn error_kind_of(json: &Json) -> &str {
+        json.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str).unwrap_or("")
+    }
+
+    fn query_body(doc: &str) -> Json {
+        mhx_json::parse(&format!(
+            r#"{{"doc":"{doc}","lang":"xpath","query":"count(/descendant::w)"}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn a_drain_signal_retries_each_replica_exactly_once_then_502s() {
+        let (a, hits_a) = mock_backend(503, DRAIN_BODY);
+        let (b, hits_b) = mock_backend(503, DRAIN_BODY);
+        let pool = Arc::new(BackendPool::new(vec![a, b], 2));
+        let mut core = ConnCore::new(Arc::clone(&pool));
+        let (status, json) = core.query(&query_body("ms"));
+        assert_eq!(status, 502);
+        assert_eq!(error_kind_of(&json), wire::BAD_GATEWAY_KIND);
+        assert_eq!(hits_a.load(Ordering::SeqCst), 1, "each replica tried exactly once");
+        assert_eq!(hits_b.load(Ordering::SeqCst), 1, "each replica tried exactly once");
+        assert_eq!(core.failovers, 1, "one retry beyond the first attempt");
+        let health = pool.health_snapshot();
+        assert!(health.iter().all(|h| h.draining && !h.healthy), "both marked draining");
+    }
+
+    #[test]
+    fn a_non_retryable_4xx_surfaces_immediately_without_failover() {
+        let (a, hits_a) = mock_backend(404, NOT_FOUND_BODY);
+        let (b, hits_b) = mock_backend(404, NOT_FOUND_BODY);
+        let pool = Arc::new(BackendPool::new(vec![a, b], 2));
+        // Which mock leads the replica set is hash-determined — read it
+        // off the pool instead of assuming (the first read uses the
+        // cursor's initial rotation, i.e. the unrotated set).
+        let first = pool.replica_set("ms")[0];
+        let mut core = ConnCore::new(Arc::clone(&pool));
+        let (status, json) = core.query(&query_body("ms"));
+        assert_eq!(status, 404);
+        assert_eq!(error_kind_of(&json), "unknown_document");
+        let (h_first, h_other) = if first == 0 { (&hits_a, &hits_b) } else { (&hits_b, &hits_a) };
+        assert_eq!(h_first.load(Ordering::SeqCst), 1, "only the first replica is asked");
+        assert_eq!(h_other.load(Ordering::SeqCst), 0, "a 4xx never fails over");
+        assert_eq!(core.failovers, 0);
+    }
+
+    fn live_shard(docs: &[&str]) -> Server {
+        let catalog = Arc::new(Catalog::new());
+        for id in docs {
+            catalog.insert(
+                *id,
+                GoddagBuilder::new().hierarchy("w", "<r><w>a</w><w>b</w></r>").build().unwrap(),
+            );
+        }
+        Server::bind(
+            catalog,
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                poll_interval: Duration::from_millis(5),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prepared_handles_re_prepare_transparently_after_failover() {
+        let mut shards = vec![Some(live_shard(&["ms"])), Some(live_shard(&["ms"]))];
+        let addrs: Vec<String> =
+            shards.iter().map(|s| s.as_ref().unwrap().addr().to_string()).collect();
+        let pool = Arc::new(BackendPool::new(addrs, 2));
+        let mut core = ConnCore::new(Arc::clone(&pool));
+
+        let prep = mhx_json::parse(r#"{"lang":"xpath","query":"count(/descendant::w)"}"#).unwrap();
+        let (status, json) = core.prepare(&prep);
+        assert_eq!(status, 200, "{json}");
+        assert_eq!(json.get("handle").and_then(Json::as_u64), Some(0), "router handle space");
+
+        // Kill the one backend holding the compiled statement before any
+        // execute: every execute path must now transparently re-prepare
+        // on the surviving replica.
+        let owner = core.prepared[0].per_backend.iter().position(Option::is_some).unwrap();
+        assert_eq!(core.re_prepares, 0, "the eager prepare is not a re-prepare");
+        shards[owner].take().unwrap().shutdown();
+
+        let exec = mhx_json::parse(r#"{"handle":0,"doc":"ms"}"#).unwrap();
+        let (status, json) = core.execute(&exec);
+        assert_eq!(status, 200, "{json}");
+        assert_eq!(json.get("serialized").and_then(Json::as_str), Some("2"));
+        assert!(core.re_prepares >= 1, "the statement was re-prepared after failover");
+
+        // And the re-prepared handle is cached: a second execute reuses it.
+        let re_prepares = core.re_prepares;
+        let (status, json) = core.execute(&exec);
+        assert_eq!(status, 200, "{json}");
+        assert_eq!(json.get("serialized").and_then(Json::as_str), Some("2"));
+        assert_eq!(core.re_prepares, re_prepares, "handle cached on the survivor");
+
+        for s in shards.into_iter().flatten() {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn uploads_replicate_to_k_shards_and_documents_merge() {
+        let shards = [live_shard(&[]), live_shard(&[])];
+        let addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+        let pool = Arc::new(BackendPool::new(addrs, 2));
+        let mut core = ConnCore::new(Arc::clone(&pool));
+
+        let upload =
+            mhx_json::parse(r#"{"hierarchies":[{"name":"w","xml":"<r><w>a</w><w>b</w></r>"}]}"#)
+                .unwrap();
+        let (status, json) = core.upload("novel", &upload);
+        assert_eq!(status, 200, "{json}");
+        assert_eq!(json.get("replicas").and_then(Json::as_u64), Some(2));
+        for shard in &shards {
+            assert!(
+                shard.catalog().document_ids().contains(&"novel".to_string()),
+                "every shard holds its replica"
+            );
+        }
+        let (status, json) = core.documents();
+        assert_eq!(status, 200);
+        let ids = json.get("documents").and_then(Json::as_arr).unwrap();
+        assert_eq!(ids.len(), 1, "replicas merge to one id: {json}");
+
+        let (status, json) = core.query(&query_body("novel"));
+        assert_eq!(status, 200, "{json}");
+        assert_eq!(json.get("serialized").and_then(Json::as_str), Some("2"));
+
+        for s in shards {
+            s.shutdown();
+        }
+    }
+}

@@ -64,6 +64,27 @@ pub(crate) fn engine_error_body(e: &EngineError) -> Json {
     Json::Obj(vec![("ok".into(), Json::Bool(false)), ("error".into(), Json::Obj(error))])
 }
 
+/// Wire error kind the shard router uses when a request exhausted every
+/// replica of its document: distinct from `shutting_down` (one node
+/// refusing while it drains, worth retrying elsewhere) — `bad_gateway`
+/// means the routing tier already tried everywhere. Mapped to **502**.
+pub const BAD_GATEWAY_KIND: &str = "bad_gateway";
+
+/// The error envelope the router sends when every replica was
+/// unreachable or draining (status 502, kind [`BAD_GATEWAY_KIND`]).
+pub(crate) fn bad_gateway_body(message: &str) -> Json {
+    protocol_error_body(BAD_GATEWAY_KIND, message)
+}
+
+/// True when a response is the engine's typed drain signal (`503` +
+/// `shutting_down`): a replica-aware caller should retry another
+/// backend, not surface the error.
+pub fn is_drain_envelope(status: u16, body: &Json) -> bool {
+    status == 503
+        && body.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str)
+            == Some("shutting_down")
+}
+
 /// The error envelope for a protocol-level failure (bad JSON, missing
 /// field, unknown route…).
 pub(crate) fn protocol_error_body(kind: &str, message: &str) -> Json {
@@ -226,6 +247,21 @@ mod tests {
         let e = EngineError::Parse { lang: QueryLang::XPath, message: "x".into(), at: Some(3) };
         let body = engine_error_body(&e);
         assert_eq!(body.get("error").unwrap().get("at").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn bad_gateway_is_distinct_from_the_drain_signal() {
+        let body = bad_gateway_body("all replicas unavailable");
+        assert_eq!(body.get("ok").and_then(Json::as_bool), Some(false));
+        let err = body.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some(BAD_GATEWAY_KIND));
+        // A 502 envelope is NOT the retry-elsewhere drain signal…
+        assert!(!is_drain_envelope(502, &body));
+        // …and neither is a 503 status with a different kind.
+        assert!(!is_drain_envelope(503, &body));
+        let drain = engine_error_body(&EngineError::ShuttingDown);
+        assert!(is_drain_envelope(503, &drain));
+        assert!(!is_drain_envelope(200, &drain));
     }
 
     #[test]

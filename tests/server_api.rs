@@ -224,6 +224,55 @@ fn engine_errors_map_to_typed_statuses() {
     assert!(server.shutdown());
 }
 
+/// The shard router extends the status table with `502`/`bad_gateway`:
+/// "every replica of this document is unreachable or draining" — distinct
+/// from one backend's retryable `503`/`shutting_down` drain signal.
+#[test]
+fn router_maps_exhausted_replicas_to_bad_gateway() {
+    use multihier_xquery::server::{BackendPool, Router, RouterConfig};
+
+    let server = boot(2);
+    let pool = Arc::new(BackendPool::new(vec![server.addr().to_string()], 1));
+    let router = Router::bind(pool, "127.0.0.1:0", RouterConfig::default()).unwrap();
+    let mut via_router = Client::connect(&router.addr().to_string()).unwrap();
+
+    // Pass-through: a routed query answers exactly like a direct one…
+    let out = via_router.xpath("ms-a", "count(/descendant::w)").unwrap();
+    assert_eq!(out.serialized, "6");
+    // …and a deterministic 4xx surfaces verbatim, and is not retryable.
+    let err = via_router.xpath("ms-a", "/descendant::").unwrap_err();
+    match &err {
+        ClientError::Server { status: 400, kind, .. } => assert_eq!(kind, "parse"),
+        other => panic!("expected the parse error, got {other:?}"),
+    }
+    assert!(!err.is_retryable());
+
+    // Drain the lone backend. Directly, clients see the retryable typed
+    // drain signal; through the router the replica set is exhausted,
+    // which is the distinct final 502.
+    server.catalog().begin_shutdown();
+    let mut direct = connect(&server);
+    let err = direct.xpath("ms-a", "count(/descendant::w)").unwrap_err();
+    match &err {
+        ClientError::Server { status: 503, kind, .. } => assert_eq!(kind, "shutting_down"),
+        other => panic!("expected the drain signal, got {other:?}"),
+    }
+    assert!(err.is_retryable(), "shutting_down means: retry another replica");
+
+    let err = via_router.xpath("ms-a", "count(/descendant::w)").unwrap_err();
+    match &err {
+        ClientError::Server { status: 502, kind, message } => {
+            assert_eq!(kind, "bad_gateway");
+            assert!(message.contains("replicas unavailable"), "{message}");
+        }
+        other => panic!("expected bad_gateway, got {other:?}"),
+    }
+    assert!(!err.is_retryable(), "502 means every replica was already tried");
+
+    router.shutdown();
+    assert!(server.shutdown());
+}
+
 #[test]
 fn keepalive_reuses_one_connection_and_sessions_show_in_stats() {
     let server = boot(4);
