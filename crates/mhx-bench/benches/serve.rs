@@ -1,15 +1,20 @@
 //! E16 — network serving: the full `mhxd` stack under concurrent load.
 //!
-//! A load generator drives real TCP clients through `Server` (accept
-//! loop → worker pool → one `Session` per connection → `Catalog`), and
-//! the snapshot (`BENCH_serve.json`) tracks three throughput ratios:
+//! A load generator drives real TCP clients through `Server` (event
+//! loop → dispatch worker pool → per-connection session state →
+//! `Catalog`), and the snapshot (`BENCH_serve.json`) tracks the
+//! throughput ratios:
 //!
-//! * `threads8_vs_1` — 8 keep-alive clients **with think time** (a
-//!   remote client is never back-to-back on loopback) served by 8 worker
-//!   threads vs 1. The worker-per-connection design serializes whole
-//!   connections on one worker, so this measures connection-level
-//!   concurrency — the reason the pool exists — and scales even on a
-//!   single CPU, where pure CPU throughput cannot.
+//! * `workers1_vs_8` — 8 keep-alive clients **with think time** (a
+//!   remote client is never back-to-back on loopback) served by 1
+//!   dispatch worker vs 8, as a throughput ratio (1.0 = parity). The
+//!   event loop multiplexes every connection regardless of worker
+//!   count, so think time must never serialize connections and a single
+//!   worker holds the whole fleet near parity — the old
+//!   worker-per-connection design scored ~0.13 here (client 2 could not
+//!   even connect until client 1 finished), which is exactly the
+//!   regression this row guards against. Parity is machine-independent:
+//!   it holds on a single CPU, where a CPU-scaling ratio cannot.
 //! * `keepalive_vs_fresh` — the same request stream over one reused
 //!   connection vs a fresh TCP connect (+ session/registry setup) per
 //!   request.
@@ -17,6 +22,14 @@
 //!   vs re-sending and re-looking-up the full query text per request.
 //!   The shared plan cache keeps ad-hoc close; the gate only requires
 //!   prepared not to fall behind.
+//! * `active_with_idle_fleet` / `idle_fleet_connections` /
+//!   `idle_conns_per_extra_thread` — the evented front end's reason to
+//!   exist: park 1000 idle keep-alive connections, then re-run the
+//!   active 8-client workload. Active throughput must hold (the fleet
+//!   costs table entries, not workers), all 1000 connections must be
+//!   accepted and held concurrently, and the fleet must not grow the
+//!   process thread count (worker-per-connection would need a thread
+//!   per parked client).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mhx_corpus::{generate, GeneratorConfig};
@@ -25,6 +38,7 @@ use multihier_xquery::prelude::{Catalog, QueryLang};
 use multihier_xquery::server::client::Client;
 use multihier_xquery::server::{Server, ServerConfig};
 use std::hint::black_box;
+use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -36,6 +50,9 @@ const THINK: Duration = Duration::from_millis(2);
 
 /// Sequential workloads (keep-alive vs fresh, prepared vs ad-hoc).
 const SEQ_REQUESTS: usize = 200;
+
+/// Idle keep-alive connections parked during the fleet scenario.
+const FLEET: usize = 1000;
 
 /// Cheap query: wire + connection overheads dominate, so setup costs show.
 const CHEAP_QUERY: &str = "count(/descendant::e0)";
@@ -66,6 +83,48 @@ fn boot(doc: &Goddag, workers: usize) -> Server {
         ..ServerConfig::default()
     };
     Server::bind(catalog, "127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+/// Raise `RLIMIT_NOFILE` so the fleet (2 fds per loopback connection:
+/// client end + accepted end) fits — raw libc `setrlimit(2)`, same
+/// discipline as the daemons' `signal(2)` binding (std exposes no rlimit
+/// API and the build is offline, but linux always links libc).
+#[cfg(target_os = "linux")]
+fn raise_nofile_limit(want: u64) {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    // SAFETY: plain value struct in/out matching the 64-bit linux libc
+    // prototypes; no pointers outlive the call.
+    unsafe {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) == 0 && lim.cur < want {
+            lim.cur = want.min(lim.max);
+            let _ = setrlimit(RLIMIT_NOFILE, &lim);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn raise_nofile_limit(_want: u64) {}
+
+/// Threads in this process (`/proc/self/status`); 0 where unreadable, in
+/// which case the thread-growth ratio degrades to its best value rather
+/// than failing a platform that cannot measure it.
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| l.strip_prefix("Threads:").and_then(|v| v.trim().parse().ok()))
+        })
+        .unwrap_or(0)
 }
 
 fn median_secs(samples: &mut [f64]) -> f64 {
@@ -141,11 +200,11 @@ fn emit_snapshot(_c: &mut Criterion) {
     let doc = corpus_doc();
     let nodes = doc.all_nodes().len();
 
-    // --- worker-pool scaling ---------------------------------------
+    // --- one-worker parity under think-time load -------------------
     let t1 = scaling_pass(&doc, 1);
     let t8 = scaling_pass(&doc, 8);
     let scale_requests = (SCALE_CLIENTS * SCALE_REQUESTS) as f64;
-    let threads8_vs_1 = t1 / t8;
+    let workers1_vs_8 = t8 / t1;
 
     // --- keep-alive vs fresh connections ---------------------------
     let server = boot(&doc, 4);
@@ -208,17 +267,58 @@ fn emit_snapshot(_c: &mut Criterion) {
     drop(keepalive_client);
     server.shutdown();
 
+    // --- idle-connection fleet -------------------------------------
+    // Park FLEET idle keep-alive connections on a fresh 8-worker server,
+    // then re-run the active workload. The three ratios gate the evented
+    // front end's contract: active throughput holds, every parked
+    // connection is held concurrently, and idle connections cost no
+    // threads.
+    raise_nofile_limit((FLEET as u64) * 2 + 512);
+    let server = boot(&doc, 8);
+    let addr = server.addr().to_string();
+    timed_concurrent_pass(&addr, 2, 2); // warm
+    let mut no_fleet_samples: Vec<f64> =
+        (0..3).map(|_| timed_concurrent_pass(&addr, SCALE_CLIENTS, SCALE_REQUESTS)).collect();
+    let no_fleet_secs = median_secs(&mut no_fleet_samples);
+
+    let threads_before = process_threads();
+    let fleet: Vec<TcpStream> =
+        (0..FLEET).map(|_| TcpStream::connect(&addr).expect("park fleet connection")).collect();
+    let park_deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().active_connections < FLEET {
+        assert!(Instant::now() < park_deadline, "fleet never fully accepted");
+        thread::sleep(Duration::from_millis(10));
+    }
+    let fleet_held = server.stats().active_connections;
+    let threads_with_fleet = process_threads();
+
+    let mut with_fleet_samples: Vec<f64> =
+        (0..3).map(|_| timed_concurrent_pass(&addr, SCALE_CLIENTS, SCALE_REQUESTS)).collect();
+    let with_fleet_secs = median_secs(&mut with_fleet_samples);
+    let active_with_idle_fleet = no_fleet_secs / with_fleet_secs;
+    // Threads the fleet added (the warm pass and active clients come and
+    // go, so growth is clamped at zero); worker-per-connection would add
+    // ~one per parked client, the evented table adds none.
+    let extra_threads = threads_with_fleet.saturating_sub(threads_before);
+    let idle_conns_per_extra_thread = FLEET as f64 / extra_threads.max(1) as f64;
+    drop(fleet);
+    server.shutdown();
+
     let rps = |secs: f64, requests: f64| requests / secs;
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"corpus_nodes\": {nodes},\n  \
          \"scale_clients\": {SCALE_CLIENTS},\n  \"scale_requests_per_client\": {SCALE_REQUESTS},\n  \
          \"think_time_ms\": {},\n  \"seq_requests\": {SEQ_REQUESTS},\n  \
+         \"fleet_connections\": {FLEET},\n  \"fleet_extra_threads\": {extra_threads},\n  \
          \"throughput_rps\": {{\n    \"workers1\": {:.0},\n    \"workers8\": {:.0},\n    \
          \"keepalive\": {:.0},\n    \"fresh\": {:.0},\n    \"prepared\": {:.0},\n    \
-         \"adhoc\": {:.0}\n  }},\n  \
-         \"ratios\": {{\n    \"threads8_vs_1\": {threads8_vs_1:.2},\n    \
+         \"adhoc\": {:.0},\n    \"active_no_fleet\": {:.0},\n    \"active_with_fleet\": {:.0}\n  }},\n  \
+         \"ratios\": {{\n    \"workers1_vs_8\": {workers1_vs_8:.2},\n    \
          \"keepalive_vs_fresh\": {keepalive_vs_fresh:.2},\n    \
-         \"prepared_vs_adhoc\": {prepared_vs_adhoc:.2}\n  }}\n}}\n",
+         \"prepared_vs_adhoc\": {prepared_vs_adhoc:.2},\n    \
+         \"active_with_idle_fleet\": {active_with_idle_fleet:.2},\n    \
+         \"idle_fleet_connections\": {fleet_held},\n    \
+         \"idle_conns_per_extra_thread\": {idle_conns_per_extra_thread:.0}\n  }}\n}}\n",
         THINK.as_millis(),
         rps(t1, scale_requests),
         rps(t8, scale_requests),
@@ -226,12 +326,14 @@ fn emit_snapshot(_c: &mut Criterion) {
         rps(fresh_secs, SEQ_REQUESTS as f64),
         rps(prepared_secs, SEQ_REQUESTS as f64),
         rps(adhoc_secs, SEQ_REQUESTS as f64),
+        rps(no_fleet_secs, scale_requests),
+        rps(with_fleet_secs, scale_requests),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");
     println!(
-        "scaling: {SCALE_CLIENTS} clients × {SCALE_REQUESTS} reqs, 1 worker {t1:.3}s vs \
-         8 workers {t8:.3}s → {threads8_vs_1:.2}x"
+        "parity: {SCALE_CLIENTS} clients × {SCALE_REQUESTS} reqs, 1 worker {t1:.3}s vs \
+         8 workers {t8:.3}s → {workers1_vs_8:.2}x"
     );
     println!(
         "keep-alive {:.0} rps vs fresh-connection {:.0} rps → {keepalive_vs_fresh:.2}x",
@@ -242,6 +344,12 @@ fn emit_snapshot(_c: &mut Criterion) {
         "prepared {:.0} rps vs ad-hoc {:.0} rps → {prepared_vs_adhoc:.2}x",
         rps(prepared_secs, SEQ_REQUESTS as f64),
         rps(adhoc_secs, SEQ_REQUESTS as f64),
+    );
+    println!(
+        "idle fleet: {fleet_held} parked connections (+{extra_threads} threads), active \
+         throughput {:.0} → {:.0} rps ({active_with_idle_fleet:.2}x)",
+        rps(no_fleet_secs, scale_requests),
+        rps(with_fleet_secs, scale_requests),
     );
     println!("wrote {path}");
 }

@@ -7,14 +7,16 @@
 //! ```text
 //! bench-check --baseline <dir> [--fresh <dir>] [--tolerance 0.25]
 //!             [--min-batch-speedup <x>] [--min-shard-ratio <x>]
+//!             [--min-serve-ratio <x>]
 //! bench-check --list
 //! ```
 //!
 //! `--baseline` points at copies of the committed `BENCH_*.json` saved
 //! *before* the bench run (the benches overwrite the files in place);
-//! `--fresh` (default `.`) at the just-emitted ones. `--min-batch-speedup`
-//! and `--min-shard-ratio` raise the unconditional floors on the batch
-//! and shard metrics above their built-in values — CI also passes
+//! `--fresh` (default `.`) at the just-emitted ones. `--min-batch-speedup`,
+//! `--min-shard-ratio`, and `--min-serve-ratio` raise the unconditional
+//! floors on the batch, shard, and serve metrics above their built-in
+//! values — CI also passes
 //! impossibly high values here to prove the gate can fail.
 //!
 //! `--list` prints the tracked snapshot table, one `stem file` pair per
@@ -24,7 +26,8 @@
 //! needed to put it under the gate.
 
 use mhx_bench::snapshot::{
-    compare, override_batch_floor, override_shard_floor, parse, tracked_metrics, Metric,
+    compare, override_batch_floor, override_serve_floor, override_shard_floor, parse,
+    tracked_metrics, Metric,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -45,6 +48,7 @@ struct Args {
     tolerance: f64,
     min_batch_speedup: Option<f64>,
     min_shard_ratio: Option<f64>,
+    min_serve_ratio: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
     let mut tolerance = 0.25;
     let mut min_batch_speedup = None;
     let mut min_shard_ratio = None;
+    let mut min_serve_ratio = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} requires a value"));
@@ -72,10 +77,14 @@ fn parse_args() -> Result<Args, String> {
             "--min-shard-ratio" => {
                 min_shard_ratio = Some(number("--min-shard-ratio", value("--min-shard-ratio")?)?);
             }
+            "--min-serve-ratio" => {
+                min_serve_ratio = Some(number("--min-serve-ratio", value("--min-serve-ratio")?)?);
+            }
             "--help" | "-h" => {
                 println!(
                     "bench-check --baseline <dir> [--fresh <dir>] [--tolerance 0.25] \
-                     [--min-batch-speedup <x>] [--min-shard-ratio <x>]\n\
+                     [--min-batch-speedup <x>] [--min-shard-ratio <x>] \
+                     [--min-serve-ratio <x>]\n\
                      bench-check --list    print the tracked `stem file` snapshot table \
                      (CI's single source of truth) and exit"
                 );
@@ -84,7 +93,15 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    Ok(Args { list, baseline, fresh, tolerance, min_batch_speedup, min_shard_ratio })
+    Ok(Args {
+        list,
+        baseline,
+        fresh,
+        tolerance,
+        min_batch_speedup,
+        min_shard_ratio,
+        min_serve_ratio,
+    })
 }
 
 fn load_metrics(dir: &Path, stem: &str, file: &str) -> Result<Vec<Metric>, String> {
@@ -135,6 +152,9 @@ fn main() -> ExitCode {
         }
         if let Some(min) = args.min_shard_ratio {
             override_shard_floor(&mut new, min);
+        }
+        if let Some(min) = args.min_serve_ratio {
+            override_serve_floor(&mut new, min);
         }
         println!("== {file}");
         for verdict in compare(&base, &new, args.tolerance) {

@@ -210,12 +210,20 @@ pub fn tracked_metrics(file: &str, doc: &Json) -> Result<Vec<Metric>, String> {
         }
         "serve" => {
             // Network-serving throughput ratios from `benches/serve.rs`.
-            // Thread scaling is the load-bearing row: a worker pool that
-            // stops scaling connection concurrency trips its hard floor.
-            // The keep-alive and prepared rows measure per-request
+            // One-worker parity is the load-bearing row for the evented
+            // front end: with think-time clients, 1 dispatch worker must
+            // hold near the 8-worker throughput, because the event loop
+            // multiplexes connections regardless of worker count —
+            // worker-per-connection scores ~0.13 here, far under the hard
+            // floor. The keep-alive and prepared rows measure per-request
             // overheads (connection setup, query-text re-transmission +
             // cache lookup) that are real but small next to evaluation, so
-            // they gate near parity.
+            // they gate near parity. The idle-fleet rows complete the
+            // evented contract: 1000 parked keep-alive connections must
+            // all be held (a hard count, not a ratio), must not dent
+            // active throughput past the health floor, and must cost at
+            // most a handful of threads (hard floor 100 idle connections
+            // per extra thread — worker-per-connection scores ~1).
             let ratios = doc
                 .get("ratios")
                 .and_then(Json::as_obj)
@@ -225,9 +233,12 @@ pub fn tracked_metrics(file: &str, doc: &Json) -> Result<Vec<Metric>, String> {
                 // Every label is matched explicitly, like the plan rows: an
                 // unknown row means benches/serve.rs drifted from the gate.
                 let (healthy, hard_min) = match name.as_str() {
-                    "threads8_vs_1" => (2.0, Some(1.1)),
+                    "workers1_vs_8" => (0.9, Some(0.7)),
                     "keepalive_vs_fresh" => (1.1, Some(0.9)),
                     "prepared_vs_adhoc" => (1.0, Some(0.7)),
+                    "active_with_idle_fleet" => (0.8, Some(0.5)),
+                    "idle_fleet_connections" => (1000.0, Some(1000.0)),
+                    "idle_conns_per_extra_thread" => (500.0, Some(100.0)),
                     other => {
                         return Err(format!(
                             "BENCH_serve.json: unknown ratio row `{other}` — register its \
@@ -386,6 +397,12 @@ pub fn override_shard_floor(metrics: &mut [Metric], min: f64) {
     override_floor(metrics, "shard:", min);
 }
 
+/// Apply a hard-minimum override to every serve metric (the
+/// `--min-serve-ratio` flag).
+pub fn override_serve_floor(metrics: &mut [Metric], min: f64) {
+    override_floor(metrics, "serve:", min);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,27 +516,36 @@ mod tests {
     const SERVE: &str = r#"{
   "bench": "serve",
   "ratios": {
-    "threads8_vs_1": 5.5,
+    "workers1_vs_8": 1.0,
     "keepalive_vs_fresh": 1.6,
-    "prepared_vs_adhoc": 1.1
+    "prepared_vs_adhoc": 1.1,
+    "active_with_idle_fleet": 0.95,
+    "idle_fleet_connections": 1000,
+    "idle_conns_per_extra_thread": 1000
   }
 }"#;
 
     #[test]
-    fn serve_metrics_gate_thread_scaling_hard() {
+    fn serve_metrics_gate_the_evented_front_end_hard() {
         let base = tracked_metrics("serve", &parse(SERVE).unwrap()).unwrap();
-        assert_eq!(base.len(), 3);
-        let scaling = base.iter().find(|m| m.name == "serve:threads8_vs_1:ratio").unwrap();
-        assert_eq!(scaling.hard_min, Some(1.1), "scaling must always beat one worker");
+        assert_eq!(base.len(), 6);
+        let parity = base.iter().find(|m| m.name == "serve:workers1_vs_8:ratio").unwrap();
+        assert_eq!(parity.hard_min, Some(0.7), "one worker must hold the think-time fleet");
+        let fleet = base.iter().find(|m| m.name == "serve:idle_fleet_connections:ratio").unwrap();
+        assert_eq!(fleet.hard_min, Some(1000.0), "the full fleet must be held concurrently");
 
-        // The pool "stopped scaling": all ratios collapse to ~parity or
-        // worse — the scaling row dies on its hard floor, the others on
-        // the relative+health rule.
+        // The front end "regressed to worker-per-connection": one worker
+        // serializes whole connections (parity collapses to ~1/8), the
+        // fleet is capped at the worker count, each parked connection
+        // costs a thread, and the per-request rows rot alongside.
         let degraded = r#"{
   "ratios": {
-    "threads8_vs_1": 1.0,
+    "workers1_vs_8": 0.13,
     "keepalive_vs_fresh": 0.5,
-    "prepared_vs_adhoc": 0.4
+    "prepared_vs_adhoc": 0.4,
+    "active_with_idle_fleet": 0.3,
+    "idle_fleet_connections": 8,
+    "idle_conns_per_extra_thread": 1
   }
 }"#;
         let fresh = tracked_metrics("serve", &parse(degraded).unwrap()).unwrap();
@@ -529,9 +555,12 @@ mod tests {
         // A wobble above the floors passes.
         let wobbly = r#"{
   "ratios": {
-    "threads8_vs_1": 3.2,
+    "workers1_vs_8": 0.92,
     "keepalive_vs_fresh": 1.2,
-    "prepared_vs_adhoc": 1.0
+    "prepared_vs_adhoc": 1.0,
+    "active_with_idle_fleet": 0.85,
+    "idle_fleet_connections": 1000,
+    "idle_conns_per_extra_thread": 500
   }
 }"#;
         let fresh = tracked_metrics("serve", &parse(wobbly).unwrap()).unwrap();
@@ -542,6 +571,21 @@ mod tests {
         let drifted = r#"{"ratios": {"threads_16_vs_1": 9.0}}"#;
         let err = tracked_metrics("serve", &parse(drifted).unwrap()).unwrap_err();
         assert!(err.contains("threads_16_vs_1"), "{err}");
+    }
+
+    #[test]
+    fn serve_floor_override_raises_hard_min() {
+        let mut metrics = tracked_metrics("serve", &parse(SERVE).unwrap()).unwrap();
+        override_serve_floor(&mut metrics, 1_000_000.0);
+        let verdicts = compare(&metrics.clone(), &metrics, 0.25);
+        // Every serve metric is now below the impossible floor — the CI
+        // self-test that proves the serve gate can fail.
+        assert!(verdicts.iter().all(|v| !v.passed), "{verdicts:?}");
+        // The override never lowers a built-in floor.
+        let mut metrics = tracked_metrics("serve", &parse(SERVE).unwrap()).unwrap();
+        override_serve_floor(&mut metrics, 0.01);
+        let fleet = metrics.iter().find(|m| m.name.contains("idle_fleet")).unwrap();
+        assert_eq!(fleet.hard_min, Some(1000.0));
     }
 
     const SHARD: &str = r#"{

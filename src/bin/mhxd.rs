@@ -30,7 +30,8 @@ fn usage() -> ! {
          \x20           [--figure1]\n\
          \n\
          --listen ADDR      bind address (default 127.0.0.1:7077; port 0 = ephemeral)\n\
-         --workers N        worker threads / concurrent connections (default 8)\n\
+         --workers N        dispatch worker threads — the concurrent request\n\
+         \x20                 execution bound; connections are evented (default 8)\n\
          --doc ID           start document ID; following -h flags attach to it\n\
          --doc ID=FILE      register document ID from a single XML file\n\
          -h NAME=FILE       add hierarchy NAME from XML file FILE (repeatable)\n\
@@ -205,12 +206,12 @@ fn main() {
         }
     };
     eprintln!(
-        "mhxd: serving {} document(s) on http://{} with {workers} workers",
+        "mhxd: serving {} document(s) on http://{} with {workers} workers (evented)",
         catalog.len(),
         server.addr(),
     );
 
-    // Owner loop: the worker pool cannot join itself, so shutdown — from a
+    // Owner loop: the event loop cannot join itself, so shutdown — from a
     // signal or from `POST /shutdown` — is performed here.
     while !sig::requested() && !server.shutdown_requested() {
         std::thread::sleep(Duration::from_millis(100));

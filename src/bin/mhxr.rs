@@ -26,7 +26,9 @@ fn usage() -> ! {
         "usage: mhxr [--listen ADDR] [--workers N] [--replicas K] --shard ADDR [--shard ADDR]...\n\
          \n\
          --listen ADDR      bind address (default 127.0.0.1:7077; port 0 = ephemeral)\n\
-         --workers N        worker threads / concurrent client connections (default 8)\n\
+         --workers N        dispatch worker threads — the concurrent request\n\
+         \x20                 execution bound; client connections are evented and\n\
+         \x20                 backend connections pooled (default 8)\n\
          --shard ADDR       a backend mhxd address (repeatable; at least one required)\n\
          --replicas K       upload each document to K shards and round-robin reads\n\
          \x20                  (default 1; clamped to the shard count)"
@@ -147,13 +149,13 @@ fn main() {
         }
     };
     eprintln!(
-        "mhxr: routing {} shard(s) on http://{} with {workers} workers (replicas={})",
+        "mhxr: routing {} shard(s) on http://{} with {workers} workers (evented, replicas={})",
         pool.len(),
         router.addr(),
         pool.replicas(),
     );
 
-    // Owner loop: the worker pool cannot join itself, so shutdown — from
+    // Owner loop: the event loop cannot join itself, so shutdown — from
     // a signal or from `POST /shutdown` — is performed here.
     while !sig::requested() && !router.shutdown_requested() {
         std::thread::sleep(Duration::from_millis(100));

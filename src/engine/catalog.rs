@@ -60,6 +60,19 @@ pub struct EvalStats {
     pub chain_joins: u64,
 }
 
+impl EvalStats {
+    /// Fold another snapshot's counters into this one — how a connection
+    /// accumulates totals across its short-lived per-request sessions.
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.batched_steps += other.batched_steps;
+        self.rewritten_steps += other.rewritten_steps;
+        self.plan_rewrites += other.plan_rewrites;
+        self.early_exit_steps += other.early_exit_steps;
+        self.hoisted_preds += other.hoisted_preds;
+        self.chain_joins += other.chain_joins;
+    }
+}
+
 /// Atomic accumulator behind [`EvalStats`] snapshots. The catalog owns one
 /// for its totals; every [`Session`] owns another, so per-connection
 /// counters come for free on the same evaluation path.

@@ -1,98 +1,67 @@
-//! Shared acceptor + worker-pool plumbing for the TCP front ends —
-//! `mhxd`'s [`Server`](crate::server::Server) and `mhxr`'s
-//! [`Router`](crate::server::Router): a listener thread feeds accepted
-//! connections into an mpsc queue drained by a fixed pool of workers.
-//! A `draining` predicate is consulted on every accept so a
-//! shutting-down front end stops taking new connections while the
-//! queued ones are still served to completion.
+//! The dispatch layer under the evented front ends: a fixed pool of
+//! worker threads draining an mpsc queue of ready-to-run jobs. The
+//! event loop ([`super::event`]) owns every socket and parses requests
+//! incrementally; only *complete* requests are boxed up as jobs and
+//! queued here, so a worker is never parked on a slow client — the pool
+//! size bounds concurrent request execution, not connection count.
 
-use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
-use std::time::Duration;
 
-pub(crate) struct AcceptPool {
-    acceptor: Option<thread::JoinHandle<()>>,
+/// One complete request's execution, state and reply channel captured.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub(crate) struct DispatchPool {
+    tx: Option<Sender<Job>>,
     workers: Vec<thread::JoinHandle<()>>,
 }
 
-impl AcceptPool {
-    /// Start the acceptor thread plus `workers` worker threads. Each
-    /// accepted stream gets the poll-interval read timeout and nodelay
-    /// set before it is queued; `handler` owns the stream for its whole
-    /// keep-alive lifetime (worker-per-connection concurrency).
-    pub(crate) fn start(
-        listener: TcpListener,
-        name: &str,
-        workers: usize,
-        poll_interval: Duration,
-        draining: Arc<dyn Fn() -> bool + Send + Sync>,
-        handler: Arc<dyn Fn(TcpStream) + Send + Sync>,
-    ) -> AcceptPool {
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+impl DispatchPool {
+    /// Start `workers` worker threads named `{name}-worker-{i}`.
+    pub(crate) fn start(name: &str, workers: usize) -> DispatchPool {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = mpsc::channel();
         let rx = Arc::new(Mutex::new(rx));
         let worker_handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
-                let handler = Arc::clone(&handler);
                 thread::Builder::new()
                     .name(format!("{name}-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &*handler))
+                    .spawn(move || worker_loop(&rx))
                     .expect("spawn worker thread")
             })
             .collect();
-        let acceptor = thread::Builder::new()
-            .name(format!("{name}-acceptor"))
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if draining() {
-                        break; // the wake-up connection (or any late one) is discarded
-                    }
-                    match stream {
-                        Ok(s) => {
-                            // Short read timeout = the drain-poll interval.
-                            let _ = s.set_read_timeout(Some(poll_interval));
-                            let _ = s.set_nodelay(true);
-                            if tx.send(s).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => thread::sleep(Duration::from_millis(5)),
-                    }
-                }
-                // Dropping `tx` here closes the queue: workers finish what
-                // is queued, then exit.
-            })
-            .expect("spawn acceptor thread");
-        AcceptPool { acceptor: Some(acceptor), workers: worker_handles }
+        DispatchPool { tx: Some(tx), workers: worker_handles }
     }
 
-    /// Join the acceptor and every worker. The caller must already have
-    /// flipped its drain flag **and woken the acceptor** (a throwaway
-    /// connect to the bound address) or the acceptor blocks in `accept`
-    /// forever.
+    /// A clonable handle for submitting jobs (the event loop keeps one).
+    pub(crate) fn sender(&self) -> Sender<Job> {
+        self.tx.clone().expect("pool not joined yet")
+    }
+
+    /// Close the queue and join every worker. All `sender()` clones must
+    /// be dropped first (the event loop drops its clone when its thread
+    /// exits) or the workers block on the open queue forever.
     pub(crate) fn join(&mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
+        self.tx.take();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &(dyn Fn(TcpStream) + Send + Sync)) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
     loop {
-        // Holding the lock while blocked in `recv` is the queue discipline:
-        // idle workers line up on the mutex, one wakes per connection.
+        // Holding the lock while blocked in `recv` is the queue
+        // discipline: idle workers line up on the mutex, one wakes per
+        // job.
         let next = {
             let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
             rx.recv()
         };
         match next {
-            Ok(stream) => handler(stream),
-            Err(_) => break, // acceptor gone and queue empty
+            Ok(job) => job(),
+            Err(_) => break, // every sender gone and queue empty
         }
     }
 }

@@ -1,0 +1,814 @@
+//! The evented front end shared by `mhxd` ([`Server`](crate::server::Server))
+//! and `mhxr` ([`Router`](crate::server::Router)): one readiness loop owns
+//! **every** client socket in nonblocking mode, parses requests
+//! incrementally off readiness notifications, and hands complete requests
+//! to the small [`DispatchPool`]. Thread count is `workers + 1` (the
+//! event loop doubles as the acceptor), independent of connection count —
+//! a thousand parked keep-alive clients cost a connection-table entry
+//! each, not a thread each.
+//!
+//! On Linux the loop is raw `epoll(7)` via the same raw-libc discipline
+//! the binaries use for `signal(2)` — no tokio, no mio, offline build.
+//! Elsewhere a degraded tick-based poller keeps the build portable (see
+//! [`sys`]).
+//!
+//! ## Connection table
+//!
+//! Connections live in a table keyed by a monotonically increasing
+//! **token** (never reused, so a stale readiness event for a closed fd
+//! cannot hit a recycled connection). Each entry carries the socket, the
+//! incremental parse buffer + scan offset, the parsed-ahead request
+//! queue, the ordered output buffer, and the front end's per-connection
+//! state ([`Service::Conn`] — session pin, prepared handles, options).
+//!
+//! ## Pipelining
+//!
+//! Requests parse ahead into the entry's `pending` queue (bounded by
+//! [`PIPELINE_MAX`]); execution stays **serial per connection** — one
+//! request in a worker at a time, so per-connection state needs no lock
+//! and responses are appended to the output buffer in arrival order. The
+//! worker sends the finished state + formatted bytes back through the
+//! completion queue and wakes the loop, which dispatches the next pending
+//! request. Reads pause (interest is dropped) while the pipeline or the
+//! output backlog is over its cap; level-triggered readiness re-fires
+//! when interest returns.
+//!
+//! ## Drain
+//!
+//! Once [`Service::draining`] flips, the loop stops admitting accepted
+//! sockets, closes idle connections within one poll interval, and keeps
+//! running until every in-flight request has been *completely written* —
+//! a response in progress is never truncated. Half-received requests get
+//! the request timeout to finish (the same slow-loris bound that applies
+//! while serving), and a hard deadline backstops a peer that never reads
+//! its response.
+
+use crate::server::accept::{DispatchPool, Job};
+use crate::server::http::{self, ParseError, Request};
+use crate::server::wire;
+use mhx_json::Json;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What the event loop needs from a front end. `Conn` is the
+/// per-connection state that used to live on a worker's stack; it is
+/// `Send + 'static` because it travels into a worker alongside each
+/// dispatched request and back through the completion queue.
+pub(crate) trait Service: Send + Sync + 'static {
+    type Conn: Send + 'static;
+
+    /// A connection was admitted: build its state (and count it).
+    fn connect(&self, stream: &TcpStream) -> Self::Conn;
+
+    /// Execute one complete request. Runs on a worker thread; the event
+    /// loop guarantees at most one in-flight request per connection.
+    fn handle(&self, conn: &mut Self::Conn, req: &Request) -> (u16, Json);
+
+    /// The connection is gone; release its state.
+    fn disconnect(&self, conn: Self::Conn);
+
+    /// True once the front end is shutting down.
+    fn draining(&self) -> bool;
+
+    /// A request was parsed while an earlier one from the same connection
+    /// was still queued or executing (i.e. the client pipelined).
+    fn note_pipelined(&self) {}
+}
+
+/// The subset of the front ends' config the loop needs.
+pub(crate) struct EventConfig {
+    /// `epoll_wait` timeout: bounds drain-notice latency and the timeout
+    /// sweep cadence.
+    pub(crate) poll_interval: Duration,
+    /// How long a started (half-received) request may take to arrive.
+    pub(crate) request_timeout: Duration,
+    /// Maximum request body size in bytes.
+    pub(crate) max_body: usize,
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const FIRST_CONN_TOKEN: u64 = 1;
+
+/// Parse-ahead cap per connection: pipelined requests beyond this stay
+/// in the kernel/read buffer until the queue drains.
+const PIPELINE_MAX: usize = 64;
+/// Output-backlog cap per connection before reads pause (a client that
+/// pipelines but never reads responses must not buffer unbounded).
+const OUT_MAX: usize = 1 << 20;
+/// Read chunk size per readiness notification.
+const CHUNK: usize = 16 * 1024;
+/// Hard backstop for drain: after this, still-open connections (a peer
+/// not reading its response, a half-request that never finished) are
+/// force-closed so shutdown terminates. In-flight *execution* is bounded
+/// by the engine's own drain, which the owner runs after the loop exits.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Handle to a running event loop + its worker pool.
+pub(crate) struct EventLoop {
+    thread: Option<thread::JoinHandle<()>>,
+    pool: DispatchPool,
+    waker: sys::Waker,
+}
+
+impl EventLoop {
+    /// Start the loop thread (named `{name}-event-loop`) plus `workers`
+    /// dispatch workers. The listener is moved into the loop, which also
+    /// accepts — no separate acceptor thread.
+    pub(crate) fn start<S: Service>(
+        listener: TcpListener,
+        name: &str,
+        workers: usize,
+        cfg: EventConfig,
+        service: Arc<S>,
+    ) -> io::Result<EventLoop> {
+        listener.set_nonblocking(true)?;
+        let (mut poller, waker) = sys::Poller::new()?;
+        poller.register(raw_fd(&listener), TOKEN_LISTENER, true, false)?;
+        let pool = DispatchPool::start(name, workers);
+        let lp = Loop {
+            poller,
+            listener,
+            service,
+            cfg,
+            jobs: pool.sender(),
+            completions: Arc::new(Mutex::new(VecDeque::new())),
+            waker: waker.clone(),
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+        };
+        let thread = thread::Builder::new()
+            .name(format!("{name}-event-loop"))
+            .spawn(move || lp.run())
+            .expect("spawn event loop thread");
+        Ok(EventLoop { thread: Some(thread), pool, waker })
+    }
+
+    /// Join everything. The caller must have flipped its drain flag
+    /// first; the wake-up makes the loop notice immediately instead of
+    /// one poll interval later.
+    pub(crate) fn shutdown(&mut self) {
+        self.waker.wake();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        // The loop thread's job sender is gone with it; closing ours
+        // drains the queue and the workers exit.
+        self.pool.join();
+    }
+}
+
+/// A finished request on its way back from a worker.
+struct Completion<C> {
+    token: u64,
+    state: C,
+    bytes: Vec<u8>,
+    keep: bool,
+}
+
+type CompletionQueue<C> = Arc<Mutex<VecDeque<Completion<C>>>>;
+
+/// One connection's slot in the table.
+struct ConnEntry<C> {
+    stream: TcpStream,
+    fd: i32,
+    /// Unparsed inbound bytes + the head-search resume offset.
+    buf: Vec<u8>,
+    scan: usize,
+    /// Ordered outbound bytes; `out_pos` is the flush frontier.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Complete requests parsed ahead of execution (pipelining).
+    pending: VecDeque<Request>,
+    /// The front end's per-connection state; `None` exactly while a
+    /// worker holds it (`in_worker`).
+    state: Option<C>,
+    in_worker: bool,
+    close_after_flush: bool,
+    /// A protocol-error response (400/408/413) waiting for the in-flight
+    /// request (if any) to finish, so ordering holds even on errors.
+    fatal: Option<Vec<u8>>,
+    /// Peer half-closed its write side; serve what's queued, then close.
+    read_closed: bool,
+    want_read: bool,
+    want_write: bool,
+    /// When the currently half-received request started arriving
+    /// (slow-loris bound).
+    partial_since: Option<Instant>,
+}
+
+struct Loop<S: Service> {
+    poller: sys::Poller,
+    listener: TcpListener,
+    service: Arc<S>,
+    cfg: EventConfig,
+    jobs: Sender<Job>,
+    completions: CompletionQueue<S::Conn>,
+    waker: sys::Waker,
+    conns: HashMap<u64, ConnEntry<S::Conn>>,
+    next_token: u64,
+}
+
+impl<S: Service> Loop<S> {
+    fn run(mut self) {
+        let mut events: Vec<sys::Event> = Vec::new();
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            self.poller.wait(&mut events, self.cfg.poll_interval);
+            for ev in std::mem::take(&mut events) {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_ready(token, ev.readable, ev.writable),
+                }
+            }
+            self.drain_completions();
+            self.sweep_timeouts();
+            if self.service.draining() {
+                let t0 = *drain_started.get_or_insert_with(Instant::now);
+                self.close_idle_for_drain();
+                if self.conns.is_empty() {
+                    break;
+                }
+                if t0.elapsed() > DRAIN_DEADLINE {
+                    for token in self.conns.keys().copied().collect::<Vec<_>>() {
+                        self.close_now(token);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.service.draining() {
+                        continue; // reject: drop the socket immediately
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let fd = raw_fd(&stream);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self.poller.register(fd, token, true, false).is_err() {
+                        continue;
+                    }
+                    let state = self.service.connect(&stream);
+                    self.conns.insert(
+                        token,
+                        ConnEntry {
+                            stream,
+                            fd,
+                            buf: Vec::new(),
+                            scan: 0,
+                            out: Vec::new(),
+                            out_pos: 0,
+                            pending: VecDeque::new(),
+                            state: Some(state),
+                            in_worker: false,
+                            close_after_flush: false,
+                            fatal: None,
+                            read_closed: false,
+                            want_read: true,
+                            want_write: false,
+                            partial_since: None,
+                        },
+                    );
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // EMFILE and friends: stop for this round; level-triggered
+                // readiness retries on the next wait.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, readable: bool, writable: bool) {
+        if writable {
+            self.flush(token);
+        }
+        let mut read_some = false;
+        {
+            let Some(entry) = self.conns.get_mut(&token) else { return };
+            if readable && entry.want_read && !entry.read_closed {
+                let mut chunk = [0u8; CHUNK];
+                match entry.stream.read(&mut chunk) {
+                    Ok(0) => entry.read_closed = true,
+                    Ok(n) => {
+                        entry.buf.extend_from_slice(&chunk[..n]);
+                        read_some = true;
+                    }
+                    Err(ref e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                        ) => {}
+                    Err(_) => {
+                        // Abrupt disconnect (reset mid-request): nothing
+                        // can be sent back; free the slot now.
+                        self.close_now(token);
+                        return;
+                    }
+                }
+            }
+        }
+        if read_some || self.conns.get(&token).is_some_and(|e| e.read_closed) {
+            self.pump(token);
+        }
+    }
+
+    /// Parse whatever is buffered, dispatch if the connection is free,
+    /// refresh readiness interest, and flush. Safe to call whenever a
+    /// connection's inputs changed (bytes read, completion landed,
+    /// timeout fired).
+    fn pump(&mut self, token: u64) {
+        let mut pipelined = 0u32;
+        {
+            let Some(entry) = self.conns.get_mut(&token) else { return };
+            let mut incomplete = false;
+            while entry.fatal.is_none()
+                && entry.pending.len() < PIPELINE_MAX
+                && entry.out.len() - entry.out_pos < OUT_MAX
+            {
+                match http::try_parse(&mut entry.buf, &mut entry.scan, self.cfg.max_body) {
+                    Ok(Some(req)) => {
+                        if entry.in_worker || !entry.pending.is_empty() {
+                            pipelined += 1;
+                        }
+                        entry.pending.push_back(req);
+                    }
+                    Ok(None) => {
+                        incomplete = !entry.buf.is_empty();
+                        break;
+                    }
+                    Err(ParseError::Bad(message)) => {
+                        let body = wire::protocol_error_body("bad_request", &message);
+                        entry.fatal = Some(http::format_response(400, &body.to_string(), false));
+                    }
+                    Err(ParseError::TooLarge) => {
+                        let body =
+                            wire::protocol_error_body("too_large", "request exceeds size limits");
+                        entry.fatal = Some(http::format_response(413, &body.to_string(), false));
+                    }
+                }
+            }
+            entry.partial_since = if incomplete {
+                entry.partial_since.or_else(|| Some(Instant::now()))
+            } else {
+                None
+            };
+            if entry.fatal.is_some() {
+                // A protocol error poisons the connection: drop parsed-
+                // ahead requests (the in-flight one still completes first)
+                // and everything unread.
+                entry.pending.clear();
+                entry.buf.clear();
+                entry.scan = 0;
+                entry.partial_since = None;
+            }
+            if entry.read_closed && incomplete {
+                // Peer quit mid-request; there is nothing to answer.
+                entry.buf.clear();
+                entry.scan = 0;
+                entry.partial_since = None;
+            }
+        }
+        for _ in 0..pipelined {
+            self.service.note_pipelined();
+        }
+        self.dispatch(token);
+        self.update_interest(token);
+        self.flush(token);
+    }
+
+    /// Hand the next pending request to a worker (serial per connection),
+    /// or emit a queued fatal response once the line is free.
+    fn dispatch(&mut self, token: u64) {
+        let service = Arc::clone(&self.service);
+        let completions = Arc::clone(&self.completions);
+        let waker = self.waker.clone();
+        let mut job: Option<Job> = None;
+        {
+            let Some(entry) = self.conns.get_mut(&token) else { return };
+            if entry.in_worker || entry.close_after_flush {
+                return;
+            }
+            if entry.fatal.is_none() {
+                if let Some(req) = entry.pending.pop_front() {
+                    let state = entry.state.take().expect("state present when not in a worker");
+                    entry.in_worker = true;
+                    job = Some(Box::new(move || {
+                        let mut state = state;
+                        let (status, body) = service.handle(&mut state, &req);
+                        // Keep-alive folds the client's wish and the drain
+                        // state, exactly like the worker-per-connection
+                        // front end did.
+                        let keep = !req.close && !service.draining();
+                        let bytes = http::format_response(status, &body.to_string(), keep);
+                        completions
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push_back(Completion { token, state, bytes, keep });
+                        waker.wake();
+                    }));
+                }
+            } else if let Some(bytes) = entry.fatal.take() {
+                entry.out.extend_from_slice(&bytes);
+                entry.close_after_flush = true;
+            }
+        }
+        if let Some(job) = job {
+            let _ = self.jobs.send(job);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        loop {
+            let next = {
+                let mut q = self.completions.lock().unwrap_or_else(PoisonError::into_inner);
+                q.pop_front()
+            };
+            let Some(c) = next else { break };
+            match self.conns.get_mut(&c.token) {
+                // The connection died while its request ran; the response
+                // has nowhere to go, but the state still must be released.
+                None => self.service.disconnect(c.state),
+                Some(entry) => {
+                    entry.in_worker = false;
+                    entry.state = Some(c.state);
+                    entry.out.extend_from_slice(&c.bytes);
+                    if !c.keep {
+                        entry.close_after_flush = true;
+                        entry.pending.clear();
+                    }
+                    self.pump(c.token);
+                }
+            }
+        }
+    }
+
+    /// 408 any connection whose half-received request outlived the
+    /// request timeout — a byte-trickling client costs a table entry,
+    /// never a worker, and not forever.
+    fn sweep_timeouts(&mut self) {
+        let timeout = self.cfg.request_timeout;
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, e)| e.partial_since.is_some_and(|t| t.elapsed() > timeout))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in expired {
+            if let Some(entry) = self.conns.get_mut(&token) {
+                let body = wire::protocol_error_body("timeout", "request did not complete");
+                entry.fatal = Some(http::format_response(408, &body.to_string(), false));
+                entry.partial_since = None;
+            }
+            self.pump(token);
+        }
+    }
+
+    /// During drain, close connections with nothing queued, nothing
+    /// buffered, and nothing in flight. Everything else finishes first.
+    fn close_idle_for_drain(&mut self) {
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, e)| {
+                // A half-received request (non-empty `buf`) does not make a
+                // connection busy: drain never waits on bytes that may never
+                // arrive, only on responses already owed.
+                !e.in_worker
+                    && e.pending.is_empty()
+                    && e.out_pos >= e.out.len()
+                    && e.fatal.is_none()
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            self.close_now(token);
+        }
+    }
+
+    fn flush(&mut self, token: u64) {
+        let mut close = false;
+        {
+            let Some(entry) = self.conns.get_mut(&token) else { return };
+            loop {
+                if entry.out_pos >= entry.out.len() {
+                    entry.out.clear();
+                    entry.out_pos = 0;
+                    break;
+                }
+                match entry.stream.write(&entry.out[entry.out_pos..]) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => entry.out_pos += n,
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        // Reclaim the flushed prefix so a slow reader's
+                        // backlog doesn't grow monotonically.
+                        if entry.out_pos > 0 {
+                            entry.out.drain(..entry.out_pos);
+                            entry.out_pos = 0;
+                        }
+                        break;
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            if !close && entry.out.is_empty() {
+                let served_out = entry.close_after_flush
+                    || (entry.read_closed
+                        && !entry.in_worker
+                        && entry.pending.is_empty()
+                        && entry.fatal.is_none());
+                if served_out {
+                    close = true;
+                }
+            }
+        }
+        if close {
+            self.close_now(token);
+        } else {
+            self.update_interest(token);
+        }
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        let Some(entry) = self.conns.get_mut(&token) else { return };
+        let backlog = entry.out.len() - entry.out_pos;
+        let read = !entry.read_closed
+            && entry.fatal.is_none()
+            && !entry.close_after_flush
+            && entry.pending.len() < PIPELINE_MAX
+            && backlog < OUT_MAX;
+        let write = backlog > 0;
+        if read != entry.want_read || write != entry.want_write {
+            entry.want_read = read;
+            entry.want_write = write;
+            let _ = self.poller.modify(entry.fd, token, read, write);
+        }
+    }
+
+    fn close_now(&mut self, token: u64) {
+        if let Some(entry) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(entry.fd, token);
+            if let Some(state) = entry.state {
+                self.service.disconnect(state);
+            }
+            // `in_worker` state comes home via the completion queue and
+            // is disconnected there.
+        }
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> i32 {
+    -1
+}
+
+/// Readiness backends. Linux gets the real thing — raw `epoll(7)` plus a
+/// self-pipe waker, std-only via `extern "C"` like the binaries' signal
+/// handling. Other platforms get a tick poller: every registered
+/// connection is reported maybe-ready each short tick and the
+/// nonblocking reads/writes discover the truth — degraded (O(conns) per
+/// tick) but correct, and it keeps the crate building everywhere.
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::io;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const O_NONBLOCK: i32 = 0x800;
+    const O_CLOEXEC: i32 = 0x80000;
+
+    /// Matches the kernel ABI: packed on x86_64 only.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn pipe2(fds: *mut i32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// The waker's pipe read end lives under this reserved token; the
+    /// poller drains it internally and never reports it.
+    const WAKE_TOKEN: u64 = u64::MAX;
+
+    pub(super) struct Event {
+        pub(super) token: u64,
+        pub(super) readable: bool,
+        pub(super) writable: bool,
+    }
+
+    pub(super) struct Poller {
+        ep: i32,
+        wake_rx: i32,
+    }
+
+    /// Write end of the self-pipe; one byte makes `wait` return early.
+    /// Cloned into every worker job.
+    #[derive(Clone)]
+    pub(super) struct Waker(Arc<WakeFd>);
+
+    struct WakeFd(i32);
+
+    impl Drop for WakeFd {
+        fn drop(&mut self) {
+            unsafe { close(self.0) };
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.wake_rx);
+                close(self.ep);
+            }
+        }
+    }
+
+    fn interest(read: bool, write: bool) -> u32 {
+        let mut events = 0;
+        if read {
+            events |= EPOLLIN;
+        }
+        if write {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<(Poller, Waker)> {
+            let ep = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if ep < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let mut fds = [0i32; 2];
+            if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } < 0 {
+                let e = io::Error::last_os_error();
+                unsafe { close(ep) };
+                return Err(e);
+            }
+            let poller = Poller { ep, wake_rx: fds[0] };
+            let waker = Waker(Arc::new(WakeFd(fds[1])));
+            poller.ctl(EPOLL_CTL_ADD, fds[0], WAKE_TOKEN, EPOLLIN)?;
+            Ok((poller, waker))
+        }
+
+        fn ctl(&self, op: i32, fd: i32, token: u64, events: u32) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data: token };
+            if unsafe { epoll_ctl(self.ep, op, fd, &mut ev) } < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        }
+
+        pub(super) fn register(&mut self, fd: i32, token: u64, r: bool, w: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest(r, w))
+        }
+
+        pub(super) fn modify(&mut self, fd: i32, token: u64, r: bool, w: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest(r, w))
+        }
+
+        pub(super) fn deregister(&mut self, fd: i32, _token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub(super) fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) {
+            out.clear();
+            let mut evs = [EpollEvent { events: 0, data: 0 }; 256];
+            let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+            let n = unsafe { epoll_wait(self.ep, evs.as_mut_ptr(), evs.len() as i32, ms) };
+            if n <= 0 {
+                return; // timeout, or EINTR — the caller just loops
+            }
+            for ev in evs.iter().take(n as usize) {
+                // By-value copies: fields of a packed struct must not be
+                // borrowed.
+                let (events, token) = (ev.events, ev.data);
+                if token == WAKE_TOKEN {
+                    let mut sink = [0u8; 64];
+                    while unsafe { read(self.wake_rx, sink.as_mut_ptr(), sink.len()) } > 0 {}
+                    continue;
+                }
+                // ERR/HUP surface as readability/writability so the
+                // nonblocking I/O discovers the condition and closes.
+                out.push(Event {
+                    token,
+                    readable: events & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: events & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+        }
+    }
+
+    impl Waker {
+        pub(super) fn wake(&self) {
+            let byte = 1u8;
+            // A full pipe is fine: the loop is already awake-pending.
+            unsafe { write(self.0 .0, &byte, 1) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use std::collections::HashMap;
+    use std::io;
+    use std::time::Duration;
+
+    pub(super) struct Event {
+        pub(super) token: u64,
+        pub(super) readable: bool,
+        pub(super) writable: bool,
+    }
+
+    pub(super) struct Poller {
+        interests: HashMap<u64, (bool, bool)>,
+    }
+
+    /// No self-pipe on the tick poller: the short tick bounds completion
+    /// latency instead.
+    #[derive(Clone)]
+    pub(super) struct Waker;
+
+    impl Poller {
+        pub(super) fn new() -> io::Result<(Poller, Waker)> {
+            Ok((Poller { interests: HashMap::new() }, Waker))
+        }
+
+        pub(super) fn register(
+            &mut self,
+            _fd: i32,
+            token: u64,
+            r: bool,
+            w: bool,
+        ) -> io::Result<()> {
+            self.interests.insert(token, (r, w));
+            Ok(())
+        }
+
+        pub(super) fn modify(&mut self, _fd: i32, token: u64, r: bool, w: bool) -> io::Result<()> {
+            self.interests.insert(token, (r, w));
+            Ok(())
+        }
+
+        pub(super) fn deregister(&mut self, _fd: i32, token: u64) -> io::Result<()> {
+            self.interests.remove(&token);
+            Ok(())
+        }
+
+        pub(super) fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) {
+            out.clear();
+            std::thread::sleep(timeout.min(Duration::from_millis(5)));
+            for (&token, &(r, w)) in &self.interests {
+                if r || w {
+                    out.push(Event { token, readable: r, writable: w });
+                }
+            }
+        }
+    }
+
+    impl Waker {
+        pub(super) fn wake(&self) {}
+    }
+}

@@ -1,5 +1,7 @@
-//! Per-connection request handling: one [`Session`] per connection, a
-//! per-connection prepared-statement table, and the endpoint router.
+//! Request handling for the daemon: the endpoint router plus the owned
+//! per-connection state (pinned document, prepared-statement table,
+//! evaluation options) that lives in the event loop's connection table
+//! and travels into a worker with each request.
 //!
 //! Endpoints (all bodies JSON, see [`super::wire`]):
 //!
@@ -15,13 +17,12 @@
 //! | POST   | `/shutdown`        | request graceful drain                    |
 
 use crate::engine::{Catalog, EngineError, EvalStats, QueryLang, Session};
-use crate::server::http::{self, ReadError, Request};
+use crate::server::http::Request;
 use crate::server::wire;
 use crate::server::{ConnStats, Shared};
 use mhx_goddag::GoddagBuilder;
 use mhx_json::Json;
 use mhx_xquery::EvalOptions;
-use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 
 /// Cap on prepared statements per connection: compiled plans held outside
@@ -29,94 +30,39 @@ use std::sync::atomic::Ordering;
 /// The router enforces the same cap on its own handle table.
 pub(crate) const MAX_PREPARED_PER_CONN: usize = 256;
 
-/// Mutable per-connection state: the pinned session, its prepared
-/// statements, and the connection's evaluation options (survive session
-/// re-pins when the client switches documents).
-struct ConnState<'c> {
-    session: Option<Session<'c>>,
+/// Mutable per-connection state. Owned (`'static`) so it can live in the
+/// event loop's connection table and move into workers: instead of
+/// holding a borrowing [`Session`] across requests, the connection pins a
+/// *document id* and opens a short-lived session per request
+/// ([`pin_session`]) — sessions are cheap handles, and the per-session
+/// evaluation counters are folded into `totals` as each one is dropped.
+pub(crate) struct ConnState {
+    /// The pinned document requests default to when they carry no `doc`.
+    doc: Option<String>,
     prepared: Vec<crate::engine::Prepared>,
+    /// The connection's evaluation options (survive document re-pins).
     opts: EvalOptions,
-    /// Session counters folded in from sessions this connection already
-    /// dropped (a re-pin starts a fresh `Session`, the wire totals keep
-    /// growing).
-    carried: EvalStats,
+    /// Evaluation counters accumulated across this connection's requests.
+    totals: EvalStats,
 }
 
-impl ConnState<'_> {
-    fn eval_stats(&self) -> EvalStats {
-        let live = self.session.as_ref().map(|s| s.eval_stats()).unwrap_or_default();
-        EvalStats {
-            batched_steps: self.carried.batched_steps + live.batched_steps,
-            rewritten_steps: self.carried.rewritten_steps + live.rewritten_steps,
-            plan_rewrites: self.carried.plan_rewrites + live.plan_rewrites,
-            early_exit_steps: self.carried.early_exit_steps + live.early_exit_steps,
-            hoisted_preds: self.carried.hoisted_preds + live.hoisted_preds,
-            chain_joins: self.carried.chain_joins + live.chain_joins,
-        }
+impl ConnState {
+    pub(crate) fn new(opts: EvalOptions) -> ConnState {
+        ConnState { doc: None, prepared: Vec::new(), opts, totals: EvalStats::default() }
+    }
+
+    pub(crate) fn eval_stats(&self) -> EvalStats {
+        self.totals
     }
 }
 
-/// Serve one accepted connection until the peer closes, an unrecoverable
-/// protocol error occurs, or the server drains for shutdown. The in-flight
-/// response is always completed before the connection closes.
-pub(crate) fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let catalog: &Catalog = &shared.catalog;
-    let conn = shared.register_conn(&stream);
-    let mut state = ConnState {
-        session: None,
-        prepared: Vec::new(),
-        opts: catalog.options().clone(),
-        carried: EvalStats::default(),
-    };
-    let mut buf = Vec::new();
-    loop {
-        let req = match http::read_request(
-            &mut stream,
-            &mut buf,
-            &|| shared.draining(),
-            shared.config.max_body,
-            shared.config.request_timeout,
-        ) {
-            Ok(req) => req,
-            Err(ReadError::Closed) | Err(ReadError::Io(_)) => break,
-            Err(ReadError::Bad(message)) => {
-                let body = wire::protocol_error_body("bad_request", &message);
-                let _ = http::write_response(&mut stream, 400, &body.to_string(), false);
-                break;
-            }
-            Err(ReadError::TooLarge) => {
-                let body = wire::protocol_error_body("too_large", "request exceeds size limits");
-                let _ = http::write_response(&mut stream, 413, &body.to_string(), false);
-                break;
-            }
-            Err(ReadError::Timeout) => {
-                let body = wire::protocol_error_body("timeout", "request did not complete");
-                let _ = http::write_response(&mut stream, 408, &body.to_string(), false);
-                break;
-            }
-        };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        conn.requests.fetch_add(1, Ordering::Relaxed);
-        let (status, body) = route(shared, catalog, &conn, &mut state, &req);
-        conn.record_eval(state.eval_stats());
-        // Keep the connection only if the client wants it AND the server
-        // is not draining; either way the current response goes out whole.
-        let keep = !req.close && !shared.draining();
-        if http::write_response(&mut stream, status, &body.to_string(), keep).is_err() {
-            break;
-        }
-        if !keep {
-            break;
-        }
-    }
-    shared.unregister_conn(conn.id);
-}
-
-fn route<'c>(
+/// Route one parsed request. Runs on a dispatch worker; the event loop
+/// guarantees requests from one connection arrive here serially.
+pub(crate) fn route(
     shared: &Shared,
-    catalog: &'c Catalog,
+    catalog: &Catalog,
     conn: &ConnStats,
-    state: &mut ConnState<'c>,
+    state: &mut ConnState,
     req: &Request,
 ) -> (u16, Json) {
     // Resolve the path first, then the method: a known path with the
@@ -202,19 +148,15 @@ fn engine_failure(e: &EngineError) -> (u16, Json) {
 }
 
 /// Resolve the request's target document: explicit `doc` field, else the
-/// connection's current session, else the catalog's only document.
-fn target_doc(
-    catalog: &Catalog,
-    state: &ConnState<'_>,
-    body: &Json,
-) -> Result<String, (u16, Json)> {
+/// connection's pinned document, else the catalog's only document.
+fn target_doc(catalog: &Catalog, state: &ConnState, body: &Json) -> Result<String, (u16, Json)> {
     if let Some(doc) = body.get("doc") {
         return doc.as_str().map(str::to_string).ok_or_else(|| {
             (400, wire::protocol_error_body("bad_request", "`doc` must be a string"))
         });
     }
-    if let Some(session) = &state.session {
-        return Ok(session.doc_id().to_string());
+    if let Some(doc) = &state.doc {
+        return Ok(doc.clone());
     }
     let ids = catalog.document_ids();
     if ids.len() == 1 {
@@ -229,44 +171,32 @@ fn target_doc(
     ))
 }
 
-/// Pin (or re-pin) this connection's session to `doc`, carrying the
-/// connection's evaluation options across.
-fn ensure_session<'c>(
+/// Open this request's session on `doc` with the connection's options,
+/// and remember the pin for later requests that omit `doc`.
+fn pin_session<'c>(
     catalog: &'c Catalog,
     conn: &ConnStats,
-    state: &mut ConnState<'c>,
+    state: &mut ConnState,
     doc: &str,
-) -> Result<(), (u16, Json)> {
-    let repin = match &state.session {
-        Some(session) => session.doc_id() != doc,
-        None => true,
-    };
-    if repin {
-        if let Some(old) = state.session.take() {
-            let s = old.eval_stats();
-            state.carried.batched_steps += s.batched_steps;
-            state.carried.rewritten_steps += s.rewritten_steps;
-            state.carried.plan_rewrites += s.plan_rewrites;
-            state.carried.early_exit_steps += s.early_exit_steps;
-            state.carried.hoisted_preds += s.hoisted_preds;
-            state.carried.chain_joins += s.chain_joins;
-        }
-        let session =
-            catalog.session(doc).map_err(|e| engine_failure(&e))?.with_options(state.opts.clone());
+) -> Result<Session<'c>, (u16, Json)> {
+    let session =
+        catalog.session(doc).map_err(|e| engine_failure(&e))?.with_options(state.opts.clone());
+    if state.doc.as_deref() != Some(doc) {
+        state.doc = Some(doc.to_string());
         conn.set_doc(doc);
-        state.session = Some(session);
     }
-    Ok(())
+    Ok(session)
 }
 
-/// Shared tail of `/query` and `/execute`: resolve the document, pin the
-/// session, apply per-request options, run `f` on the session.
-fn with_session<'c>(
-    catalog: &'c Catalog,
+/// Shared tail of `/query` and `/execute`: resolve the document, open the
+/// request's session, run `f`, fold the session's counters into the
+/// connection totals.
+fn with_session(
+    catalog: &Catalog,
     conn: &ConnStats,
-    state: &mut ConnState<'c>,
+    state: &mut ConnState,
     body: &Json,
-    f: impl FnOnce(&Session<'c>, &ConnState<'c>) -> Result<crate::engine::QueryOutcome, EngineError>,
+    f: impl FnOnce(&Session<'_>, &ConnState) -> Result<crate::engine::QueryOutcome, EngineError>,
 ) -> (u16, Json) {
     if let Err(err) = apply_request_options(state, body) {
         return err;
@@ -275,35 +205,33 @@ fn with_session<'c>(
         Ok(doc) => doc,
         Err(err) => return err,
     };
-    if let Err(err) = ensure_session(catalog, conn, state, &doc) {
-        return err;
-    }
-    let session = state.session.as_ref().expect("ensure_session pinned one");
-    match f(session, state) {
+    let session = match pin_session(catalog, conn, state, &doc) {
+        Ok(session) => session,
+        Err(err) => return err,
+    };
+    let result = f(&session, &*state);
+    state.totals.absorb(&session.eval_stats());
+    match result {
         Ok(out) => (200, wire::outcome_body(&out)),
         Err(e) => engine_failure(&e),
     }
 }
 
-/// Apply a request's `"options"` patch onto the connection (and any
-/// pinned session).
-fn apply_request_options(state: &mut ConnState<'_>, body: &Json) -> Result<(), (u16, Json)> {
+/// Apply a request's `"options"` patch onto the connection; the next
+/// [`pin_session`] picks it up.
+fn apply_request_options(state: &mut ConnState, body: &Json) -> Result<(), (u16, Json)> {
     if let Some(options) = body.get("options") {
         if let Err(message) = wire::apply_options(&mut state.opts, options) {
             return Err((400, wire::protocol_error_body("bad_options", &message)));
-        }
-        // Propagate onto an existing pinned session.
-        if let Some(session) = &mut state.session {
-            *session.options_mut() = state.opts.clone();
         }
     }
     Ok(())
 }
 
-fn query_endpoint<'c>(
-    catalog: &'c Catalog,
+fn query_endpoint(
+    catalog: &Catalog,
     conn: &ConnStats,
-    state: &mut ConnState<'c>,
+    state: &mut ConnState,
     req: &Request,
 ) -> (u16, Json) {
     let body = match body_object(req) {
@@ -331,7 +259,7 @@ fn query_endpoint<'c>(
     };
     if explain {
         // Same resolution flow as a real query (options patch, doc
-        // defaulting, session pin) so explain-then-query behaves
+        // defaulting, document pin) so explain-then-query behaves
         // identically — but the plan is rendered, not evaluated.
         if let Err(err) = apply_request_options(state, &body) {
             return err;
@@ -340,7 +268,7 @@ fn query_endpoint<'c>(
             Ok(doc) => doc,
             Err(err) => return err,
         };
-        if let Err(err) = ensure_session(catalog, conn, state, &doc) {
+        if let Err(err) = pin_session(catalog, conn, state, &doc) {
             return err;
         }
         return match catalog.explain(&doc, lang, &src) {
@@ -360,7 +288,7 @@ fn parse_lang_field(body: &Json) -> Result<QueryLang, (u16, Json)> {
     }
 }
 
-fn prepare_endpoint(catalog: &Catalog, state: &mut ConnState<'_>, req: &Request) -> (u16, Json) {
+fn prepare_endpoint(catalog: &Catalog, state: &mut ConnState, req: &Request) -> (u16, Json) {
     let body = match body_object(req) {
         Ok(b) => b,
         Err(err) => return err,
@@ -398,10 +326,10 @@ fn prepare_endpoint(catalog: &Catalog, state: &mut ConnState<'_>, req: &Request)
     }
 }
 
-fn execute_endpoint<'c>(
-    catalog: &'c Catalog,
+fn execute_endpoint(
+    catalog: &Catalog,
     conn: &ConnStats,
-    state: &mut ConnState<'c>,
+    state: &mut ConnState,
     req: &Request,
 ) -> (u16, Json) {
     let body = match body_object(req) {
@@ -523,6 +451,10 @@ fn stats_body(shared: &Shared, catalog: &Catalog) -> Json {
                     Json::Num(shared.accepted.load(Ordering::Relaxed) as f64),
                 ),
                 ("requests".into(), Json::Num(shared.requests.load(Ordering::Relaxed) as f64)),
+                (
+                    "pipelined_requests".into(),
+                    Json::Num(shared.pipelined.load(Ordering::Relaxed) as f64),
+                ),
                 ("active_connections".into(), Json::Num(sessions.len() as f64)),
                 ("sessions".into(), Json::Arr(sessions)),
             ]),

@@ -2,15 +2,15 @@
 //! `Content-Length`-framed bodies (no chunked encoding — the wire format
 //! always knows its body size), and keep-alive handling.
 //!
-//! Reading is poll-based: the caller sets a short read timeout on the
-//! socket and passes a `stop` predicate; an **idle** connection (no byte
-//! of the next request buffered) notices a server shutdown within one
-//! poll interval, while a request that has started arriving gets the full
-//! request timeout to finish — a response in progress is never abandoned.
-
-use std::io::{self, Read, Write};
-use std::net::TcpStream;
-use std::time::{Duration, Instant};
+//! Parsing is **incremental**: the event loop appends whatever bytes a
+//! readiness notification delivered to a per-connection buffer and calls
+//! [`try_parse`], which either extracts one complete request off the
+//! front or reports that more bytes are needed. A request head may
+//! straddle any read boundary — including splitting inside the
+//! `\r\n\r\n` terminator itself — because the head-end search resumes
+//! from a caller-held `scan` offset instead of assuming the head arrives
+//! in one read. The offset also keeps the search linear: a byte-at-a-time
+//! client costs O(head) total, not O(head²) rescans.
 
 /// Cap on the request head (request line + headers).
 const MAX_HEAD: usize = 16 * 1024;
@@ -35,100 +35,77 @@ impl Request {
     }
 }
 
-/// Why [`read_request`] returned without a request.
+/// Why [`try_parse`] rejected the buffered bytes. Transport-level
+/// conditions (peer closed, timeout, I/O error) are the event loop's
+/// business — the parser only ever sees bytes.
 #[derive(Debug)]
-pub(crate) enum ReadError {
-    /// Clean end: peer closed between requests, or the server began
-    /// shutting down while the connection was idle. Not an error.
-    Closed,
+pub(crate) enum ParseError {
     /// Malformed request — respond 400 and close.
     Bad(String),
     /// Head or declared body over the size cap — respond 413 and close.
+    /// Decided from the *declared* `Content-Length`, so an oversized
+    /// upload is refused without reading the body to exhaustion.
     TooLarge,
-    /// A request started arriving but didn't finish within the timeout —
-    /// respond 408 and close.
-    Timeout,
-    /// Transport failure mid-read; nothing can be sent back.
-    Io(#[allow(dead_code)] io::Error),
 }
 
-/// Read one request from `stream`, carrying leftover bytes across calls in
-/// `buf` (pipelined bytes are preserved for the next call). The stream
-/// must have a read timeout set (the poll interval); `stop` is consulted
-/// only while the connection is idle.
-pub(crate) fn read_request(
-    stream: &mut TcpStream,
+/// Try to extract one complete request from the front of `buf`.
+///
+/// `scan` is the resume offset for the head-end (`\r\n\r\n`) search; the
+/// caller owns it per connection, initialized to 0, and must not touch it
+/// otherwise. `Ok(None)` means the request is incomplete — append more
+/// bytes and call again. On `Ok(Some(_))` the request's bytes have been
+/// drained from `buf` (pipelined followers stay buffered) and `scan` is
+/// reset for the next head.
+pub(crate) fn try_parse(
     buf: &mut Vec<u8>,
-    stop: &dyn Fn() -> bool,
+    scan: &mut usize,
     max_body: usize,
-    request_timeout: Duration,
-) -> Result<Request, ReadError> {
-    let mut chunk = [0u8; 8 * 1024];
-    let mut started: Option<Instant> = if buf.is_empty() { None } else { Some(Instant::now()) };
-    loop {
-        if let Some(head_end) = find_head_end(buf) {
-            let head = std::str::from_utf8(&buf[..head_end])
-                .map_err(|_| ReadError::Bad("request head is not UTF-8".into()))?;
-            let (method, path, close, content_length) = parse_head(head)?;
-            if content_length > max_body {
-                return Err(ReadError::TooLarge);
-            }
-            let total = head_end + 4 + content_length;
-            if buf.len() >= total {
-                let body = buf[head_end + 4..total].to_vec();
-                buf.drain(..total);
-                return Ok(Request { method, path, body, close });
-            }
-        } else if buf.len() > MAX_HEAD {
-            return Err(ReadError::TooLarge);
+) -> Result<Option<Request>, ParseError> {
+    // Back up three bytes so a terminator that straddles the previous
+    // read boundary (e.g. `…\r\n` then `\r\n…`) is still found.
+    let from = scan.saturating_sub(3);
+    let head_end =
+        buf[from.min(buf.len())..].windows(4).position(|w| w == b"\r\n\r\n").map(|p| from + p);
+    let Some(head_end) = head_end else {
+        if buf.len() > MAX_HEAD {
+            return Err(ParseError::TooLarge);
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return if buf.is_empty() {
-                    Err(ReadError::Closed)
-                } else {
-                    Err(ReadError::Bad("connection closed mid-request".into()))
-                };
-            }
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                let t0 = *started.get_or_insert_with(Instant::now);
-                // Enforce the deadline on this path too: a client trickling
-                // a byte per poll interval must not pin a worker (and block
-                // shutdown's join) past the request timeout.
-                if t0.elapsed() > request_timeout {
-                    return Err(ReadError::Timeout);
-                }
-            }
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                match started {
-                    None if stop() => return Err(ReadError::Closed),
-                    None => continue,
-                    Some(t0) if t0.elapsed() > request_timeout => return Err(ReadError::Timeout),
-                    Some(_) => continue,
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(ReadError::Io(e)),
-        }
+        *scan = buf.len();
+        return Ok(None);
+    };
+    if head_end > MAX_HEAD {
+        return Err(ParseError::TooLarge);
     }
-}
-
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ParseError::Bad("request head is not UTF-8".into()))?;
+    let (method, path, close, content_length) = parse_head(head)?;
+    if content_length > max_body {
+        return Err(ParseError::TooLarge);
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        // Head parsed, body still arriving: park the scan offset at the
+        // head end so the next call re-finds the terminator instantly.
+        *scan = head_end;
+        return Ok(None);
+    }
+    let body = buf[head_end + 4..total].to_vec();
+    buf.drain(..total);
+    *scan = 0;
+    Ok(Some(Request { method, path, body, close }))
 }
 
 /// Parse the head into (method, path, close, content_length).
-fn parse_head(head: &str) -> Result<(String, String, bool, usize), ReadError> {
+fn parse_head(head: &str) -> Result<(String, String, bool, usize), ParseError> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return Err(ReadError::Bad(format!("malformed request line `{request_line}`")));
+        return Err(ParseError::Bad(format!("malformed request line `{request_line}`")));
     };
     if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
-        return Err(ReadError::Bad(format!("unsupported protocol `{version}`")));
+        return Err(ParseError::Bad(format!("unsupported protocol `{version}`")));
     }
     let path = target.split('?').next().unwrap_or(target).to_string();
 
@@ -139,18 +116,18 @@ fn parse_head(head: &str) -> Result<(String, String, bool, usize), ReadError> {
             continue;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(ReadError::Bad(format!("malformed header line `{line}`")));
+            return Err(ParseError::Bad(format!("malformed header line `{line}`")));
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
             let parsed: usize = value
                 .parse()
-                .map_err(|_| ReadError::Bad(format!("bad content-length `{value}`")))?;
+                .map_err(|_| ParseError::Bad(format!("bad content-length `{value}`")))?;
             // Conflicting duplicates are a request-smuggling vector
             // (different parties would frame the body differently):
             // reject, like the chunked-encoding refusal below.
             if content_length.is_some_and(|prev| prev != parsed) {
-                return Err(ReadError::Bad("conflicting content-length headers".into()));
+                return Err(ParseError::Bad("conflicting content-length headers".into()));
             }
             content_length = Some(parsed);
         } else if name.eq_ignore_ascii_case("connection") {
@@ -161,7 +138,7 @@ fn parse_head(head: &str) -> Result<(String, String, bool, usize), ReadError> {
             }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             // The wire format is Content-Length framed on purpose.
-            return Err(ReadError::Bad("chunked transfer encoding is not supported".into()));
+            return Err(ParseError::Bad("chunked transfer encoding is not supported".into()));
         }
     }
     Ok((method.to_string(), path, close, content_length.unwrap_or(0)))
@@ -184,15 +161,12 @@ pub(crate) fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete JSON response; `keep_alive` picks the `Connection`
-/// header (the caller already folded the client's wish and shutdown state
-/// into it).
-pub(crate) fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    body: &str,
-    keep_alive: bool,
-) -> io::Result<()> {
+/// Format a complete JSON response as one contiguous byte run;
+/// `keep_alive` picks the `Connection` header (the caller already folded
+/// the client's wish and shutdown state into it). The event loop appends
+/// this to the connection's ordered output buffer, so a response is never
+/// interleaved with another even when requests were pipelined.
+pub(crate) fn format_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
     let head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
          Connection: {}\r\n\r\n",
@@ -200,18 +174,27 @@ pub(crate) fn write_response(
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
-    // One buffered write keeps the response a single segment in the common
-    // case — a response is never visible half-written to the peer's parser.
     let mut out = Vec::with_capacity(head.len() + body.len());
     out.extend_from_slice(head.as_bytes());
     out.extend_from_slice(body.as_bytes());
-    stream.write_all(&out)?;
-    stream.flush()
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const MAX_BODY: usize = 1024;
+
+    fn parse_all(bytes: &[u8]) -> Vec<Request> {
+        let mut buf = bytes.to_vec();
+        let mut scan = 0;
+        let mut out = Vec::new();
+        while let Some(req) = try_parse(&mut buf, &mut scan, MAX_BODY).unwrap() {
+            out.push(req);
+        }
+        out
+    }
 
     #[test]
     fn head_parser_extracts_framing() {
@@ -231,24 +214,122 @@ mod tests {
         let (_, _, close, _) = parse_head("GET / HTTP/1.0\r\nHost: x").unwrap();
         assert!(close, "HTTP/1.0 defaults to close");
 
-        assert!(matches!(parse_head("BROKEN"), Err(ReadError::Bad(_))));
-        assert!(matches!(parse_head("GET / HTTP/2"), Err(ReadError::Bad(_))));
+        assert!(matches!(parse_head("BROKEN"), Err(ParseError::Bad(_))));
+        assert!(matches!(parse_head("GET / HTTP/2"), Err(ParseError::Bad(_))));
         assert!(matches!(
             parse_head("POST / HTTP/1.1\r\nTransfer-Encoding: chunked"),
-            Err(ReadError::Bad(_))
+            Err(ParseError::Bad(_))
         ));
         assert!(matches!(
             parse_head("POST / HTTP/1.1\r\nContent-Length: nope"),
-            Err(ReadError::Bad(_))
+            Err(ParseError::Bad(_))
         ));
         // Conflicting duplicate Content-Length headers are rejected
         // (request-smuggling vector); identical repeats are tolerated.
         assert!(matches!(
             parse_head("POST / HTTP/1.1\r\nContent-Length: 10\r\nContent-Length: 0"),
-            Err(ReadError::Bad(_))
+            Err(ParseError::Bad(_))
         ));
         let (_, _, _, len) =
             parse_head("POST / HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7").unwrap();
         assert_eq!(len, 7);
+    }
+
+    /// The regression the incremental parser owns explicitly: a request
+    /// split at *every* byte boundary — including inside the `\r\n\r\n`
+    /// head terminator — parses identically to the one-shot case.
+    #[test]
+    fn a_request_split_at_every_boundary_parses_identically() {
+        let raw = b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        for split in 1..raw.len() {
+            let mut buf = Vec::new();
+            let mut scan = 0;
+            buf.extend_from_slice(&raw[..split]);
+            assert!(
+                try_parse(&mut buf, &mut scan, MAX_BODY).unwrap().is_none(),
+                "split {split}: prefix alone is incomplete"
+            );
+            buf.extend_from_slice(&raw[split..]);
+            let req = try_parse(&mut buf, &mut scan, MAX_BODY)
+                .unwrap()
+                .unwrap_or_else(|| panic!("split {split}: whole request parses"));
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/query");
+            assert_eq!(req.body, b"hello");
+            assert!(buf.is_empty(), "split {split}: nothing left over");
+            assert_eq!(scan, 0, "split {split}: scan reset for the next head");
+        }
+    }
+
+    /// Byte-at-a-time arrival: every prefix is "incomplete", the full
+    /// request parses, and the scan offset never re-scans the whole
+    /// buffer (it tracks the frontier).
+    #[test]
+    fn byte_at_a_time_arrival_parses_and_tracks_the_frontier() {
+        let raw = b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut buf = Vec::new();
+        let mut scan = 0;
+        for (i, b) in raw.iter().enumerate() {
+            buf.push(*b);
+            let parsed = try_parse(&mut buf, &mut scan, MAX_BODY).unwrap();
+            if i < raw.len() - 1 {
+                assert!(parsed.is_none(), "byte {i}");
+                assert_eq!(scan, buf.len(), "scan tracks the search frontier");
+            } else {
+                assert_eq!(parsed.unwrap().path, "/stats");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_extract_in_order_leaving_the_tail() {
+        let raw = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                    GET /b HTTP/1.1\r\n\r\n\
+                    POST /c HTTP/1.1\r\nContent-Length: 1\r\n\r\n";
+        let mut buf = raw.to_vec();
+        let mut scan = 0;
+        let a = try_parse(&mut buf, &mut scan, MAX_BODY).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), a.body.as_slice()), ("/a", b"hi".as_slice()));
+        let b = try_parse(&mut buf, &mut scan, MAX_BODY).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        // `/c` declared one body byte that never arrived.
+        assert!(try_parse(&mut buf, &mut scan, MAX_BODY).unwrap().is_none());
+        buf.push(b'x');
+        let c = try_parse(&mut buf, &mut scan, MAX_BODY).unwrap().unwrap();
+        assert_eq!((c.path.as_str(), c.body.as_slice()), ("/c", b"x".as_slice()));
+
+        // And the one-shot helper agrees on a fully buffered burst.
+        let burst = b"GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\n";
+        let reqs = parse_all(burst);
+        assert_eq!(reqs.iter().map(|r| r.path.as_str()).collect::<Vec<_>>(), ["/1", "/2"]);
+    }
+
+    /// An oversized declared body is rejected from the head alone — the
+    /// body bytes are never required (the server must not read a 10 MB
+    /// upload just to refuse it).
+    #[test]
+    fn oversized_declared_body_is_rejected_at_the_head() {
+        let mut buf = b"POST /query HTTP/1.1\r\nContent-Length: 99999\r\n\r\n".to_vec();
+        let mut scan = 0;
+        assert!(matches!(try_parse(&mut buf, &mut scan, MAX_BODY), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn a_runaway_head_is_rejected_at_the_cap() {
+        let mut buf = vec![b'A'; MAX_HEAD + 1];
+        let mut scan = 0;
+        assert!(matches!(try_parse(&mut buf, &mut scan, MAX_BODY), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn responses_format_as_one_contiguous_run() {
+        let bytes = format_response(200, "{\"ok\":true}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let closed = String::from_utf8(format_response(503, "{}", false)).unwrap();
+        assert!(closed.contains("Connection: close\r\n"));
     }
 }

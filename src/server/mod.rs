@@ -1,34 +1,42 @@
 //! # `mhxd` — the catalog on the wire
 //!
-//! A std-only concurrent HTTP/1.1 front end for [`Catalog`]: a
-//! `TcpListener` accept loop feeds a fixed pool of worker threads; each
-//! worker owns one connection at a time and serves it request-by-request
-//! over keep-alive, holding **one [`engine::Session`](crate::engine::Session)
-//! per connection** (pinned document, per-connection [`EvalOptions`]
-//! knobs, prepared-statement handles that live as long as the
-//! connection).
+//! A std-only **evented** HTTP/1.1 front end for [`Catalog`]: one epoll
+//! readiness loop (raw `epoll(7)` on Linux, see `event.rs`) owns every
+//! client socket in nonblocking mode and parses requests incrementally;
+//! complete requests are handed to a fixed pool of dispatch workers.
+//! Thread count is `workers + 1` regardless of connection count, so
+//! thousands of idle keep-alive clients cost a connection-table entry
+//! each, not a thread each. Per-connection state (pinned document,
+//! per-connection [`EvalOptions`] knobs, prepared-statement handles)
+//! lives in the loop's connection table and travels into a worker with
+//! each request.
 //!
 //! ```text
-//!             TcpListener (acceptor thread)
-//!                   │ mpsc queue of connections
-//!        ┌──────────┼──────────┐
-//!     worker 0   worker 1 … worker N-1        (ServerConfig::workers)
-//!        │ keep-alive loop: read → route → respond
-//!     Session ──► Catalog (&self queries, shared plan cache)
-//!     + Prepared handles, per-connection EvalOptions, eval counters
+//!      TcpListener ──► event loop (1 thread: accept + epoll readiness)
+//!                         │ connection table: fd token → buffers +
+//!                         │   ConnState (doc pin, prepared, options)
+//!                         │ complete requests → mpsc job queue
+//!            ┌────────────┼────────────┐
+//!        worker 0     worker 1  …  worker N-1   (ServerConfig::workers)
+//!            │ route → respond (bytes back via completion queue)
+//!        Session ──► Catalog (&self queries, shared plan cache)
 //! ```
 //!
+//! Requests pipeline: the loop parses ahead while earlier requests run,
+//! execution stays serial per connection, and responses flush strictly
+//! in arrival order.
+//!
 //! No tokio, no hyper: the build is offline (see the `vendor/` shim
-//! convention), and `std::net` + a thread pool serve the engine's
-//! `&self`-query design directly — the catalog was made `Send + Sync`
-//! for exactly this.
+//! convention), and `std::net` + raw-libc epoll + a thread pool serve the
+//! engine's `&self`-query design directly — the catalog was made
+//! `Send + Sync` for exactly this.
 //!
 //! **Graceful shutdown.** [`Server::shutdown`] flips the drain flag,
 //! [`Catalog::begin_shutdown`]s the engine (in-flight evaluations finish,
-//! new ones get 503), wakes the acceptor, and joins every worker. Workers
-//! always finish writing the response in progress before closing — no
-//! request is dropped mid-response; idle keep-alive connections notice
-//! the drain within one poll interval.
+//! new ones get 503), and wakes the event loop, which stops admitting
+//! connections, closes idle ones within one poll interval, and completes
+//! every response in flight before exiting — no request is dropped
+//! mid-response.
 //!
 //! The [`client`] module is the matching blocking client (used by the
 //! integration tests, `mhxq --connect`, and the `serve` bench); [`wire`]
@@ -40,6 +48,7 @@
 
 mod accept;
 pub mod client;
+mod event;
 mod handler;
 mod http;
 pub mod pool;
@@ -52,7 +61,8 @@ pub use router::{Router, RouterConfig};
 pub use wire::{error_kind, parse_lang, status_for, WireOutcome};
 
 use crate::engine::{Catalog, EvalStats};
-use accept::AcceptPool;
+use event::{EventConfig, EventLoop, Service};
+use mhx_json::Json;
 use mhx_xquery::EvalOptions;
 use std::collections::BTreeMap;
 use std::io;
@@ -64,11 +74,12 @@ use std::time::Duration;
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads; each serves one connection at a time, so this is
-    /// also the keep-alive connection concurrency.
+    /// Dispatch worker threads — the concurrent request execution bound.
+    /// Connections are evented, so idle keep-alive clients cost no
+    /// threads regardless of this setting.
     pub workers: usize,
-    /// How often an idle connection re-checks the drain flag (the socket
-    /// read timeout).
+    /// The event loop's `epoll_wait` tick: the upper bound on how stale
+    /// the drain flag and timeout sweep can get with no socket activity.
     pub poll_interval: Duration,
     /// How long a started request may take to arrive completely.
     pub request_timeout: Duration,
@@ -92,6 +103,9 @@ impl Default for ServerConfig {
 pub struct ServerStats {
     pub connections_accepted: u64,
     pub requests: u64,
+    /// Requests that arrived while an earlier request on the same
+    /// connection was still queued or executing (HTTP/1.1 pipelining).
+    pub pipelined_requests: u64,
     pub active_connections: usize,
 }
 
@@ -135,7 +149,7 @@ pub(crate) struct ConnSnapshot {
     pub(crate) eval: EvalStats,
 }
 
-/// State shared by the acceptor, the workers, and the [`Server`] handle.
+/// State shared by the event loop, the workers, and the [`Server`] handle.
 pub(crate) struct Shared {
     pub(crate) catalog: Arc<Catalog>,
     pub(crate) config: ServerConfig,
@@ -143,6 +157,7 @@ pub(crate) struct Shared {
     pub(crate) shutdown_requested: AtomicBool,
     pub(crate) accepted: AtomicU64,
     pub(crate) requests: AtomicU64,
+    pub(crate) pipelined: AtomicU64,
     next_conn: AtomicU64,
     conns: Mutex<BTreeMap<u64, Arc<ConnStats>>>,
 }
@@ -198,10 +213,56 @@ impl Shared {
     }
 }
 
-/// The running daemon: a bound listener, its acceptor thread, and the
-/// worker pool. Dropping without [`Server::shutdown`] detaches the
-/// threads (they keep serving until the process exits) — daemons should
-/// always shut down explicitly.
+/// The daemon's [`Service`]: glues the event loop to the engine — counts
+/// connections and requests, owns the drain flag, and routes each
+/// complete request through [`handler`].
+struct ServerService {
+    shared: Arc<Shared>,
+}
+
+/// One connection's entry payload: its `/stats` row plus the handler
+/// state (document pin, prepared handles, options).
+struct ServerConn {
+    stats: Arc<ConnStats>,
+    state: handler::ConnState,
+}
+
+impl Service for ServerService {
+    type Conn = ServerConn;
+
+    fn connect(&self, stream: &TcpStream) -> ServerConn {
+        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let stats = self.shared.register_conn(stream);
+        let state = handler::ConnState::new(self.shared.catalog.options().clone());
+        ServerConn { stats, state }
+    }
+
+    fn handle(&self, conn: &mut ServerConn, req: &http::Request) -> (u16, Json) {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        conn.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let out =
+            handler::route(&self.shared, &self.shared.catalog, &conn.stats, &mut conn.state, req);
+        conn.stats.record_eval(conn.state.eval_stats());
+        out
+    }
+
+    fn disconnect(&self, conn: ServerConn) {
+        self.shared.unregister_conn(conn.stats.id);
+    }
+
+    fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    fn note_pipelined(&self) {
+        self.shared.pipelined.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The running daemon: a bound listener, its event loop, and the worker
+/// pool. Dropping without [`Server::shutdown`] detaches the threads
+/// (they keep serving until the process exits) — daemons should always
+/// shut down explicitly.
 ///
 /// ```
 /// use multihier_xquery::prelude::*;
@@ -224,17 +285,16 @@ impl Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    pool: AcceptPool,
+    evloop: EventLoop,
 }
 
 impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port) and start the
-    /// acceptor plus `config.workers` worker threads.
+    /// event loop plus `config.workers` worker threads.
     pub fn bind(catalog: Arc<Catalog>, addr: &str, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let workers = config.workers.max(1);
-        let poll_interval = config.poll_interval;
         let shared = Arc::new(Shared {
             catalog,
             config: ServerConfig { workers, ..config },
@@ -242,23 +302,22 @@ impl Server {
             shutdown_requested: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            pipelined: AtomicU64::new(0),
             next_conn: AtomicU64::new(0),
             conns: Mutex::new(BTreeMap::new()),
         });
-
-        let draining: Arc<dyn Fn() -> bool + Send + Sync> = {
-            let shared = Arc::clone(&shared);
-            Arc::new(move || shared.draining())
-        };
-        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = {
-            let shared = Arc::clone(&shared);
-            Arc::new(move |stream| {
-                shared.accepted.fetch_add(1, Ordering::Relaxed);
-                handler::handle_connection(&shared, stream);
-            })
-        };
-        let pool = AcceptPool::start(listener, "mhxd", workers, poll_interval, draining, handler);
-        Ok(Server { addr: local, shared, pool })
+        let evloop = EventLoop::start(
+            listener,
+            "mhxd",
+            workers,
+            EventConfig {
+                poll_interval: shared.config.poll_interval,
+                request_timeout: shared.config.request_timeout,
+                max_body: shared.config.max_body,
+            },
+            Arc::new(ServerService { shared: Arc::clone(&shared) }),
+        )?;
+        Ok(Server { addr: local, shared, evloop })
     }
 
     /// The bound address (with the real port when bound to port 0).
@@ -279,6 +338,7 @@ impl Server {
         ServerStats {
             connections_accepted: self.shared.accepted.load(Ordering::Relaxed),
             requests: self.shared.requests.load(Ordering::Relaxed),
+            pipelined_requests: self.shared.pipelined.load(Ordering::Relaxed),
             active_connections: self
                 .shared
                 .conns
@@ -307,9 +367,9 @@ impl Server {
     pub fn shutdown(mut self) -> bool {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.catalog.begin_shutdown();
-        // Wake the acceptor out of `accept()`; it sees the flag and exits.
-        let _ = TcpStream::connect(self.addr);
-        self.pool.join();
+        // The event loop is woken immediately, finishes every in-flight
+        // response, then exits; its workers join behind it.
+        self.evloop.shutdown();
         self.shared.catalog.drain(Duration::from_secs(30))
     }
 }

@@ -7,7 +7,7 @@
 //! ```text
 //!                clients (keep-alive, wire protocol)
 //!                          │
-//!                    Router (mhxr)
+//!               Router (mhxr, evented front end)
 //!          consistent hash on document id (BackendPool)
 //!            │                │                │
 //!         mhxd shard 0     mhxd shard 1     mhxd shard 2
@@ -21,7 +21,8 @@
 //!   consensus, and two routers over the same `--shard` list agree.
 //! * **Scatter/gather** — `GET /documents` unions all shards' listings;
 //!   `GET /stats` nests every shard's stats under `shards` plus a
-//!   `router` section (backend health, failover counters).
+//!   `router` section (backend health, failover counters, the idle
+//!   backend-connection gauge).
 //! * **Failover** — a connection error or the typed `503`/
 //!   `shutting_down` drain signal from one shard retries the next
 //!   replica; only when every replica failed does the client see an
@@ -31,36 +32,46 @@
 //! * **Prepared statements** — the router keeps a per-client-connection
 //!   handle table (`ConnCore`): `/prepare` validates eagerly on one
 //!   backend, `/execute` lazily re-prepares the statement on whichever
-//!   backend the read lands on, so handles transparently survive
-//!   failover.
+//!   pooled backend connection the read lands on, so handles
+//!   transparently survive failover *and* connection pooling.
 //!
-//! The router's own connection to each backend is one [`Client`] per
-//! router-side client connection (lazily opened), so backend sessions
-//! map 1:1 to client sessions and per-connection server state behaves
-//! as if the client were talking to the shard directly.
+//! ## Multiplexed backend connections
+//!
+//! Backend connections are **pooled, not pinned**: a small LIFO free
+//! list per shard (`RouterCore`) is shared by every client connection,
+//! so a thousand idle clients parked on the router's event loop hold
+//! zero backend sockets — backend connection count tracks *concurrent
+//! request execution* (bounded by the worker count), not client count.
+//! Because a pooled backend session is shared across clients, the router
+//! injects the client's **complete** options object
+//! (`wire::options_json`) into every forwarded `/query` and
+//! `/execute`, making backend session state irrelevant per request. One
+//! consequence: the wire defaults (not a backend catalog's custom
+//! defaults) are what an option-silent client gets through the router.
 
-use crate::server::accept::AcceptPool;
 use crate::server::client::{Client, ClientError};
+use crate::server::event::{EventConfig, EventLoop, Service};
 use crate::server::handler::{body_object, MAX_PREPARED_PER_CONN};
-use crate::server::http::{self, ReadError, Request};
+use crate::server::http::Request;
 use crate::server::pool::BackendPool;
 use crate::server::wire;
 use mhx_json::Json;
-use std::collections::BTreeSet;
+use mhx_xquery::EvalOptions;
+use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Tuning knobs for [`Router::bind`] (mirrors
 /// [`ServerConfig`](crate::server::ServerConfig)).
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
-    /// Worker threads; each serves one client connection at a time, so
-    /// this is also the keep-alive connection concurrency.
+    /// Dispatch worker threads: the concurrent request execution bound
+    /// (connection count is bounded only by file descriptors).
     pub workers: usize,
-    /// How often an idle connection re-checks the drain flag.
+    /// Event-loop wait timeout: bounds drain-notice latency.
     pub poll_interval: Duration,
     /// How long a started request may take to arrive completely.
     pub request_timeout: Duration,
@@ -79,14 +90,16 @@ impl Default for RouterConfig {
     }
 }
 
-/// State shared by the router's workers and the [`Router`] handle.
+/// State shared by the router's event loop, workers, and the [`Router`]
+/// handle.
 pub(crate) struct RouterShared {
-    pool: Arc<BackendPool>,
+    core: RouterCore,
     config: RouterConfig,
     shutdown: AtomicBool,
     shutdown_requested: AtomicBool,
     accepted: AtomicU64,
     requests: AtomicU64,
+    pipelined: AtomicU64,
     failovers: AtomicU64,
     re_prepares: AtomicU64,
 }
@@ -97,8 +110,8 @@ impl RouterShared {
     }
 }
 
-/// The running router: a bound listener, its acceptor thread, and the
-/// worker pool. Like [`Server`](crate::server::Server), dropping without
+/// The running router: a bound listener, its event loop, and the worker
+/// pool. Like [`Server`](crate::server::Server), dropping without
 /// [`Router::shutdown`] detaches the threads.
 ///
 /// ```
@@ -129,7 +142,7 @@ impl RouterShared {
 pub struct Router {
     addr: SocketAddr,
     shared: Arc<RouterShared>,
-    pool: AcceptPool,
+    evloop: EventLoop,
 }
 
 impl Router {
@@ -143,30 +156,31 @@ impl Router {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let workers = config.workers.max(1);
-        let poll_interval = config.poll_interval;
         let shared = Arc::new(RouterShared {
-            pool: backends,
+            // The free list never needs to exceed the execution bound:
+            // at most `workers` requests hold a backend conn at once.
+            core: RouterCore::new(backends, workers),
             config: RouterConfig { workers, ..config },
             shutdown: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            pipelined: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             re_prepares: AtomicU64::new(0),
         });
-        let draining: Arc<dyn Fn() -> bool + Send + Sync> = {
-            let shared = Arc::clone(&shared);
-            Arc::new(move || shared.draining())
-        };
-        let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = {
-            let shared = Arc::clone(&shared);
-            Arc::new(move |stream| {
-                shared.accepted.fetch_add(1, Ordering::Relaxed);
-                handle_connection(&shared, stream);
-            })
-        };
-        let pool = AcceptPool::start(listener, "mhxr", workers, poll_interval, draining, handler);
-        Ok(Router { addr: local, shared, pool })
+        let evloop = EventLoop::start(
+            listener,
+            "mhxr",
+            workers,
+            EventConfig {
+                poll_interval: shared.config.poll_interval,
+                request_timeout: shared.config.request_timeout,
+                max_body: shared.config.max_body,
+            },
+            Arc::new(RouterService { shared: Arc::clone(&shared) }),
+        )?;
+        Ok(Router { addr: local, shared, evloop })
     }
 
     /// The bound address (with the real port when bound to port 0).
@@ -176,7 +190,7 @@ impl Router {
 
     /// The routing pool (placement + backend health).
     pub fn backends(&self) -> &Arc<BackendPool> {
-        &self.shared.pool
+        &self.shared.core.pool
     }
 
     /// True once a client posted `/shutdown` (or
@@ -195,9 +209,41 @@ impl Router {
     /// running — draining them is their owners' job.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of `accept()`; it sees the flag and exits.
-        let _ = TcpStream::connect(self.addr);
-        self.pool.join();
+        self.evloop.shutdown();
+    }
+}
+
+/// The router's [`Service`]: counts connections/requests and routes each
+/// complete request through the shared [`RouterCore`].
+struct RouterService {
+    shared: Arc<RouterShared>,
+}
+
+impl Service for RouterService {
+    type Conn = ConnCore;
+
+    fn connect(&self, _stream: &TcpStream) -> ConnCore {
+        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        ConnCore::new()
+    }
+
+    fn handle(&self, conn: &mut ConnCore, req: &Request) -> (u16, Json) {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (failovers, re_prepares) = (conn.failovers, conn.re_prepares);
+        let out = route(&self.shared, conn, req);
+        self.shared.failovers.fetch_add(conn.failovers - failovers, Ordering::Relaxed);
+        self.shared.re_prepares.fetch_add(conn.re_prepares - re_prepares, Ordering::Relaxed);
+        out
+    }
+
+    fn disconnect(&self, _conn: ConnCore) {}
+
+    fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    fn note_pipelined(&self) {
+        self.shared.pipelined.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -211,101 +257,109 @@ enum Attempt {
     Failover(String),
 }
 
-/// Per-client-connection router state: one lazily-opened backend
-/// [`Client`] per shard (so backend sessions map 1:1 to client
-/// sessions) and the prepared-statement table that survives failover.
-pub(crate) struct ConnCore {
+/// A pooled connection to one backend: the client plus the statements
+/// *this connection's server session* has compiled, keyed by the
+/// canonical `/prepare` body.
+struct PooledBackend {
+    client: Client,
+    prepared: HashMap<String, u64>,
+}
+
+/// The router's shared backend machinery: the placement pool plus one
+/// LIFO free list of pooled connections per backend. Checkout pops (or
+/// dials); checkin pushes back **only after a clean exchange** — a
+/// transport error or drain signal drops the connection, which also
+/// invalidates its server-session handle table for free.
+pub(crate) struct RouterCore {
     pool: Arc<BackendPool>,
-    conns: Vec<Option<Client>>,
-    prepared: Vec<PreparedEntry>,
+    idle: Vec<Mutex<Vec<PooledBackend>>>,
+    idle_cap: usize,
+}
+
+/// Per-client-connection router state, owned by the event loop's
+/// connection table: the prepared-statement table (router handle space)
+/// and the connection's evaluation options, injected whole into every
+/// forwarded read so pooled backend sessions behave deterministically.
+pub(crate) struct ConnCore {
+    prepared: Vec<PreparedStmt>,
+    opts: EvalOptions,
     pub(crate) failovers: u64,
     pub(crate) re_prepares: u64,
 }
 
-/// One router-level prepared statement.
-struct PreparedEntry {
-    /// The original `/prepare` body — replayed verbatim when a failover
-    /// lands the execute on a backend that has not compiled it yet.
-    request: Json,
-    /// Backend-local handle per backend, index-aligned with the pool;
-    /// cleared whenever that backend's connection is rebuilt (a fresh
-    /// connection is a fresh server session, so old handles are gone).
-    per_backend: Vec<Option<u64>>,
-}
-
-enum EnsureError {
-    /// This backend cannot compile right now — try the next replica.
-    Failover(String),
-    /// The statement itself is bad (deterministic compile error) —
-    /// surface the backend's response verbatim.
-    Surface(u16, Json),
-}
-
 impl ConnCore {
-    pub(crate) fn new(pool: Arc<BackendPool>) -> ConnCore {
-        let n = pool.len();
+    pub(crate) fn new() -> ConnCore {
         ConnCore {
-            pool,
-            conns: (0..n).map(|_| None).collect(),
             prepared: Vec::new(),
+            opts: EvalOptions::default(),
             failovers: 0,
             re_prepares: 0,
         }
     }
+}
 
-    /// The lazily-opened connection to backend `i`.
-    fn conn(&mut self, i: usize) -> Result<&mut Client, ClientError> {
-        if self.conns[i].is_none() {
-            let client = Client::connect(self.pool.addr(i))?;
-            // A fresh connection is a fresh server session: any handle
-            // prepared over a previous connection to this backend is gone.
-            for p in &mut self.prepared {
-                p.per_backend[i] = None;
+/// One router-level prepared statement.
+struct PreparedStmt {
+    /// The original `/prepare` body — replayed on whichever pooled
+    /// backend connection an execute lands on that has not compiled it.
+    body: Json,
+    /// Canonical identity on pooled sessions (the serialized body).
+    key: String,
+    /// Backend index that validated the statement eagerly.
+    #[cfg_attr(not(test), allow(dead_code))]
+    validated_on: usize,
+}
+
+impl RouterCore {
+    pub(crate) fn new(pool: Arc<BackendPool>, idle_cap: usize) -> RouterCore {
+        let n = pool.len();
+        RouterCore { pool, idle: (0..n).map(|_| Mutex::new(Vec::new())).collect(), idle_cap }
+    }
+
+    /// Pop an idle pooled connection to backend `i`, or dial a fresh one.
+    fn checkout(&self, i: usize) -> Result<PooledBackend, ClientError> {
+        if let Some(b) = self.idle[i].lock().unwrap_or_else(PoisonError::into_inner).pop() {
+            return Ok(b);
+        }
+        Ok(PooledBackend { client: Client::connect(self.pool.addr(i))?, prepared: HashMap::new() })
+    }
+
+    /// Return a connection after a clean exchange (dropped if the free
+    /// list is full).
+    fn checkin(&self, i: usize, backend: PooledBackend) {
+        let mut idle = self.idle[i].lock().unwrap_or_else(PoisonError::into_inner);
+        if idle.len() < self.idle_cap {
+            idle.push(backend);
+        }
+    }
+
+    /// Idle pooled backend connections across all shards (the `/stats`
+    /// gauge).
+    fn idle_connections(&self) -> usize {
+        self.idle.iter().map(|l| l.lock().unwrap_or_else(PoisonError::into_inner).len()).sum()
+    }
+
+    /// One uninterpreted exchange with backend `i` on a pooled
+    /// connection, with health classification: transport failures and
+    /// the drain signal become [`Attempt::Failover`] (and drop the
+    /// connection); everything else checks the connection back in and
+    /// passes through.
+    fn attempt(&self, i: usize, method: &str, path: &str, body: Option<&Json>) -> Attempt {
+        let mut backend = match self.checkout(i) {
+            Ok(b) => b,
+            Err(e) => {
+                self.pool.mark_down(i);
+                return Attempt::Failover(format!("{}: {e}", self.pool.addr(i)));
             }
-            self.conns[i] = Some(client);
-        }
-        Ok(self.conns[i].as_mut().expect("just ensured"))
-    }
-
-    fn drop_conn(&mut self, i: usize) {
-        self.conns[i] = None;
-        for p in &mut self.prepared {
-            p.per_backend[i] = None;
-        }
-    }
-
-    /// One uninterpreted request to backend `i`. `Err` means the
-    /// connection is unusable (and has been dropped); `Ok` is a complete
-    /// exchange, which may still be the backend's drain signal.
-    fn forward(
-        &mut self,
-        i: usize,
-        method: &str,
-        path: &str,
-        body: Option<&Json>,
-    ) -> Result<(u16, Json), ClientError> {
-        let res = match self.conn(i) {
-            Ok(client) => client.request(method, path, body),
-            Err(e) => Err(e),
         };
-        if res.is_err() {
-            self.drop_conn(i);
-        }
-        res
-    }
-
-    /// [`ConnCore::forward`] plus health classification: transport
-    /// failures and the drain signal become [`Attempt::Failover`] and
-    /// demote the backend; everything else marks it up and passes
-    /// through.
-    fn attempt(&mut self, i: usize, method: &str, path: &str, body: Option<&Json>) -> Attempt {
-        match self.forward(i, method, path, body) {
+        match backend.client.request(method, path, body) {
             Ok((status, json)) if wire::is_drain_envelope(status, &json) => {
                 self.pool.mark_draining(i);
                 Attempt::Failover(format!("{} is draining", self.pool.addr(i)))
             }
             Ok((status, json)) => {
                 self.pool.mark_up(i);
+                self.checkin(i, backend);
                 Attempt::Done(status, json)
             }
             Err(e) => {
@@ -316,33 +370,44 @@ impl ConnCore {
     }
 
     /// Try `order` until one backend completes the exchange; exhausting
-    /// it is the router's own `502`/`bad_gateway`. Returns the winning
-    /// backend index alongside the response.
+    /// it is the router's own `502`/`bad_gateway`.
     fn try_replicas(
-        &mut self,
+        &self,
+        conn: &mut ConnCore,
         order: &[usize],
         method: &str,
         path: &str,
         body: Option<&Json>,
-    ) -> (u16, Json, Option<usize>) {
+    ) -> (u16, Json) {
         let mut tried = Vec::new();
         for (k, &i) in order.iter().enumerate() {
             if k > 0 {
-                self.failovers += 1;
+                conn.failovers += 1;
             }
             match self.attempt(i, method, path, body) {
-                Attempt::Done(status, json) => return (status, json, Some(i)),
+                Attempt::Done(status, json) => return (status, json),
                 Attempt::Failover(why) => tried.push(why),
             }
         }
         let body =
             wire::bad_gateway_body(&format!("all replicas unavailable ({})", tried.join("; ")));
-        (502, body, None)
+        (502, body)
+    }
+
+    /// Validate the request's `"options"` patch onto the connection —
+    /// same strictness and error shape as a single node.
+    fn patch_options(&self, conn: &mut ConnCore, body: &Json) -> Result<(), (u16, Json)> {
+        if let Some(options) = body.get("options") {
+            if let Err(message) = wire::apply_options(&mut conn.opts, options) {
+                return Err((400, wire::protocol_error_body("bad_options", &message)));
+            }
+        }
+        Ok(())
     }
 
     /// Resolve the target document like a single node does: explicit
     /// `doc` field, else the fleet's only document.
-    fn resolve_doc(&mut self, body: &Json) -> Result<String, (u16, Json)> {
+    fn resolve_doc(&self, body: &Json) -> Result<String, (u16, Json)> {
         if let Some(doc) = body.get("doc") {
             return doc.as_str().map(str::to_string).ok_or_else(|| {
                 (400, wire::protocol_error_body("bad_request", "`doc` must be a string"))
@@ -361,19 +426,25 @@ impl ConnCore {
         ))
     }
 
-    pub(crate) fn query(&mut self, body: &Json) -> (u16, Json) {
+    pub(crate) fn query(&self, conn: &mut ConnCore, body: &Json) -> (u16, Json) {
+        if let Err(err) = self.patch_options(conn, body) {
+            return err;
+        }
         let doc = match self.resolve_doc(body) {
             Ok(doc) => doc,
             Err(err) => return err,
         };
         let order = self.pool.read_order(&doc);
-        let fwd = with_field(body, "doc", Json::Str(doc));
-        let (status, json, _) = self.try_replicas(&order, "POST", "/query", Some(&fwd));
-        (status, json)
+        let fwd = with_field(
+            &with_field(body, "doc", Json::Str(doc)),
+            "options",
+            wire::options_json(&conn.opts),
+        );
+        self.try_replicas(conn, &order, "POST", "/query", Some(&fwd))
     }
 
-    pub(crate) fn prepare(&mut self, body: &Json) -> (u16, Json) {
-        if self.prepared.len() >= MAX_PREPARED_PER_CONN {
+    pub(crate) fn prepare(&self, conn: &mut ConnCore, body: &Json) -> (u16, Json) {
+        if conn.prepared.len() >= MAX_PREPARED_PER_CONN {
             return (
                 400,
                 wire::protocol_error_body(
@@ -386,65 +457,77 @@ impl ConnCore {
         }
         // Eager validation on one backend: compile errors surface now,
         // exactly as on a single node.
+        let key = body.to_string();
         let order = self.pool.any_order();
-        let (status, json, winner) = self.try_replicas(&order, "POST", "/prepare", Some(body));
-        let Some(i) = winner else { return (status, json) };
-        if !(200..300).contains(&status) {
-            return (status, json);
-        }
-        let Some(backend_handle) = json.get("handle").and_then(Json::as_u64) else {
-            return (502, wire::bad_gateway_body("shard returned a malformed /prepare response"));
-        };
-        let mut per_backend = vec![None; self.pool.len()];
-        per_backend[i] = Some(backend_handle);
-        self.prepared.push(PreparedEntry { request: body.clone(), per_backend });
-        let handle = self.prepared.len() - 1;
-        // Same envelope as a single node, in the router's handle space.
-        let lang = json.get("lang").cloned().unwrap_or_else(|| Json::Str("xquery".into()));
-        (
-            200,
-            Json::Obj(vec![
-                ("ok".into(), Json::Bool(true)),
-                ("handle".into(), Json::Num(handle as f64)),
-                ("lang".into(), lang),
-            ]),
-        )
-    }
-
-    /// Make sure backend `i`'s current connection has prepared statement
-    /// `entry`, compiling it there if needed.
-    fn ensure_prepared(&mut self, i: usize, entry: usize) -> Result<u64, EnsureError> {
-        if let Some(h) = self.prepared[entry].per_backend[i] {
-            return Ok(h);
-        }
-        let req = self.prepared[entry].request.clone();
-        match self.attempt(i, "POST", "/prepare", Some(&req)) {
-            Attempt::Done(status, json) if (200..300).contains(&status) => {
-                match json.get("handle").and_then(Json::as_u64) {
-                    Some(h) => {
-                        self.prepared[entry].per_backend[i] = Some(h);
-                        self.re_prepares += 1;
-                        Ok(h)
-                    }
-                    None => Err(EnsureError::Failover(format!(
-                        "{}: malformed /prepare response",
-                        self.pool.addr(i)
-                    ))),
+        let mut tried = Vec::new();
+        for (k, &i) in order.iter().enumerate() {
+            if k > 0 {
+                conn.failovers += 1;
+            }
+            let mut backend = match self.checkout(i) {
+                Ok(b) => b,
+                Err(e) => {
+                    self.pool.mark_down(i);
+                    tried.push(format!("{}: {e}", self.pool.addr(i)));
+                    continue;
+                }
+            };
+            match backend.client.request("POST", "/prepare", Some(body)) {
+                Ok((status, json)) if wire::is_drain_envelope(status, &json) => {
+                    self.pool.mark_draining(i);
+                    tried.push(format!("{} is draining", self.pool.addr(i)));
+                }
+                Ok((status, json)) if (200..300).contains(&status) => {
+                    self.pool.mark_up(i);
+                    let Some(h) = json.get("handle").and_then(Json::as_u64) else {
+                        return (
+                            502,
+                            wire::bad_gateway_body("shard returned a malformed /prepare response"),
+                        );
+                    };
+                    // The compiled handle stays with this *pooled
+                    // connection* — whoever checks it out next reuses it.
+                    backend.prepared.insert(key.clone(), h);
+                    self.checkin(i, backend);
+                    let lang =
+                        json.get("lang").cloned().unwrap_or_else(|| Json::Str("xquery".into()));
+                    conn.prepared.push(PreparedStmt { body: body.clone(), key, validated_on: i });
+                    let handle = conn.prepared.len() - 1;
+                    // Same envelope as a single node, in the router's
+                    // handle space.
+                    return (
+                        200,
+                        Json::Obj(vec![
+                            ("ok".into(), Json::Bool(true)),
+                            ("handle".into(), Json::Num(handle as f64)),
+                            ("lang".into(), lang),
+                        ]),
+                    );
+                }
+                Ok((status, json)) => {
+                    self.pool.mark_up(i);
+                    self.checkin(i, backend);
+                    return (status, json);
+                }
+                Err(e) => {
+                    self.pool.mark_down(i);
+                    tried.push(format!("{}: {e}", self.pool.addr(i)));
                 }
             }
-            Attempt::Done(status, json) => Err(EnsureError::Surface(status, json)),
-            Attempt::Failover(why) => Err(EnsureError::Failover(why)),
         }
+        let body =
+            wire::bad_gateway_body(&format!("all replicas unavailable ({})", tried.join("; ")));
+        (502, body)
     }
 
-    pub(crate) fn execute(&mut self, body: &Json) -> (u16, Json) {
+    pub(crate) fn execute(&self, conn: &mut ConnCore, body: &Json) -> (u16, Json) {
         let Some(handle) = body.get("handle").and_then(Json::as_u64) else {
             return (
                 400,
                 wire::protocol_error_body("bad_request", "missing integer field `handle`"),
             );
         };
-        if handle as usize >= self.prepared.len() {
+        if handle as usize >= conn.prepared.len() {
             return (
                 404,
                 wire::protocol_error_body(
@@ -452,6 +535,9 @@ impl ConnCore {
                     &format!("no prepared query with handle {handle} on this connection"),
                 ),
             );
+        }
+        if let Err(err) = self.patch_options(conn, body) {
+            return err;
         }
         let doc = match self.resolve_doc(body) {
             Ok(doc) => doc,
@@ -461,24 +547,95 @@ impl ConnCore {
         let mut tried = Vec::new();
         for (k, &i) in order.iter().enumerate() {
             if k > 0 {
-                self.failovers += 1;
+                conn.failovers += 1;
             }
-            let backend_handle = match self.ensure_prepared(i, handle as usize) {
-                Ok(h) => h,
-                Err(EnsureError::Failover(why)) => {
-                    tried.push(why);
+            let mut backend = match self.checkout(i) {
+                Ok(b) => b,
+                Err(e) => {
+                    self.pool.mark_down(i);
+                    tried.push(format!("{}: {e}", self.pool.addr(i)));
                     continue;
                 }
-                Err(EnsureError::Surface(status, json)) => return (status, json),
+            };
+            // Make sure this pooled connection's server session has the
+            // statement compiled; re-prepare it here if not.
+            let stmt = &conn.prepared[handle as usize];
+            let backend_handle = match backend.prepared.get(&stmt.key).copied() {
+                Some(h) => h,
+                None => {
+                    // A pooled session at its handle cap can't take one
+                    // more: start a fresh connection instead of
+                    // surfacing `too_many_prepared` for a foreign cap.
+                    if backend.prepared.len() >= MAX_PREPARED_PER_CONN {
+                        backend = match Client::connect(self.pool.addr(i)) {
+                            Ok(client) => PooledBackend { client, prepared: HashMap::new() },
+                            Err(e) => {
+                                self.pool.mark_down(i);
+                                tried.push(format!("{}: {e}", self.pool.addr(i)));
+                                continue;
+                            }
+                        };
+                    }
+                    match backend.client.request("POST", "/prepare", Some(&stmt.body)) {
+                        Ok((status, json)) if wire::is_drain_envelope(status, &json) => {
+                            self.pool.mark_draining(i);
+                            tried.push(format!("{} is draining", self.pool.addr(i)));
+                            continue;
+                        }
+                        Ok((status, json)) if (200..300).contains(&status) => {
+                            match json.get("handle").and_then(Json::as_u64) {
+                                Some(h) => {
+                                    backend.prepared.insert(stmt.key.clone(), h);
+                                    conn.re_prepares += 1;
+                                    h
+                                }
+                                None => {
+                                    tried.push(format!(
+                                        "{}: malformed /prepare response",
+                                        self.pool.addr(i)
+                                    ));
+                                    continue;
+                                }
+                            }
+                        }
+                        // A deterministic compile rejection would fail
+                        // identically everywhere: surface it.
+                        Ok((status, json)) => {
+                            self.pool.mark_up(i);
+                            self.checkin(i, backend);
+                            return (status, json);
+                        }
+                        Err(e) => {
+                            self.pool.mark_down(i);
+                            tried.push(format!("{}: {e}", self.pool.addr(i)));
+                            continue;
+                        }
+                    }
+                }
             };
             let fwd = with_field(
-                &with_field(body, "doc", Json::Str(doc.clone())),
-                "handle",
-                Json::Num(backend_handle as f64),
+                &with_field(
+                    &with_field(body, "doc", Json::Str(doc.clone())),
+                    "handle",
+                    Json::Num(backend_handle as f64),
+                ),
+                "options",
+                wire::options_json(&conn.opts),
             );
-            match self.attempt(i, "POST", "/execute", Some(&fwd)) {
-                Attempt::Done(status, json) => return (status, json),
-                Attempt::Failover(why) => tried.push(why),
+            match backend.client.request("POST", "/execute", Some(&fwd)) {
+                Ok((status, json)) if wire::is_drain_envelope(status, &json) => {
+                    self.pool.mark_draining(i);
+                    tried.push(format!("{} is draining", self.pool.addr(i)));
+                }
+                Ok((status, json)) => {
+                    self.pool.mark_up(i);
+                    self.checkin(i, backend);
+                    return (status, json);
+                }
+                Err(e) => {
+                    self.pool.mark_down(i);
+                    tried.push(format!("{}: {e}", self.pool.addr(i)));
+                }
             }
         }
         let body =
@@ -489,7 +646,7 @@ impl ConnCore {
     /// Upload `id` to its replica set, walking the ring past dead
     /// backends so the document still lands `replicas` times when a
     /// preferred shard is down.
-    pub(crate) fn upload(&mut self, id: &str, body: &Json) -> (u16, Json) {
+    pub(crate) fn upload(&self, conn: &mut ConnCore, id: &str, body: &Json) -> (u16, Json) {
         let want = self.pool.replicas();
         let order = self.pool.ring_order(id);
         let mut placed = Vec::new();
@@ -508,7 +665,7 @@ impl ConnCore {
                 Attempt::Failover(why) => tried.push(why),
             }
         }
-        self.failovers += tried.len() as u64;
+        conn.failovers += tried.len() as u64;
         if placed.is_empty() {
             let body =
                 wire::bad_gateway_body(&format!("no shard accepted `{id}` ({})", tried.join("; ")));
@@ -531,7 +688,7 @@ impl ConnCore {
     /// Scatter `GET /documents` to every backend and union the ids.
     /// Succeeds while at least one shard answers (a dead shard's
     /// documents are on their replicas anyway when `--replicas` > 1).
-    fn documents_union(&mut self) -> Result<BTreeSet<String>, (u16, Json)> {
+    fn documents_union(&self) -> Result<BTreeSet<String>, (u16, Json)> {
         let mut union = BTreeSet::new();
         let mut any_ok = false;
         let mut errors = Vec::new();
@@ -563,7 +720,7 @@ impl ConnCore {
         }
     }
 
-    pub(crate) fn documents(&mut self) -> (u16, Json) {
+    pub(crate) fn documents(&self) -> (u16, Json) {
         match self.documents_union() {
             Ok(union) => (
                 200,
@@ -578,7 +735,7 @@ impl ConnCore {
 
     /// Scatter `GET /stats`, gather per-shard stats plus the router's own
     /// health/counter section and cross-shard totals.
-    fn stats(&mut self, shared: &RouterShared) -> (u16, Json) {
+    fn stats(&self, shared: &RouterShared) -> (u16, Json) {
         let mut shards = Vec::new();
         let mut shard_requests = 0u64;
         let mut shard_documents = 0u64;
@@ -635,12 +792,20 @@ impl ConnCore {
                             Json::Num(shared.requests.load(Ordering::Relaxed) as f64),
                         ),
                         (
+                            "pipelined_requests".into(),
+                            Json::Num(shared.pipelined.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
                             "failovers".into(),
                             Json::Num(shared.failovers.load(Ordering::Relaxed) as f64),
                         ),
                         (
                             "re_prepares".into(),
                             Json::Num(shared.re_prepares.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
+                            "idle_backend_connections".into(),
+                            Json::Num(self.idle_connections() as f64),
                         ),
                         ("backends".into(), Json::Arr(backends)),
                     ]),
@@ -659,7 +824,8 @@ impl ConnCore {
 }
 
 /// Clone `body` with `field` set to `value` (replacing any existing
-/// entry) — the router rewrites `doc` and `handle` before forwarding.
+/// entry) — the router rewrites `doc`, `handle`, and `options` before
+/// forwarding.
 fn with_field(body: &Json, field: &str, value: Json) -> Json {
     let mut entries: Vec<(String, Json)> = body
         .as_obj()
@@ -669,56 +835,10 @@ fn with_field(body: &Json, field: &str, value: Json) -> Json {
     Json::Obj(entries)
 }
 
-/// Serve one accepted client connection until the peer closes, a
-/// protocol error occurs, or the router drains. Mirrors the single-node
-/// handler: the in-flight response is always completed before close.
-fn handle_connection(shared: &RouterShared, mut stream: TcpStream) {
-    let mut core = ConnCore::new(Arc::clone(&shared.pool));
-    let mut buf = Vec::new();
-    loop {
-        let req = match http::read_request(
-            &mut stream,
-            &mut buf,
-            &|| shared.draining(),
-            shared.config.max_body,
-            shared.config.request_timeout,
-        ) {
-            Ok(req) => req,
-            Err(ReadError::Closed) | Err(ReadError::Io(_)) => break,
-            Err(ReadError::Bad(message)) => {
-                let body = wire::protocol_error_body("bad_request", &message);
-                let _ = http::write_response(&mut stream, 400, &body.to_string(), false);
-                break;
-            }
-            Err(ReadError::TooLarge) => {
-                let body = wire::protocol_error_body("too_large", "request exceeds size limits");
-                let _ = http::write_response(&mut stream, 413, &body.to_string(), false);
-                break;
-            }
-            Err(ReadError::Timeout) => {
-                let body = wire::protocol_error_body("timeout", "request did not complete");
-                let _ = http::write_response(&mut stream, 408, &body.to_string(), false);
-                break;
-            }
-        };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        let (failovers, re_prepares) = (core.failovers, core.re_prepares);
-        let (status, body) = route(shared, &mut core, &req);
-        shared.failovers.fetch_add(core.failovers - failovers, Ordering::Relaxed);
-        shared.re_prepares.fetch_add(core.re_prepares - re_prepares, Ordering::Relaxed);
-        let keep = !req.close && !shared.draining();
-        if http::write_response(&mut stream, status, &body.to_string(), keep).is_err() {
-            break;
-        }
-        if !keep {
-            break;
-        }
-    }
-}
-
-fn route(shared: &RouterShared, core: &mut ConnCore, req: &Request) -> (u16, Json) {
+fn route(shared: &RouterShared, conn: &mut ConnCore, req: &Request) -> (u16, Json) {
     // Path first, then method — same 405 discipline as the single-node
     // handler.
+    let core = &shared.core;
     let method = req.method.as_str();
     let wrong_method =
         || (405, wire::protocol_error_body("method_not_allowed", "wrong method for this path"));
@@ -732,15 +852,15 @@ fn route(shared: &RouterShared, core: &mut ConnCore, req: &Request) -> (u16, Jso
             _ => wrong_method(),
         },
         "/query" => match method {
-            "POST" => with_body(&mut |body| core.query(body)),
+            "POST" => with_body(&mut |body| core.query(conn, body)),
             _ => wrong_method(),
         },
         "/prepare" => match method {
-            "POST" => with_body(&mut |body| core.prepare(body)),
+            "POST" => with_body(&mut |body| core.prepare(conn, body)),
             _ => wrong_method(),
         },
         "/execute" => match method {
-            "POST" => with_body(&mut |body| core.execute(body)),
+            "POST" => with_body(&mut |body| core.execute(conn, body)),
             _ => wrong_method(),
         },
         "/documents" => match method {
@@ -767,7 +887,7 @@ fn route(shared: &RouterShared, core: &mut ConnCore, req: &Request) -> (u16, Jso
         path if path.strip_prefix("/documents/").is_some_and(|id| !id.is_empty()) => {
             let id = path.strip_prefix("/documents/").expect("guard matched");
             match method {
-                "PUT" => with_body(&mut |body| core.upload(id, body)),
+                "PUT" => with_body(&mut |body| core.upload(conn, id, body)),
                 _ => wrong_method(),
             }
         }
@@ -861,15 +981,17 @@ mod tests {
         let (a, hits_a) = mock_backend(503, DRAIN_BODY);
         let (b, hits_b) = mock_backend(503, DRAIN_BODY);
         let pool = Arc::new(BackendPool::new(vec![a, b], 2));
-        let mut core = ConnCore::new(Arc::clone(&pool));
-        let (status, json) = core.query(&query_body("ms"));
+        let core = RouterCore::new(Arc::clone(&pool), 4);
+        let mut conn = ConnCore::new();
+        let (status, json) = core.query(&mut conn, &query_body("ms"));
         assert_eq!(status, 502);
         assert_eq!(error_kind_of(&json), wire::BAD_GATEWAY_KIND);
         assert_eq!(hits_a.load(Ordering::SeqCst), 1, "each replica tried exactly once");
         assert_eq!(hits_b.load(Ordering::SeqCst), 1, "each replica tried exactly once");
-        assert_eq!(core.failovers, 1, "one retry beyond the first attempt");
+        assert_eq!(conn.failovers, 1, "one retry beyond the first attempt");
         let health = pool.health_snapshot();
         assert!(health.iter().all(|h| h.draining && !h.healthy), "both marked draining");
+        assert_eq!(core.idle_connections(), 0, "drain attempts never pool their connection");
     }
 
     #[test]
@@ -881,14 +1003,16 @@ mod tests {
         // off the pool instead of assuming (the first read uses the
         // cursor's initial rotation, i.e. the unrotated set).
         let first = pool.replica_set("ms")[0];
-        let mut core = ConnCore::new(Arc::clone(&pool));
-        let (status, json) = core.query(&query_body("ms"));
+        let core = RouterCore::new(Arc::clone(&pool), 4);
+        let mut conn = ConnCore::new();
+        let (status, json) = core.query(&mut conn, &query_body("ms"));
         assert_eq!(status, 404);
         assert_eq!(error_kind_of(&json), "unknown_document");
         let (h_first, h_other) = if first == 0 { (&hits_a, &hits_b) } else { (&hits_b, &hits_a) };
         assert_eq!(h_first.load(Ordering::SeqCst), 1, "only the first replica is asked");
         assert_eq!(h_other.load(Ordering::SeqCst), 0, "a 4xx never fails over");
-        assert_eq!(core.failovers, 0);
+        assert_eq!(conn.failovers, 0);
+        assert_eq!(core.idle_connections(), 1, "the clean exchange pooled its connection");
     }
 
     fn live_shard(docs: &[&str]) -> Server {
@@ -917,32 +1041,41 @@ mod tests {
         let addrs: Vec<String> =
             shards.iter().map(|s| s.as_ref().unwrap().addr().to_string()).collect();
         let pool = Arc::new(BackendPool::new(addrs, 2));
-        let mut core = ConnCore::new(Arc::clone(&pool));
+        let core = RouterCore::new(Arc::clone(&pool), 4);
+        let mut conn = ConnCore::new();
 
         let prep = mhx_json::parse(r#"{"lang":"xpath","query":"count(/descendant::w)"}"#).unwrap();
-        let (status, json) = core.prepare(&prep);
+        let (status, json) = core.prepare(&mut conn, &prep);
         assert_eq!(status, 200, "{json}");
         assert_eq!(json.get("handle").and_then(Json::as_u64), Some(0), "router handle space");
 
-        // Kill the one backend holding the compiled statement before any
+        // Kill the one backend that validated the statement before any
         // execute: every execute path must now transparently re-prepare
-        // on the surviving replica.
-        let owner = core.prepared[0].per_backend.iter().position(Option::is_some).unwrap();
-        assert_eq!(core.re_prepares, 0, "the eager prepare is not a re-prepare");
+        // on the surviving replica's pooled connection.
+        let owner = conn.prepared[0].validated_on;
+        assert_eq!(conn.re_prepares, 0, "the eager prepare is not a re-prepare");
         shards[owner].take().unwrap().shutdown();
 
         let exec = mhx_json::parse(r#"{"handle":0,"doc":"ms"}"#).unwrap();
-        let (status, json) = core.execute(&exec);
+        let (status, json) = core.execute(&mut conn, &exec);
         assert_eq!(status, 200, "{json}");
         assert_eq!(json.get("serialized").and_then(Json::as_str), Some("2"));
-        assert!(core.re_prepares >= 1, "the statement was re-prepared after failover");
+        assert!(conn.re_prepares >= 1, "the statement was re-prepared after failover");
 
-        // And the re-prepared handle is cached: a second execute reuses it.
-        let re_prepares = core.re_prepares;
-        let (status, json) = core.execute(&exec);
+        // And the re-prepared handle stays with the pooled connection: a
+        // second execute reuses it.
+        let re_prepares = conn.re_prepares;
+        let (status, json) = core.execute(&mut conn, &exec);
         assert_eq!(status, 200, "{json}");
         assert_eq!(json.get("serialized").and_then(Json::as_str), Some("2"));
-        assert_eq!(core.re_prepares, re_prepares, "handle cached on the survivor");
+        assert_eq!(conn.re_prepares, re_prepares, "handle cached on the survivor's connection");
+
+        // A *different* client connection through the same core also
+        // reuses the pooled statement — the handle table travels with
+        // the backend connection, not the client.
+        let mut other = ConnCore::new();
+        let (status, json) = core.prepare(&mut other, &prep);
+        assert_eq!(status, 200, "{json}");
 
         for s in shards.into_iter().flatten() {
             s.shutdown();
@@ -954,12 +1087,13 @@ mod tests {
         let shards = [live_shard(&[]), live_shard(&[])];
         let addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
         let pool = Arc::new(BackendPool::new(addrs, 2));
-        let mut core = ConnCore::new(Arc::clone(&pool));
+        let core = RouterCore::new(Arc::clone(&pool), 4);
+        let mut conn = ConnCore::new();
 
         let upload =
             mhx_json::parse(r#"{"hierarchies":[{"name":"w","xml":"<r><w>a</w><w>b</w></r>"}]}"#)
                 .unwrap();
-        let (status, json) = core.upload("novel", &upload);
+        let (status, json) = core.upload(&mut conn, "novel", &upload);
         assert_eq!(status, 200, "{json}");
         assert_eq!(json.get("replicas").and_then(Json::as_u64), Some(2));
         for shard in &shards {
@@ -973,7 +1107,7 @@ mod tests {
         let ids = json.get("documents").and_then(Json::as_arr).unwrap();
         assert_eq!(ids.len(), 1, "replicas merge to one id: {json}");
 
-        let (status, json) = core.query(&query_body("novel"));
+        let (status, json) = core.query(&mut conn, &query_body("novel"));
         assert_eq!(status, 200, "{json}");
         assert_eq!(json.get("serialized").and_then(Json::as_str), Some("2"));
 

@@ -179,6 +179,27 @@ pub(crate) fn apply_options(opts: &mut EvalOptions, json: &Json) -> Result<(), S
     Ok(())
 }
 
+/// Render [`EvalOptions`] as the full wire `"options"` object —
+/// the inverse of [`apply_options`]. The router injects this into every
+/// forwarded `/query` and `/execute` so that pooled backend sessions
+/// (shared across router clients) behave deterministically per request.
+pub(crate) fn options_json(opts: &EvalOptions) -> Json {
+    Json::Obj(vec![
+        ("optimize".into(), Json::Bool(opts.optimize)),
+        ("space_separator".into(), Json::Bool(opts.space_separator)),
+        (
+            "analyze_mode".into(),
+            Json::Str(
+                match opts.analyze_mode {
+                    AnalyzeMode::PaperCompat => "paper",
+                    AnalyzeMode::Xslt => "xslt",
+                }
+                .into(),
+            ),
+        ),
+    ])
+}
+
 /// Client-side view of a query response (the success envelope `/query`
 /// and `/execute` return).
 #[derive(Debug, Clone, PartialEq)]
@@ -309,6 +330,22 @@ mod tests {
         ] {
             let patch = mhx_json::parse(bad).unwrap();
             assert!(apply_options(&mut opts, &patch).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn options_render_and_reapply_losslessly() {
+        for (optimize, space, mode) in [
+            (true, false, mhx_xquery::AnalyzeMode::PaperCompat),
+            (false, true, mhx_xquery::AnalyzeMode::Xslt),
+        ] {
+            let opts = EvalOptions { optimize, space_separator: space, analyze_mode: mode };
+            let rendered = options_json(&opts);
+            let mut back = EvalOptions::default();
+            apply_options(&mut back, &rendered).unwrap();
+            assert_eq!(back.optimize, optimize);
+            assert_eq!(back.space_separator, space);
+            assert_eq!(back.analyze_mode, mode);
         }
     }
 }

@@ -7,9 +7,11 @@ use mhx_json::Json;
 use multihier_xquery::prelude::*;
 use multihier_xquery::server::client::{Client, ClientError};
 use multihier_xquery::server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The two-hierarchy manuscript the engine tests use; the split word
 /// `singallice` gives the extended axes something to find.
@@ -441,4 +443,74 @@ fn shutdown_endpoint_requests_the_drain() {
     client.shutdown_server().unwrap();
     assert!(server.shutdown_requested(), "POST /shutdown reached the owner");
     assert!(server.shutdown());
+}
+
+#[test]
+fn drain_under_an_idle_keep_alive_fleet_is_prompt_and_complete() {
+    let server = boot(4);
+
+    // Park a fleet of idle keep-alive connections, far beyond the worker
+    // count: under the evented front end they hold table entries, not
+    // threads, and a drain must close them without waiting on timeouts.
+    let mut fleet: Vec<TcpStream> = (0..120)
+        .map(|_| {
+            let s = TcpStream::connect(server.addr()).expect("park connection");
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        })
+        .collect();
+    let t0 = Instant::now();
+    while server.stats().active_connections < 120 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "fleet never fully accepted");
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // Half the fleet has sent part of a request — drain must not wait for
+    // the rest of those bytes either.
+    for s in fleet.iter_mut().take(60) {
+        s.write_all(b"POST /query HTTP/1.1\r\nContent-Le").unwrap();
+    }
+
+    // Active clients keep querying right up to (and across) the drain.
+    let addr = server.addr().to_string();
+    let hammers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut completed = 0u32;
+                loop {
+                    match client.xpath("ms-a", "count(/descendant::w)") {
+                        Ok(out) => {
+                            assert_eq!(out.serialized, "6");
+                            completed += 1;
+                        }
+                        Err(ClientError::Server { status: 503, .. }) | Err(ClientError::Io(_)) => {
+                            break
+                        }
+                        Err(other) => panic!("non-clean failure during drain: {other}"),
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(50));
+
+    let t0 = Instant::now();
+    assert!(server.shutdown(), "drained cleanly under the idle fleet");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "shutdown stalled on idle connections: {:?}",
+        t0.elapsed()
+    );
+    let total: u32 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0, "active clients completed work before the drain");
+
+    // Every parked connection was closed server-side: a clean EOF, not a
+    // hang and not a truncated response.
+    for s in &mut fleet {
+        let mut buf = [0u8; 64];
+        assert_eq!(s.read(&mut buf).expect("fleet socket readable"), 0, "expected EOF");
+    }
 }

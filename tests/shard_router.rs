@@ -9,7 +9,8 @@
 use mhx_json::Json;
 use multihier_xquery::server::client::{Client, ClientError};
 use std::collections::BTreeSet;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
@@ -87,11 +88,9 @@ fn spawn(bin: &str, args: &[String]) -> Proc {
 }
 
 fn spawn_shard() -> Proc {
-    // Workers sized so that every router connection (one backend
-    // connection per router client connection, worker-per-connection on
-    // the shard) plus a test-control connection always fits — an
-    // undersized shard pool would park control requests in the accept
-    // queue behind the long-lived router connections.
+    // Shard connections are evented, so workers bound concurrent request
+    // execution, not how many router/backend connections can be open —
+    // 8 keeps the hammer tests genuinely parallel on the shard side.
     let args: Vec<String> =
         ["--listen", "127.0.0.1:0", "--workers", "8"].map(String::from).to_vec();
     spawn(env!("CARGO_BIN_EXE_mhxd"), &args)
@@ -302,4 +301,55 @@ fn graceful_shard_drain_never_truncates_a_routed_response() {
     // The drained shard exits cleanly (drain completed, nothing
     // truncated server-side either).
     s1.wait_clean(Duration::from_secs(10));
+}
+
+#[test]
+fn router_drains_promptly_under_an_idle_connection_fleet() {
+    let s0 = spawn_shard();
+    let router = spawn_router(&[&s0], 1);
+    let mut client = connect(&router.addr);
+    upload(&mut client, "fleet-doc");
+
+    // Park 100 idle keep-alive connections on the router — far beyond its
+    // 4 workers. Evented, they hold table entries, not worker threads.
+    let mut fleet: Vec<TcpStream> = (0..100)
+        .map(|_| {
+            let s = TcpStream::connect(&router.addr).expect("park connection");
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let accepted = client
+            .stats()
+            .expect("stats")
+            .get("router")
+            .and_then(|r| r.get("connections_accepted"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        // The fleet plus this client's own connection.
+        if accepted >= 101 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "fleet never fully accepted ({accepted})");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A real request still routes while the fleet sits parked.
+    assert_eq!(first_word(&mut client, "fleet-doc").expect("routed query"), "fleet-doc");
+
+    // Drain: the router must close the whole idle fleet and exit within
+    // the harness timeout, not linger on 100 dead-weight sockets.
+    client.shutdown_server().expect("request drain");
+    drop(client);
+    router.wait_clean(Duration::from_secs(10));
+
+    // Every parked connection saw a clean EOF, not a hang or garbage.
+    for s in &mut fleet {
+        let mut buf = [0u8; 64];
+        assert_eq!(s.read(&mut buf).expect("fleet socket readable"), 0, "expected EOF");
+    }
+    // `s0` keeps serving — a router drain never touches the shards; its
+    // `Drop` impl reaps the process.
 }
