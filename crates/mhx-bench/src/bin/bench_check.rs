@@ -7,16 +7,16 @@
 //! ```text
 //! bench-check --baseline <dir> [--fresh <dir>] [--tolerance 0.25]
 //!             [--min-batch-speedup <x>] [--min-shard-ratio <x>]
-//!             [--min-serve-ratio <x>]
+//!             [--min-serve-ratio <x>] [--min-store-ratio <x>]
 //! bench-check --list
 //! ```
 //!
 //! `--baseline` points at copies of the committed `BENCH_*.json` saved
 //! *before* the bench run (the benches overwrite the files in place);
 //! `--fresh` (default `.`) at the just-emitted ones. `--min-batch-speedup`,
-//! `--min-shard-ratio`, and `--min-serve-ratio` raise the unconditional
-//! floors on the batch, shard, and serve metrics above their built-in
-//! values — CI also passes
+//! `--min-shard-ratio`, `--min-serve-ratio`, and `--min-store-ratio`
+//! raise the unconditional floors on the batch, shard, serve, and store
+//! metrics above their built-in values — CI also passes
 //! impossibly high values here to prove the gate can fail.
 //!
 //! `--list` prints the tracked snapshot table, one `stem file` pair per
@@ -26,19 +26,20 @@
 //! needed to put it under the gate.
 
 use mhx_bench::snapshot::{
-    compare, override_batch_floor, override_serve_floor, override_shard_floor, parse,
-    tracked_metrics, Metric,
+    compare, override_batch_floor, override_serve_floor, override_shard_floor,
+    override_store_floor, parse, tracked_metrics, Metric,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const SNAPSHOTS: [(&str, &str); 6] = [
+const SNAPSHOTS: [(&str, &str); 7] = [
     ("axes", "BENCH_axes.json"),
     ("catalog", "BENCH_catalog.json"),
     ("batch", "BENCH_batch.json"),
     ("plan", "BENCH_plan.json"),
     ("serve", "BENCH_serve.json"),
     ("shard", "BENCH_shard.json"),
+    ("store", "BENCH_store.json"),
 ];
 
 struct Args {
@@ -49,6 +50,7 @@ struct Args {
     min_batch_speedup: Option<f64>,
     min_shard_ratio: Option<f64>,
     min_serve_ratio: Option<f64>,
+    min_store_ratio: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
     let mut min_batch_speedup = None;
     let mut min_shard_ratio = None;
     let mut min_serve_ratio = None;
+    let mut min_store_ratio = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} requires a value"));
@@ -80,11 +83,14 @@ fn parse_args() -> Result<Args, String> {
             "--min-serve-ratio" => {
                 min_serve_ratio = Some(number("--min-serve-ratio", value("--min-serve-ratio")?)?);
             }
+            "--min-store-ratio" => {
+                min_store_ratio = Some(number("--min-store-ratio", value("--min-store-ratio")?)?);
+            }
             "--help" | "-h" => {
                 println!(
                     "bench-check --baseline <dir> [--fresh <dir>] [--tolerance 0.25] \
                      [--min-batch-speedup <x>] [--min-shard-ratio <x>] \
-                     [--min-serve-ratio <x>]\n\
+                     [--min-serve-ratio <x>] [--min-store-ratio <x>]\n\
                      bench-check --list    print the tracked `stem file` snapshot table \
                      (CI's single source of truth) and exit"
                 );
@@ -101,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
         min_batch_speedup,
         min_shard_ratio,
         min_serve_ratio,
+        min_store_ratio,
     })
 }
 
@@ -155,6 +162,9 @@ fn main() -> ExitCode {
         }
         if let Some(min) = args.min_serve_ratio {
             override_serve_floor(&mut new, min);
+        }
+        if let Some(min) = args.min_store_ratio {
+            override_store_floor(&mut new, min);
         }
         println!("== {file}");
         for verdict in compare(&base, &new, args.tolerance) {

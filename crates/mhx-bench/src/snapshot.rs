@@ -295,6 +295,44 @@ pub fn tracked_metrics(file: &str, doc: &Json) -> Result<Vec<Metric>, String> {
                 return Err("BENCH_shard.json: `ratios` is empty".into());
             }
         }
+        "store" => {
+            // Persistent-store ratios from `benches/store.rs`. Cold start
+            // is the load-bearing row: its hard floor sits above 1.0 — if
+            // opening a columnar snapshot is not faster than reparsing the
+            // XML encodings, persistence is pure disk cost and the PR's
+            // acceptance bar is broken. The churn row is counter-derived
+            // correctness (fraction of right answers while the memory
+            // budget forces evict/reload cycles) and must be exactly 1.0.
+            let ratios = doc
+                .get("ratios")
+                .and_then(Json::as_obj)
+                .ok_or("BENCH_store.json: missing `ratios` object")?;
+            for (name, v) in ratios {
+                let ratio = v.as_f64().ok_or("BENCH_store.json: non-numeric ratio")?;
+                // Every label is matched explicitly, like the plan, serve
+                // and shard rows: an unknown row means benches/store.rs
+                // drifted from the gate.
+                let (healthy, hard_min) = match name.as_str() {
+                    "cold_vs_reparse" => (1.3, Some(1.05)),
+                    "over_budget_correct" => (1.0, Some(1.0)),
+                    other => {
+                        return Err(format!(
+                            "BENCH_store.json: unknown ratio row `{other}` — register its \
+                             floors in tracked_metrics"
+                        ));
+                    }
+                };
+                out.push(Metric {
+                    name: format!("store:{name}:ratio"),
+                    value: ratio,
+                    healthy,
+                    hard_min,
+                });
+            }
+            if out.is_empty() {
+                return Err("BENCH_store.json: `ratios` is empty".into());
+            }
+        }
         other => return Err(format!("unknown snapshot kind `{other}`")),
     }
     Ok(out)
@@ -401,6 +439,12 @@ pub fn override_shard_floor(metrics: &mut [Metric], min: f64) {
 /// `--min-serve-ratio` flag).
 pub fn override_serve_floor(metrics: &mut [Metric], min: f64) {
     override_floor(metrics, "serve:", min);
+}
+
+/// Apply a hard-minimum override to every store metric (the
+/// `--min-store-ratio` flag).
+pub fn override_store_floor(metrics: &mut [Metric], min: f64) {
+    override_floor(metrics, "store:", min);
 }
 
 #[cfg(test)]
@@ -584,7 +628,8 @@ mod tests {
         // The override never lowers a built-in floor.
         let mut metrics = tracked_metrics("serve", &parse(SERVE).unwrap()).unwrap();
         override_serve_floor(&mut metrics, 0.01);
-        let fleet = metrics.iter().find(|m| m.name.contains("idle_fleet")).unwrap();
+        let fleet =
+            metrics.iter().find(|m| m.name == "serve:idle_fleet_connections:ratio").unwrap();
         assert_eq!(fleet.hard_min, Some(1000.0));
     }
 
@@ -648,6 +693,71 @@ mod tests {
         override_shard_floor(&mut metrics, 0.01);
         let scaling = metrics.iter().find(|m| m.name.contains("shard2")).unwrap();
         assert_eq!(scaling.hard_min, Some(1.1));
+    }
+
+    const STORE: &str = r#"{
+  "bench": "store",
+  "ratios": {
+    "cold_vs_reparse": 1.47,
+    "over_budget_correct": 1.0
+  }
+}"#;
+
+    #[test]
+    fn store_metrics_gate_cold_start_and_churn_correctness_hard() {
+        let base = tracked_metrics("store", &parse(STORE).unwrap()).unwrap();
+        assert_eq!(base.len(), 2);
+        let cold = base.iter().find(|m| m.name == "store:cold_vs_reparse:ratio").unwrap();
+        assert_eq!(cold.hard_min, Some(1.05), "snapshot load must always beat reparse");
+        let churn = base.iter().find(|m| m.name == "store:over_budget_correct:ratio").unwrap();
+        assert_eq!(churn.hard_min, Some(1.0), "every churn query must be correct");
+
+        // The store "stopped helping": loading a snapshot is slower than
+        // reparsing (hard floor) and eviction churn corrupted an answer
+        // (hard floor — even one wrong query fails).
+        let degraded = r#"{
+  "ratios": {
+    "cold_vs_reparse": 0.9,
+    "over_budget_correct": 0.986
+  }
+}"#;
+        let fresh = tracked_metrics("store", &parse(degraded).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(verdicts.iter().all(|v| !v.passed), "{verdicts:?}");
+
+        // A cold-start wobble above the floors passes; correctness has no
+        // wobble room but 1.0 is 1.0.
+        let wobbly = r#"{
+  "ratios": {
+    "cold_vs_reparse": 1.15,
+    "over_budget_correct": 1.0
+  }
+}"#;
+        let fresh = tracked_metrics("store", &parse(wobbly).unwrap()).unwrap();
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(verdicts.iter().all(|v| v.passed), "{verdicts:?}");
+
+        // Unregistered rows fail loudly, like the plan/serve/shard tables.
+        let drifted = r#"{"ratios": {"warm_vs_reparse": 5.0}}"#;
+        let err = tracked_metrics("store", &parse(drifted).unwrap()).unwrap_err();
+        assert!(err.contains("warm_vs_reparse"), "{err}");
+        let empty = tracked_metrics("store", &parse(r#"{"ratios": {}}"#).unwrap()).unwrap_err();
+        assert!(empty.contains("empty"), "{empty}");
+    }
+
+    #[test]
+    fn store_floor_override_raises_hard_min() {
+        let mut metrics = tracked_metrics("store", &parse(STORE).unwrap()).unwrap();
+        override_store_floor(&mut metrics, 1_000_000.0);
+        let verdicts = compare(&metrics.clone(), &metrics, 0.25);
+        // Every store metric is now below the impossible floor — the CI
+        // self-test that proves the store gate can fail.
+        assert!(verdicts.iter().all(|v| !v.passed), "{verdicts:?}");
+        // The override never lowers a built-in floor.
+        let mut metrics = tracked_metrics("store", &parse(STORE).unwrap()).unwrap();
+        override_store_floor(&mut metrics, 0.01);
+        let churn = metrics.iter().find(|m| m.name.contains("over_budget")).unwrap();
+        assert_eq!(churn.hard_min, Some(1.0));
     }
 
     #[test]

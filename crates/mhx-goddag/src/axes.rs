@@ -54,6 +54,30 @@ pub enum Axis {
 }
 
 impl Axis {
+    /// Every axis of the extended path language, in declaration order —
+    /// for exhaustive differential sweeps.
+    pub const ALL: [Axis; 19] = [
+        Axis::Child,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::Parent,
+        Axis::Ancestor,
+        Axis::AncestorOrSelf,
+        Axis::Following,
+        Axis::Preceding,
+        Axis::FollowingSibling,
+        Axis::PrecedingSibling,
+        Axis::SelfAxis,
+        Axis::Attribute,
+        Axis::XAncestor,
+        Axis::XDescendant,
+        Axis::XFollowing,
+        Axis::XPreceding,
+        Axis::PrecedingOverlapping,
+        Axis::FollowingOverlapping,
+        Axis::Overlapping,
+    ];
+
     /// XPath axis name (`xancestor`, `preceding-overlapping`, …).
     pub fn name(self) -> &'static str {
         match self {

@@ -482,6 +482,40 @@ impl Goddag {
         }
     }
 
+    /// Root attributes as `(name, value)` pairs (snapshot serialization).
+    pub(crate) fn root_attr_pairs(&self) -> &[(String, String)] {
+        &self.root_attrs
+    }
+
+    /// Reassemble a goddag from already-built hierarchies (snapshot
+    /// deserialization). Boundaries, `base_count`, and `version` are
+    /// replayed through [`Goddag::install`] exactly as the builder does,
+    /// so the result is indistinguishable from a freshly parsed document
+    /// — apart from the fresh `doc_id`, which is what makes a reloaded
+    /// snapshot a distinct document for index-staleness purposes.
+    pub(crate) fn from_parts(
+        text: String,
+        root_name: String,
+        root_attrs: Vec<(String, String)>,
+        hierarchies: Vec<Hierarchy>,
+    ) -> Goddag {
+        let mut g = Goddag {
+            boundaries: Boundaries::new(text.len() as u32),
+            text,
+            root_name,
+            root_attrs,
+            hierarchies: Vec::new(),
+            base_count: 0,
+            version: 0,
+            doc_id: NEXT_DOC_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        };
+        for h in hierarchies {
+            let is_virtual = h.is_virtual;
+            g.install(h, is_virtual);
+        }
+        g
+    }
+
     fn install(&mut self, h: Hierarchy, is_virtual: bool) -> HierarchyId {
         for e in &h.elems {
             self.boundaries.add(e.span.0);

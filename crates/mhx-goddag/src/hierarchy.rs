@@ -115,7 +115,7 @@ impl Hierarchy {
         }
     }
 
-    fn finish(&mut self) {
+    pub(crate) fn finish(&mut self) {
         self.text_starts = self
             .texts
             .iter()

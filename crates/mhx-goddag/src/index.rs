@@ -43,23 +43,23 @@ use std::collections::HashMap;
 
 /// One non-empty node span. `start`/`end` are byte offsets into `S`.
 #[derive(Debug, Clone, Copy)]
-struct SpanEntry {
-    start: u32,
-    end: u32,
-    node: NodeId,
+pub(crate) struct SpanEntry {
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+    pub(crate) node: NodeId,
 }
 
 /// One node in a hierarchy's laminar containment chain. `parent` indexes
 /// into the same array (`u32::MAX` for top-level nodes).
 #[derive(Debug, Clone, Copy)]
-struct ChainEntry {
-    start: u32,
-    end: u32,
-    node: NodeId,
-    parent: u32,
+pub(crate) struct ChainEntry {
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+    pub(crate) node: NodeId,
+    pub(crate) parent: u32,
 }
 
-const NO_PARENT: u32 = u32::MAX;
+pub(crate) const NO_PARENT: u32 = u32::MAX;
 
 /// Document statistics computed once at [`StructIndex::build`] time — the
 /// selectivity side-channel for the plan optimizer's cost model. Everything
@@ -69,15 +69,15 @@ const NO_PARENT: u32 = u32::MAX;
 #[derive(Debug, Clone, Default)]
 pub struct IndexStats {
     /// Named element entries (including the root).
-    element_count: u64,
+    pub(crate) element_count: u64,
     /// Non-empty-span nodes (the `ordered` array length).
-    span_count: u64,
+    pub(crate) span_count: u64,
     /// Document text length in bytes (the root span).
-    text_len: u64,
+    pub(crate) text_len: u64,
     /// Average direct fan-out of the laminar containment chains.
-    avg_fanout: f64,
+    pub(crate) avg_fanout: f64,
     /// Per name: occurrence count and total span bytes.
-    names: HashMap<String, (u32, u64)>,
+    pub(crate) names: HashMap<String, (u32, u64)>,
 }
 
 impl IndexStats {
@@ -126,25 +126,25 @@ impl IndexStats {
 /// Precomputed structural indexes for one [`Goddag`] snapshot.
 #[derive(Debug, Clone)]
 pub struct StructIndex {
-    version: u64,
-    doc_id: u64,
+    pub(crate) version: u64,
+    pub(crate) doc_id: u64,
     /// Element nodes (including the root) by name, Definition-3 order.
-    name_map: HashMap<String, Vec<NodeId>>,
+    pub(crate) name_map: HashMap<String, Vec<NodeId>>,
     /// All non-empty-span nodes in Definition-3 order with precomputed
     /// spans — the low-selectivity axes (`xfollowing`/`xpreceding`) filter
     /// this directly, producing sorted output with no re-sort and no
     /// per-node span recomputation.
-    ordered: Vec<SpanEntry>,
+    pub(crate) ordered: Vec<SpanEntry>,
     /// The same entries sorted by `(start, end)`; ties keep Definition-3
     /// order (stable sort over `all_nodes()`).
-    by_start: Vec<SpanEntry>,
+    pub(crate) by_start: Vec<SpanEntry>,
     /// The same entries sorted by `(end, start)`.
-    by_end: Vec<SpanEntry>,
+    pub(crate) by_end: Vec<SpanEntry>,
     /// Laminar containment chain per hierarchy, in span preorder
     /// (start asc, end desc, node order asc).
-    chains: Vec<Vec<ChainEntry>>,
+    pub(crate) chains: Vec<Vec<ChainEntry>>,
     /// Selectivity statistics for the optimizer's cost model.
-    stats: IndexStats,
+    pub(crate) stats: IndexStats,
 }
 
 impl StructIndex {

@@ -45,6 +45,7 @@
 pub mod axes;
 pub mod boundaries;
 pub mod cmh;
+pub mod columns;
 pub mod dot;
 pub mod error;
 pub mod export;

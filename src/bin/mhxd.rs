@@ -27,15 +27,20 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: mhxd [--listen ADDR] [--workers N] [--doc ID[=FILE]]... [-h NAME=FILE]...\n\
-         \x20           [--figure1]\n\
+         \x20           [--figure1] [--data-dir DIR] [--memory-budget BYTES] [--max-idle SECS]\n\
          \n\
-         --listen ADDR      bind address (default 127.0.0.1:7077; port 0 = ephemeral)\n\
-         --workers N        dispatch worker threads — the concurrent request\n\
-         \x20                 execution bound; connections are evented (default 8)\n\
-         --doc ID           start document ID; following -h flags attach to it\n\
-         --doc ID=FILE      register document ID from a single XML file\n\
-         -h NAME=FILE       add hierarchy NAME from XML file FILE (repeatable)\n\
-         --figure1          add the built-in Figure-1 manuscript corpus as a document"
+         --listen ADDR          bind address (default 127.0.0.1:7077; port 0 = ephemeral)\n\
+         --workers N            dispatch worker threads — the concurrent request\n\
+         \x20                     execution bound; connections are evented (default 8)\n\
+         --doc ID               start document ID; following -h flags attach to it\n\
+         --doc ID=FILE          register document ID from a single XML file\n\
+         -h NAME=FILE           add hierarchy NAME from XML file FILE (repeatable)\n\
+         --figure1              add the built-in Figure-1 manuscript corpus as a document\n\
+         --data-dir DIR         persist documents as columnar snapshots in DIR and\n\
+         \x20                     replay what's there at boot (loaded lazily on first query)\n\
+         --memory-budget BYTES  evict least-recently-queried documents from RAM when\n\
+         \x20                     resident snapshots exceed BYTES (requires --data-dir)\n\
+         --max-idle SECS        close keep-alive connections idle longer than SECS"
     );
     exit(2);
 }
@@ -107,6 +112,8 @@ fn main() {
     let mut listen = "127.0.0.1:7077".to_string();
     let mut config = ServerConfig::default();
     let mut docs: Vec<DocSpec> = Vec::new();
+    let mut data_dir: Option<String> = None;
+    let mut memory_budget: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -164,6 +171,25 @@ fn main() {
                 hierarchies: Vec::new(),
                 prebuilt: true,
             }),
+            "--data-dir" => {
+                i += 1;
+                let Some(dir) = args.get(i) else { usage() };
+                data_dir = Some(dir.clone());
+            }
+            "--memory-budget" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|v| v.parse().ok()) else { usage() };
+                memory_budget = Some(n);
+            }
+            "--max-idle" => {
+                i += 1;
+                let Some(secs) = args.get(i).and_then(|v| v.parse::<f64>().ok()) else { usage() };
+                if !secs.is_finite() || secs <= 0.0 {
+                    eprintln!("--max-idle needs a positive number of seconds");
+                    exit(2);
+                }
+                config.max_idle = Some(Duration::from_secs_f64(secs));
+            }
             "--help" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -173,10 +199,41 @@ fn main() {
         i += 1;
     }
 
+    if memory_budget.is_some() && data_dir.is_none() {
+        eprintln!("--memory-budget requires --data-dir (evicted documents reload from disk)");
+        exit(2);
+    }
+
     let catalog = Arc::new(Catalog::new());
+    if let Some(dir) = &data_dir {
+        // Replay before CLI preloads: a `--doc` of the same id overwrites
+        // the stored snapshot, which is the intuitive precedence.
+        match catalog.attach_store(dir, memory_budget) {
+            Ok(replayed) if replayed.is_empty() => {}
+            Ok(replayed) => eprintln!(
+                "mhxd: data dir {dir} holds {} snapshot(s), loaded lazily on first query",
+                replayed.len()
+            ),
+            Err(e) => {
+                eprintln!("cannot open data dir {dir}: {e}");
+                exit(1);
+            }
+        }
+    }
+    // With a store attached, `put` persists each preloaded document too.
+    let register = |id: &str, g| {
+        if catalog.store_attached() {
+            if let Err(e) = catalog.put(id, g) {
+                eprintln!("persisting document `{id}` failed: {e}");
+                exit(1);
+            }
+        } else {
+            catalog.insert(id, g);
+        }
+    };
     for d in &docs {
         if d.prebuilt {
-            catalog.insert(&d.id, figure1::goddag());
+            register(&d.id, figure1::goddag());
             continue;
         }
         if d.hierarchies.is_empty() {
@@ -188,7 +245,7 @@ fn main() {
             b = b.hierarchy(name.clone(), src.clone());
         }
         match b.build() {
-            Ok(g) => catalog.insert(&d.id, g),
+            Ok(g) => register(&d.id, g),
             Err(e) => {
                 eprintln!("building document `{}` failed: {e}", d.id);
                 exit(1);

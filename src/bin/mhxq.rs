@@ -218,7 +218,29 @@ fn run_remote(
 
     if stats {
         match client.stats() {
-            Ok(s) => print_remote_stats(&s),
+            Ok(s) => {
+                let store_attached = s
+                    .get("store")
+                    .and_then(|st| st.get("attached"))
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                print_remote_stats(&s);
+                // Residency only means something once a store is attached
+                // (without one every document is permanently resident).
+                if store_attached {
+                    match client.document_status() {
+                        Ok(rows) => {
+                            for (id, residency, bytes) in rows {
+                                eprintln!("  document {id}: {residency}, {bytes} snapshot bytes");
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("cannot fetch document residency: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!("cannot fetch server stats: {e}");
                 failed = true;
@@ -264,6 +286,24 @@ fn print_remote_stats(s: &Json) {
         n(server, "requests"),
         n(server, "active_connections"),
     );
+    let store = s.get("store");
+    if store.and_then(|st| st.get("attached")).and_then(Json::as_bool).unwrap_or(false) {
+        let budget = store
+            .and_then(|st| st.get("memory_budget"))
+            .and_then(Json::as_u64)
+            .map(|b| format!("{b} byte budget"))
+            .unwrap_or_else(|| "no budget".to_string());
+        eprintln!(
+            "store: {} loads, {} evictions, {} cold-start hits, {} bytes on disk, \
+             {} resident documents / {} resident bytes ({budget})",
+            n(store, "loads"),
+            n(store, "evictions"),
+            n(store, "cold_start_hits"),
+            n(store, "bytes_on_disk"),
+            n(store, "resident_docs"),
+            n(store, "resident_bytes"),
+        );
+    }
     let sessions = server.and_then(|o| o.get("sessions")).and_then(Json::as_arr).unwrap_or(&[]);
     for sess in sessions {
         let sess = Some(sess);

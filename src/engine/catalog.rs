@@ -129,28 +129,26 @@ impl Drop for InFlight<'_> {
 /// Default plan-cache capacity (distinct query texts kept compiled).
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
 
-/// One registered document: its goddag and the lazily maintained
-/// structural index snapshot.
-pub(crate) struct DocEntry {
-    g: RwLock<Goddag>,
+/// The in-RAM half of a document: its goddag and the lazily maintained
+/// structural index snapshot. Dropped on eviction, rebuilt from the
+/// snapshot file on the next query.
+pub(crate) struct DocBody {
+    g: Goddag,
     index: RwLock<Option<Arc<StructIndex>>>,
 }
 
-impl DocEntry {
-    fn new(g: Goddag) -> DocEntry {
-        // Build eagerly: registration is the natural place to pay the
-        // one-time cost, and it keeps first-query latency flat.
-        let index = StructIndex::build(&g);
-        DocEntry { g: RwLock::new(g), index: RwLock::new(Some(Arc::new(index))) }
+impl DocBody {
+    fn new(g: Goddag, index: Arc<StructIndex>) -> DocBody {
+        DocBody { g, index: RwLock::new(Some(index)) }
     }
 
-    /// A current index snapshot for `g` (the caller holds `g`'s read lock,
-    /// so the goddag cannot move under us while we validate/rebuild).
-    fn current_index(&self, g: &Goddag) -> Arc<StructIndex> {
+    /// A current index snapshot (the caller holds the entry's body read
+    /// lock, so the goddag cannot move under us while we validate/rebuild).
+    fn current_index(&self) -> Arc<StructIndex> {
         {
             let slot = self.index.read().unwrap_or_else(PoisonError::into_inner);
             if let Some(idx) = slot.as_ref() {
-                if idx.is_current(g) {
+                if idx.is_current(&self.g) {
                     return Arc::clone(idx);
                 }
             }
@@ -158,14 +156,118 @@ impl DocEntry {
         let mut slot = self.index.write().unwrap_or_else(PoisonError::into_inner);
         // Double-check: another reader may have rebuilt while we waited.
         if let Some(idx) = slot.as_ref() {
-            if idx.is_current(g) {
+            if idx.is_current(&self.g) {
                 return Arc::clone(idx);
             }
         }
-        let idx = Arc::new(StructIndex::build(g));
+        let idx = Arc::new(StructIndex::build(&self.g));
         *slot = Some(Arc::clone(&idx));
         idx
     }
+}
+
+/// One registered document. The body is optional: `None` means the
+/// document is evicted — known to the catalog, resident only on disk,
+/// reloaded lazily on the next query.
+pub(crate) struct DocEntry {
+    body: RwLock<Option<DocBody>>,
+    /// Monotonic catalog tick of the last query/load — the LRU key for
+    /// memory-budget eviction.
+    last_used: AtomicU64,
+    /// Snapshot file size; 0 when the document is not persisted (plain
+    /// [`Catalog::insert`]). Only persisted documents are evictable, and
+    /// this doubles as the resident-set size estimate.
+    snapshot_bytes: AtomicU64,
+    /// A snapshot load is reading the disk right now.
+    loading: AtomicBool,
+    /// Never been resident in this process — the next load is a cold
+    /// start, not eviction churn.
+    cold: AtomicBool,
+}
+
+impl DocEntry {
+    fn new(g: Goddag) -> DocEntry {
+        // Build eagerly: registration is the natural place to pay the
+        // one-time cost, and it keeps first-query latency flat.
+        let index = Arc::new(StructIndex::build(&g));
+        DocEntry::resident(g, index, 0)
+    }
+
+    fn resident(g: Goddag, index: Arc<StructIndex>, snapshot_bytes: u64) -> DocEntry {
+        DocEntry {
+            body: RwLock::new(Some(DocBody::new(g, index))),
+            last_used: AtomicU64::new(0),
+            snapshot_bytes: AtomicU64::new(snapshot_bytes),
+            loading: AtomicBool::new(false),
+            cold: AtomicBool::new(false),
+        }
+    }
+
+    /// A known-on-disk document with no RAM body yet (boot replay, or a
+    /// snapshot discovered on a registry miss).
+    fn evicted(snapshot_bytes: u64) -> DocEntry {
+        DocEntry {
+            body: RwLock::new(None),
+            last_used: AtomicU64::new(0),
+            snapshot_bytes: AtomicU64::new(snapshot_bytes),
+            loading: AtomicBool::new(false),
+            cold: AtomicBool::new(true),
+        }
+    }
+}
+
+/// Where a document currently lives (reported by `/documents`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Goddag + index in RAM, queries answer directly.
+    Resident,
+    /// Only the snapshot file exists; the next query reloads it.
+    Evicted,
+    /// A snapshot load is in progress.
+    Loading,
+}
+
+impl Residency {
+    /// Stable lowercase wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Residency::Resident => "resident",
+            Residency::Evicted => "evicted",
+            Residency::Loading => "loading",
+        }
+    }
+}
+
+/// Persistent-store counters, snapshot via [`Catalog::store_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// A data directory is attached.
+    pub attached: bool,
+    /// The resident-set byte cap, if any.
+    pub budget: Option<u64>,
+    /// Snapshot loads (cold starts + eviction-churn reloads).
+    pub loads: u64,
+    /// Documents evicted to enforce the memory budget.
+    pub evictions: u64,
+    /// Loads of documents never previously resident in this process.
+    pub cold_start_hits: u64,
+    /// Total bytes across all snapshot files.
+    pub bytes_on_disk: u64,
+    /// Documents currently resident in RAM.
+    pub resident_docs: u64,
+    /// Snapshot-size estimate of the resident persisted set (what the
+    /// budget is enforced against).
+    pub resident_bytes: u64,
+}
+
+/// The catalog's persistent-store binding (set once by
+/// [`Catalog::attach_store`]).
+struct StoreBinding {
+    store: mhx_store::DocStore,
+    budget: Option<u64>,
+    loads: AtomicU64,
+    evictions: AtomicU64,
+    cold_start_hits: AtomicU64,
 }
 
 /// The multi-document query facade. See the [module docs](self).
@@ -205,6 +307,9 @@ pub struct Catalog {
     eval_totals: EvalTotals,
     shutting_down: AtomicBool,
     in_flight: AtomicU64,
+    store: std::sync::OnceLock<StoreBinding>,
+    /// Monotonic logical clock for LRU last-used stamps.
+    tick: AtomicU64,
 }
 
 impl Default for Catalog {
@@ -230,6 +335,8 @@ impl Catalog {
             eval_totals: EvalTotals::default(),
             shutting_down: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
+            store: std::sync::OnceLock::new(),
+            tick: AtomicU64::new(0),
         }
     }
 
@@ -337,10 +444,16 @@ impl Catalog {
         self.docs.write().unwrap_or_else(PoisonError::into_inner).insert(id.into(), entry);
     }
 
-    /// Remove a document. Running queries against it finish on their own
-    /// snapshot; subsequent queries get [`EngineError::UnknownDocument`].
+    /// Remove a document — registry entry and snapshot file both. Running
+    /// queries against it finish on their own snapshot; subsequent
+    /// queries get [`EngineError::UnknownDocument`].
     pub fn remove(&self, id: &str) -> bool {
-        self.docs.write().unwrap_or_else(PoisonError::into_inner).remove(id).is_some()
+        let known = self.docs.write().unwrap_or_else(PoisonError::into_inner).remove(id).is_some();
+        let on_disk = match self.store.get() {
+            Some(b) => b.store.remove(id).unwrap_or(false),
+            None => false,
+        };
+        known || on_disk
     }
 
     pub fn contains(&self, id: &str) -> bool {
@@ -360,8 +473,235 @@ impl Catalog {
         self.registry().is_empty()
     }
 
+    /// Resolve a document entry: registry first, then — with a store
+    /// attached — a snapshot-file probe, so `UnknownDocument` is only
+    /// returned after a true store miss.
     fn entry(&self, id: &str) -> Result<Arc<DocEntry>, EngineError> {
-        self.registry().get(id).cloned().ok_or_else(|| EngineError::unknown_document(id))
+        if let Some(e) = self.registry().get(id).cloned() {
+            return Ok(e);
+        }
+        if let Some(b) = self.store.get() {
+            if let Some(size) = b.store.snapshot_size(id) {
+                let mut docs = self.docs.write().unwrap_or_else(PoisonError::into_inner);
+                let e =
+                    docs.entry(id.to_string()).or_insert_with(|| Arc::new(DocEntry::evicted(size)));
+                return Ok(Arc::clone(e));
+            }
+        }
+        Err(EngineError::unknown_document(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent store
+    // ------------------------------------------------------------------
+
+    /// Attach a snapshot data directory (at most once per catalog).
+    /// Existing snapshots are registered immediately as evicted entries —
+    /// boot replay is an `open`, not a reparse; bodies load lazily on
+    /// first query. `budget` caps the resident persisted set in bytes:
+    /// when exceeded, least-recently-queried documents drop their RAM
+    /// body (the snapshot file stays). Returns the replayed ids.
+    pub fn attach_store(
+        &self,
+        dir: impl Into<std::path::PathBuf>,
+        budget: Option<u64>,
+    ) -> Result<Vec<String>, EngineError> {
+        let store =
+            mhx_store::DocStore::open(dir).map_err(|e| EngineError::store(e.to_string()))?;
+        let listing = store.list().map_err(|e| EngineError::store(e.to_string()))?;
+        let binding = StoreBinding {
+            store,
+            budget,
+            loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            cold_start_hits: AtomicU64::new(0),
+        };
+        if self.store.set(binding).is_err() {
+            return Err(EngineError::store("a data directory is already attached"));
+        }
+        let mut docs = self.docs.write().unwrap_or_else(PoisonError::into_inner);
+        let mut ids = Vec::with_capacity(listing.len());
+        for (id, size) in listing {
+            docs.entry(id.clone()).or_insert_with(|| Arc::new(DocEntry::evicted(size)));
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Whether a data directory is attached.
+    pub fn store_attached(&self) -> bool {
+        self.store.get().is_some()
+    }
+
+    /// Register **and persist** a document under `id`: the durable
+    /// counterpart of [`Catalog::insert`]. With no store attached this is
+    /// plain registration; with one, the snapshot is written first (a
+    /// failed write registers nothing), then the memory budget is
+    /// enforced.
+    pub fn put(&self, id: impl Into<String>, g: Goddag) -> Result<(), EngineError> {
+        let id = id.into();
+        let index = Arc::new(StructIndex::build(&g));
+        let mut snapshot_bytes = 0;
+        if let Some(b) = self.store.get() {
+            snapshot_bytes =
+                b.store.save(&id, &g, &index).map_err(|e| EngineError::store(e.to_string()))?;
+        }
+        let entry = Arc::new(DocEntry::resident(g, index, snapshot_bytes));
+        self.touch(&entry);
+        self.docs.write().unwrap_or_else(PoisonError::into_inner).insert(id, entry);
+        self.enforce_budget();
+        Ok(())
+    }
+
+    /// Store counters (all zero when no store is attached).
+    pub fn store_stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        for e in self.registry().values() {
+            let resident = match e.body.try_read() {
+                Ok(guard) => guard.is_some(),
+                // Locked for writing: a load or mutation is touching the
+                // body, either way it is (about to be) resident.
+                Err(_) => true,
+            };
+            if resident {
+                stats.resident_docs += 1;
+                stats.resident_bytes += e.snapshot_bytes.load(Ordering::Relaxed);
+            }
+        }
+        if let Some(b) = self.store.get() {
+            stats.attached = true;
+            stats.budget = b.budget;
+            stats.loads = b.loads.load(Ordering::Relaxed);
+            stats.evictions = b.evictions.load(Ordering::Relaxed);
+            stats.cold_start_hits = b.cold_start_hits.load(Ordering::Relaxed);
+            stats.bytes_on_disk = b.store.bytes_on_disk();
+        }
+        stats
+    }
+
+    /// Per-document residency and snapshot size, sorted by id.
+    pub fn document_status(&self) -> Vec<(String, Residency, u64)> {
+        self.registry()
+            .iter()
+            .map(|(id, e)| {
+                let residency = if e.loading.load(Ordering::Acquire) {
+                    Residency::Loading
+                } else {
+                    match e.body.try_read() {
+                        Ok(guard) if guard.is_some() => Residency::Resident,
+                        Ok(_) => Residency::Evicted,
+                        // Write-locked without the loading flag: an
+                        // in-place mutation of a resident body.
+                        Err(_) => Residency::Resident,
+                    }
+                };
+                (id.clone(), residency, e.snapshot_bytes.load(Ordering::Relaxed))
+            })
+            .collect()
+    }
+
+    /// Stamp an entry as just-used (the LRU clock).
+    fn touch(&self, entry: &DocEntry) {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// A read guard whose body is guaranteed `Some`: loads the snapshot
+    /// (single-flight, under the entry's write lock) when the document is
+    /// evicted, retrying if a concurrent budget pass re-evicts between the
+    /// load and our re-read.
+    fn resident_body<'a>(
+        &self,
+        id: &str,
+        entry: &'a DocEntry,
+    ) -> Result<std::sync::RwLockReadGuard<'a, Option<DocBody>>, EngineError> {
+        loop {
+            {
+                let guard = entry.body.read().unwrap_or_else(PoisonError::into_inner);
+                if guard.is_some() {
+                    self.touch(entry);
+                    return Ok(guard);
+                }
+            }
+            self.load_into(id, entry)?;
+        }
+    }
+
+    /// Load `id`'s snapshot into an evicted entry (no-op if another
+    /// thread already did), then enforce the budget — the freshly loaded
+    /// entry is the most recently used, so it is never its own victim.
+    fn load_into(&self, id: &str, entry: &DocEntry) -> Result<(), EngineError> {
+        {
+            let mut guard = entry.body.write().unwrap_or_else(PoisonError::into_inner);
+            if guard.is_some() {
+                return Ok(());
+            }
+            let Some(b) = self.store.get() else {
+                return Err(EngineError::store(format!(
+                    "document `{id}` is evicted but no data directory is attached"
+                )));
+            };
+            entry.loading.store(true, Ordering::Release);
+            let loaded = b.store.load(id);
+            entry.loading.store(false, Ordering::Release);
+            let (g, idx) = match loaded {
+                Ok(Some(pair)) => pair,
+                Ok(None) => return Err(EngineError::unknown_document(id)),
+                Err(e) => return Err(EngineError::store(e.to_string())),
+            };
+            b.loads.fetch_add(1, Ordering::Relaxed);
+            if entry.cold.swap(false, Ordering::Relaxed) {
+                b.cold_start_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            *guard = Some(DocBody::new(g, Arc::new(idx)));
+            self.touch(entry);
+        }
+        self.enforce_budget();
+        Ok(())
+    }
+
+    /// Evict least-recently-used persisted documents until the resident
+    /// persisted set fits the budget. In-use documents (read-locked by a
+    /// running query) are skipped, and the most recently used document is
+    /// never evicted — reloading one oversized document must not thrash.
+    fn enforce_budget(&self) {
+        let Some(b) = self.store.get() else { return };
+        let Some(budget) = b.budget else { return };
+        let docs = self.registry();
+        let mut resident: Vec<(&Arc<DocEntry>, u64, u64)> = docs
+            .values()
+            .filter_map(|e| {
+                let size = e.snapshot_bytes.load(Ordering::Relaxed);
+                if size == 0 {
+                    return None; // not persisted — not evictable
+                }
+                match e.body.try_read() {
+                    Ok(guard) if guard.is_some() => {
+                        Some((e, size, e.last_used.load(Ordering::Relaxed)))
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        let mut total: u64 = resident.iter().map(|&(_, size, _)| size).sum();
+        if total <= budget || resident.len() <= 1 {
+            return;
+        }
+        resident.sort_by_key(|&(_, _, used)| used);
+        // All but the most recently used are candidates, oldest first.
+        for &(e, size, _) in resident.iter().take(resident.len() - 1) {
+            if total <= budget {
+                break;
+            }
+            // try_write fails exactly when a query holds the body — skip
+            // in-use documents rather than stall the loader.
+            if let Ok(mut guard) = e.body.try_write() {
+                if guard.take().is_some() {
+                    b.evictions.fetch_add(1, Ordering::Relaxed);
+                    total -= size;
+                }
+            }
+        }
     }
 
     /// Read a document's goddag under its lock.
@@ -390,20 +730,42 @@ impl Catalog {
         f: impl FnOnce(&Goddag) -> T,
     ) -> Result<T, EngineError> {
         let entry = self.entry(id)?;
-        let g = entry.g.read().unwrap_or_else(PoisonError::into_inner);
-        Ok(f(&g))
+        let guard = self.resident_body(id, &entry)?;
+        Ok(f(&guard.as_ref().expect("resident_body returns Some").g))
     }
 
     /// Add a base hierarchy to a registered document. Takes the document's
     /// write lock (queries on other documents are unaffected); the index
     /// rebuilds lazily on the next query. Compiled plans stay valid.
+    /// Persisted documents are re-snapshotted so the mutation survives a
+    /// restart.
     pub fn add_hierarchy(&self, id: &str, name: &str, xml: &str) -> Result<(), EngineError> {
         self.check_open()?;
         let entry = self.entry(id)?;
         let doc = mhx_xml::parse(xml)?;
-        let mut g = entry.g.write().unwrap_or_else(PoisonError::into_inner);
-        g.add_document_hierarchy(name, &doc)?;
-        Ok(())
+        loop {
+            let mut guard = entry.body.write().unwrap_or_else(PoisonError::into_inner);
+            let Some(body) = guard.as_mut() else {
+                drop(guard);
+                self.load_into(id, &entry)?;
+                continue;
+            };
+            body.g.add_document_hierarchy(name, &doc)?;
+            if entry.snapshot_bytes.load(Ordering::Relaxed) > 0 {
+                if let Some(b) = self.store.get() {
+                    // Rebuild the index now — the snapshot stores both —
+                    // and leave it in the slot for the next query.
+                    let idx = Arc::new(StructIndex::build(&body.g));
+                    let bytes = b
+                        .store
+                        .save(id, &body.g, &idx)
+                        .map_err(|e| EngineError::store(e.to_string()))?;
+                    *body.index.write().unwrap_or_else(PoisonError::into_inner) = Some(idx);
+                    entry.snapshot_bytes.store(bytes, Ordering::Relaxed);
+                }
+            }
+            return Ok(());
+        }
     }
 
     // ------------------------------------------------------------------
@@ -418,7 +780,7 @@ impl Catalog {
         self.check_open()?;
         let entry = self.entry(id)?;
         let plan = self.plan_for(QueryLang::XPath, src, Some(id))?;
-        self.eval_entry(&entry, &plan, &self.opts, None)
+        self.eval_entry(id, &entry, &plan, &self.opts, None)
     }
 
     /// Run an XQuery query against document `id` with the catalog's
@@ -427,7 +789,7 @@ impl Catalog {
         self.check_open()?;
         let entry = self.entry(id)?;
         let plan = self.plan_for(QueryLang::XQuery, src, Some(id))?;
-        self.eval_entry(&entry, &plan, &self.opts, None)
+        self.eval_entry(id, &entry, &plan, &self.opts, None)
     }
 
     /// Language-dispatched entry point (what a network front end calls).
@@ -448,10 +810,11 @@ impl Catalog {
         self.check_open()?;
         let entry = self.entry(id)?;
         let plan = self.plan_for(lang, src, Some(id))?;
-        let g = entry.g.read().unwrap_or_else(PoisonError::into_inner);
-        let idx = entry.current_index(&g);
+        let guard = self.resident_body(id, &entry)?;
+        let body = guard.as_ref().expect("resident_body returns Some");
+        let idx = body.current_index();
         match &plan {
-            CachedPlan::XPath(p) => p.explain(&g, &idx).map_err(xpath_eval_error),
+            CachedPlan::XPath(p) => p.explain(&body.g, &idx).map_err(xpath_eval_error),
             CachedPlan::XQuery(q) => Ok(q.explain(Some(idx.stats()))),
         }
     }
@@ -498,9 +861,9 @@ impl Catalog {
     /// own [`EvalOptions`] (initialized from the catalog defaults).
     pub fn session(&self, id: &str) -> Result<Session<'_>, EngineError> {
         self.check_open()?;
-        if !self.contains(id) {
-            return Err(EngineError::unknown_document(id));
-        }
+        // `entry` rather than `contains`: a store-backed document that is
+        // on disk but not yet registered still opens a session.
+        self.entry(id)?;
         Ok(Session::new(self, id.to_string(), self.opts.clone()))
     }
 
@@ -544,11 +907,12 @@ impl Catalog {
         session_totals: Option<&EvalTotals>,
     ) -> Result<QueryOutcome, EngineError> {
         let entry = self.entry(id)?;
-        self.eval_entry(&entry, plan, opts, session_totals)
+        self.eval_entry(id, &entry, plan, opts, session_totals)
     }
 
     fn eval_entry(
         &self,
+        id: &str,
         entry: &DocEntry,
         plan: &CachedPlan,
         opts: &EvalOptions,
@@ -560,8 +924,10 @@ impl Catalog {
         // it doesn't know about.
         let _in_flight = InFlight::enter(&self.in_flight);
         self.check_open()?;
-        let g = entry.g.read().unwrap_or_else(PoisonError::into_inner);
-        let idx = entry.current_index(&g);
+        let guard = self.resident_body(id, entry)?;
+        let body = guard.as_ref().expect("resident_body returns Some");
+        let g = &body.g;
+        let idx = body.current_index();
         let record = |delta: EvalStats| {
             self.eval_totals.add(delta);
             if let Some(totals) = session_totals {
@@ -573,7 +939,7 @@ impl Catalog {
                 let ctx = Context::new(NodeId::Root);
                 let counters = EvalCounters::default();
                 let v = p
-                    .evaluate_with(&g, &idx, &ctx, opts.optimize, &counters)
+                    .evaluate_with(g, &idx, &ctx, opts.optimize, &counters)
                     .map_err(xpath_eval_error)?;
                 let rewrites = if opts.optimize { p.report().total() as u64 } else { 0 };
                 record(EvalStats {
@@ -584,10 +950,10 @@ impl Catalog {
                     hoisted_preds: counters.hoisted_preds.get(),
                     chain_joins: counters.chain_joins.get(),
                 });
-                Ok(QueryOutcome::from_xpath_value(v, &g, &idx, opts))
+                Ok(QueryOutcome::from_xpath_value(v, g, &idx, opts))
             }
             CachedPlan::XQuery(q) => {
-                let (out, stats) = q.run_with_index(&g, Some(&idx), opts).map_err(xquery_error)?;
+                let (out, stats) = q.run_with_index(g, Some(&idx), opts).map_err(xquery_error)?;
                 record(EvalStats {
                     batched_steps: stats.batched_steps,
                     rewritten_steps: stats.rewritten_steps,

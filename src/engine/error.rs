@@ -67,6 +67,9 @@ pub enum EngineError {
     /// The catalog is draining for shutdown: in-flight queries finish, new
     /// ones are refused (serving front ends map this to 503).
     ShuttingDown,
+    /// The persistent document store failed (I/O error or a corrupt
+    /// snapshot). Serving front ends map this to 500.
+    Store { message: String },
 }
 
 impl EngineError {
@@ -93,6 +96,10 @@ impl EngineError {
     pub(crate) fn unknown_document(id: &str) -> EngineError {
         EngineError::UnknownDocument { id: id.to_string() }
     }
+
+    pub(crate) fn store(message: impl Into<String>) -> EngineError {
+        EngineError::Store { message: message.into() }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -118,6 +125,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::ShuttingDown => {
                 write!(f, "catalog is shutting down (draining in-flight queries)")
+            }
+            EngineError::Store { message } => {
+                write!(f, "document store error: {message}")
             }
         }
     }

@@ -35,7 +35,7 @@ pub mod result;
 pub mod session;
 
 pub use cache::CacheStats;
-pub use catalog::{Catalog, EvalStats, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use catalog::{Catalog, EvalStats, Residency, StoreStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use error::{EngineError, QueryLang};
 pub use result::{QueryOutcome, QueryValue};
 pub use session::{Prepared, Session};

@@ -60,14 +60,14 @@ pub mod server;
 
 pub use engine::{
     CacheStats, Catalog, Engine, EngineError, EvalStats, Prepared, QueryLang, QueryOutcome,
-    QueryValue, Session,
+    QueryValue, Residency, Session, StoreStats,
 };
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::engine::{
         CacheStats, Catalog, Engine, EngineError, EvalStats, Prepared, QueryLang, QueryOutcome,
-        QueryValue, Session,
+        QueryValue, Residency, Session, StoreStats,
     };
     pub use mhx_goddag::{Goddag, GoddagBuilder, NodeId, StructIndex};
     pub use mhx_xml::Document;

@@ -89,6 +89,10 @@ pub(crate) struct EventConfig {
     pub(crate) request_timeout: Duration,
     /// Maximum request body size in bytes.
     pub(crate) max_body: usize,
+    /// Close a keep-alive connection that has been completely idle (no
+    /// half-received request, nothing queued or in flight, output
+    /// flushed) for this long. `None` keeps idle connections forever.
+    pub(crate) max_idle: Option<Duration>,
 }
 
 const TOKEN_LISTENER: u64 = 0;
@@ -199,6 +203,9 @@ struct ConnEntry<C> {
     /// When the currently half-received request started arriving
     /// (slow-loris bound).
     partial_since: Option<Instant>,
+    /// Last time the connection did anything (accepted, bytes read, a
+    /// response completed) — the idle keep-alive eviction clock.
+    last_activity: Instant,
 }
 
 struct Loop<S: Service> {
@@ -279,6 +286,7 @@ impl<S: Service> Loop<S> {
                             want_read: true,
                             want_write: false,
                             partial_since: None,
+                            last_activity: Instant::now(),
                         },
                     );
                 }
@@ -303,6 +311,7 @@ impl<S: Service> Loop<S> {
                     Ok(0) => entry.read_closed = true,
                     Ok(n) => {
                         entry.buf.extend_from_slice(&chunk[..n]);
+                        entry.last_activity = Instant::now();
                         read_some = true;
                     }
                     Err(ref e)
@@ -443,6 +452,7 @@ impl<S: Service> Loop<S> {
                 Some(entry) => {
                     entry.in_worker = false;
                     entry.state = Some(c.state);
+                    entry.last_activity = Instant::now();
                     entry.out.extend_from_slice(&c.bytes);
                     if !c.keep {
                         entry.close_after_flush = true;
@@ -472,6 +482,31 @@ impl<S: Service> Loop<S> {
                 entry.partial_since = None;
             }
             self.pump(token);
+        }
+        self.sweep_idle();
+    }
+
+    /// Close keep-alive connections that have been completely idle past
+    /// `max_idle`: no half-received request (that is the slow-loris
+    /// sweep's job), nothing queued or in flight, output fully flushed.
+    /// Rides the same poll-interval cadence as the timeout sweep.
+    fn sweep_idle(&mut self) {
+        let Some(max_idle) = self.cfg.max_idle else { return };
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, e)| {
+                !e.in_worker
+                    && e.pending.is_empty()
+                    && e.out_pos >= e.out.len()
+                    && e.fatal.is_none()
+                    && e.partial_since.is_none()
+                    && e.last_activity.elapsed() > max_idle
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            self.close_now(token);
         }
     }
 

@@ -12,8 +12,8 @@
 //! | POST   | `/prepare`         | compile `{lang?, query}` → `{handle}`     |
 //! | POST   | `/execute`         | run a prepared handle `{handle, doc?}`    |
 //! | PUT    | `/documents/{id}`  | upload `{hierarchies: [{name, xml}…]}`    |
-//! | GET    | `/documents`       | list registered document ids              |
-//! | GET    | `/stats`           | cache/eval/server + per-session counters  |
+//! | GET    | `/documents`       | list documents with residency + snapshot size |
+//! | GET    | `/stats`           | cache/eval/server/store + per-session counters |
 //! | POST   | `/shutdown`        | request graceful drain                    |
 
 use crate::engine::{Catalog, EngineError, EvalStats, QueryLang, Session};
@@ -90,12 +90,22 @@ pub(crate) fn route(
         },
         "/documents" => match method {
             "GET" => {
-                let ids = catalog.document_ids().into_iter().map(Json::Str).collect();
+                let docs = catalog
+                    .document_status()
+                    .into_iter()
+                    .map(|(id, residency, bytes)| {
+                        Json::Obj(vec![
+                            ("id".into(), Json::Str(id)),
+                            ("residency".into(), Json::Str(residency.name().into())),
+                            ("snapshot_bytes".into(), Json::Num(bytes as f64)),
+                        ])
+                    })
+                    .collect();
                 (
                     200,
                     Json::Obj(vec![
                         ("ok".into(), Json::Bool(true)),
-                        ("documents".into(), Json::Arr(ids)),
+                        ("documents".into(), Json::Arr(docs)),
                     ]),
                 )
             }
@@ -383,17 +393,20 @@ fn upload_endpoint(catalog: &Catalog, id: &str, req: &Request) -> (u16, Json) {
         builder = builder.hierarchy(name, xml);
     }
     match builder.build() {
-        Ok(goddag) => {
-            catalog.insert(id, goddag);
-            (
+        // `put`, not `insert`: with a data directory attached the upload
+        // is persisted before it is served (a failed write is a 500 and
+        // registers nothing).
+        Ok(goddag) => match catalog.put(id, goddag) {
+            Ok(()) => (
                 200,
                 Json::Obj(vec![
                     ("ok".into(), Json::Bool(true)),
                     ("id".into(), Json::Str(id.into())),
                     ("hierarchies".into(), Json::Num(hierarchies.len() as f64)),
                 ]),
-            )
-        }
+            ),
+            Err(e) => engine_failure(&e),
+        },
         Err(e) => engine_failure(&EngineError::from(e)),
     }
 }
@@ -460,5 +473,28 @@ fn stats_body(shared: &Shared, catalog: &Catalog) -> Json {
             ]),
         ),
         ("documents".into(), Json::Num(catalog.len() as f64)),
+        ("store".into(), store_section(catalog)),
+    ])
+}
+
+/// The `/stats` persistence section. Always present (all-zero without a
+/// data directory) so clients need no shape detection.
+fn store_section(catalog: &Catalog) -> Json {
+    let store = catalog.store_stats();
+    Json::Obj(vec![
+        ("attached".into(), Json::Bool(store.attached)),
+        (
+            "memory_budget".into(),
+            match store.budget {
+                Some(b) => Json::Num(b as f64),
+                None => Json::Null,
+            },
+        ),
+        ("loads".into(), Json::Num(store.loads as f64)),
+        ("evictions".into(), Json::Num(store.evictions as f64)),
+        ("cold_start_hits".into(), Json::Num(store.cold_start_hits as f64)),
+        ("bytes_on_disk".into(), Json::Num(store.bytes_on_disk as f64)),
+        ("resident_docs".into(), Json::Num(store.resident_docs as f64)),
+        ("resident_bytes".into(), Json::Num(store.resident_bytes as f64)),
     ])
 }

@@ -85,6 +85,10 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Maximum request body size in bytes.
     pub max_body: usize,
+    /// Close keep-alive connections idle (no bytes, nothing queued or in
+    /// flight) for longer than this. `None` (the default) keeps idle
+    /// connections open until the peer hangs up or the server drains.
+    pub max_idle: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +98,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(25),
             request_timeout: Duration::from_secs(10),
             max_body: 16 * 1024 * 1024,
+            max_idle: None,
         }
     }
 }
@@ -314,6 +319,7 @@ impl Server {
                 poll_interval: shared.config.poll_interval,
                 request_timeout: shared.config.request_timeout,
                 max_body: shared.config.max_body,
+                max_idle: shared.config.max_idle,
             },
             Arc::new(ServerService { shared: Arc::clone(&shared) }),
         )?;

@@ -177,6 +177,7 @@ impl Router {
                 poll_interval: shared.config.poll_interval,
                 request_timeout: shared.config.request_timeout,
                 max_body: shared.config.max_body,
+                max_idle: None,
             },
             Arc::new(RouterService { shared: Arc::clone(&shared) }),
         )?;
@@ -697,7 +698,14 @@ impl RouterCore {
                 Attempt::Done(status, json) if (200..300).contains(&status) => {
                     match json.get("documents").and_then(Json::as_arr) {
                         Some(ids) => {
-                            union.extend(ids.iter().filter_map(|v| v.as_str().map(str::to_string)));
+                            // Shards report objects with residency metadata;
+                            // accept bare-string ids from older backends too.
+                            union.extend(ids.iter().filter_map(|v| {
+                                v.get("id")
+                                    .and_then(Json::as_str)
+                                    .or_else(|| v.as_str())
+                                    .map(str::to_string)
+                            }));
                             any_ok = true;
                         }
                         None => errors.push(format!("{}: malformed /documents", self.pool.addr(i))),

@@ -26,7 +26,8 @@ use mhx_xquery::{AnalyzeMode, EvalOptions};
 /// * `Eval` — valid query, failed against this document: **422**;
 /// * `UnknownDocument` — the addressed resource does not exist: **404**;
 /// * `Document` — the uploaded document is malformed: **400**;
-/// * `ShuttingDown` — the catalog is draining: **503** (retry elsewhere).
+/// * `ShuttingDown` — the catalog is draining: **503** (retry elsewhere);
+/// * `Store` — the persistence layer failed server-side: **500**.
 pub fn status_for(e: &EngineError) -> u16 {
     match e {
         EngineError::Parse { .. } | EngineError::Compile { .. } => 400,
@@ -34,6 +35,7 @@ pub fn status_for(e: &EngineError) -> u16 {
         EngineError::UnknownDocument { .. } => 404,
         EngineError::Document { .. } => 400,
         EngineError::ShuttingDown => 503,
+        EngineError::Store { .. } => 500,
     }
 }
 
@@ -46,6 +48,7 @@ pub fn error_kind(e: &EngineError) -> &'static str {
         EngineError::UnknownDocument { .. } => "unknown_document",
         EngineError::Document { .. } => "document",
         EngineError::ShuttingDown => "shutting_down",
+        EngineError::Store { .. } => "store",
     }
 }
 
@@ -255,6 +258,7 @@ mod tests {
             (EngineError::UnknownDocument { id: "ms".into() }, 404, "unknown_document"),
             (EngineError::Document { message: "x".into() }, 400, "document"),
             (EngineError::ShuttingDown, 503, "shutting_down"),
+            (EngineError::Store { message: "x".into() }, 500, "store"),
         ];
         for (e, status, kind) in cases {
             assert_eq!(status_for(&e), status, "{e:?}");

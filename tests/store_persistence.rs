@@ -1,0 +1,309 @@
+//! Integration tests for the persistent document store: snapshot
+//! round-trips on random GODDAGs (write → read must preserve indexed
+//! query results across the whole axis suite), lazy loading and
+//! memory-budget eviction through the `Catalog`, a real `mhxd` restart
+//! answering queries from the data dir without re-upload, corrupt
+//! snapshots surfacing as typed engine errors, and the event loop's
+//! idle keep-alive sweep.
+
+use mhx_store::{DocStore, StoreError};
+use multihier_xquery::corpus::{generate, GeneratorConfig};
+use multihier_xquery::goddag::axes::Axis;
+use multihier_xquery::goddag::StructIndex;
+use multihier_xquery::prelude::*;
+use multihier_xquery::server::client::Client;
+use multihier_xquery::server::{Server, ServerConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A unique scratch dir per call (proptest runs cases concurrently
+/// across test threads; a shared dir would cross-contaminate).
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("mhx-store-test-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        0u32..1000,
+        (60usize..240),
+        (1usize..4),
+        (5usize..25),
+        (0usize..=10),
+        prop_oneof![Just(true), Just(false)],
+    )
+        .prop_map(|(seed, text_len, hierarchies, avg_element_len, jitter, nested)| {
+            GeneratorConfig {
+                seed: seed as u64,
+                text_len,
+                hierarchies,
+                avg_element_len,
+                boundary_jitter: jitter as f64 / 10.0,
+                nested,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Write → read on random documents: the reloaded snapshot must
+    /// answer every axis from every node exactly like the original,
+    /// through its reconstructed index.
+    #[test]
+    fn snapshot_round_trip_preserves_indexed_query_results(cfg in arb_config()) {
+        let g = generate(&cfg).build_goddag();
+        let idx = StructIndex::build(&g);
+        let dir = scratch_dir();
+        let store = DocStore::open(&dir).expect("open scratch store");
+        store.save("doc", &g, &idx).expect("save snapshot");
+        let (g2, idx2) = store.load("doc").expect("load snapshot").expect("snapshot present");
+
+        prop_assert_eq!(g.text(), g2.text());
+        prop_assert_eq!(g.all_nodes(), g2.all_nodes());
+        for &n in &g.all_nodes() {
+            for axis in Axis::ALL {
+                prop_assert_eq!(
+                    idx.axis_nodes(&g, axis, n),
+                    idx2.axis_nodes(&g2, axis, n),
+                    "axis {} from {}", axis.name(), n
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Distinct documents for the catalog tests (different seeds → different
+/// texts and overlap patterns, same e0/e1/… schema).
+fn corpus_doc(i: usize) -> Goddag {
+    generate(&GeneratorConfig {
+        seed: 0xD0C + i as u64,
+        text_len: 400,
+        hierarchies: 2,
+        boundary_jitter: 0.6,
+        ..Default::default()
+    })
+    .build_goddag()
+}
+
+const CHURN_QUERIES: [&str; 2] = ["count(/descendant::e0)", "/descendant::e1[overlapping::e0]"];
+
+/// Under a budget of a quarter of the corpus, a round-robin workload
+/// forces evict/reload churn; every answer must match an unconstrained
+/// catalog, and the counters must account for what happened.
+#[test]
+fn eviction_churn_keeps_answers_correct_and_counters_honest() {
+    const N: usize = 6;
+    let reference = Catalog::new();
+    for i in 0..N {
+        reference.insert(format!("doc-{i}"), corpus_doc(i));
+    }
+
+    let dir = scratch_dir();
+    let constrained = Catalog::new();
+    // Attach with no budget first to measure the corpus, then verify the
+    // store refuses a second attach.
+    let unbudgeted = Catalog::new();
+    unbudgeted.attach_store(&dir, None).expect("attach");
+    for i in 0..N {
+        unbudgeted.put(format!("doc-{i}"), corpus_doc(i)).expect("persist");
+    }
+    let total = unbudgeted.store_stats().bytes_on_disk;
+    assert!(total > 0);
+    assert!(unbudgeted.attach_store(&dir, None).is_err(), "second attach must fail");
+
+    constrained.attach_store(&dir, Some((total / 4).max(1))).expect("attach with budget");
+    let mut loads_seen = 0u64;
+    for round in 0..3 {
+        for i in 0..N {
+            for q in CHURN_QUERIES {
+                let id = format!("doc-{i}");
+                let want = reference.xpath(&id, q).expect("reference");
+                let got = constrained.xpath(&id, q).expect("constrained");
+                assert_eq!(got.serialize(), want.serialize(), "round {round}, {id}, `{q}`");
+            }
+        }
+        loads_seen = constrained.store_stats().loads;
+    }
+
+    let stats = constrained.store_stats();
+    assert!(stats.attached);
+    assert_eq!(stats.bytes_on_disk, total, "churn never rewrites snapshots");
+    // 6 docs under a quarter-budget: every round reloads evicted docs.
+    assert!(stats.loads > N as u64, "expected reload churn, saw {} loads", stats.loads);
+    assert!(stats.evictions > 0, "budget must force evictions");
+    assert_eq!(stats.cold_start_hits, N as u64, "each disk-discovered doc loads cold once");
+    assert!(stats.resident_bytes <= total, "resident set stays below the corpus");
+    assert_eq!(loads_seen, stats.loads);
+
+    // Residency report: with the budget a quarter of the corpus, some
+    // documents must be evicted right now.
+    let status = constrained.document_status();
+    assert_eq!(status.len(), N);
+    assert!(
+        status.iter().any(|(_, r, _)| matches!(r, Residency::Evicted)),
+        "some documents must be evicted under the budget"
+    );
+    assert!(status.iter().all(|(_, _, bytes)| *bytes > 0), "every doc has a snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Boot a server on a data dir, upload a document over the wire, shut
+/// down; a second server on the same dir must answer a prepared query
+/// with no re-upload, reporting the cold start in its counters.
+#[test]
+fn restarted_server_answers_prepared_query_without_reupload() {
+    let dir = scratch_dir();
+    let lines = "<r><line>gesceaftum unawendendne sin</line><line>gallice sibbe</line></r>";
+    let words = "<r><w>gesceaftum</w> <w>unawendendne</w> <w>singallice</w> <w>sibbe</w></r>";
+
+    let config = || ServerConfig {
+        workers: 2,
+        poll_interval: Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
+
+    {
+        let catalog = Arc::new(Catalog::new());
+        catalog.attach_store(&dir, None).expect("attach store");
+        let server = Server::bind(catalog, "127.0.0.1:0", config()).expect("bind");
+        let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+        client.put_document("ms", &[("lines", lines), ("words", words)]).expect("upload");
+        let out = client.xpath("ms", "/descendant::w[overlapping::line]").expect("query");
+        assert_eq!(out.serialized, "<w>singallice</w>");
+        assert!(server.shutdown());
+    }
+
+    // Same data dir, fresh catalog: no uploads, no inserts.
+    let catalog = Arc::new(Catalog::new());
+    let replayed = catalog.attach_store(&dir, None).expect("attach store");
+    assert_eq!(replayed, vec!["ms".to_string()]);
+    let server = Server::bind(catalog, "127.0.0.1:0", config()).expect("bind");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+
+    // The replayed document is evicted (on disk only) until first use.
+    let status = client.document_status().expect("documents");
+    assert_eq!(status.len(), 1);
+    assert_eq!(status[0].0, "ms");
+    assert_eq!(status[0].1, "evicted");
+    assert!(status[0].2 > 0, "snapshot size is reported");
+
+    let handle =
+        client.prepare(QueryLang::XPath, "/descendant::w[overlapping::line]").expect("prepare");
+    let out = client.execute(handle, Some("ms")).expect("execute on cold store");
+    assert_eq!(out.serialized, "<w>singallice</w>");
+
+    let stats = client.stats().expect("stats");
+    let store = stats.get("store").expect("store section");
+    let n = |key: &str| store.get(key).and_then(mhx_json::Json::as_u64).unwrap_or(0);
+    assert_eq!(n("loads"), 1);
+    assert_eq!(n("cold_start_hits"), 1);
+    assert!(n("bytes_on_disk") > 0);
+    assert_eq!(n("resident_docs"), 1);
+
+    let status = client.document_status().expect("documents");
+    assert_eq!(status[0].1, "resident", "first query makes the doc resident");
+    assert!(server.shutdown());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corruption surfaces as a typed engine error — never a panic — and a
+/// crash-leftover `.tmp` file is ignored at replay.
+#[test]
+fn corrupt_snapshot_is_a_typed_error_and_tmp_leftovers_are_ignored() {
+    let dir = scratch_dir();
+    {
+        let catalog = Catalog::new();
+        catalog.attach_store(&dir, None).expect("attach");
+        catalog.put("ms", corpus_doc(0)).expect("persist");
+    }
+
+    // A crash mid-write leaves a bare .tmp file; replay must skip it.
+    std::fs::write(dir.join("ghost.mhx.tmp"), b"half-written junk").expect("write tmp");
+
+    // Flip one byte in the middle of the snapshot payload.
+    let store = DocStore::open(&dir).expect("open");
+    let path = store.path_for("ms");
+    let mut bytes = std::fs::read(&path).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("rewrite snapshot");
+
+    // The store layer reports corruption, not a panic.
+    match store.load("ms") {
+        Err(StoreError::Corrupt { .. }) => {}
+        other => panic!("expected corruption error, got {other:?}"),
+    }
+
+    // Through the catalog, the same corruption becomes a typed
+    // EngineError::Store when the lazy load runs.
+    let catalog = Catalog::new();
+    let replayed = catalog.attach_store(&dir, None).expect("attach survives corruption");
+    assert_eq!(replayed, vec!["ms".to_string()], "the .tmp leftover is not replayed");
+    match catalog.xpath("ms", "count(/descendant::e0)") {
+        Err(EngineError::Store { .. }) => {}
+        other => panic!("expected EngineError::Store, got {other:?}"),
+    }
+
+    // A truncated snapshot behaves the same.
+    std::fs::write(&path, &bytes[..40]).expect("truncate snapshot");
+    let catalog = Catalog::new();
+    catalog.attach_store(&dir, None).expect("attach");
+    match catalog.xpath("ms", "count(/descendant::e0)") {
+        Err(EngineError::Store { .. }) => {}
+        other => panic!("expected EngineError::Store, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `max_idle` closes parked keep-alive connections (the satellite riding
+/// the slow-loris sweep); busy and fresh connections are untouched.
+#[test]
+fn idle_keepalive_connections_are_swept() {
+    let catalog = Arc::new(Catalog::new());
+    catalog.insert(
+        "ms",
+        GoddagBuilder::new().hierarchy("w", "<r><w>a</w> <w>b</w></r>").build().unwrap(),
+    );
+    let server = Server::bind(
+        catalog,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            poll_interval: Duration::from_millis(10),
+            max_idle: Some(Duration::from_millis(150)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr().to_string();
+
+    let mut idle = Client::connect(&addr).expect("connect");
+    let out = idle.xpath("ms", "count(/descendant::w)").expect("first query");
+    assert_eq!(out.serialized, "2");
+
+    // Park past the idle bound: the server closes the connection, so the
+    // next request on this client fails.
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(
+        idle.xpath("ms", "count(/descendant::w)").is_err(),
+        "parked connection must have been closed by the idle sweep"
+    );
+
+    // The server itself is fine: a fresh connection works, and staying
+    // under the idle bound keeps a connection alive across requests.
+    let mut fresh = Client::connect(&addr).expect("reconnect");
+    for _ in 0..4 {
+        std::thread::sleep(Duration::from_millis(40));
+        let out = fresh.xpath("ms", "count(/descendant::w)").expect("active connection");
+        assert_eq!(out.serialized, "2");
+    }
+    assert!(server.shutdown());
+}
